@@ -1,0 +1,17 @@
+"""Tiny reporting helper shared by every benchmark module.
+
+Each benchmark prints a labelled block containing a *paper vs measured* table
+(or a numeric series standing in for a figure).  The blocks are what
+EXPERIMENTS.md records; re-run ``pytest benchmarks/ --benchmark-only -s`` to
+regenerate them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["emit"]
+
+
+def emit(title: str, body: str) -> None:
+    """Print one experiment's report block (visible with ``pytest -s``)."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

@@ -1,0 +1,160 @@
+"""A1-A4 — ablations of the design choices DESIGN.md calls out.
+
+These are not claims made by the paper; they quantify the effect of the
+design knobs the paper discusses qualitatively, on the same reference
+workload used everywhere else:
+
+* A1 — instantaneous vs amortized application of adjustments (Section 4.1's
+  "stretch a negative adjustment out" remark): the amortized variant keeps
+  local time monotone at no cost in steady-state agreement;
+* A2 — the collection-window length ``(1+ρ)(β+δ+ε)``: shortening it below the
+  value the analysis requires makes correct processes miss each other's
+  messages and degrades agreement (the window is not slack);
+* A3 — fault-tolerant averaging vs a plain mean under an attack with
+  out-of-range values: the `reduce` step is what buys Byzantine tolerance;
+* A4 — the number of *actual* attackers at fixed averaging configuration
+  (0..f..f+1): agreement is flat up to f and collapses past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks._report import emit
+from repro.analysis import (
+    format_table,
+    measured_agreement,
+    run_maintenance_scenario,
+    sample_grid,
+    sweep_fault_count,
+)
+from repro.core import (
+    AmortizedWelchLynchProcess,
+    PlainMean,
+    WelchLynchProcess,
+    agreement_bound,
+)
+
+ROUNDS = 10
+
+
+def _agreement(result, params, settle_rounds=2, samples=150):
+    start = result.tmax0 + settle_rounds * params.round_length
+    return measured_agreement(result.trace, start, result.end_time, samples=samples)
+
+
+def test_ablation_amortized_vs_instantaneous(benchmark, bench_params):
+    """A1: spreading adjustments keeps time monotone without hurting agreement."""
+    params = bench_params
+
+    def measure():
+        plain = run_maintenance_scenario(params, rounds=ROUNDS,
+                                         fault_kind="two_faced", seed=3)
+        amortized = run_maintenance_scenario(
+            params, rounds=ROUNDS, fault_kind="two_faced", seed=3,
+            correct_process_factory=lambda p, r: AmortizedWelchLynchProcess(
+                p, steps=10, max_rounds=r))
+
+        def min_step(trace):
+            grid = sample_grid(plain.tmax0, plain.end_time, 400)
+            worst = float("inf")
+            for pid in trace.nonfaulty_ids:
+                values = [trace.local_time(pid, t) for t in grid]
+                worst = min(worst, min(b - a for a, b in zip(values, values[1:])))
+            return worst
+
+        return {
+            "instantaneous": (_agreement(plain, params), min_step(plain.trace)),
+            "amortized": (_agreement(amortized, params), min_step(amortized.trace)),
+        }
+
+    rows = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("A1 ablation — amortized vs instantaneous adjustments",
+         format_table(["variant", "agreement", "min local-time step", "gamma"],
+                      [(name, agreement, step, gamma)
+                       for name, (agreement, step) in rows.items()]))
+    inst_agreement, inst_step = rows["instantaneous"]
+    amort_agreement, amort_step = rows["amortized"]
+    assert inst_agreement <= gamma
+    assert amort_agreement <= gamma
+    # The amortized variant never steps backwards; the instantaneous one may.
+    assert amort_step >= -1e-9
+    assert amort_agreement <= inst_agreement * 1.5 + 1e-4
+
+
+def test_ablation_collection_window_length(benchmark, bench_params):
+    """A2: the (1+ρ)(β+δ+ε) window is load-bearing, not slack."""
+    params = bench_params
+
+    def measure():
+        rows = []
+        for label, factor in (("paper window", 1.0), ("60% window", 0.6),
+                              ("30% window", 0.3)):
+            shrunk = replace(params, beta=params.beta)  # copy
+
+            def factory(p, r, factor=factor):
+                process = WelchLynchProcess(p, max_rounds=r)
+                original = process._window_length
+
+                def shorter(ctx):
+                    return original(ctx) * factor
+
+                process._window_length = shorter
+                return process
+
+            result = run_maintenance_scenario(shrunk, rounds=ROUNDS,
+                                              fault_kind="two_faced", seed=5,
+                                              correct_process_factory=factory)
+            rows.append((label, _agreement(result, shrunk)))
+        return rows
+
+    rows = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("A2 ablation — collection window length",
+         format_table(["window", "agreement", "gamma"],
+                      [(label, value, gamma) for label, value in rows]))
+    by_label = dict(rows)
+    assert by_label["paper window"] <= gamma
+    # A window too short to hear every nonfaulty process costs accuracy.
+    assert by_label["30% window"] > by_label["paper window"]
+
+
+def test_ablation_reduce_step(benchmark, bench_params):
+    """A3: dropping reduce() lets out-of-range Byzantine values wreck the clocks."""
+    params = bench_params
+
+    def measure():
+        tolerant = run_maintenance_scenario(params, rounds=ROUNDS,
+                                            fault_kind="random_noise", seed=7)
+        plain = run_maintenance_scenario(params, rounds=ROUNDS,
+                                         fault_kind="random_noise",
+                                         averaging=PlainMean(), seed=7)
+        return {"mid(reduce(.))": _agreement(tolerant, params),
+                "plain mean": _agreement(plain, params)}
+
+    rows = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("A3 ablation — fault-tolerant averaging vs plain mean",
+         format_table(["averaging", "agreement", "gamma"],
+                      [(name, value, gamma) for name, value in rows.items()]))
+    assert rows["mid(reduce(.))"] <= gamma
+    assert rows["plain mean"] > 10 * rows["mid(reduce(.))"]
+
+
+def test_ablation_actual_fault_count(benchmark, bench_params):
+    """A4: agreement is flat up to f actual attackers and collapses past f."""
+    params = bench_params
+
+    def measure():
+        return sweep_fault_count([0, 1, 2, 3], n=params.n, f=params.f,
+                                 rounds=ROUNDS, seed=1)
+
+    sweep = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("A4 ablation — number of actual attackers (averaging fixed at f=2)",
+         format_table(sweep.headers(), sweep.rows()))
+    agreements = sweep.column("agreement")
+    for value in agreements[:3]:
+        assert value <= gamma
+    assert agreements[3] > agreements[2]

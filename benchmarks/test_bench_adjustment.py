@@ -1,0 +1,78 @@
+"""E3 — Theorem 4(a) / Lemma 7: the per-round adjustment is bounded.
+
+The paper claims every adjustment applied by a nonfaulty process satisfies
+
+    |ADJ| ≤ (1 + ρ)(β + ε) + ρδ        (≈ 5ε in the Section 10 discussion,
+                                         since β ≈ 4ε when P is small)
+
+A small adjustment bound matters in practice: it limits how far the clock can
+jump (backwards or forwards) at a resynchronization.  We collect every
+adjustment from long runs under each attacker family and compare the maximum
+with the bound; we also verify the Section 10 remark that the adjustment is
+roughly 5ε when β is close to its floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import emit
+from repro.analysis import (
+    adjustment_statistics,
+    default_parameters,
+    format_paper_vs_measured,
+    format_table,
+    run_maintenance_scenario,
+)
+from repro.core import adjustment_bound
+
+ROUNDS = 20
+
+
+@pytest.mark.parametrize("fault_kind", ["two_faced", "skew_early", "random_noise"])
+def test_adjustment_bound_holds(benchmark, bench_params, fault_kind):
+    """max |ADJ| over all nonfaulty processes and rounds stays below the bound."""
+    params = bench_params
+
+    def measure():
+        result = run_maintenance_scenario(params, rounds=ROUNDS,
+                                          fault_kind=fault_kind, seed=2)
+        return adjustment_statistics(result.trace)
+
+    stats = benchmark(measure)
+    bound = adjustment_bound(params)
+    emit(f"E3 adjustment — fault kind {fault_kind}",
+         format_paper_vs_measured([
+             ("max |ADJ| (Theorem 4a)", bound, stats.max_abs),
+             ("mean |ADJ|", None, stats.mean_abs),
+             ("adjustments applied", None, stats.count),
+         ]))
+    assert stats.max_abs <= bound
+
+
+def test_adjustment_scales_with_epsilon(benchmark):
+    """Adjustments shrink as the delay uncertainty shrinks (≈ 5ε shape)."""
+    epsilons = [0.0005, 0.001, 0.002, 0.004]
+
+    def sweep():
+        rows = []
+        for eps in epsilons:
+            params = default_parameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=eps,
+                                        beta_slack=1.05)
+            result = run_maintenance_scenario(params, rounds=12,
+                                              fault_kind="two_faced", seed=7)
+            stats = adjustment_statistics(result.trace)
+            rows.append((eps, adjustment_bound(params), stats.max_abs,
+                         stats.max_abs / eps if eps else None))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E3 adjustment — epsilon sweep (paper: |ADJ| ≈ 5ε)",
+         format_table(["epsilon", "bound", "max |ADJ|", "max|ADJ| / eps"], rows))
+    for eps, bound, max_abs, _ in rows:
+        assert max_abs <= bound
+        # Section 10: the adjustment is "about 5ε"; allow a generous envelope.
+        assert max_abs <= 7.0 * eps
+    # Shape: monotone growth with epsilon.
+    maxima = [m for _, _, m, _ in rows]
+    assert maxima[-1] >= maxima[0]

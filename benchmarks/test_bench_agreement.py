@@ -1,0 +1,107 @@
+"""E1 — Theorem 16: γ-agreement of the maintenance algorithm.
+
+The paper claims that at every real time after start-up the local times of any
+two nonfaulty processes differ by at most
+
+    γ = β + ε + ρ(7β + 3δ + 7ε) + 8ρ²(β+δ+ε) + 4ρ³(β+δ+ε)   (Theorem 16)
+
+We run the maintenance algorithm for 20 rounds with the full complement of
+``f`` Byzantine attackers under several delay models and fault mixes, measure
+the maximum observed skew, and print it next to γ.  We also sweep ε to show
+that the achieved agreement scales with the delay uncertainty (the "≈ 4ε along
+the real-time axis, ≈ β + ε in clock values" shape of Sections 5.2 and 7) and
+is essentially independent of n at fixed f.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import emit
+from repro.analysis import (
+    default_parameters,
+    format_paper_vs_measured,
+    format_table,
+    measured_agreement,
+    run_maintenance_scenario,
+)
+from repro.core import agreement_bound
+
+ROUNDS = 20
+
+
+def _measure(params, fault_kind, delay="uniform", seed=0, rounds=ROUNDS):
+    result = run_maintenance_scenario(params, rounds=rounds, fault_kind=fault_kind,
+                                      delay=delay, seed=seed)
+    start = result.tmax0 + params.round_length
+    return measured_agreement(result.trace, start, result.end_time, samples=300)
+
+
+@pytest.mark.parametrize("fault_kind", ["two_faced", "skew_late", "random_noise",
+                                        "silent"])
+def test_agreement_under_byzantine_faults(benchmark, bench_params, fault_kind):
+    """γ-agreement holds with f Byzantine processes of each attacker family."""
+    params = bench_params
+    skew = benchmark(_measure, params, fault_kind)
+    gamma = agreement_bound(params)
+    emit(f"E1 agreement — fault kind {fault_kind}",
+         format_paper_vs_measured([
+             ("gamma (Theorem 16)", gamma, skew),
+         ]))
+    assert skew <= gamma
+
+
+def test_agreement_epsilon_sweep(benchmark, bench_params):
+    """Measured agreement tracks the delay uncertainty ε (shape: grows with ε)."""
+    epsilons = [0.0005, 0.001, 0.002, 0.004]
+
+    def sweep():
+        rows = []
+        for eps in epsilons:
+            params = default_parameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=eps)
+            skew = _measure(params, "two_faced", seed=3)
+            rows.append((eps, agreement_bound(params), skew))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E1 agreement — epsilon sweep",
+         format_table(["epsilon", "gamma (paper)", "measured skew"], rows))
+    # Shape check: the paper bound and the measurement both grow with epsilon,
+    # and the measurement never exceeds the bound.
+    for eps, gamma, skew in rows:
+        assert skew <= gamma
+    measured = [skew for _, _, skew in rows]
+    assert measured[-1] >= measured[0]
+
+
+def test_agreement_independent_of_n_at_fixed_f(benchmark):
+    """At fixed f, adding correct processes does not degrade agreement."""
+    sizes = [7, 10, 13, 16]
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            params = default_parameters(n=n, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+            skew = _measure(params, "two_faced", seed=5, rounds=12)
+            rows.append((n, agreement_bound(params), skew))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E1 agreement — n sweep at f=2",
+         format_table(["n", "gamma (paper)", "measured skew"], rows))
+    skews = [skew for _, _, skew in rows]
+    for (_, gamma, skew) in rows:
+        assert skew <= gamma
+    # Shape: unlike LM (whose error grows like 2nε'), WL agreement does not
+    # grow with n — the largest system is no worse than twice the smallest.
+    assert skews[-1] <= 2.0 * skews[0]
+
+
+def test_agreement_under_adversarial_delays(benchmark, bench_params):
+    """Worst-case (extreme early/late) delivery still satisfies Theorem 16."""
+    params = bench_params
+    skew = benchmark(_measure, params, "two_faced", "adversarial", 11)
+    gamma = agreement_bound(params)
+    emit("E1 agreement — adversarial delay model",
+         format_paper_vs_measured([("gamma (Theorem 16)", gamma, skew)]))
+    assert skew <= gamma

@@ -1,0 +1,85 @@
+"""E7 — Section 5.2 / 7: the β ≈ 4ε + 4ρP trade-off.
+
+If the round length P is regarded as fixed, the achievable closeness of
+synchronization along the real-time axis is roughly β ≈ 4ε + 4ρP: resynchronize
+less often and drift accumulates; resynchronize more often and the floor is
+set by the delay uncertainty alone.  We sweep P across the admissible range of
+the Section 5.2 constraints and measure the steady-state per-round spread of
+round starts, which should track the formula (same slope in ρP, same 4ε
+intercept, within a small constant factor).
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis import (
+    default_parameters,
+    format_table,
+    run_maintenance_scenario,
+    steady_state_round_spread,
+)
+from repro.core import SyncParameters, steady_state_beta
+
+# A deliberately high drift rate makes the 4ρP term visible next to 4ε within
+# a handful of simulated seconds.
+RHO = 2e-3
+ROUNDS = 14
+
+
+def _params_for(round_length):
+    return SyncParameters.derive(n=7, f=2, rho=RHO, delta=0.01, epsilon=0.002,
+                                 round_length=round_length, beta_slack=1.5)
+
+
+def test_steady_state_spread_tracks_4eps_plus_4rhoP(benchmark):
+    """Measured steady-state spread follows β ≈ 4ε + 4ρP across a P sweep."""
+    base = _params_for(None)
+    p_min = base.p_lower_bound()
+    p_max = base.p_upper_bound()
+    lengths = [p_min * 1.2, p_min * 2.0, p_min * 4.0, min(p_min * 8.0, p_max * 0.9)]
+
+    def sweep():
+        rows = []
+        for P in lengths:
+            params = _params_for(P)
+            result = run_maintenance_scenario(params, rounds=ROUNDS,
+                                              fault_kind="silent", seed=1)
+            measured = steady_state_round_spread(result.trace, skip_rounds=4)
+            rows.append((P, steady_state_beta(params), measured))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E7 P/β trade-off — steady-state spread vs round length",
+         format_table(["P", "paper 4eps+4rhoP", "measured spread"], rows))
+    for P, paper, measured in rows:
+        # The formula is an asymptotic estimate; the measurement should stay
+        # below it (it is an upper bound on the steady state) and within the
+        # same order of magnitude.
+        assert measured <= paper + 1e-9
+        assert measured >= paper / 20.0
+    # Shape: a longer round gives a (weakly) larger steady-state spread.
+    measured_values = [m for _, _, m in rows]
+    assert measured_values[-1] >= measured_values[0]
+
+
+def test_infeasible_round_lengths_are_rejected(benchmark):
+    """P outside the Section 5.2 window is flagged before any run happens."""
+
+    def probe():
+        base = _params_for(None)
+        too_small = base.with_round_length(base.p_lower_bound() * 0.5)
+        too_large = base.with_round_length(base.p_upper_bound() * 2.0)
+        return (base.is_feasible(), too_small.is_feasible(), too_large.is_feasible(),
+                base.p_lower_bound(), base.p_upper_bound())
+
+    feasible, small_ok, large_ok, p_min, p_max = benchmark(probe)
+    emit("E7 P/β trade-off — admissible window",
+         format_table(["quantity", "value"],
+                      [("P lower bound (Section 5.2)", p_min),
+                       ("P upper bound (Section 5.2)", p_max),
+                       ("derived P feasible", feasible),
+                       ("P below window accepted", small_ok),
+                       ("P above window accepted", large_ok)]))
+    assert feasible
+    assert not small_ok
+    assert not large_ok

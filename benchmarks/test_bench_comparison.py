@@ -1,0 +1,115 @@
+"""E8 — Section 10: comparison with other clock synchronization algorithms.
+
+Section 10 compares the paper's algorithm with the interactive convergence
+algorithm of Lamport & Melliar-Smith [LM], Mahaney & Schneider [MS],
+Srikanth & Toueg [ST], Halpern-Simons-Strong-Dolev [HSSD] and Marzullo [M],
+discussing achieved agreement, adjustment size and message complexity.  All of
+them are implemented on the same simulator and run on an identical workload
+(same clocks, same delays, same Byzantine attackers), which regenerates the
+comparison "table".
+
+Shape expectations from the paper:
+
+* WL agreement ≈ O(ε), independent of n; adjustment ≈ 5ε;
+* LM agreement degrades with n (≈ 2nε'); adjustment ≈ (2n+1)ε';
+* ST / HSSD agreement ≈ δ + ε (better or worse than WL depending on δ vs ε);
+* everything beats the unsynchronized control over long runs;
+* message complexity is n² per round for the fully connected algorithms.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis import (
+    default_parameters,
+    format_table,
+    measured_agreement,
+    run_algorithm_scenario,
+    run_comparison,
+)
+from repro.core import agreement_bound
+
+ROUNDS = 10
+ALGORITHMS = ["welch_lynch", "lamport_melliar_smith", "mahaney_schneider",
+              "srikanth_toueg", "hssd", "marzullo", "unsynchronized"]
+
+
+def test_comparison_table_under_byzantine_attack(benchmark, bench_params):
+    """The full Section 10 table: agreement / adjustment / messages per round."""
+    params = bench_params
+
+    def measure():
+        return run_comparison(params, rounds=ROUNDS, algorithms=ALGORITHMS,
+                              fault_kind="two_faced", seed=0)
+
+    rows = benchmark(measure)
+    emit("E8 comparison — Byzantine workload (n=7, f=2)",
+         format_table(
+             ["algorithm", "agreement", "max adj", "msgs/round",
+              "paper agreement", "paper adj"],
+             [(r.algorithm, r.agreement, r.max_adjustment, r.messages_per_round,
+               r.paper_agreement, r.paper_adjustment) for r in rows]))
+    by_name = {r.algorithm: r for r in rows}
+    wl = by_name["welch_lynch"]
+    # WL meets its own bound and is competitive with every other synchronizer.
+    assert wl.agreement <= agreement_bound(params)
+    for name in ("lamport_melliar_smith", "mahaney_schneider"):
+        assert wl.agreement <= by_name[name].agreement * 1.5
+    # Fully connected averaging algorithms broadcast every round: n² messages.
+    # The unsynchronized control sends nothing itself (only the f attackers'
+    # traffic shows up in its row).
+    assert wl.messages_per_round >= params.n * (params.n - 1)
+    assert by_name["unsynchronized"].messages_per_round <= 2 * params.f * params.n
+    assert by_name["unsynchronized"].messages_per_round < wl.messages_per_round / 2
+
+
+def test_comparison_lm_degrades_with_n(benchmark):
+    """LM's error grows with n while WL's stays flat (the headline difference)."""
+
+    def sweep():
+        rows = []
+        for n in (7, 10, 13):
+            params = default_parameters(n=n, f=2, rho=1e-4, delta=0.01,
+                                        epsilon=0.002)
+            per_algorithm = {}
+            for algorithm in ("welch_lynch", "lamport_melliar_smith"):
+                result = run_algorithm_scenario(algorithm, params, rounds=8,
+                                                fault_kind="two_faced", seed=3)
+                start = result.tmax0 + 2 * params.round_length
+                per_algorithm[algorithm] = measured_agreement(
+                    result.trace, start, result.end_time, samples=120)
+            rows.append((n, per_algorithm["welch_lynch"],
+                         per_algorithm["lamport_melliar_smith"]))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E8 comparison — n dependence (WL flat, LM grows)",
+         format_table(["n", "welch_lynch", "lamport_melliar_smith"], rows))
+    wl = [row[1] for row in rows]
+    lm = [row[2] for row in rows]
+    assert wl[-1] <= wl[0] * 2.0
+    # LM's disadvantage relative to WL grows (or at least does not shrink) with n.
+    assert lm[-1] / wl[-1] >= (lm[0] / wl[0]) * 0.9
+
+
+def test_comparison_everything_beats_free_running(benchmark):
+    """Over a long horizon with drifting clocks, any synchronizer beats none."""
+    params = default_parameters(n=7, f=2, rho=2e-3, delta=0.01, epsilon=0.002)
+
+    def measure():
+        skews = {}
+        for algorithm in ("welch_lynch", "srikanth_toueg", "hssd", "marzullo",
+                          "unsynchronized"):
+            result = run_algorithm_scenario(algorithm, params, rounds=12,
+                                            fault_kind="silent", seed=2)
+            start = result.tmax0 + 2 * params.round_length
+            skews[algorithm] = measured_agreement(result.trace, start,
+                                                  result.end_time, samples=120)
+        return skews
+
+    skews = benchmark(measure)
+    emit("E8 comparison — long-horizon drift (ρ = 2e-3)",
+         format_table(["algorithm", "agreement"], sorted(skews.items())))
+    for algorithm, skew in skews.items():
+        if algorithm != "unsynchronized":
+            assert skew < skews["unsynchronized"]

@@ -1,0 +1,106 @@
+"""E9 — Assumption A2 / [DHS]: the n ≥ 3f + 1 resilience threshold.
+
+Dolev, Halpern and Strong show that without authentication clock
+synchronization is impossible unless more than two-thirds of the processes
+are nonfaulty; assumption A2 (n ≥ 3f + 1) is therefore tight.  We demonstrate
+the threshold empirically: with the averaging configured for f = 2,
+
+* 2 coordinated two-faced attackers out of 7 are harmless (agreement ≤ γ);
+* 3 attackers out of 7 (n = 3f + 1 but f+1 actual faults) break agreement;
+* resizing the system to n = 10, f = 3 restores synchronization against the
+  same 3 attackers.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis import (
+    format_table,
+    measured_agreement,
+    run_maintenance_scenario,
+)
+from repro.clocks import make_clock_ensemble
+from repro.core import SyncParameters, WelchLynchProcess, agreement_bound
+from repro.faults import TwoFacedClockAttacker
+from repro.sim import System, UniformDelayModel
+
+ROUNDS = 10
+
+
+def _run_with_attackers(params, attackers, seed=0):
+    """n processes whose averaging tolerates params.f faults, attacked by
+    ``attackers`` coordinated two-faced adversaries; returns max skew."""
+    n = params.n
+    correct = [WelchLynchProcess(params, max_rounds=ROUNDS)
+               for _ in range(n - attackers)]
+    byz = [TwoFacedClockAttacker(params, max_rounds=ROUNDS + 2)
+           for _ in range(attackers)]
+    clocks = make_clock_ensemble(n, rho=params.rho, beta=params.beta, seed=seed)
+    system = System(correct + byz, clocks,
+                    delay_model=UniformDelayModel(params.delta, params.epsilon),
+                    seed=seed)
+    start_times = system.schedule_all_starts_at_logical(params.T0)
+    end = params.T0 + ROUNDS * params.round_length + 1.0
+    trace = system.run_until(end)
+    settle = min(t for pid, t in start_times.items() if pid < n - attackers) \
+        + params.round_length
+    grid = [settle + i * (end - settle) / 120 for i in range(121)]
+    return trace.max_skew(grid)
+
+
+def test_threshold_n7_f2(benchmark):
+    """f attackers tolerated, f+1 attackers break agreement (n = 3f + 1 = 7)."""
+    params = SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+    def measure():
+        return {
+            "0 attackers": _run_with_attackers(params, 0),
+            "2 attackers (= f)": _run_with_attackers(params, 2),
+            "3 attackers (> f)": _run_with_attackers(params, 3),
+        }
+
+    skews = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("E9 fault threshold — n=7 configured for f=2",
+         format_table(["scenario", "max skew", "gamma"],
+                      [(name, skew, gamma) for name, skew in skews.items()]))
+    assert skews["0 attackers"] <= gamma
+    assert skews["2 attackers (= f)"] <= gamma
+    # With more actual faults than the averaging screens out, the attackers
+    # can (and here do) push the skew beyond what held at the threshold.
+    assert skews["3 attackers (> f)"] > skews["2 attackers (= f)"]
+
+
+def test_resizing_the_system_restores_synchronization(benchmark):
+    """The same 3 attackers are harmless once n ≥ 3·3 + 1 and f = 3."""
+    params = SyncParameters.derive(n=10, f=3, rho=1e-4, delta=0.01, epsilon=0.002)
+
+    def measure():
+        return _run_with_attackers(params, 3, seed=1)
+
+    skew = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("E9 fault threshold — n=10, f=3 against 3 attackers",
+         format_table(["scenario", "max skew", "gamma"],
+                      [("3 attackers, f=3", skew, gamma)]))
+    assert skew <= gamma
+
+
+def test_minimum_system_size_is_enforced(benchmark):
+    """Parameter validation rejects n ≤ 3f (the impossibility region)."""
+
+    def probe():
+        rejected = 0
+        for n, f in ((3, 1), (6, 2), (9, 3)):
+            try:
+                SyncParameters(n=n, f=f, rho=1e-4, delta=0.01, epsilon=0.002,
+                               beta=0.01, round_length=1.0)
+            except Exception:
+                rejected += 1
+        return rejected
+
+    rejected = benchmark(probe)
+    emit("E9 fault threshold — configurations rejected at n = 3f",
+         format_table(["quantity", "value"],
+                      [("configurations tried", 3), ("rejected", rejected)]))
+    assert rejected == 3

@@ -1,0 +1,100 @@
+"""E6 — Section 9.1: reintegration of a repaired process.
+
+A failed process that has been repaired must be able to resynchronize without
+disturbing the rest of the system.  The paper's procedure: the recovering
+process passively collects T^i messages for one (partial) round to orient
+itself, performs the same ``mid(reduce(·))`` averaging on a full round's
+messages, adopts the resulting correction, and from T^{i+1} on participates
+normally — by then its clock is within β of every nonfaulty process.
+
+We crash one process, repair it at several points within later rounds (the
+paper argues the wake-up phase within a round does not matter), and measure
+(a) how quickly after repair its local time is inside the agreement envelope
+of the others, and (b) that the other processes never notice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import emit
+from repro.analysis import (
+    format_paper_vs_measured,
+    measured_agreement,
+    run_reintegration_scenario,
+)
+from repro.core import agreement_bound
+from repro.faults import rejoin_time
+
+ROUNDS = 12
+
+
+def _rejoin_metrics(params, recover_after_rounds, seed=0):
+    result = run_reintegration_scenario(params, rounds=ROUNDS,
+                                        recover_after_rounds=recover_after_rounds,
+                                        seed=seed)
+    pid = params.n - 1
+    when = rejoin_time(result.trace, pid)
+    # Skew of the repaired process against the synchronized group, sampled from
+    # one round after its rejoin until the end of the run.
+    check_from = when + params.round_length
+    check_to = result.end_time - params.round_length
+    worst = 0.0
+    for index in range(80):
+        t = check_from + index * (check_to - check_from) / 79
+        times = result.trace.local_times(t, include_faulty=True)
+        worst = max(worst, max(times.values()) - min(times.values()))
+    # Skew of the nonfaulty group alone over the whole run (they must not care).
+    group = measured_agreement(result.trace, result.tmax0 + params.round_length,
+                               result.end_time, samples=150)
+    rejoin_delay = when - (params.initial_round_time
+                           + recover_after_rounds * params.round_length)
+    return worst, group, rejoin_delay
+
+
+@pytest.mark.parametrize("recover_after_rounds", [3.2, 4.5, 6.8])
+def test_repaired_process_rejoins_within_bound(benchmark, bench_params,
+                                               recover_after_rounds):
+    """One round after rejoining, the repaired clock is inside the γ envelope."""
+    params = bench_params
+    worst, group, rejoin_delay = benchmark(_rejoin_metrics, params,
+                                           recover_after_rounds)
+    gamma = agreement_bound(params)
+    emit(f"E6 reintegration — repair at round {recover_after_rounds}",
+         format_paper_vs_measured([
+             ("post-rejoin skew incl. repaired (≤ γ)", gamma, worst),
+             ("nonfaulty group skew (≤ γ)", gamma, group),
+             ("real time from repair to rejoin (≈ ≤ 2 rounds)",
+              2 * params.round_length, rejoin_delay),
+         ]))
+    assert worst <= gamma + 1e-9
+    assert group <= gamma + 1e-9
+    assert rejoin_delay <= 2 * params.round_length + params.collection_window()
+
+
+def test_reintegration_with_wildly_wrong_recovered_clock(benchmark, bench_params):
+    """The repaired clock's arbitrary initial value is cancelled by the averaging."""
+    params = bench_params
+
+    def measure():
+        result = run_reintegration_scenario(params, rounds=ROUNDS,
+                                            recover_after_rounds=4.5, seed=5,
+                                            recovered_clock_offset=3.0)
+        pid = params.n - 1
+        when = rejoin_time(result.trace, pid)
+        check_from = when + params.round_length
+        check_to = result.end_time - params.round_length
+        worst = 0.0
+        for index in range(80):
+            t = check_from + index * (check_to - check_from) / 79
+            times = result.trace.local_times(t, include_faulty=True)
+            worst = max(worst, max(times.values()) - min(times.values()))
+        return worst
+
+    worst = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("E6 reintegration — recovered clock 3 s (≈ 7 rounds) off",
+         format_paper_vs_measured([
+             ("post-rejoin skew incl. repaired (≤ γ)", gamma, worst),
+         ]))
+    assert worst <= gamma + 1e-9

@@ -1,0 +1,97 @@
+"""E5 — Section 9.2 / Lemma 20: establishing synchronization from arbitrary clocks.
+
+The start-up algorithm does not assume the clocks begin close together.
+Lemma 20 claims that the spread of nonfaulty clock values at the start of
+round i obeys
+
+    B^{i+1} ≤ B^i/2 + 2ε + 2ρ(11δ + 39ε)
+
+whose fixed point is about 4ε: the algorithm converges geometrically from an
+*arbitrary* initial spread down to a few delay-uncertainties.  We run it from
+spreads that are 100x-1000x the delay, record the B^i series (the "figure"),
+check the recurrence round by round, and confirm the limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import emit
+from repro.analysis import (
+    format_paper_vs_measured,
+    format_series,
+    run_startup_scenario,
+    startup_spread_series,
+)
+from repro.core import startup_convergence_series, startup_limit, startup_round_recurrence
+
+ROUNDS = 10
+
+
+@pytest.mark.parametrize("initial_spread", [0.5, 2.0])
+def test_startup_converges_from_arbitrary_spread(benchmark, bench_params,
+                                                 initial_spread):
+    """B^i decays from the arbitrary initial spread to ≈ 4ε (Lemma 20's limit)."""
+    params = bench_params
+
+    def measure():
+        result = run_startup_scenario(params, rounds=ROUNDS,
+                                      initial_spread=initial_spread, seed=7)
+        return startup_spread_series(result.trace)
+
+    series = benchmark(measure)
+    paper_series = startup_convergence_series(params, series[0], len(series) - 1)
+    limit = startup_limit(params)
+    emit(f"E5 start-up — B^i series from spread {initial_spread}",
+         format_series("measured B^i", series) + "\n" +
+         format_series("paper bound  ", paper_series) + "\n" +
+         format_paper_vs_measured([
+             ("limit (≈ 4ε)", limit, series[-1]),
+         ]))
+    # Every measured round obeys the Lemma 20 recurrence, and the final spread
+    # is at (or below) the fixed point.
+    for before, after in zip(series, series[1:]):
+        assert after <= startup_round_recurrence(params, before) + 1e-9
+    assert series[-1] <= limit + 1e-9
+
+
+def test_startup_with_byzantine_processes(benchmark, bench_params):
+    """Convergence survives f Byzantine processes feeding random clock values."""
+    params = bench_params
+
+    def measure():
+        result = run_startup_scenario(params, rounds=ROUNDS, initial_spread=1.0,
+                                      fault_kind="random_noise", seed=3)
+        return startup_spread_series(result.trace)
+
+    series = benchmark(measure)
+    emit("E5 start-up — with random-noise Byzantine processes",
+         format_series("measured B^i", series))
+    assert series[-1] <= startup_limit(params) * 2.0
+    assert series[-1] < series[0] / 8.0
+
+
+def test_startup_limit_tracks_epsilon(benchmark):
+    """The achieved start-up closeness scales with ε (the '≈ 4ε' shape)."""
+    from repro.analysis import default_parameters
+
+    epsilons = [0.001, 0.002, 0.004]
+
+    def sweep():
+        rows = []
+        for eps in epsilons:
+            params = default_parameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=eps)
+            result = run_startup_scenario(params, rounds=ROUNDS, initial_spread=1.0,
+                                          seed=11)
+            series = startup_spread_series(result.trace)
+            rows.append((eps, startup_limit(params), series[-1]))
+        return rows
+
+    rows = benchmark(sweep)
+    from repro.analysis import format_table
+    emit("E5 start-up — limit vs epsilon",
+         format_table(["epsilon", "limit (paper ≈ 4ε)", "final B^i"], rows))
+    for _, limit, final in rows:
+        assert final <= limit + 1e-9
+    finals = [final for _, _, final in rows]
+    assert finals[-1] >= finals[0] * 0.5  # larger ε cannot give much tighter sync

@@ -1,0 +1,92 @@
+"""E2 — Theorem 19: (α₁, α₂, α₃)-validity of the maintenance algorithm.
+
+The paper claims that every nonfaulty local time advances linearly with real
+time:
+
+    α₁(t − tmax⁰) − α₃ ≤ L_p(t) − T⁰ ≤ α₂(t − tmin⁰) + α₃
+
+with α₁ = 1 − ρ − ε/λ, α₂ = 1 + ρ + ε/λ, α₃ = ε (λ = shortest round length in
+real time).  We sample the envelope over a long run, count violations, and
+also estimate each process' long-run local-time rate, which must stay inside
+[α₁, α₂].  Validity is what rules out trivial "solutions" such as freezing or
+resetting all clocks — the unsynchronized baseline trivially satisfies it,
+and a deliberately broken resetting process violates it, which we also show.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis import (
+    format_paper_vs_measured,
+    local_time_rate_estimates,
+    run_maintenance_scenario,
+    validity_report,
+)
+from repro.core import validity_parameters
+
+ROUNDS = 25
+
+
+def _run(params, seed=0):
+    return run_maintenance_scenario(params, rounds=ROUNDS, fault_kind="two_faced",
+                                    seed=seed)
+
+
+def test_validity_envelope_never_violated(benchmark, bench_params):
+    """No nonfaulty local-time sample falls outside the Theorem 19 envelope."""
+    params = bench_params
+
+    def measure():
+        result = _run(params)
+        start = result.tmax0 + params.round_length
+        return validity_report(result.trace, params, result.tmin0, result.tmax0,
+                               start, result.end_time, samples=200)
+
+    report = benchmark(measure)
+    vp = validity_parameters(params)
+    emit("E2 validity — envelope check",
+         format_paper_vs_measured([
+             ("violations (paper: 0)", 0, report.violations),
+             ("min rate (>= alpha1)", vp.alpha1, report.min_rate),
+             ("max rate (<= alpha2)", vp.alpha2, report.max_rate),
+         ]))
+    assert report.holds
+    assert report.min_rate >= vp.alpha1 - 1e-9
+    assert report.max_rate <= vp.alpha2 + 1e-9
+
+
+def test_longrun_rate_stays_near_one(benchmark, bench_params):
+    """The synchronized clocks' long-run rate deviates from 1 by at most ρ + ε/λ."""
+    params = bench_params
+
+    def measure():
+        result = _run(params, seed=4)
+        start = result.tmax0 + params.round_length
+        return local_time_rate_estimates(result.trace, start, result.end_time)
+
+    rates = benchmark(measure)
+    vp = validity_parameters(params)
+    worst = max(abs(rate - 1.0) for rate in rates.values())
+    emit("E2 validity — long-run rate deviation",
+         format_paper_vs_measured([
+             ("max |rate - 1| (paper: rho + eps/lambda)",
+              vp.alpha2 - 1.0, worst),
+         ]))
+    assert worst <= vp.alpha2 - 1.0 + 1e-9
+
+
+def test_validity_with_drift_free_clocks(benchmark, driftfree_bench_params):
+    """With ρ = ε = 0 the envelope collapses: rates must be exactly 1."""
+    params = driftfree_bench_params
+
+    def measure():
+        result = run_maintenance_scenario(params, rounds=10, fault_kind="silent",
+                                          clock_kind="perfect", delay="fixed", seed=1)
+        start = result.tmax0 + params.round_length
+        return local_time_rate_estimates(result.trace, start, result.end_time)
+
+    rates = benchmark(measure)
+    worst = max(abs(rate - 1.0) for rate in rates.values())
+    emit("E2 validity — drift-free control",
+         format_paper_vs_measured([("max |rate - 1| (paper: 0)", 0.0, worst)]))
+    assert worst <= 1e-9

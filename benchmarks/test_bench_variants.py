@@ -1,0 +1,129 @@
+"""E10 & E11 — Section 7 variants: k exchanges per round and mean averaging.
+
+E10: exchanging clock values k times per round shrinks the drift term of the
+steady-state spread — the paper derives β ≳ 4ε + 2ρP·2^k/(2^k − 1), so the
+marginal benefit of each extra exchange halves.
+
+E11: when n grows while f stays fixed, replacing the midpoint with the mean of
+the surviving values improves the convergence rate from 1/2 to roughly
+f/(n − 2f), approaching an error of about 2ε.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis import (
+    default_parameters,
+    format_table,
+    measured_agreement,
+    run_maintenance_scenario,
+    steady_state_round_spread,
+)
+from repro.core import (
+    FaultTolerantMean,
+    FaultTolerantMidpoint,
+    MultiExchangeProcess,
+    agreement_bound,
+    k_exchange_beta,
+    mean_variant_rate,
+)
+from repro.multiset import run_approximate_agreement
+
+# High drift so the ρP term the k-exchange variant attacks is visible.
+RHO = 2e-3
+
+
+def test_k_exchange_formula_shape(benchmark):
+    """E10 (analytic): the β(k) formula decreases in k with halving increments."""
+    params = default_parameters(n=7, f=2, rho=RHO, delta=0.01, epsilon=0.002)
+
+    def compute():
+        return [(k, k_exchange_beta(params, k)) for k in (1, 2, 3, 4)]
+
+    rows = benchmark(compute)
+    emit("E10 k-exchange — β(k) = 4ε + 2ρP·2^k/(2^k−1)",
+         format_table(["k", "beta(k)"], rows))
+    betas = [b for _, b in rows]
+    assert all(later <= earlier for earlier, later in zip(betas, betas[1:]))
+    # The k = 1 case coincides with the basic 4ε + 4ρP formula.
+    assert abs(betas[0] - (4 * params.epsilon + 4 * RHO * params.round_length)) < 1e-12
+
+
+def test_k_exchange_measured_spread(benchmark):
+    """E10 (measured): more exchanges per round give a tighter per-round spread."""
+    params = default_parameters(n=7, f=2, rho=RHO, delta=0.01, epsilon=0.002)
+    params = params.with_round_length(
+        MultiExchangeProcess(params, 3).minimum_round_length() * 1.1)
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 3):
+            result = run_maintenance_scenario(params, rounds=8, fault_kind=None,
+                                              exchanges_per_round=k, seed=6)
+            spread = steady_state_round_spread(result.trace, skip_rounds=3)
+            rows.append((k, k_exchange_beta(params, k), spread))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E10 k-exchange — measured steady-state spread",
+         format_table(["k", "paper beta(k)", "measured spread"], rows))
+    spreads = [s for _, _, s in rows]
+    # Shape: k = 3 is no worse than k = 1 (the drift term can only shrink).
+    assert spreads[-1] <= spreads[0] * 1.25 + 1e-5
+    for _, paper, measured in rows:
+        assert measured <= paper + 1e-9
+
+
+def test_mean_variant_convergence_rate(benchmark):
+    """E11: at fixed f, the mean's convergence rate improves like f/(n−2f)."""
+
+    def sweep():
+        rows = []
+        for n in (7, 13, 19):
+            initial = [i / (n - 2 - 1) if i < n - 2 else 0.0 for i in range(n)]
+            byz = [n - 2, n - 1]
+            midpoint = run_approximate_agreement(initial, f=2, rounds=6,
+                                                 byzantine_ids=byz)
+            mean = run_approximate_agreement(initial, f=2, rounds=6,
+                                             byzantine_ids=byz, use_mean=True)
+            worst_mean_factor = max((after / before for before, after in
+                                     zip(mean.spreads, mean.spreads[1:])
+                                     if before > 1e-12), default=0.0)
+            rows.append((n, mean_variant_rate(n, 2), worst_mean_factor,
+                         midpoint.final_spread, mean.final_spread))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("E11 mean variant — convergence rate vs n at f=2",
+         format_table(["n", "paper rate f/(n-2f)", "measured rate",
+                       "midpoint final spread", "mean final spread"], rows))
+    for n, paper_rate, measured_rate, _, _ in rows:
+        assert measured_rate <= paper_rate + 1e-9
+    # Shape: the measured rate improves (decreases) as n grows.
+    rates = [r for _, _, r, _, _ in rows]
+    assert rates[-1] <= rates[0]
+
+
+def test_mean_variant_in_the_full_algorithm(benchmark):
+    """E11 (end to end): the mean variant also satisfies Theorem 16 in situ."""
+    params = default_parameters(n=13, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+    def measure():
+        skews = {}
+        for name, averaging in (("midpoint", FaultTolerantMidpoint()),
+                                ("mean", FaultTolerantMean())):
+            result = run_maintenance_scenario(params, rounds=10,
+                                              fault_kind="two_faced",
+                                              averaging=averaging, seed=1)
+            start = result.tmax0 + 2 * params.round_length
+            skews[name] = measured_agreement(result.trace, start, result.end_time,
+                                             samples=150)
+        return skews
+
+    skews = benchmark(measure)
+    gamma = agreement_bound(params)
+    emit("E11 mean variant — end-to-end agreement (n=13, f=2)",
+         format_table(["averaging", "agreement", "gamma"],
+                      [(k, v, gamma) for k, v in skews.items()]))
+    assert skews["midpoint"] <= gamma
+    assert skews["mean"] <= gamma

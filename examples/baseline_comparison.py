@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Section 10 comparison: Welch-Lynch against the other 1980s synchronizers.
+
+Runs every algorithm the paper compares against — Lamport & Melliar-Smith's
+interactive convergence, Mahaney & Schneider's inexact agreement,
+Srikanth & Toueg, Halpern-Simons-Strong-Dolev (signatures), Marzullo's
+intervals — plus an unsynchronized control, all on an identical workload
+(same drifting clocks, same message delays, same two-faced Byzantine
+attackers), and prints the comparison table the paper discusses
+qualitatively: achieved agreement, maximum adjustment size, messages per
+round, next to the paper's own closed-form estimate where it states one.
+
+It then repeats the key n-dependence experiment: the Welch-Lynch agreement is
+O(ε) independent of n, while interactive convergence degrades like 2nε.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import default_parameters, run_comparison
+from repro.analysis import format_table, measured_agreement, run_algorithm_scenario
+
+
+def comparison_table(params) -> None:
+    rows = run_comparison(params, rounds=10, fault_kind="two_faced", seed=0)
+    print(f"Section 10 comparison on one workload (n = {params.n}, f = {params.f}, "
+          f"delta = {params.delta}, epsilon = {params.epsilon})")
+    print(format_table(
+        ["algorithm", "agreement", "max |ADJ|", "msgs/round",
+         "paper agreement", "paper |ADJ|"],
+        [(r.algorithm, r.agreement, r.max_adjustment, r.messages_per_round,
+          r.paper_agreement, r.paper_adjustment) for r in rows],
+        precision=4))
+    print()
+
+
+def n_dependence() -> None:
+    print("Agreement as the system grows (f = 2 throughout)")
+    rows = []
+    for n in (7, 10, 13, 16):
+        params = default_parameters(n=n, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+        per_algorithm = {}
+        for algorithm in ("welch_lynch", "lamport_melliar_smith"):
+            result = run_algorithm_scenario(algorithm, params, rounds=8,
+                                            fault_kind="two_faced", seed=3)
+            settle = result.tmax0 + 2 * params.round_length
+            per_algorithm[algorithm] = measured_agreement(
+                result.trace, settle, result.end_time, samples=150)
+        rows.append((n, per_algorithm["welch_lynch"],
+                     per_algorithm["lamport_melliar_smith"],
+                     per_algorithm["lamport_melliar_smith"]
+                     / per_algorithm["welch_lynch"]))
+    print(format_table(["n", "welch_lynch", "lamport_melliar_smith", "LM / WL"],
+                       rows, precision=4))
+    print("  -> the paper's point: WL's error is set by the delay uncertainty "
+          "epsilon alone, while interactive convergence pays a factor that "
+          "grows with n.")
+
+
+def main() -> None:
+    params = default_parameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+    comparison_table(params)
+    n_dependence()
+
+
+if __name__ == "__main__":
+    main()

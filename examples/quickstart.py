@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: synchronize 7 simulated clocks, 2 of which are Byzantine.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. derive a feasible parameter set from the "hardware" constants
+   (drift rate ρ, message delay δ ± ε) using the Section 5.2 constraints;
+2. run the Welch-Lynch maintenance algorithm for a number of rounds with the
+   full complement of ``f`` Byzantine attackers;
+3. compare the measured agreement (maximum skew between nonfaulty local
+   times), the per-round adjustments, and the validity envelope against the
+   closed-form bounds of Theorems 4, 16 and 19.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    default_parameters,
+    measured_agreement,
+    run_maintenance_scenario,
+)
+from repro.analysis import (
+    adjustment_statistics,
+    format_paper_vs_measured,
+    skew_series,
+    validity_report,
+)
+from repro.core import adjustment_bound, agreement_bound, validity_parameters
+
+
+def main() -> None:
+    # 1. Hardware constants: 10 ms median delay, 2 ms uncertainty, drift 1e-4.
+    #    `derive` picks a feasible (β, P) pair per the Section 5.2 constraints.
+    params = default_parameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+    print("Parameters")
+    print(f"  n = {params.n}, f = {params.f}")
+    print(f"  rho = {params.rho}, delta = {params.delta}, epsilon = {params.epsilon}")
+    print(f"  beta = {params.beta:.6f}  (initial real-time spread, assumption A4)")
+    print(f"  P    = {params.round_length:.6f}  (round length, Section 5.2 window "
+          f"[{params.p_lower_bound():.4f}, {params.p_upper_bound():.4f}])")
+    print()
+
+    # 2. Run the maintenance algorithm for 15 rounds; the last f = 2 process
+    #    ids are two-faced Byzantine attackers that report different clock
+    #    values to different recipients.
+    result = run_maintenance_scenario(params, rounds=15, fault_kind="two_faced",
+                                      seed=42)
+
+    # 3. Measure and compare with the paper's bounds.
+    settle = result.tmax0 + params.round_length
+    agreement = measured_agreement(result.trace, settle, result.end_time, samples=300)
+    adjustments = adjustment_statistics(result.trace)
+    validity = validity_report(result.trace, params, result.tmin0, result.tmax0,
+                               settle, result.end_time)
+    vp = validity_parameters(params)
+
+    print("Paper vs measured")
+    print(format_paper_vs_measured([
+        ("agreement gamma (Thm 16)", agreement_bound(params), agreement),
+        ("max |ADJ| (Thm 4a)", adjustment_bound(params), adjustments.max_abs),
+        ("validity violations (Thm 19)", 0, validity.violations),
+        ("min clock rate (>= alpha1)", vp.alpha1, validity.min_rate),
+        ("max clock rate (<= alpha2)", vp.alpha2, validity.max_rate),
+    ]))
+    print()
+
+    # A small "figure": the skew over time, sampled at 12 points.
+    print("Skew over time (real time -> max nonfaulty skew)")
+    for t, skew in skew_series(result.trace, settle, result.end_time, samples=12):
+        bar = "#" * int(round(skew / agreement_bound(params) * 40))
+        print(f"  t = {t:7.3f}s   skew = {skew:.6f}   {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim; all metadata lives in pyproject.toml / setup.cfg."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of Welch & Lynch, "A New Fault-Tolerant Algorithm for
+Clock Synchronization" (PODC 1984 / Information and Computation 1988).
+
+The package is organised bottom-up:
+
+* :mod:`repro.multiset` — multiset operations and approximate agreement, the
+  substrate of the fault-tolerant averaging function;
+* :mod:`repro.clocks` — ρ-bounded physical clocks, logical clocks, validators;
+* :mod:`repro.sim` — the interrupt-driven discrete-event simulator (processes,
+  message buffer, delay models, traces);
+* :mod:`repro.faults` — crash, omission and Byzantine fault injection;
+* :mod:`repro.core` — the maintenance algorithm, the start-up algorithm,
+  reintegration, the staggered/multi-exchange/mean variants, and the
+  closed-form bounds of the analysis;
+* :mod:`repro.baselines` — the Section 10 comparison algorithms;
+* :mod:`repro.analysis` — metrics, scenario builders, and reporting.
+
+Quick start::
+
+    from repro import default_parameters, run_maintenance_scenario, measured_agreement
+    from repro.core import agreement_bound
+
+    params = default_parameters(n=7, f=2)
+    result = run_maintenance_scenario(params, rounds=10, fault_kind="two_faced")
+    skew = measured_agreement(result.trace, result.tmax0, result.end_time)
+    print(skew, "<=", agreement_bound(params))
+"""
+
+from .analysis import (
+    default_parameters,
+    measured_agreement,
+    run_algorithm_scenario,
+    run_comparison,
+    run_maintenance_scenario,
+    run_reintegration_scenario,
+    run_startup_scenario,
+)
+from .core import (
+    FaultTolerantMean,
+    FaultTolerantMidpoint,
+    SyncParameters,
+    WelchLynchProcess,
+    agreement_bound,
+    adjustment_bound,
+    validity_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "default_parameters",
+    "measured_agreement",
+    "run_algorithm_scenario",
+    "run_comparison",
+    "run_maintenance_scenario",
+    "run_reintegration_scenario",
+    "run_startup_scenario",
+    "FaultTolerantMidpoint",
+    "FaultTolerantMean",
+    "SyncParameters",
+    "WelchLynchProcess",
+    "agreement_bound",
+    "adjustment_bound",
+    "validity_parameters",
+]

@@ -1,0 +1,97 @@
+"""The Section 10 comparison, measured (experiment E8).
+
+Runs every algorithm in :data:`repro.analysis.experiments.ALGORITHM_FACTORIES`
+on an identical workload (same clocks, same delay model, same faults, same
+number of rounds) and collects the quantities Section 10 discusses for each:
+achieved agreement (closeness of synchronization), maximum adjustment size,
+and messages per round — next to the paper's qualitative estimate where it
+gives one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.halpern_simons_strong_dolev import (
+    hssd_adjustment_estimate,
+    hssd_agreement_estimate,
+)
+from ..baselines.lamport_melliar_smith import (
+    lm_adjustment_estimate,
+    lm_agreement_estimate,
+)
+from ..baselines.srikanth_toueg import st_adjustment_estimate, st_agreement_estimate
+from ..core.bounds import adjustment_bound, agreement_bound
+from ..core.config import SyncParameters
+from .experiments import ALGORITHM_FACTORIES, ScenarioResult, run_algorithm_scenario
+from .metrics import adjustment_statistics, measured_agreement, messages_per_round
+
+__all__ = ["ComparisonRow", "run_comparison", "paper_estimates"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm's measured behaviour on the shared workload."""
+
+    algorithm: str
+    agreement: float
+    max_adjustment: float
+    messages_per_round: float
+    paper_agreement: Optional[float]
+    paper_adjustment: Optional[float]
+
+
+def paper_estimates(params: SyncParameters) -> Dict[str, Dict[str, Optional[float]]]:
+    """Section 10's closed-form estimates, where the paper states one."""
+    return {
+        "welch_lynch": {"agreement": agreement_bound(params),
+                        "adjustment": adjustment_bound(params)},
+        "lamport_melliar_smith": {"agreement": lm_agreement_estimate(params),
+                                  "adjustment": lm_adjustment_estimate(params)},
+        "mahaney_schneider": {"agreement": None, "adjustment": None},
+        "srikanth_toueg": {"agreement": st_agreement_estimate(params),
+                           "adjustment": st_adjustment_estimate(params)},
+        "hssd": {"agreement": hssd_agreement_estimate(params),
+                 "adjustment": hssd_adjustment_estimate(params)},
+        "marzullo": {"agreement": None, "adjustment": None},
+        "unsynchronized": {"agreement": None, "adjustment": None},
+    }
+
+
+def run_comparison(
+    params: SyncParameters,
+    rounds: int = 10,
+    algorithms: Optional[Sequence[str]] = None,
+    fault_kind: Optional[str] = "two_faced",
+    fault_count: Optional[int] = None,
+    seed: int = 0,
+    settle_rounds: int = 2,
+) -> List[ComparisonRow]:
+    """Run every requested algorithm on the same workload and summarize.
+
+    Agreement is measured after ``settle_rounds`` rounds so the initial
+    transient (which all the algorithms share) does not mask steady-state
+    behaviour.
+    """
+    names = list(algorithms) if algorithms is not None else list(ALGORITHM_FACTORIES)
+    estimates = paper_estimates(params)
+    rows: List[ComparisonRow] = []
+    for name in names:
+        result = run_algorithm_scenario(name, params, rounds=rounds,
+                                        fault_kind=fault_kind,
+                                        fault_count=fault_count, seed=seed)
+        start = (params.initial_round_time
+                 + settle_rounds * params.round_length + result.tmax0)
+        agreement = measured_agreement(result.trace, start, result.end_time)
+        stats = adjustment_statistics(result.trace)
+        est = estimates.get(name, {})
+        rows.append(ComparisonRow(
+            algorithm=name,
+            agreement=agreement,
+            max_adjustment=stats.max_abs,
+            messages_per_round=messages_per_round(result.trace, rounds),
+            paper_agreement=est.get("agreement"),
+            paper_adjustment=est.get("adjustment"),
+        ))
+    return rows

@@ -1,0 +1,343 @@
+"""Scenario builders: canned system configurations for tests, examples, benchmarks.
+
+Every experiment in EXPERIMENTS.md is a thin layer over these builders: they
+assemble the processes (correct + faulty), the ρ-bounded clocks, the delay
+model and the START schedule, run the simulation for a requested number of
+rounds, and return a :class:`ScenarioResult` bundling the trace with the
+information the metrics need (the real start times, the parameter set, the
+number of rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..baselines.halpern_simons_strong_dolev import HSSDProcess
+from ..baselines.lamport_melliar_smith import InteractiveConvergenceProcess
+from ..baselines.mahaney_schneider import MahaneySchneiderProcess
+from ..baselines.marzullo import MarzulloProcess
+from ..baselines.srikanth_toueg import SrikanthTouegProcess
+from ..baselines.unsynchronized import UnsynchronizedProcess
+from ..clocks.drift import make_clock_ensemble
+from ..core.averaging import AveragingFunction
+from ..core.config import SyncParameters
+from ..core.maintenance import WelchLynchProcess
+from ..core.multi_exchange import MultiExchangeProcess
+from ..core.startup import StartupProcess
+from ..faults.byzantine import RandomNoiseAttacker, SkewAttacker, TwoFacedClockAttacker
+from ..faults.crash import CrashStrategy, SilentProcess
+from ..faults.base import FaultyProcessWrapper
+from ..faults.omission import OmissionStrategy
+from ..faults.recovery import RecoveringProcess
+from ..sim.network import (
+    AdversarialDelayModel,
+    ContentionDelayModel,
+    DelayModel,
+    FixedDelayModel,
+    TruncatedGaussianDelayModel,
+    UniformDelayModel,
+)
+from ..sim.process import Process
+from ..sim.system import System
+from ..sim.trace import ExecutionTrace
+
+__all__ = [
+    "ScenarioResult",
+    "default_parameters",
+    "make_delay_model",
+    "make_fault_process",
+    "run_maintenance_scenario",
+    "run_algorithm_scenario",
+    "run_startup_scenario",
+    "run_reintegration_scenario",
+    "ALGORITHM_FACTORIES",
+]
+
+
+@dataclass
+class ScenarioResult:
+    """A completed simulation run plus the context needed to analyse it."""
+
+    params: SyncParameters
+    trace: ExecutionTrace
+    start_times: Dict[int, float]
+    rounds: int
+    end_time: float
+
+    @property
+    def tmin0(self) -> float:
+        """Earliest real time a nonfaulty process received START."""
+        nonfaulty = set(self.trace.nonfaulty_ids)
+        times = [t for pid, t in self.start_times.items() if pid in nonfaulty]
+        return min(times) if times else 0.0
+
+    @property
+    def tmax0(self) -> float:
+        """Latest real time a nonfaulty process received START."""
+        nonfaulty = set(self.trace.nonfaulty_ids)
+        times = [t for pid, t in self.start_times.items() if pid in nonfaulty]
+        return max(times) if times else 0.0
+
+
+def default_parameters(
+    n: int = 7,
+    f: int = 2,
+    rho: float = 1e-4,
+    delta: float = 0.01,
+    epsilon: float = 0.002,
+    round_length: Optional[float] = None,
+    beta_slack: float = 1.5,
+) -> SyncParameters:
+    """A feasible laptop-scale parameter set used throughout the benchmarks.
+
+    δ = 10 ms, ε = 2 ms and ρ = 10⁻⁴ are deliberately pessimistic (a real
+    crystal drifts ~10⁻⁶) so that drift effects are visible within a few
+    simulated seconds; the constraints of Section 5.2 are still satisfied.
+    """
+    return SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon,
+                                 round_length=round_length, beta_slack=beta_slack)
+
+
+def make_delay_model(kind: Union[str, DelayModel], params: SyncParameters,
+                     **kwargs) -> DelayModel:
+    """Build a delay model by name ('uniform', 'fixed', 'gaussian', 'adversarial',
+    'contention') respecting the parameter set's δ and ε."""
+    if isinstance(kind, DelayModel):
+        return kind
+    delta, epsilon = params.delta, params.epsilon
+    if kind == "uniform":
+        return UniformDelayModel(delta, epsilon)
+    if kind == "fixed":
+        return FixedDelayModel(delta)
+    if kind == "gaussian":
+        return TruncatedGaussianDelayModel(delta, epsilon)
+    if kind == "adversarial":
+        return AdversarialDelayModel(delta, epsilon, **kwargs)
+    if kind == "contention":
+        return ContentionDelayModel(delta, epsilon, **kwargs)
+    raise ValueError(f"unknown delay model {kind!r}")
+
+
+def make_fault_process(kind: str, params: SyncParameters, rounds: int,
+                       seed: int = 0) -> Process:
+    """Build one faulty process by behaviour name.
+
+    Supported kinds: ``silent``, ``crash`` (halfway through the run),
+    ``two_faced``, ``skew_early``, ``skew_late``, ``random_noise``,
+    ``omission``.
+    """
+    if kind == "silent":
+        return SilentProcess()
+    if kind == "crash":
+        crash_time = params.initial_round_time + (rounds / 2.0) * params.round_length
+        return FaultyProcessWrapper(WelchLynchProcess(params, max_rounds=rounds),
+                                    CrashStrategy(crash_time))
+    if kind == "two_faced":
+        return TwoFacedClockAttacker(params, max_rounds=rounds + 2)
+    if kind == "skew_early":
+        return SkewAttacker(params, direction=-1, max_rounds=rounds + 2)
+    if kind == "skew_late":
+        return SkewAttacker(params, direction=+1, max_rounds=rounds + 2)
+    if kind == "random_noise":
+        return RandomNoiseAttacker(params, max_rounds=rounds + 2)
+    if kind == "omission":
+        return FaultyProcessWrapper(WelchLynchProcess(params, max_rounds=rounds),
+                                    OmissionStrategy(drop_probability=0.5, seed=seed))
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+#: factories for the algorithms compared in benchmark E8.
+ALGORITHM_FACTORIES: Dict[str, Callable[[SyncParameters, int], Process]] = {
+    "welch_lynch": lambda params, rounds: WelchLynchProcess(params, max_rounds=rounds),
+    "lamport_melliar_smith": lambda params, rounds: InteractiveConvergenceProcess(
+        params, max_rounds=rounds),
+    "mahaney_schneider": lambda params, rounds: MahaneySchneiderProcess(
+        params, max_rounds=rounds),
+    "srikanth_toueg": lambda params, rounds: SrikanthTouegProcess(params, max_rounds=rounds),
+    "hssd": lambda params, rounds: HSSDProcess(params, max_rounds=rounds),
+    "marzullo": lambda params, rounds: MarzulloProcess(params, max_rounds=rounds),
+    "unsynchronized": lambda params, rounds: UnsynchronizedProcess(params),
+}
+
+
+def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
+         clock_kind: str, delay_model: DelayModel, seed: int,
+         extra_time: float = 0.0,
+         start_scheduler: Optional[Callable[[System], Dict[int, float]]] = None
+         ) -> ScenarioResult:
+    """Assemble a system, schedule starts, run for ``rounds`` rounds."""
+    clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
+                                 seed=seed, kind=clock_kind)
+    system = System(processes, clocks, delay_model=delay_model, seed=seed)
+    if start_scheduler is None:
+        start_times = system.schedule_all_starts_at_logical(params.initial_round_time)
+    else:
+        start_times = start_scheduler(system)
+    end_time = (params.initial_round_time + rounds * params.round_length
+                + params.collection_window() + 10 * params.delta
+                + params.beta + extra_time)
+    trace = system.run_until(end_time)
+    return ScenarioResult(params=params, trace=trace, start_times=start_times,
+                          rounds=rounds, end_time=end_time)
+
+
+def run_maintenance_scenario(
+    params: SyncParameters,
+    rounds: int = 10,
+    fault_kind: Optional[str] = "two_faced",
+    fault_count: Optional[int] = None,
+    clock_kind: str = "constant",
+    delay: Union[str, DelayModel] = "uniform",
+    seed: int = 0,
+    averaging: Optional[AveragingFunction] = None,
+    stagger_interval: float = 0.0,
+    exchanges_per_round: int = 1,
+    correct_process_factory: Optional[Callable[[SyncParameters, int], Process]] = None,
+) -> ScenarioResult:
+    """Run the Welch-Lynch maintenance algorithm under a chosen fault load.
+
+    The last ``fault_count`` process ids are faulty (default: exactly
+    ``params.f`` of them, i.e. the worst case the analysis covers); the rest
+    run the maintenance algorithm.  ``correct_process_factory`` (taking the
+    parameter set and the round budget) replaces the default
+    :class:`WelchLynchProcess` construction — used by the ablation benchmarks
+    to run the amortized/staggered variants through the same harness.
+    """
+    if fault_kind is None:
+        fault_count = 0
+    if fault_count is None:
+        fault_count = params.f
+    if fault_count > params.n:
+        raise ValueError("cannot have more faulty processes than processes")
+    delay_model = make_delay_model(delay, params)
+    processes: List[Process] = []
+    for pid in range(params.n - fault_count):
+        if correct_process_factory is not None:
+            processes.append(correct_process_factory(params, rounds))
+        elif exchanges_per_round > 1:
+            processes.append(MultiExchangeProcess(params,
+                                                  exchanges_per_round=exchanges_per_round,
+                                                  averaging=averaging,
+                                                  max_rounds=rounds))
+        else:
+            processes.append(WelchLynchProcess(params, averaging=averaging,
+                                               max_rounds=rounds,
+                                               stagger_interval=stagger_interval))
+    for index in range(fault_count):
+        processes.append(make_fault_process(fault_kind, params, rounds,
+                                            seed=seed + index))
+    return _run(params, processes, rounds, clock_kind, delay_model, seed)
+
+
+def run_algorithm_scenario(
+    algorithm: str,
+    params: SyncParameters,
+    rounds: int = 10,
+    fault_kind: Optional[str] = "two_faced",
+    fault_count: Optional[int] = None,
+    clock_kind: str = "constant",
+    delay: Union[str, DelayModel] = "uniform",
+    seed: int = 0,
+) -> ScenarioResult:
+    """Run any of the comparison algorithms on the same workload (E8)."""
+    if algorithm not in ALGORITHM_FACTORIES:
+        raise KeyError(f"unknown algorithm {algorithm!r}; "
+                       f"choose from {sorted(ALGORITHM_FACTORIES)}")
+    if fault_kind is None:
+        fault_count = 0
+    if fault_count is None:
+        fault_count = params.f
+    delay_model = make_delay_model(delay, params)
+    factory = ALGORITHM_FACTORIES[algorithm]
+    processes: List[Process] = [factory(params, rounds)
+                                for _ in range(params.n - fault_count)]
+    for index in range(fault_count):
+        processes.append(make_fault_process(fault_kind, params, rounds,
+                                            seed=seed + index))
+    return _run(params, processes, rounds, clock_kind, delay_model, seed)
+
+
+def run_startup_scenario(
+    params: SyncParameters,
+    rounds: int = 8,
+    initial_spread: float = 1.0,
+    fault_count: Optional[int] = None,
+    fault_kind: str = "silent",
+    clock_kind: str = "constant",
+    delay: Union[str, DelayModel] = "uniform",
+    seed: int = 0,
+) -> ScenarioResult:
+    """Run the Section 9.2 start-up algorithm from arbitrarily spread clocks."""
+    if fault_count is None:
+        fault_count = params.f
+    delay_model = make_delay_model(delay, params)
+    processes: List[Process] = [StartupProcess(params, max_rounds=rounds)
+                                for _ in range(params.n - fault_count)]
+    for index in range(fault_count):
+        processes.append(make_fault_process(fault_kind, params, rounds,
+                                            seed=seed + index))
+    # Clocks start spread over `initial_spread` (arbitrary initial values).
+    clocks = make_clock_ensemble(params.n, rho=params.rho, beta=initial_spread,
+                                 seed=seed, kind=clock_kind)
+    system = System(processes, clocks, delay_model=delay_model, seed=seed)
+    start_times = {pid: 0.0 for pid in range(params.n)}
+    for pid in range(params.n):
+        system.schedule_start(pid, 0.0)
+    # Each start-up round lasts roughly the two waiting intervals plus delays.
+    per_round = (2 * params.delta + 4 * params.epsilon) * 3 + 6 * params.delta
+    end_time = rounds * per_round + initial_spread + 1.0
+    trace = system.run_until(end_time)
+    return ScenarioResult(params=params, trace=trace, start_times=start_times,
+                          rounds=rounds, end_time=end_time)
+
+
+def run_reintegration_scenario(
+    params: SyncParameters,
+    rounds: int = 12,
+    recover_after_rounds: float = 4.5,
+    clock_kind: str = "constant",
+    delay: Union[str, DelayModel] = "uniform",
+    seed: int = 0,
+    recovered_clock_offset: Optional[float] = None,
+) -> ScenarioResult:
+    """Run maintenance with one crashed-then-repaired process (Section 9.1).
+
+    Process ``n-1`` is absent until ``recover_after_rounds`` rounds worth of
+    real time have elapsed, then wakes up with an arbitrarily wrong clock
+    (offset ``recovered_clock_offset``, default half a round) and runs the
+    reintegration procedure.  It stays marked faulty for metric purposes; the
+    reintegration benchmark inspects its post-rejoin skew directly.
+    """
+    delay_model = make_delay_model(delay, params)
+    processes: List[Process] = [WelchLynchProcess(params, max_rounds=rounds)
+                                for _ in range(params.n - 1)]
+    # The repaired process only participates in the rounds that remain after
+    # its recovery; stopping it one round early keeps it from averaging over a
+    # round in which the (already finished) correct processes stay silent.
+    remaining_rounds = max(1, rounds - int(recover_after_rounds) - 2)
+    recovering = RecoveringProcess(params, max_rounds=remaining_rounds)
+    processes.append(recovering)
+    clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
+                                 seed=seed, kind=clock_kind)
+    # Give the repaired process an arbitrary (badly wrong) clock: the point of
+    # Section 9.1 is that the averaging cancels the arbitrary initial value.
+    if recovered_clock_offset is None:
+        recovered_clock_offset = 0.5 * params.round_length
+    from ..clocks.drift import ConstantRateClock
+    clocks[params.n - 1] = ConstantRateClock(offset=recovered_clock_offset,
+                                             rate=1.0, rho=params.rho)
+    system = System(processes, clocks, delay_model=delay_model, seed=seed)
+    start_times: Dict[int, float] = {}
+    for pid in range(params.n - 1):
+        start_times[pid] = system.schedule_start_at_logical(
+            pid, params.initial_round_time)
+    recovery_time = (params.initial_round_time
+                     + recover_after_rounds * params.round_length)
+    system.schedule_start(params.n - 1, recovery_time)
+    start_times[params.n - 1] = recovery_time
+    end_time = (params.initial_round_time + rounds * params.round_length
+                + params.collection_window() + 10 * params.delta + params.beta)
+    trace = system.run_until(end_time)
+    return ScenarioResult(params=params, trace=trace, start_times=start_times,
+                          rounds=rounds, end_time=end_time)

@@ -1,0 +1,164 @@
+"""Dependency-free ASCII plotting for series, sweeps and skew traces.
+
+The paper's "figures" are all small: a decaying error series, a skew-vs-time
+curve, an agreement-vs-parameter sweep.  These helpers render them directly in
+a terminal so the examples and the CLI can show the shape of a result without
+any plotting dependency.
+
+Three primitives:
+
+* :func:`sparkline` — a one-line summary of a series using block characters;
+* :func:`line_plot` — a fixed-size character canvas with y-axis labels, for
+  one or more series on a shared x grid;
+* :func:`histogram` — a horizontal-bar histogram of a sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "line_plot", "histogram", "scale_to_rows"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if v is not None and math.isfinite(v)]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character rendering of a numeric series.
+
+    Values are scaled to the series' own min/max; a constant series renders as
+    a flat mid-level line.  Non-finite entries render as spaces.
+    """
+    finite = _finite(values)
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span = high - low
+    characters: List[str] = []
+    for value in values:
+        if value is None or not math.isfinite(value):
+            characters.append(" ")
+            continue
+        if span == 0:
+            characters.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def scale_to_rows(values: Sequence[float], height: int,
+                  low: Optional[float] = None,
+                  high: Optional[float] = None) -> List[Optional[int]]:
+    """Map each value to a row index in [0, height); None for non-finite input.
+
+    Row 0 is the *bottom* of the plot.  ``low``/``high`` override the scaling
+    range (used to plot several series on the same canvas).
+    """
+    if height < 1:
+        raise ValueError("height must be at least 1")
+    finite = _finite(values)
+    if not finite:
+        return [None] * len(values)
+    low = min(finite) if low is None else low
+    high = max(finite) if high is None else high
+    span = high - low
+    rows: List[Optional[int]] = []
+    for value in values:
+        if value is None or not math.isfinite(value):
+            rows.append(None)
+        elif span == 0:
+            rows.append(height // 2)
+        else:
+            clamped = min(max(value, low), high)
+            rows.append(int(round((clamped - low) / span * (height - 1))))
+    return rows
+
+
+def line_plot(series: Dict[str, Sequence[float]], width: int = 60,
+              height: int = 12, title: str = "") -> str:
+    """Plot one or more equally-long series on a shared character canvas.
+
+    Each series gets a distinct marker; the y-axis is labelled with the global
+    minimum and maximum, the x-axis runs over the sample index.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (length,) = lengths
+    if length == 0:
+        raise ValueError("series must be non-empty")
+    markers = "*o+x#@%&"
+    all_values = _finite([v for values in series.values() for v in values])
+    if not all_values:
+        raise ValueError("series contain no finite values")
+    low, high = min(all_values), max(all_values)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        rows = scale_to_rows(values, height, low=low, high=high)
+        for sample_index, row in enumerate(rows):
+            if row is None:
+                continue
+            column = (0 if length == 1
+                      else int(round(sample_index / (length - 1) * (width - 1))))
+            canvas[height - 1 - row][column] = marker
+
+    label_high = f"{high:.4g}"
+    label_low = f"{low:.4g}"
+    gutter = max(len(label_high), len(label_low))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = label_high.rjust(gutter)
+        elif row_index == height - 1:
+            label = label_low.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40,
+              title: str = "") -> str:
+    """A horizontal-bar histogram of a numeric sample."""
+    finite = _finite(values)
+    if not finite:
+        raise ValueError("no finite values to histogram")
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    low, high = min(finite), max(finite)
+    span = high - low
+    counts = [0] * bins
+    for value in finite:
+        if span == 0:
+            counts[0] += 1
+            continue
+        index = min(int((value - low) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for bin_index, count in enumerate(counts):
+        if span == 0:
+            lower, upper = low, high
+        else:
+            lower = low + span * bin_index / bins
+            upper = low + span * (bin_index + 1) / bins
+        bar = "#" * (int(round(count / peak * width)) if peak else 0)
+        lines.append(f"[{lower:10.4g}, {upper:10.4g})  {count:5d}  {bar}")
+    return "\n".join(lines)

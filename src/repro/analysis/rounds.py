@@ -1,0 +1,184 @@
+"""Per-round analysis of a maintenance-algorithm run.
+
+The metrics in :mod:`repro.analysis.metrics` summarize whole runs; when a run
+misbehaves (or when studying the algorithm's dynamics) one usually wants the
+*round-by-round* story instead: when did each process broadcast and update,
+what adjustment did it compute, how fast is the spread shrinking, did anyone
+fall out of the round structure.
+
+:func:`build_round_reports` reconstructs that story from the events the
+maintenance process logs (``broadcast``/``update``/``missed_round``), and the
+helpers answer the common questions about it:
+
+* :func:`convergence_factors` — the per-round contraction of the spread (the
+  empirical counterpart of Lemma 9's ≈ 1/2);
+* :func:`adjustment_table` — per-process, per-round adjustments (Theorem 4a's
+  subject);
+* :func:`detect_missed_rounds` — processes that fell out of the round
+  structure (e.g. because P violated its Section 5.2 lower bound);
+* :func:`format_round_table` — a printable per-round summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.trace import ExecutionTrace
+from .reporting import format_table
+
+__all__ = [
+    "ProcessRound",
+    "RoundReport",
+    "build_round_reports",
+    "convergence_factors",
+    "adjustment_table",
+    "detect_missed_rounds",
+    "format_round_table",
+]
+
+
+@dataclass
+class ProcessRound:
+    """One process' view of one round."""
+
+    process_id: int
+    round_index: int
+    broadcast_real_time: Optional[float] = None
+    broadcast_local_time: Optional[float] = None
+    update_real_time: Optional[float] = None
+    adjustment: Optional[float] = None
+    average: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the process both broadcast and updated in this round."""
+        return (self.broadcast_real_time is not None
+                and self.update_real_time is not None)
+
+
+@dataclass
+class RoundReport:
+    """All nonfaulty processes' views of one round, plus derived quantities."""
+
+    round_index: int
+    per_process: Dict[int, ProcessRound] = field(default_factory=dict)
+
+    @property
+    def broadcast_times(self) -> List[float]:
+        return [entry.broadcast_real_time for entry in self.per_process.values()
+                if entry.broadcast_real_time is not None]
+
+    @property
+    def spread(self) -> Optional[float]:
+        """Real-time spread of the round's broadcasts (``tmax^i − tmin^i``)."""
+        times = self.broadcast_times
+        if len(times) < 2:
+            return None
+        return max(times) - min(times)
+
+    @property
+    def max_abs_adjustment(self) -> Optional[float]:
+        values = [abs(entry.adjustment) for entry in self.per_process.values()
+                  if entry.adjustment is not None]
+        return max(values) if values else None
+
+    @property
+    def participants(self) -> int:
+        return sum(1 for entry in self.per_process.values() if entry.complete)
+
+
+def build_round_reports(trace: ExecutionTrace,
+                        include_faulty: bool = False) -> List[RoundReport]:
+    """Reconstruct the per-round story from the trace's logged events.
+
+    Only rounds in which at least one tracked process logged something are
+    reported; the list is ordered by round index.
+    """
+    tracked = (set(range(trace.n)) if include_faulty
+               else set(trace.nonfaulty_ids))
+    reports: Dict[int, RoundReport] = {}
+
+    def entry_for(round_index: int, pid: int) -> ProcessRound:
+        report = reports.setdefault(round_index, RoundReport(round_index=round_index))
+        return report.per_process.setdefault(
+            pid, ProcessRound(process_id=pid, round_index=round_index))
+
+    for event in trace.events_named("broadcast"):
+        if event.process_id not in tracked:
+            continue
+        index = event.data.get("round_index")
+        if index is None:
+            continue
+        entry = entry_for(index, event.process_id)
+        # Keep the first broadcast of the round (k-exchange variants broadcast
+        # several times per round).
+        if (entry.broadcast_real_time is None
+                or event.real_time < entry.broadcast_real_time):
+            entry.broadcast_real_time = event.real_time
+            entry.broadcast_local_time = event.data.get("local_time")
+
+    for event in trace.events_named("update"):
+        if event.process_id not in tracked:
+            continue
+        index = event.data.get("round_index")
+        if index is None:
+            continue
+        entry = entry_for(index, event.process_id)
+        entry.update_real_time = event.real_time
+        entry.adjustment = event.data.get("adjustment")
+        entry.average = event.data.get("average")
+
+    return [reports[index] for index in sorted(reports)]
+
+
+def convergence_factors(reports: Sequence[RoundReport]) -> List[float]:
+    """Per-round contraction factors ``spread_{i+1} / spread_i``.
+
+    Rounds without a defined spread (fewer than two broadcasts) are skipped;
+    a zero spread contributes a factor of 0 for the following round.
+    """
+    spreads = [report.spread for report in reports if report.spread is not None]
+    factors: List[float] = []
+    for before, after in zip(spreads, spreads[1:]):
+        if before <= 0:
+            factors.append(0.0)
+        else:
+            factors.append(after / before)
+    return factors
+
+
+def adjustment_table(reports: Sequence[RoundReport]) -> Dict[int, Dict[int, float]]:
+    """``{round_index: {process_id: adjustment}}`` for all recorded updates."""
+    table: Dict[int, Dict[int, float]] = {}
+    for report in reports:
+        row = {pid: entry.adjustment
+               for pid, entry in report.per_process.items()
+               if entry.adjustment is not None}
+        if row:
+            table[report.round_index] = row
+    return table
+
+
+def detect_missed_rounds(trace: ExecutionTrace) -> Dict[int, List[int]]:
+    """Processes that logged a ``missed_round`` event, with the rounds they missed.
+
+    A missed round means the process could not schedule its next broadcast
+    because the target time was already in the past — the symptom of a round
+    length below the Section 5.2 lower bound (or of a clock that was dragged
+    outside the round structure).
+    """
+    missed: Dict[int, List[int]] = {}
+    for event in trace.events_named("missed_round"):
+        missed.setdefault(event.process_id, []).append(event.data.get("round_index"))
+    return {pid: sorted(indices) for pid, indices in missed.items()}
+
+
+def format_round_table(reports: Sequence[RoundReport], precision: int = 6) -> str:
+    """A printable per-round summary (spread, worst adjustment, participants)."""
+    rows = []
+    for report in reports:
+        rows.append((report.round_index, report.participants, report.spread,
+                     report.max_abs_adjustment))
+    return format_table(["round", "participants", "spread", "max |ADJ|"], rows,
+                        precision=precision)

@@ -1,0 +1,218 @@
+"""Parameter sweeps: the machinery behind every "vs" table and figure.
+
+The evaluation questions the paper raises are mostly of the form "how does
+quantity Q change as parameter X varies?" — agreement vs ε, steady-state
+spread vs P, convergence rate vs n, and so on.  This module provides a small,
+generic sweep framework plus ready-made sweeps for the axes the paper
+discusses, so benchmarks, examples and the CLI all produce consistent tables.
+
+A sweep is defined by one or more :class:`SweepAxis` objects (a named list of
+values) and a runner callable that maps one point of the cartesian product to
+a dict of measured quantities.  The result keeps both the inputs and outputs
+per point and can be rendered with :func:`repro.analysis.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.bounds import agreement_bound, steady_state_beta
+from ..core.config import SyncParameters
+from .experiments import run_maintenance_scenario
+from .metrics import measured_agreement, steady_state_round_spread
+
+__all__ = [
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "sweep_epsilon",
+    "sweep_round_length",
+    "sweep_system_size",
+    "sweep_fault_count",
+]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a name and the values it takes."""
+
+    name: str
+    values: Sequence
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point: the swept inputs and the measured outputs."""
+
+    inputs: Dict[str, object]
+    outputs: Dict[str, float]
+
+    def row(self, input_names: Sequence[str], output_names: Sequence[str]) -> List:
+        """Flatten to a table row in the given column order."""
+        return ([self.inputs[name] for name in input_names]
+                + [self.outputs.get(name) for name in output_names])
+
+
+@dataclass
+class SweepResult:
+    """All evaluated points of a sweep, in evaluation order."""
+
+    axes: List[SweepAxis]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def input_names(self) -> List[str]:
+        return [axis.name for axis in self.axes]
+
+    @property
+    def output_names(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for name in point.outputs:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def headers(self) -> List[str]:
+        return self.input_names + self.output_names
+
+    def rows(self) -> List[List]:
+        outputs = self.output_names
+        return [point.row(self.input_names, outputs) for point in self.points]
+
+    def column(self, name: str) -> List:
+        """All values of one input or output column, in evaluation order."""
+        if name in self.input_names:
+            return [point.inputs[name] for point in self.points]
+        return [point.outputs.get(name) for point in self.points]
+
+    def best(self, output: str, minimize: bool = True) -> SweepPoint:
+        """The point with the smallest (or largest) value of an output."""
+        scored = [p for p in self.points if p.outputs.get(output) is not None]
+        if not scored:
+            raise ValueError(f"no point produced output {output!r}")
+        chooser = min if minimize else max
+        return chooser(scored, key=lambda p: p.outputs[output])
+
+
+def run_sweep(axes: Sequence[SweepAxis],
+              runner: Callable[..., Mapping[str, float]],
+              progress: Optional[Callable[[Dict[str, object]], None]] = None
+              ) -> SweepResult:
+    """Evaluate ``runner`` on the cartesian product of the axes.
+
+    ``runner`` receives the swept values as keyword arguments (one per axis
+    name) and returns a mapping of measured quantities.  ``progress``, when
+    given, is called with each point's inputs before it is evaluated.
+    """
+    axes = list(axes)
+    if not axes:
+        raise ValueError("need at least one axis")
+    result = SweepResult(axes=axes)
+    for combination in itertools.product(*(axis.values for axis in axes)):
+        inputs = {axis.name: value for axis, value in zip(axes, combination)}
+        if progress is not None:
+            progress(dict(inputs))
+        outputs = dict(runner(**inputs))
+        result.points.append(SweepPoint(inputs=dict(inputs), outputs=outputs))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ready-made sweeps along the axes the paper discusses.
+# ---------------------------------------------------------------------------
+
+def _measure_agreement(params: SyncParameters, rounds: int, fault_kind: Optional[str],
+                       seed: int, settle_rounds: int = 1) -> float:
+    result = run_maintenance_scenario(params, rounds=rounds, fault_kind=fault_kind,
+                                      seed=seed)
+    start = result.tmax0 + settle_rounds * params.round_length
+    return measured_agreement(result.trace, start, result.end_time, samples=150)
+
+
+def sweep_epsilon(epsilons: Iterable[float], n: int = 7, f: int = 2,
+                  rho: float = 1e-4, delta: float = 0.01, rounds: int = 10,
+                  fault_kind: Optional[str] = "two_faced", seed: int = 0
+                  ) -> SweepResult:
+    """Agreement and its Theorem 16 bound as the delay uncertainty ε varies."""
+
+    def runner(epsilon: float) -> Dict[str, float]:
+        params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
+                                       epsilon=epsilon)
+        return {
+            "gamma": agreement_bound(params),
+            "agreement": _measure_agreement(params, rounds, fault_kind, seed),
+        }
+
+    return run_sweep([SweepAxis("epsilon", list(epsilons))], runner)
+
+
+def sweep_round_length(round_lengths: Iterable[float], n: int = 7, f: int = 2,
+                       rho: float = 2e-3, delta: float = 0.01,
+                       epsilon: float = 0.002, rounds: int = 14,
+                       seed: int = 0) -> SweepResult:
+    """Steady-state round spread and the 4ε + 4ρP estimate as P varies (E7)."""
+
+    def runner(round_length: float) -> Dict[str, float]:
+        params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
+                                       epsilon=epsilon, round_length=round_length)
+        result = run_maintenance_scenario(params, rounds=rounds, fault_kind=None,
+                                          seed=seed)
+        return {
+            "paper_beta": steady_state_beta(params),
+            "spread": steady_state_round_spread(result.trace, skip_rounds=4),
+        }
+
+    return run_sweep([SweepAxis("round_length", list(round_lengths))], runner)
+
+
+def sweep_system_size(sizes: Iterable[int], f: int = 2, rho: float = 1e-4,
+                      delta: float = 0.01, epsilon: float = 0.002,
+                      rounds: int = 10, fault_kind: Optional[str] = "two_faced",
+                      seed: int = 0) -> SweepResult:
+    """Agreement as n grows at fixed f (the paper: flat; LM: grows)."""
+
+    def runner(n: int) -> Dict[str, float]:
+        params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
+                                       epsilon=epsilon)
+        return {
+            "gamma": agreement_bound(params),
+            "agreement": _measure_agreement(params, rounds, fault_kind, seed),
+        }
+
+    return run_sweep([SweepAxis("n", list(sizes))], runner)
+
+
+def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
+                      rho: float = 1e-4, delta: float = 0.01,
+                      epsilon: float = 0.002, rounds: int = 10,
+                      fault_kind: str = "two_faced", seed: int = 0
+                      ) -> SweepResult:
+    """Agreement as the number of *actual* attackers varies (the A2 threshold).
+
+    The averaging stays configured for ``f``; counts above ``f`` demonstrate
+    the [DHS] impossibility region empirically.
+    """
+    params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon)
+
+    def runner(fault_count: int) -> Dict[str, float]:
+        result = run_maintenance_scenario(params, rounds=rounds,
+                                          fault_kind=fault_kind,
+                                          fault_count=fault_count, seed=seed)
+        start = result.tmax0 + params.round_length
+        return {
+            "gamma": agreement_bound(params),
+            "agreement": measured_agreement(result.trace, start, result.end_time,
+                                            samples=150),
+        }
+
+    return run_sweep([SweepAxis("fault_count", list(counts))], runner)

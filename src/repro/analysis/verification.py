@@ -1,0 +1,179 @@
+"""Theorem checking: audit a finished run against every claim of the paper.
+
+The benchmarks check individual claims; this module bundles the checks into a
+single report so that any scenario — including ones a user of the library
+assembles by hand — can be audited after the fact:
+
+* **Theorem 4(a)** — every adjustment applied by a nonfaulty process is at
+  most ``(1+ρ)(β+ε) + ρδ`` in magnitude;
+* **Theorem 4(c)** — the nonfaulty processes begin every round within β real
+  time of each other;
+* **Theorem 16** — γ-agreement over the post-transient window;
+* **Theorem 19** — the (α₁, α₂, α₃) validity envelope;
+* **Lemma 20** (for start-up runs) — the per-round spread recurrence.
+
+Each check produces a :class:`ClaimCheck` with the bound, the measured value,
+and a pass flag; :func:`check_maintenance_run` / :func:`check_startup_run`
+bundle them, and :func:`format_report` renders the familiar paper-vs-measured
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.bounds import (
+    adjustment_bound,
+    agreement_bound,
+    startup_round_recurrence,
+)
+from ..core.config import SyncParameters
+from .experiments import ScenarioResult
+from .metrics import (
+    adjustment_statistics,
+    measured_agreement,
+    round_start_spreads,
+    startup_spread_series,
+    validity_report,
+)
+from .reporting import format_paper_vs_measured
+
+__all__ = [
+    "ClaimCheck",
+    "TheoremReport",
+    "check_maintenance_run",
+    "check_startup_run",
+    "format_report",
+]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One audited claim: its bound, the measured value, and the verdict."""
+
+    claim: str
+    bound: float
+    measured: float
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class TheoremReport:
+    """The collection of claim checks for one run."""
+
+    params: SyncParameters
+    checks: List[ClaimCheck]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed(self) -> List[ClaimCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def check(self, claim: str) -> ClaimCheck:
+        """Look up one claim by name."""
+        for item in self.checks:
+            if item.claim == claim:
+                return item
+        raise KeyError(f"no claim named {claim!r} in this report")
+
+
+def _settle_time(result: ScenarioResult, settle_rounds: int) -> float:
+    return result.tmax0 + settle_rounds * result.params.round_length
+
+
+def check_maintenance_run(result: ScenarioResult, settle_rounds: int = 1,
+                          samples: int = 200,
+                          tolerance: float = 1e-9) -> TheoremReport:
+    """Audit a maintenance-algorithm run against Theorems 4, 16 and 19.
+
+    ``settle_rounds`` rounds after the latest nonfaulty START are excluded
+    from the agreement/validity windows, matching the theorems' "for all
+    t ≥ tmin⁰" once the initial transient (which the paper folds into β and
+    the round-0 adjustment) has passed.
+    """
+    params = result.params
+    checks: List[ClaimCheck] = []
+
+    # Theorem 4(a): adjustment bound.
+    stats = adjustment_statistics(result.trace)
+    bound = adjustment_bound(params)
+    checks.append(ClaimCheck(
+        claim="theorem4a_adjustment",
+        bound=bound,
+        measured=stats.max_abs,
+        passed=stats.max_abs <= bound + tolerance,
+        detail=f"{stats.count} adjustments audited",
+    ))
+
+    # Theorem 4(c): round-start spread within beta, for every observed round.
+    spreads = round_start_spreads(result.trace)
+    worst_spread = max(spreads.values()) if spreads else 0.0
+    checks.append(ClaimCheck(
+        claim="theorem4c_round_spread",
+        bound=params.beta,
+        measured=worst_spread,
+        passed=worst_spread <= params.beta + tolerance,
+        detail=f"{len(spreads)} rounds audited",
+    ))
+
+    # Theorem 16: gamma-agreement after the transient.
+    start = _settle_time(result, settle_rounds)
+    gamma = agreement_bound(params)
+    skew = measured_agreement(result.trace, start, result.end_time, samples=samples)
+    checks.append(ClaimCheck(
+        claim="theorem16_agreement",
+        bound=gamma,
+        measured=skew,
+        passed=skew <= gamma + tolerance,
+        detail=f"window [{start:.4f}, {result.end_time:.4f}], {samples} samples",
+    ))
+
+    # Theorem 19: validity envelope.
+    validity = validity_report(result.trace, params, result.tmin0, result.tmax0,
+                               start, result.end_time, samples=max(50, samples // 2))
+    checks.append(ClaimCheck(
+        claim="theorem19_validity",
+        bound=0.0,
+        measured=float(validity.violations),
+        passed=validity.holds,
+        detail=(f"rates in [{validity.min_rate:.6f}, {validity.max_rate:.6f}] "
+                f"over {validity.samples} samples"),
+    ))
+    return TheoremReport(params=params, checks=checks)
+
+
+def check_startup_run(result: ScenarioResult, tolerance: float = 1e-9
+                      ) -> TheoremReport:
+    """Audit a start-up run against the Lemma 20 recurrence.
+
+    One claim per round transition: ``B^{i+1} ≤ B^i/2 + 2ε + 2ρ(11δ + 39ε)``.
+    """
+    params = result.params
+    series = startup_spread_series(result.trace)
+    checks: List[ClaimCheck] = []
+    for index, (before, after) in enumerate(zip(series, series[1:])):
+        bound = startup_round_recurrence(params, before)
+        checks.append(ClaimCheck(
+            claim=f"lemma20_round_{index}",
+            bound=bound,
+            measured=after,
+            passed=after <= bound + tolerance,
+            detail=f"B^{index} = {before:.6f}",
+        ))
+    return TheoremReport(params=params, checks=checks)
+
+
+def format_report(report: TheoremReport, precision: int = 6) -> str:
+    """Render a report as the usual paper-vs-measured table plus a verdict."""
+    table = format_paper_vs_measured(
+        [(check.claim, check.bound, check.measured) for check in report.checks],
+        precision=precision,
+    )
+    verdict = ("all claims hold" if report.all_passed
+               else f"{len(report.failed())} claim(s) VIOLATED: "
+                    + ", ".join(check.claim for check in report.failed()))
+    return f"{table}\n{verdict}"

@@ -1,0 +1,172 @@
+"""Named workload presets used by examples, sweeps and the CLI.
+
+A *workload* bundles the things the paper treats as fixed by the environment —
+the hardware constants (ρ, δ, ε), the delay model, the clock drift model, and
+the fault mix — so that experiments can be described as "run algorithm X on
+workload Y for R rounds" instead of repeating a dozen keyword arguments.
+
+The presets are deliberately spread over the regimes the paper's discussion
+cares about:
+
+* ``lan``          — the reference workload of the benchmarks: 10 ms ± 2 ms
+  delays, crystal-grade drift, uniform delays (the Bell Labs Ethernet setting
+  of Section 9.3, minus contention);
+* ``wan``          — long, noisy delays (δ = 50 ms, ε = 20 ms): the regime
+  where the ≈ 4ε agreement floor dominates;
+* ``high-drift``   — cheap oscillators (ρ = 2·10⁻³): the regime where the
+  4ρP term and the P/β trade-off of Section 5.2 dominate;
+* ``flaky-ethernet`` — the Section 9.3 contention model with datagram loss,
+  used by the staggered-broadcast experiments;
+* ``adversarial-delay`` — every message delivered at the extreme edge of the
+  envelope allowed by assumption A3 (the worst case the analysis covers);
+* ``quiet``        — no faults, no uncertainty: a control for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.config import SyncParameters
+from ..sim.network import (
+    AdversarialDelayModel,
+    ContentionDelayModel,
+    DelayModel,
+    FixedDelayModel,
+    TruncatedGaussianDelayModel,
+    UniformDelayModel,
+)
+from .experiments import ScenarioResult, run_maintenance_scenario
+
+__all__ = ["Workload", "WORKLOADS", "workload_names", "get_workload",
+           "build_parameters", "run_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named simulation environment (hardware constants + faults)."""
+
+    name: str
+    description: str
+    rho: float
+    delta: float
+    epsilon: float
+    #: delay model family: 'uniform', 'fixed', 'gaussian', 'adversarial',
+    #: 'contention' (matching analysis.experiments.make_delay_model).
+    delay_kind: str = "uniform"
+    #: extra keyword arguments for the delay model constructor.
+    delay_options: Dict[str, float] = field(default_factory=dict)
+    #: physical-clock drift model: 'perfect', 'constant', 'piecewise',
+    #: 'sinusoidal' or 'walk'.
+    clock_kind: str = "constant"
+    #: fault behaviour injected into the last f process slots (None = no faults).
+    fault_kind: Optional[str] = "two_faced"
+
+    def build_delay_model(self, params: SyncParameters) -> DelayModel:
+        """Instantiate this workload's delay model for a parameter set."""
+        options = dict(self.delay_options)
+        if self.delay_kind == "uniform":
+            return UniformDelayModel(params.delta, params.epsilon)
+        if self.delay_kind == "fixed":
+            return FixedDelayModel(params.delta)
+        if self.delay_kind == "gaussian":
+            return TruncatedGaussianDelayModel(params.delta, params.epsilon, **options)
+        if self.delay_kind == "adversarial":
+            return AdversarialDelayModel(params.delta, params.epsilon, **options)
+        if self.delay_kind == "contention":
+            return ContentionDelayModel(params.delta, params.epsilon, **options)
+        raise ValueError(f"workload {self.name!r} has unknown delay kind "
+                         f"{self.delay_kind!r}")
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        Workload(
+            name="lan",
+            description="Reference LAN: 10 ms ± 2 ms delays, crystal drift 1e-4, "
+                        "two-faced Byzantine attackers.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+        ),
+        Workload(
+            name="wan",
+            description="Wide-area links: 50 ms ± 20 ms delays; the ≈4ε floor "
+                        "dominates the achievable agreement.",
+            rho=1e-4, delta=0.05, epsilon=0.02,
+            delay_kind="gaussian",
+        ),
+        Workload(
+            name="high-drift",
+            description="Cheap oscillators (rho = 2e-3); the 4·rho·P term and the "
+                        "Section 5.2 P/beta trade-off dominate.",
+            rho=2e-3, delta=0.01, epsilon=0.002,
+        ),
+        Workload(
+            name="flaky-ethernet",
+            description="Section 9.3 contention: simultaneous broadcasts collide "
+                        "and datagrams are lost.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            delay_kind="contention",
+            delay_options={"window": 0.004, "threshold": 2, "drop_probability": 0.5},
+            fault_kind=None,
+        ),
+        Workload(
+            name="adversarial-delay",
+            description="Every delay at the extreme edge of [delta-eps, delta+eps]: "
+                        "the worst case assumption A3 permits.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            delay_kind="adversarial",
+        ),
+        Workload(
+            name="quiet",
+            description="No faults, fixed delays, perfect clocks: a control "
+                        "configuration for tests and debugging.",
+            rho=0.0, delta=0.01, epsilon=0.0,
+            delay_kind="fixed", clock_kind="perfect", fault_kind=None,
+        ),
+    )
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names, in a stable order."""
+    return tuple(sorted(WORKLOADS))
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload preset by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {', '.join(workload_names())}") from None
+
+
+def build_parameters(workload: Workload, n: int = 7, f: int = 2,
+                     round_length: Optional[float] = None) -> SyncParameters:
+    """Derive a feasible parameter set for a workload's hardware constants."""
+    return SyncParameters.derive(n=n, f=f, rho=workload.rho, delta=workload.delta,
+                                 epsilon=workload.epsilon,
+                                 round_length=round_length)
+
+
+def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
+                 seed: int = 0, round_length: Optional[float] = None,
+                 stagger_interval: float = 0.0) -> ScenarioResult:
+    """Run the maintenance algorithm on a named workload.
+
+    The quiet workload sets ε = 0, for which the derived parameters still get
+    a small positive β (clocks that start perfectly aligned are allowed but
+    not required).
+    """
+    params = build_parameters(workload, n=n, f=f, round_length=round_length)
+    delay_model = workload.build_delay_model(params)
+    return run_maintenance_scenario(
+        params,
+        rounds=rounds,
+        fault_kind=workload.fault_kind,
+        clock_kind=workload.clock_kind,
+        delay=delay_model,
+        seed=seed,
+        stagger_interval=stagger_interval,
+    )

@@ -1,0 +1,45 @@
+"""Comparison algorithms from Section 10 of the paper."""
+
+from .common import RoundBasedClockSync, RoundPhase
+from .halpern_simons_strong_dolev import (
+    HSSDProcess,
+    SignedRoundMessage,
+    hssd_adjustment_estimate,
+    hssd_agreement_estimate,
+)
+from .lamport_melliar_smith import (
+    InteractiveConvergenceProcess,
+    lm_adjustment_estimate,
+    lm_agreement_estimate,
+)
+from .mahaney_schneider import MahaneySchneiderProcess
+from .marzullo import IntervalMessage, MarzulloProcess, marzullo_intersection
+from .srikanth_toueg import (
+    SrikanthTouegProcess,
+    STRoundMessage,
+    st_adjustment_estimate,
+    st_agreement_estimate,
+)
+from .unsynchronized import UnsynchronizedProcess, free_running_skew_bound
+
+__all__ = [
+    "RoundBasedClockSync",
+    "RoundPhase",
+    "InteractiveConvergenceProcess",
+    "lm_agreement_estimate",
+    "lm_adjustment_estimate",
+    "MahaneySchneiderProcess",
+    "SrikanthTouegProcess",
+    "STRoundMessage",
+    "st_agreement_estimate",
+    "st_adjustment_estimate",
+    "HSSDProcess",
+    "SignedRoundMessage",
+    "hssd_agreement_estimate",
+    "hssd_adjustment_estimate",
+    "MarzulloProcess",
+    "IntervalMessage",
+    "marzullo_intersection",
+    "UnsynchronizedProcess",
+    "free_running_skew_bound",
+]

@@ -1,0 +1,131 @@
+"""The signature-based algorithm of Halpern, Simons, Strong, and Dolev [HSSD].
+
+Section 10: when a process' clock reaches the next in a pre-agreed series of
+values ``T^i``, it begins the round by broadcasting that value (signed).  A
+process that receives a *validly signed* ``T^i`` message not too long before
+its own clock would reach ``T^i`` updates its clock to ``T^i + δ`` and relays
+the message, adding its own signature.  Because forged messages are
+impossible, a single message suffices: tolerance extends to any number of
+faults as long as correct processes stay connected, but faulty processes can
+make the correct clocks run *fast* (they can only ever accelerate rounds), and
+the adjustment can reach about ``(f+1)(δ + ε)``.  Agreement ≈ ``δ + ε``.
+
+Digital signatures are simulated by carrying the chain of signer ids in the
+message; correct processes never fabricate a chain, and the simulation's
+Byzantine processes for this baseline are restricted from forging (documented
+substitution — the point of the baseline is the message/synchronization
+pattern, not the cryptography).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..core.config import SyncParameters
+from ..sim.process import Process, ProcessContext
+
+__all__ = ["HSSDProcess", "SignedRoundMessage", "hssd_agreement_estimate",
+           "hssd_adjustment_estimate"]
+
+
+@dataclass(frozen=True)
+class SignedRoundMessage:
+    """A round announcement carrying its (simulated) signature chain."""
+
+    round_index: int
+    signers: Tuple[int, ...]
+
+    def signed_by(self, pid: int) -> "SignedRoundMessage":
+        if pid in self.signers:
+            return self
+        return SignedRoundMessage(self.round_index, self.signers + (pid,))
+
+
+class HSSDProcess(Process):
+    """One participant in the [HSSD] signature-based algorithm."""
+
+    def __init__(self, params: SyncParameters, acceptance_window: Optional[float] = None,
+                 max_rounds: Optional[int] = None):
+        self.params = params
+        self.max_rounds = max_rounds
+        # A T^i message is only accepted if it arrives at most this much local
+        # time before our own clock would reach T^i; prevents a faulty process
+        # from pulling rounds arbitrarily far forward.
+        self.acceptance_window = (float(acceptance_window) if acceptance_window is not None
+                                  else (params.f + 1) * (params.delta + params.epsilon)
+                                  + params.beta)
+        self.round_index = 0
+        self.accepted: Set[int] = set()
+        self.last_adjustment: Optional[float] = None
+
+    def _round_time(self, i: int) -> float:
+        return self.params.round_time(i)
+
+    # -- round machinery ------------------------------------------------------------
+    def _begin_round(self, ctx: ProcessContext, i: int,
+                     message: Optional[SignedRoundMessage]) -> None:
+        if i in self.accepted:
+            return
+        self.accepted.add(i)
+        target = self._round_time(i) + self.params.delta
+        adjustment = target - ctx.local_time()
+        # Starting a round on one's own timer means the clock already reads
+        # T^i; the +δ nudge only applies when triggered by a relayed message.
+        if message is None:
+            adjustment = self._round_time(i) - ctx.local_time()
+        ctx.adjust_correction(adjustment, round_index=i)
+        self.last_adjustment = adjustment
+        outgoing = (message.signed_by(ctx.process_id) if message is not None
+                    else SignedRoundMessage(round_index=i, signers=(ctx.process_id,)))
+        ctx.broadcast(outgoing)
+        ctx.log("update", round_index=i, adjustment=adjustment,
+                relayed=message is not None, local_time=ctx.local_time())
+        self.round_index = i + 1
+        if self.max_rounds is None or self.round_index < self.max_rounds:
+            if not ctx.set_timer(self._round_time(self.round_index),
+                                 payload=self.round_index):
+                ctx.log("missed_round", round_index=self.round_index)
+
+    # -- interrupt handlers ----------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        # START arrives when the clock reaches T^0; if the timer target is not
+        # in the future the round begins immediately.
+        if not ctx.set_timer(self._round_time(self.round_index),
+                             payload=self.round_index):
+            self._begin_round(ctx, self.round_index, message=None)
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        # Timers are tagged with the round they were armed for; a timer whose
+        # round was already begun via a relayed message is stale and ignored
+        # (otherwise it would start the *following* round prematurely).
+        if payload is not None and payload in self.accepted:
+            return
+        self._begin_round(ctx, self.round_index, message=None)
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        if not isinstance(payload, SignedRoundMessage):
+            return
+        i = payload.round_index
+        if i < self.round_index or i in self.accepted:
+            return
+        if not payload.signers:
+            return  # an unsigned message is invalid
+        # Accept only if not too long before our clock reaches T^i.
+        remaining = self._round_time(i) - ctx.local_time()
+        if remaining > self.acceptance_window:
+            return
+        self._begin_round(ctx, i, message=payload)
+
+    def label(self) -> str:
+        return "HSSD"
+
+
+def hssd_agreement_estimate(params: SyncParameters) -> float:
+    """Section 10's statement of [HSSD] closeness: about ``δ + ε``."""
+    return params.delta + params.epsilon
+
+
+def hssd_adjustment_estimate(params: SyncParameters) -> float:
+    """Section 10's statement of the [HSSD] adjustment size: about ``(f+1)(δ+ε)``."""
+    return (params.f + 1.0) * (params.delta + params.epsilon)

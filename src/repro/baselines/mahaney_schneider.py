@@ -1,0 +1,52 @@
+"""The inexact-agreement algorithm of Mahaney and Schneider [MS].
+
+Section 10: "At each round, clock values are exchanged.  All values that are
+not close enough to ``n − f`` other values (thus are clearly faulty) are
+discarded, and the remaining values are averaged."  A pleasing property noted
+by the paper is graceful degradation when more than one-third of the processes
+fail — the acceptance test keeps obviously-bogus values out of the average
+even when the f-bound is exceeded, though the guarantees weaken.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.config import SyncParameters
+from ..sim.process import ProcessContext
+from .common import RoundBasedClockSync
+
+__all__ = ["MahaneySchneiderProcess"]
+
+
+class MahaneySchneiderProcess(RoundBasedClockSync):
+    """One participant in the [MS] fault-tolerant averaging algorithm."""
+
+    def __init__(self, params: SyncParameters, closeness: Optional[float] = None,
+                 max_rounds: Optional[int] = None):
+        super().__init__(params, max_rounds=max_rounds)
+        # Two correct offset estimates can differ by up to the current skew
+        # plus twice the delay uncertainty; default acceptance radius covers it.
+        self.closeness = (float(closeness) if closeness is not None
+                          else params.beta + 2.0 * params.epsilon)
+
+    def combine(self, ctx: ProcessContext, offsets: Dict[int, float]) -> float:
+        values = list(offsets.values())
+        accepted = self._accepted_values(values, ctx.n)
+        if not accepted:
+            return 0.0
+        return sum(accepted) / len(accepted)
+
+    def _accepted_values(self, values: List[float], n: int) -> List[float]:
+        """Keep values that are within ``closeness`` of at least n − f values."""
+        required = n - self.params.f
+        accepted = []
+        for candidate in values:
+            supporters = sum(1 for other in values
+                             if abs(candidate - other) <= self.closeness)
+            if supporters >= required:
+                accepted.append(candidate)
+        return accepted
+
+    def label(self) -> str:
+        return f"MS(closeness={self.closeness:.4g})"

@@ -1,0 +1,118 @@
+"""The optimal clock synchronization algorithm of Srikanth and Toueg [ST].
+
+Unlike the averaging algorithms, [ST] resynchronizes by *agreement on round
+starts*: when a process' logical clock reaches ``T^i`` it broadcasts a
+``(round, i)`` message.  A process that has received ``f + 1`` distinct
+``(round, i)`` messages knows at least one came from a correct process, so the
+real time must be close to the round boundary; it *relays* its own
+``(round, i)`` message if it has not already.  Upon receiving ``n − f``
+distinct ``(round, i)`` messages it *accepts* the round and sets its logical
+clock to ``T^i + δ`` (the expected elapsed delay since the first correct
+broadcast), then waits for ``T^{i+1}``.
+
+Section 10: agreement ≈ ``δ + ε`` (better or worse than Welch-Lynch depending
+on the relative sizes of δ and ε); validity is optimal (that of the underlying
+hardware clocks); the adjustment per round is about ``3(δ + ε)``; twice as
+many messages per round as [HSSD] when signatures are not used; works for
+``n > 3f`` without signatures; reintegration is based on the Welch-Lynch
+method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..core.config import SyncParameters
+from ..sim.process import Process, ProcessContext
+
+__all__ = ["SrikanthTouegProcess", "STRoundMessage", "st_agreement_estimate",
+           "st_adjustment_estimate"]
+
+
+@dataclass(frozen=True)
+class STRoundMessage:
+    """A ``(round, i)`` announcement."""
+
+    round_index: int
+
+
+class SrikanthTouegProcess(Process):
+    """One participant in the [ST] non-authenticated algorithm."""
+
+    def __init__(self, params: SyncParameters, max_rounds: Optional[int] = None):
+        self.params = params
+        self.max_rounds = max_rounds
+        self.round_index = 0
+        #: senders heard per round index (distinct-sender counting).
+        self.heard: Dict[int, Set[int]] = {}
+        #: rounds for which this process has already broadcast/relayed.
+        self.sent: Set[int] = set()
+        #: rounds already accepted (clock already set for that round).
+        self.accepted: Set[int] = set()
+        self.last_adjustment: Optional[float] = None
+
+    # -- helpers -------------------------------------------------------------------
+    def _round_time(self, i: int) -> float:
+        return self.params.round_time(i)
+
+    def _broadcast_round(self, ctx: ProcessContext, i: int) -> None:
+        if i in self.sent:
+            return
+        self.sent.add(i)
+        ctx.broadcast(STRoundMessage(round_index=i))
+        ctx.log("broadcast", round_index=i, local_time=ctx.local_time())
+
+    def _accept_round(self, ctx: ProcessContext, i: int) -> None:
+        if i in self.accepted:
+            return
+        self.accepted.add(i)
+        target = self._round_time(i) + self.params.delta
+        adjustment = target - ctx.local_time()
+        ctx.adjust_correction(adjustment, round_index=i)
+        self.last_adjustment = adjustment
+        ctx.log("update", round_index=i, adjustment=adjustment,
+                local_time=ctx.local_time())
+        self.round_index = i + 1
+        if self.max_rounds is None or self.round_index < self.max_rounds:
+            if not ctx.set_timer(self._round_time(self.round_index)):
+                ctx.log("missed_round", round_index=self.round_index)
+
+    # -- interrupt handlers ------------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        # START arrives when the clock reaches T^0; if the timer target is not
+        # in the future the round begins immediately.
+        if not ctx.set_timer(self._round_time(self.round_index)):
+            self._broadcast_round(ctx, self.round_index)
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        # Our own clock reached T^i: announce the round (counts toward our own
+        # thresholds because broadcast includes ourselves).
+        self._broadcast_round(ctx, self.round_index)
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        if not isinstance(payload, STRoundMessage):
+            return
+        i = payload.round_index
+        if i < self.round_index or i in self.accepted:
+            return
+        heard = self.heard.setdefault(i, set())
+        heard.add(sender)
+        if len(heard) >= self.params.f + 1:
+            # At least one correct process is at the round boundary: relay.
+            self._broadcast_round(ctx, i)
+        if len(heard) >= self.params.n - self.params.f:
+            self._accept_round(ctx, i)
+
+    def label(self) -> str:
+        return "SrikanthToueg"
+
+
+def st_agreement_estimate(params: SyncParameters) -> float:
+    """Section 10's statement of [ST] closeness: about ``δ + ε``."""
+    return params.delta + params.epsilon
+
+
+def st_adjustment_estimate(params: SyncParameters) -> float:
+    """Section 10's statement of the [ST] adjustment size: about ``3(δ + ε)``."""
+    return 3.0 * (params.delta + params.epsilon)

@@ -1,0 +1,226 @@
+"""Command-line interface: run, audit, sweep and compare from a terminal.
+
+Installed as the ``repro-clocksync`` console script (also reachable as
+``python -m repro``).  Sub-commands:
+
+* ``workloads`` — list the named workload presets;
+* ``run``       — run the maintenance algorithm on a workload, audit the run
+  against Theorems 4/16/19, and optionally export the trace;
+* ``startup``   — run the Section 9.2 start-up algorithm and report the
+  Lemma 20 convergence series;
+* ``compare``   — the Section 10 comparison table on one shared workload;
+* ``sweep``     — agreement/spread sweeps along the ε, P, n or fault-count
+  axes (the data behind the paper's trade-off discussions).
+
+Every sub-command prints plain-text tables (see
+:mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
+claim it audits is violated, so the CLI can be dropped into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.comparison import run_comparison
+from .analysis.experiments import (
+    ALGORITHM_FACTORIES,
+    run_startup_scenario,
+)
+from .analysis.export import (
+    comparison_rows_to_dicts,
+    scenario_to_dict,
+    sweep_to_dicts,
+    write_csv,
+    write_json,
+)
+from .analysis.metrics import skew_series, startup_spread_series
+from .analysis.plotting import sparkline
+from .analysis.reporting import format_series, format_table
+from .analysis.sweeps import (
+    SweepResult,
+    sweep_epsilon,
+    sweep_fault_count,
+    sweep_round_length,
+    sweep_system_size,
+)
+from .analysis.verification import check_maintenance_run, check_startup_run, format_report
+from .analysis.workloads import build_parameters, get_workload, run_workload, workload_names
+from .core.bounds import startup_limit
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-clocksync",
+        description="Welch-Lynch fault-tolerant clock synchronization — "
+                    "run, audit, sweep and compare.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list the named workload presets")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run the maintenance algorithm and audit it against the paper")
+    _add_common_options(run_parser)
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="export the full scenario (trace included) as JSON")
+    run_parser.add_argument("--csv", metavar="PATH",
+                            help="export the skew-over-time series as CSV")
+    run_parser.add_argument("--samples", type=int, default=200,
+                            help="samples for the agreement window (default 200)")
+
+    startup_parser = subparsers.add_parser(
+        "startup", help="run the Section 9.2 start-up algorithm from arbitrary clocks")
+    _add_common_options(startup_parser)
+    startup_parser.add_argument("--spread", type=float, default=1.0,
+                                help="initial clock spread in seconds (default 1.0)")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="Section 10 comparison of all algorithms on one workload")
+    _add_common_options(compare_parser)
+    compare_parser.add_argument("--algorithms", nargs="+",
+                                choices=sorted(ALGORITHM_FACTORIES),
+                                help="subset of algorithms (default: all)")
+    compare_parser.add_argument("--json", metavar="PATH",
+                                help="export the comparison rows as JSON")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep agreement/spread along one parameter axis")
+    sweep_parser.add_argument("--axis", required=True,
+                              choices=["epsilon", "round-length", "n", "fault-count"],
+                              help="which parameter to sweep")
+    sweep_parser.add_argument("--values", nargs="+", required=True,
+                              help="the values to sweep over")
+    sweep_parser.add_argument("--rounds", type=int, default=10)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--csv", metavar="PATH",
+                              help="export the sweep table as CSV")
+
+    return parser
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="lan", choices=workload_names(),
+                        help="named workload preset (default: lan)")
+    parser.add_argument("-n", type=int, default=7, help="number of processes")
+    parser.add_argument("-f", type=int, default=2,
+                        help="number of tolerated faults (n >= 3f + 1)")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [(name, get_workload(name).description) for name in workload_names()]
+    print(format_table(["workload", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    result = run_workload(workload, n=args.n, f=args.f, rounds=args.rounds,
+                          seed=args.seed)
+    params = result.params
+    print(f"workload {workload.name}: n={params.n} f={params.f} "
+          f"rho={params.rho} delta={params.delta} epsilon={params.epsilon} "
+          f"beta={params.beta:.6f} P={params.round_length:.6f}")
+    report = check_maintenance_run(result, samples=args.samples)
+    print(format_report(report))
+    settle = result.tmax0 + params.round_length
+    series = [skew for _, skew in skew_series(result.trace, settle,
+                                              result.end_time, samples=60)]
+    print(f"skew over time: {sparkline(series)}")
+    if args.json:
+        write_json(scenario_to_dict(result, samples=120), args.json)
+        print(f"wrote scenario JSON to {args.json}")
+    if args.csv:
+        from .analysis.export import skew_series_rows
+        write_csv(skew_series_rows(result.trace, settle, result.end_time), args.csv)
+        print(f"wrote skew series CSV to {args.csv}")
+    return 0 if report.all_passed else 1
+
+
+def _cmd_startup(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    params = build_parameters(workload, n=args.n, f=args.f)
+    result = run_startup_scenario(params, rounds=args.rounds,
+                                  initial_spread=args.spread, seed=args.seed)
+    series = startup_spread_series(result.trace)
+    print(format_series("measured B^i", series))
+    print(f"B^i shape: {sparkline(series)}")
+    print(f"Lemma 20 limit (≈ 4 epsilon): {startup_limit(params):.6f}; "
+          f"final spread: {series[-1]:.6f}")
+    report = check_startup_run(result)
+    print(format_report(report))
+    return 0 if report.all_passed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    params = build_parameters(workload, n=args.n, f=args.f)
+    rows = run_comparison(params, rounds=args.rounds, algorithms=args.algorithms,
+                          fault_kind=workload.fault_kind, seed=args.seed)
+    print(format_table(
+        ["algorithm", "agreement", "max |ADJ|", "msgs/round",
+         "paper agreement", "paper |ADJ|"],
+        [(r.algorithm, r.agreement, r.max_adjustment, r.messages_per_round,
+          r.paper_agreement, r.paper_adjustment) for r in rows],
+        precision=4))
+    if args.json:
+        write_json(comparison_rows_to_dicts(rows), args.json)
+        print(f"wrote comparison JSON to {args.json}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> SweepResult:
+    if args.axis == "epsilon":
+        return sweep_epsilon([float(v) for v in args.values],
+                             rounds=args.rounds, seed=args.seed)
+    if args.axis == "round-length":
+        return sweep_round_length([float(v) for v in args.values],
+                                  rounds=args.rounds, seed=args.seed)
+    if args.axis == "n":
+        return sweep_system_size([int(v) for v in args.values],
+                                 rounds=args.rounds, seed=args.seed)
+    return sweep_fault_count([int(v) for v in args.values],
+                             rounds=args.rounds, seed=args.seed)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    result = _run_sweep(args)
+    print(format_table(result.headers(), result.rows()))
+    if args.csv:
+        write_csv(sweep_to_dicts(result), args.csv)
+        print(f"wrote sweep CSV to {args.csv}")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "run": _cmd_run,
+    "startup": _cmd_startup,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

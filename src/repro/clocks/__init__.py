@@ -1,0 +1,49 @@
+"""Physical and logical clock substrate (Sections 2.1, 3.1, 3.2)."""
+
+from .base import Clock, InvertibleClockMixin, rho_rate_bounds
+from .drift import (
+    ConstantRateClock,
+    PerfectClock,
+    PiecewiseLinearClock,
+    RandomRateWalkClock,
+    SinusoidalDriftClock,
+    make_clock_ensemble,
+)
+from .logical import (
+    AmortizedCorrection,
+    CorrectionEvent,
+    CorrectionHistory,
+    LogicalClockView,
+    apply_amortized_schedule,
+)
+from .validation import (
+    check_rate_bounds,
+    lemma1_holds,
+    lemma2a_holds,
+    lemma2b_holds,
+    lemma3_holds,
+    sample_times,
+)
+
+__all__ = [
+    "Clock",
+    "InvertibleClockMixin",
+    "rho_rate_bounds",
+    "PerfectClock",
+    "ConstantRateClock",
+    "PiecewiseLinearClock",
+    "SinusoidalDriftClock",
+    "RandomRateWalkClock",
+    "make_clock_ensemble",
+    "CorrectionEvent",
+    "CorrectionHistory",
+    "LogicalClockView",
+    "AmortizedCorrection",
+    "apply_amortized_schedule",
+    "check_rate_bounds",
+    "lemma1_holds",
+    "lemma2a_holds",
+    "lemma2b_holds",
+    "lemma3_holds",
+    "sample_times",
+]

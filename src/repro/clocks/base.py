@@ -1,0 +1,109 @@
+"""Clock abstractions (Section 2.1 and 3.1 of the paper).
+
+A *clock* in the paper is a monotonically increasing, everywhere
+differentiable function from real time to clock time (or vice versa).  A clock
+``C`` is ρ-bounded when ``1/(1+ρ) <= dC(t)/dt <= 1+ρ`` for all ``t`` (Section
+3.1); the inverse of a ρ-bounded clock is itself ρ-bounded.
+
+We model clocks as objects exposing both directions of the mapping:
+
+* :meth:`Clock.read` — clock time at a given real time (``C(t)``, upper-case
+  direction in the paper),
+* :meth:`Clock.real_time_at` — real time at which the clock shows a given
+  clock time (``c(T)``, the inverse, lower-case direction).
+
+Concrete drift models live in :mod:`repro.clocks.drift`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+__all__ = ["Clock", "rho_rate_bounds", "InvertibleClockMixin"]
+
+
+def rho_rate_bounds(rho: float) -> Tuple[float, float]:
+    """The admissible instantaneous rate interval ``[1/(1+ρ), 1+ρ]``.
+
+    The paper notes that ``1 - ρ <= 1/(1+ρ)`` (and symmetrically for the upper
+    bound) for small ρ and uses whichever form is convenient; we always use the
+    exact interval.
+    """
+    if rho < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    return 1.0 / (1.0 + rho), 1.0 + rho
+
+
+class Clock(abc.ABC):
+    """A monotonically increasing mapping between real time and clock time."""
+
+    #: drift bound ρ this clock promises to respect; concrete models set it.
+    rho: float = 0.0
+
+    @abc.abstractmethod
+    def read(self, real_time: float) -> float:
+        """Clock time shown at ``real_time`` (``C(t)``)."""
+
+    @abc.abstractmethod
+    def real_time_at(self, clock_time: float) -> float:
+        """Real time at which the clock shows ``clock_time`` (``c(T)``)."""
+
+    def rate_at(self, real_time: float, dt: float = 1e-6) -> float:
+        """Numerical instantaneous rate ``dC/dt`` around ``real_time``.
+
+        Concrete models with a closed-form rate override this; the default
+        central difference is adequate for validation and plotting.
+        """
+        return (self.read(real_time + dt) - self.read(real_time - dt)) / (2 * dt)
+
+    def elapsed(self, real_start: float, real_end: float) -> float:
+        """Clock time elapsed between two real times."""
+        return self.read(real_end) - self.read(real_start)
+
+    def rate_bounds(self) -> Tuple[float, float]:
+        """The ρ-bounded rate interval this clock claims to satisfy."""
+        return rho_rate_bounds(self.rho)
+
+
+class InvertibleClockMixin:
+    """Bisection-based inverse for clocks defined only in the forward direction.
+
+    Any strictly increasing forward map whose rate is bounded below by
+    ``1/(1+ρ) > 0`` can be inverted by bracketing + bisection.  Subclasses must
+    provide ``read`` and ``rho``.
+    """
+
+    _INVERSE_TOLERANCE = 1e-12
+    _INVERSE_MAX_ITER = 200
+
+    def real_time_at(self, clock_time: float) -> float:
+        lo_rate, hi_rate = rho_rate_bounds(getattr(self, "rho", 0.0) or 1e-9)
+        # Initial guess assuming rate 1 around the anchor C(0).
+        anchor_clock = self.read(0.0)  # type: ignore[attr-defined]
+        guess = clock_time - anchor_clock
+        # Bracket the root of read(t) - clock_time.
+        span = max(1.0, abs(guess) * (hi_rate - lo_rate) + 1.0)
+        lo = guess - span
+        hi = guess + span
+        read = self.read  # type: ignore[attr-defined]
+        for _ in range(200):
+            if read(lo) <= clock_time:
+                break
+            lo -= span
+            span *= 2.0
+        for _ in range(200):
+            if read(hi) >= clock_time:
+                break
+            hi += span
+            span *= 2.0
+        for _ in range(self._INVERSE_MAX_ITER):
+            mid_point = 0.5 * (lo + hi)
+            value = read(mid_point)
+            if abs(value - clock_time) <= self._INVERSE_TOLERANCE:
+                return mid_point
+            if value < clock_time:
+                lo = mid_point
+            else:
+                hi = mid_point
+        return 0.5 * (lo + hi)

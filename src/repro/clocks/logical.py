@@ -1,0 +1,209 @@
+"""Logical clocks: physical clock + correction variable (Section 3.2).
+
+A process obtains its *local time* by adding the value of its correction
+variable ``CORR`` to its read-only physical clock: ``L_p = Ph_p + CORR_p``.
+Each adjustment of ``CORR`` switches the process to a new *logical clock*
+``C^{i+1} = C^i + ADJ^i``.  The local time is therefore a piecewise function
+whose pieces are logical clocks.
+
+:class:`CorrectionHistory` records the sequence of corrections applied during
+an execution (with the real times at which they were applied) so that the
+analysis code can reconstruct ``L_p(t)`` for any ``t``, enumerate the logical
+clocks ``C^i_p``, and measure per-round adjustments.
+
+:class:`AmortizedCorrection` implements the "known technique for stretching a
+negative adjustment out over the resynchronization interval" mentioned in
+Section 4.1, so local time never jumps backwards: the adjustment is applied
+gradually over a spreading interval at a bounded extra rate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Clock
+
+__all__ = [
+    "CorrectionEvent",
+    "CorrectionHistory",
+    "LogicalClockView",
+    "AmortizedCorrection",
+]
+
+
+@dataclass(frozen=True)
+class CorrectionEvent:
+    """One update of the CORR variable.
+
+    ``real_time`` is when the update happened, ``adjustment`` the delta added
+    to CORR, ``new_correction`` the resulting CORR value, and ``round_index``
+    the algorithm round that produced it (``-1`` for the initial value).
+    """
+
+    real_time: float
+    adjustment: float
+    new_correction: float
+    round_index: int = -1
+
+
+class CorrectionHistory:
+    """The full CORR_p(t) history of one process during an execution."""
+
+    def __init__(self, initial_correction: float = 0.0):
+        self._events: List[CorrectionEvent] = [
+            CorrectionEvent(real_time=float("-inf"), adjustment=0.0,
+                            new_correction=float(initial_correction),
+                            round_index=-1)
+        ]
+
+    @property
+    def initial_correction(self) -> float:
+        return self._events[0].new_correction
+
+    @property
+    def events(self) -> Sequence[CorrectionEvent]:
+        """All correction events including the synthetic initial one."""
+        return tuple(self._events)
+
+    @property
+    def adjustments(self) -> List[float]:
+        """The per-round adjustments (excluding the initial correction)."""
+        return [e.adjustment for e in self._events[1:]]
+
+    def current(self) -> float:
+        """The most recent CORR value."""
+        return self._events[-1].new_correction
+
+    def apply(self, real_time: float, adjustment: float, round_index: int) -> float:
+        """Record ``CORR := CORR + adjustment`` at ``real_time``; returns new CORR."""
+        if real_time < self._events[-1].real_time:
+            raise ValueError(
+                f"corrections must be recorded in real-time order; "
+                f"{real_time} < {self._events[-1].real_time}"
+            )
+        new_corr = self.current() + float(adjustment)
+        self._events.append(CorrectionEvent(real_time=float(real_time),
+                                            adjustment=float(adjustment),
+                                            new_correction=new_corr,
+                                            round_index=round_index))
+        return new_corr
+
+    def correction_at(self, real_time: float) -> float:
+        """CORR_p(t): the correction in force at real time ``t``."""
+        times = [e.real_time for e in self._events]
+        index = bisect.bisect_right(times, real_time) - 1
+        index = max(index, 0)
+        return self._events[index].new_correction
+
+    def correction_for_round(self, round_index: int) -> Optional[float]:
+        """CORR value while logical clock ``C^{round_index+1}`` is in force."""
+        for event in self._events:
+            if event.round_index == round_index:
+                return event.new_correction
+        return None
+
+
+class LogicalClockView:
+    """Read-only view combining a physical clock and a correction history.
+
+    Provides the local time ``L_p(t)`` and the individual logical clocks
+    ``C^i_p`` of the paper, for analysis and metric computation.
+    """
+
+    def __init__(self, physical_clock: Clock, history: CorrectionHistory):
+        self._physical = physical_clock
+        self._history = history
+
+    @property
+    def physical_clock(self) -> Clock:
+        return self._physical
+
+    @property
+    def history(self) -> CorrectionHistory:
+        return self._history
+
+    def local_time(self, real_time: float) -> float:
+        """``L_p(t) = Ph_p(t) + CORR_p(t)``."""
+        return self._physical.read(real_time) + self._history.correction_at(real_time)
+
+    def logical_clock_value(self, clock_index: int, real_time: float) -> float:
+        """``C^i_p(t)``: physical clock plus the correction of the ``i``-th clock.
+
+        ``clock_index`` 0 denotes the initial logical clock.
+        """
+        events = self._history.events
+        if not 0 <= clock_index < len(events):
+            raise IndexError(
+                f"logical clock index {clock_index} out of range (have {len(events)})"
+            )
+        return self._physical.read(real_time) + events[clock_index].new_correction
+
+    def logical_clock_inverse(self, clock_index: int, clock_time: float) -> float:
+        """``c^i_p(T)``: real time at which logical clock ``i`` reads ``clock_time``."""
+        events = self._history.events
+        if not 0 <= clock_index < len(events):
+            raise IndexError(
+                f"logical clock index {clock_index} out of range (have {len(events)})"
+            )
+        corr = events[clock_index].new_correction
+        return self._physical.real_time_at(clock_time - corr)
+
+    def number_of_logical_clocks(self) -> int:
+        return len(self._history.events)
+
+
+class AmortizedCorrection:
+    """Spread a (possibly negative) adjustment over an interval of local time.
+
+    Section 4.1 notes that the algorithm may set a clock backwards but that
+    "there are known techniques for stretching a negative adjustment out over
+    the resynchronization interval".  This class implements that technique:
+    instead of applying ``adjustment`` instantaneously at local time ``start``,
+    the effective correction ramps linearly from 0 to ``adjustment`` over
+    ``spread_interval`` units of (uncorrected) local time.  As long as
+    ``|adjustment| < spread_interval`` the amortized local time remains
+    strictly increasing.
+    """
+
+    def __init__(self, adjustment: float, start_local_time: float,
+                 spread_interval: float):
+        if spread_interval <= 0:
+            raise ValueError("spread_interval must be positive")
+        self.adjustment = float(adjustment)
+        self.start_local_time = float(start_local_time)
+        self.spread_interval = float(spread_interval)
+
+    def effective_offset(self, raw_local_time: float) -> float:
+        """The portion of the adjustment in force at ``raw_local_time``."""
+        if raw_local_time <= self.start_local_time:
+            return 0.0
+        if raw_local_time >= self.start_local_time + self.spread_interval:
+            return self.adjustment
+        fraction = (raw_local_time - self.start_local_time) / self.spread_interval
+        return self.adjustment * fraction
+
+    def adjusted_time(self, raw_local_time: float) -> float:
+        """Local time with the amortized adjustment applied."""
+        return raw_local_time + self.effective_offset(raw_local_time)
+
+    def is_monotone(self) -> bool:
+        """True when the amortized clock can never run backwards."""
+        return self.adjustment > -self.spread_interval
+
+
+def apply_amortized_schedule(
+    raw_times: Sequence[float], corrections: Sequence[AmortizedCorrection]
+) -> List[float]:
+    """Apply a sequence of amortized corrections to a series of raw local times.
+
+    Convenience used by the analysis examples; corrections are cumulative.
+    """
+    adjusted: List[float] = []
+    for raw in raw_times:
+        total = raw
+        for correction in corrections:
+            total += correction.effective_offset(raw)
+        adjusted.append(total)
+    return adjusted

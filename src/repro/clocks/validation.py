@@ -1,0 +1,108 @@
+"""Numerical validators for ρ-bounded clock behaviour (Lemmas 1-3).
+
+These helpers check, on concrete clock objects and over concrete time
+intervals, the elementary facts about ρ-bounded clocks that the paper's
+analysis relies on:
+
+* **rate check** — the instantaneous rate stays in ``[1/(1+ρ), 1+ρ]``;
+* **Lemma 1** — ``(t2 - t1)/(1+ρ) <= C(t2) - C(t1) <= (1+ρ)(t2 - t1)``;
+* **Lemma 2(a)** — ``|(C(t2) - t2) - (C(t1) - t1)| <= ρ|t2 - t1|``;
+* **Lemma 2(b)** — for two clocks,
+  ``|(C(t2) - D(t2)) - (C(t1) - D(t1))| <= 2ρ|t2 - t1|``;
+* **Lemma 3** — if the inverses stay within α over a clock-time interval, the
+  forward clocks stay within ``(1+ρ)α`` over the corresponding real-time
+  interval.
+
+They are used by the unit/property tests for every drift model and by the
+analysis code as sanity probes on simulation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from .base import Clock, rho_rate_bounds
+
+__all__ = [
+    "check_rate_bounds",
+    "lemma1_holds",
+    "lemma2a_holds",
+    "lemma2b_holds",
+    "lemma3_holds",
+    "sample_times",
+]
+
+_TOLERANCE = 1e-9
+
+
+def sample_times(start: float, end: float, count: int) -> Sequence[float]:
+    """Evenly spaced sample times over [start, end], inclusive of both ends."""
+    if count < 2:
+        raise ValueError("need at least two sample points")
+    step = (end - start) / (count - 1)
+    return [start + i * step for i in range(count)]
+
+
+def check_rate_bounds(clock: Clock, times: Iterable[float],
+                      tolerance: float = 1e-6) -> bool:
+    """True when the numerical rate stays inside the ρ band at every sample."""
+    lo, hi = rho_rate_bounds(clock.rho)
+    for t in times:
+        rate = clock.rate_at(t)
+        if rate < lo - tolerance or rate > hi + tolerance:
+            return False
+    return True
+
+
+def lemma1_holds(clock: Clock, t1: float, t2: float,
+                 tolerance: float = _TOLERANCE) -> bool:
+    """Lemma 1: elapsed clock time is within the ρ band of elapsed real time."""
+    if t1 > t2:
+        t1, t2 = t2, t1
+    lo, hi = rho_rate_bounds(clock.rho)
+    elapsed_clock = clock.read(t2) - clock.read(t1)
+    elapsed_real = t2 - t1
+    return (elapsed_real * lo - tolerance <= elapsed_clock
+            <= elapsed_real * hi + tolerance)
+
+
+def lemma2a_holds(clock: Clock, t1: float, t2: float,
+                  tolerance: float = _TOLERANCE) -> bool:
+    """Lemma 2(a): drift of (C(t) - t) over [t1, t2] is at most ρ|t2 - t1|."""
+    lhs = abs((clock.read(t2) - t2) - (clock.read(t1) - t1))
+    return lhs <= clock.rho * abs(t2 - t1) + tolerance
+
+
+def lemma2b_holds(clock_c: Clock, clock_d: Clock, t1: float, t2: float,
+                  tolerance: float = _TOLERANCE) -> bool:
+    """Lemma 2(b): relative drift of two ρ-bounded clocks is at most 2ρ|t2 - t1|."""
+    rho = max(clock_c.rho, clock_d.rho)
+    lhs = abs((clock_c.read(t2) - clock_d.read(t2))
+              - (clock_c.read(t1) - clock_d.read(t1)))
+    return lhs <= 2 * rho * abs(t2 - t1) + tolerance
+
+
+def lemma3_holds(clock_c: Clock, clock_d: Clock, clock_t1: float, clock_t2: float,
+                 alpha: float, samples: int = 20,
+                 tolerance: float = _TOLERANCE) -> bool:
+    """Lemma 3: inverse closeness α implies forward closeness (1+ρ)α.
+
+    Checks the hypothesis ``|c(T) - d(T)| <= alpha`` over the clock-time
+    interval numerically, then verifies the conclusion
+    ``|C(t) - D(t)| <= (1+ρ)alpha`` over the corresponding real-time interval.
+    Returns True when either the hypothesis fails to hold (vacuous) or the
+    conclusion holds.
+    """
+    if clock_t1 > clock_t2:
+        clock_t1, clock_t2 = clock_t2, clock_t1
+    rho = max(clock_c.rho, clock_d.rho)
+    for T in sample_times(clock_t1, clock_t2, samples):
+        if abs(clock_c.real_time_at(T) - clock_d.real_time_at(T)) > alpha + tolerance:
+            return True  # hypothesis violated; lemma says nothing
+    t_lo = min(clock_c.real_time_at(clock_t1), clock_d.real_time_at(clock_t1))
+    t_hi = max(clock_c.real_time_at(clock_t2), clock_d.real_time_at(clock_t2))
+    bound = (1 + rho) * alpha + tolerance
+    for t in sample_times(t_lo, t_hi, samples):
+        if abs(clock_c.read(t) - clock_d.read(t)) > bound:
+            return False
+    return True

@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the clock synchronization algorithms."""
+
+from .amortized import AmortizedWelchLynchProcess
+from .averaging import (
+    AveragingFunction,
+    FaultTolerantMean,
+    FaultTolerantMidpoint,
+    PlainMean,
+    convergence_rate,
+)
+from .bounds import (
+    ValidityParameters,
+    adjustment_bound,
+    agreement_bound,
+    k_exchange_beta,
+    lemma9_compensation_error,
+    lemma10_separation_bound,
+    mean_variant_rate,
+    shortest_round_real_time,
+    startup_convergence_series,
+    startup_limit,
+    startup_round_recurrence,
+    steady_state_beta,
+    validity_envelope,
+    validity_holds,
+    validity_parameters,
+)
+from .config import ParameterError, SyncParameters
+from .maintenance import Phase, WelchLynchProcess
+from .messages import ReadyMessage, RoundMessage, TimeMessage
+from .multi_exchange import MultiExchangeProcess
+from .reintegration import ReintegratingProcess
+from .staggered import (
+    StaggeredWelchLynchProcess,
+    choose_stagger_interval,
+    effective_beta,
+)
+from .startup import StartupProcess
+
+__all__ = [
+    "AmortizedWelchLynchProcess",
+    "AveragingFunction",
+    "FaultTolerantMidpoint",
+    "FaultTolerantMean",
+    "PlainMean",
+    "convergence_rate",
+    "ValidityParameters",
+    "adjustment_bound",
+    "agreement_bound",
+    "k_exchange_beta",
+    "lemma9_compensation_error",
+    "lemma10_separation_bound",
+    "mean_variant_rate",
+    "shortest_round_real_time",
+    "startup_convergence_series",
+    "startup_limit",
+    "startup_round_recurrence",
+    "steady_state_beta",
+    "validity_envelope",
+    "validity_holds",
+    "validity_parameters",
+    "ParameterError",
+    "SyncParameters",
+    "Phase",
+    "WelchLynchProcess",
+    "RoundMessage",
+    "TimeMessage",
+    "ReadyMessage",
+    "MultiExchangeProcess",
+    "ReintegratingProcess",
+    "StaggeredWelchLynchProcess",
+    "choose_stagger_interval",
+    "effective_beta",
+    "StartupProcess",
+]

@@ -1,0 +1,224 @@
+"""Algorithm parameters and the Section 5.2 constraints.
+
+The global constants of the algorithm (Section 4.2) are ``n, f, ρ, β, δ, ε,
+P`` plus the initial round time ``T0``.  In a real system ρ (drift rate),
+δ (median message delay) and ε (delay uncertainty) are fixed by the hardware;
+the designer chooses P (round length, in local time) and β (how closely in
+real time processes reach the same round), subject to the constraints of
+Section 5.2:
+
+* assumptions: ``n >= 3f + 1`` (A2), ``δ > ε >= 0`` (A3), ``ρ >= 0`` small (A1);
+* lower bounds on P (needed by Lemma 8 — the next broadcast time must still be
+  in the future after an adjustment — and Lemma 12 — round ``i`` messages must
+  arrive after the recipients have set their ``i``-th clocks):
+  ``P >= (1+ρ)(2β + δ + 2ε) + ρδ`` and ``P >= 3(1+ρ)(β + ε) + ρδ``;
+* an upper bound on P (needed by Lemma 11 so drift cannot spread the clocks
+  past β between resynchronizations):
+  ``P <= β/(4ρ) − ε/ρ − ρ(β + δ + ε) − 2β − δ − 2ε``;
+* the induced lower bound on β:
+  ``β >= 4ε + 4ρ(4β + δ + 4ε + max{δ, β + ε}) + 4ρ²(3β + 2δ + 3ε + max{δ, β + ε})``.
+
+If P is regarded as fixed, the achievable closeness of synchronization along
+the real-time axis is roughly ``β ≈ 4ε + 4ρP``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["SyncParameters", "ParameterError"]
+
+
+class ParameterError(ValueError):
+    """Raised when a parameter set violates the paper's assumptions."""
+
+
+@dataclass(frozen=True)
+class SyncParameters:
+    """The global constants of the clock synchronization algorithm."""
+
+    n: int
+    f: int
+    rho: float
+    delta: float
+    epsilon: float
+    beta: float
+    round_length: float  # P
+    initial_round_time: float = 0.0  # T0
+
+    # -- construction and validation -------------------------------------------
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ParameterError(f"n must be positive, got {self.n}")
+        if self.f < 0:
+            raise ParameterError(f"f must be non-negative, got {self.f}")
+        if self.n < 3 * self.f + 1:
+            raise ParameterError(
+                f"assumption A2 requires n >= 3f + 1; got n={self.n}, f={self.f}"
+            )
+        if self.rho < 0:
+            raise ParameterError(f"rho must be non-negative, got {self.rho}")
+        if self.delta <= 0:
+            raise ParameterError(f"delta must be positive, got {self.delta}")
+        if self.epsilon < 0 or self.epsilon >= self.delta:
+            raise ParameterError(
+                f"assumption A3 requires 0 <= epsilon < delta; "
+                f"got epsilon={self.epsilon}, delta={self.delta}"
+            )
+        if self.beta <= 0:
+            raise ParameterError(f"beta must be positive, got {self.beta}")
+        if self.round_length <= 0:
+            raise ParameterError(f"round length P must be positive, got {self.round_length}")
+
+    # -- derived quantities used throughout the algorithm ------------------------
+    @property
+    def P(self) -> float:
+        """Alias matching the paper's name for the round length."""
+        return self.round_length
+
+    @property
+    def T0(self) -> float:
+        """Alias matching the paper's name for the initial round time."""
+        return self.initial_round_time
+
+    def collection_window(self) -> float:
+        """The local-time length ``(1+ρ)(β + δ + ε)`` of the collection window.
+
+        Chosen "just large enough to ensure that p receives T^i messages from
+        all the nonfaulty processes" (Section 4.1).
+        """
+        return (1.0 + self.rho) * (self.beta + self.delta + self.epsilon)
+
+    def round_time(self, i: int) -> float:
+        """``T^i = T0 + i·P``."""
+        return self.initial_round_time + i * self.round_length
+
+    def update_time(self, i: int) -> float:
+        """``U^i = T^i + (1+ρ)(β + δ + ε)``."""
+        return self.round_time(i) + self.collection_window()
+
+    # -- Section 5.2 constraints ----------------------------------------------------
+    def p_lower_bound(self) -> float:
+        """Smallest admissible round length P.
+
+        Combines the requirement used in Lemma 8 (timers set in the future)
+        with the one used in Lemma 12 (round ``i`` messages arrive after the
+        ``i``-th clocks are set): ``P >= max{(1+ρ)(2β+δ+2ε) + ρδ,
+        3(1+ρ)(β+ε) + ρδ}``.
+        """
+        lemma8 = (1 + self.rho) * (2 * self.beta + self.delta + 2 * self.epsilon) \
+            + self.rho * self.delta
+        lemma12 = 3 * (1 + self.rho) * (self.beta + self.epsilon) + self.rho * self.delta
+        return max(lemma8, lemma12)
+
+    def p_upper_bound(self) -> float:
+        """Largest admissible round length P (``+inf`` for drift-free clocks).
+
+        ``P <= β/(4ρ) − ε/ρ − ρ(β+δ+ε) − 2β − δ − 2ε`` (Section 5.2); this is
+        what keeps drift from spreading the clocks past β between rounds.
+        The two 1/ρ terms are combined as ``(β/4 − ε)/ρ`` so that an extremely
+        small (subnormal) ρ overflows cleanly to ``+inf`` instead of producing
+        ``inf − inf = nan``.
+        """
+        if self.rho == 0:
+            return math.inf
+        drift_limited = (self.beta / 4.0 - self.epsilon) / self.rho
+        return (drift_limited
+                - self.rho * (self.beta + self.delta + self.epsilon)
+                - 2 * self.beta - self.delta - 2 * self.epsilon)
+
+    def beta_lower_bound(self) -> float:
+        """Smallest admissible β for these ρ, δ, ε (Section 5.2).
+
+        ``β >= 4ε + 4ρ(4β + δ + 4ε + max{δ, β+ε})
+        + 4ρ²(3β + 2δ + 3ε + max{δ, β+ε})``; evaluated by fixed-point
+        iteration starting from ``4ε``.
+        """
+        beta = 4 * self.epsilon
+        for _ in range(64):
+            bulk = max(self.delta, beta + self.epsilon)
+            new_beta = (4 * self.epsilon
+                        + 4 * self.rho * (4 * beta + self.delta + 4 * self.epsilon + bulk)
+                        + 4 * self.rho ** 2 * (3 * beta + 2 * self.delta
+                                               + 3 * self.epsilon + bulk))
+            if abs(new_beta - beta) < 1e-15:
+                break
+            beta = new_beta
+        return beta
+
+    def steady_state_beta(self) -> float:
+        """The approximate steady-state real-time spread ``β ≈ 4ε + 4ρP``."""
+        return 4 * self.epsilon + 4 * self.rho * self.round_length
+
+    def constraint_violations(self) -> Tuple[str, ...]:
+        """Human-readable descriptions of any violated Section 5.2 constraints."""
+        problems = []
+        if self.round_length < self.p_lower_bound():
+            problems.append(
+                f"P={self.round_length} is below the lower bound {self.p_lower_bound()}"
+            )
+        if self.round_length > self.p_upper_bound():
+            problems.append(
+                f"P={self.round_length} exceeds the upper bound {self.p_upper_bound()}"
+            )
+        if self.beta < self.beta_lower_bound():
+            problems.append(
+                f"beta={self.beta} is below the lower bound {self.beta_lower_bound()}"
+            )
+        return tuple(problems)
+
+    def is_feasible(self) -> bool:
+        """True when P and β satisfy every Section 5.2 constraint."""
+        return not self.constraint_violations()
+
+    def require_feasible(self) -> "SyncParameters":
+        """Raise :class:`ParameterError` when infeasible; returns self otherwise."""
+        problems = self.constraint_violations()
+        if problems:
+            raise ParameterError("; ".join(problems))
+        return self
+
+    # -- factories ----------------------------------------------------------------
+    @classmethod
+    def derive(
+        cls,
+        n: int,
+        f: int,
+        rho: float,
+        delta: float,
+        epsilon: float,
+        round_length: Optional[float] = None,
+        beta_slack: float = 1.5,
+        initial_round_time: float = 0.0,
+    ) -> "SyncParameters":
+        """Choose a feasible (β, P) pair for given hardware constants.
+
+        β is set to ``beta_slack`` times its lower bound (with a floor so it is
+        never zero even when ε = ρ = 0), and P, when not supplied, is placed
+        well inside ``[P_min, P_max]``.
+        """
+        probe = cls(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon,
+                    beta=max(delta, 1.0), round_length=max(delta, 1.0) * 10,
+                    initial_round_time=initial_round_time)
+        beta = max(probe.beta_lower_bound() * beta_slack, epsilon * 4.0, delta * 1e-3)
+        probe = replace(probe, beta=beta)
+        p_min = probe.p_lower_bound()
+        p_max = probe.p_upper_bound()
+        if round_length is None:
+            if math.isinf(p_max):
+                round_length = p_min * 10.0
+            else:
+                round_length = min(p_min * 10.0, 0.5 * (p_min + p_max))
+        params = cls(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon, beta=beta,
+                     round_length=round_length, initial_round_time=initial_round_time)
+        return params.require_feasible()
+
+    def with_round_length(self, round_length: float) -> "SyncParameters":
+        """A copy with a different P (used by the P/β trade-off sweeps)."""
+        return replace(self, round_length=round_length)
+
+    def with_beta(self, beta: float) -> "SyncParameters":
+        """A copy with a different β."""
+        return replace(self, beta=beta)

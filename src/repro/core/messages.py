@@ -1,0 +1,33 @@
+"""Message payload types used by the synchronization algorithms.
+
+The paper's maintenance algorithm broadcasts the value ``T^i`` itself; the
+start-up algorithm broadcasts the sender's current local time and READY
+markers.  We wrap those values in small frozen dataclasses so that traces are
+self-describing and the baselines (which add their own message types) cannot
+be confused with the core algorithm's traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoundMessage", "TimeMessage", "ReadyMessage"]
+
+
+@dataclass(frozen=True)
+class RoundMessage:
+    """A ``T^i`` broadcast of the maintenance algorithm."""
+
+    round_time: float
+
+
+@dataclass(frozen=True)
+class TimeMessage:
+    """A clock-value broadcast of the start-up algorithm (and some baselines)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ReadyMessage:
+    """A READY marker of the start-up algorithm."""

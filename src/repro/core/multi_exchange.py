@@ -1,0 +1,122 @@
+"""The k-exchanges-per-round variant (Section 7).
+
+Section 7 observes: "Suppose we alter the algorithm so that during each round,
+the processes exchange clock values k times instead of just once.  Then we get
+``β/2^k + (4 − 2^{2−k})ε + 2ρP <= β``, which simplifies to
+``β >= 4ε + 2ρP·2^k/(2^k − 1)``."  In other words, extra exchanges per round
+squeeze the drift contribution (the ``4ρP`` term of the basic algorithm) down
+toward ``2ρP``, while the ``4ε`` floor from delay uncertainty remains.
+
+The implementation runs ``k`` broadcast/collect/adjust *sub-rounds* back to
+back at the start of each round.  Sub-round ``j`` of round ``i`` is anchored at
+the logical time ``T^i + j·W`` where ``W = (1+ρ)(β + δ + ε)`` is the collection
+window; after the last sub-round the process waits until ``T^{i+1} = T^i + P``
+as usual.  Round length P must therefore satisfy ``P > k·W + (lower bound
+slack)``; :meth:`MultiExchangeProcess.minimum_round_length` reports the
+requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.process import Process, ProcessContext
+from .averaging import AveragingFunction, FaultTolerantMidpoint
+from .config import SyncParameters
+from .messages import RoundMessage
+
+__all__ = ["MultiExchangeProcess"]
+
+
+class MultiExchangeProcess(Process):
+    """Maintenance algorithm with k value exchanges per round."""
+
+    def __init__(
+        self,
+        params: SyncParameters,
+        exchanges_per_round: int = 2,
+        averaging: Optional[AveragingFunction] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        if exchanges_per_round < 1:
+            raise ValueError("exchanges_per_round must be at least 1")
+        self.params = params
+        self.k = int(exchanges_per_round)
+        self.averaging = averaging or FaultTolerantMidpoint()
+        self.max_rounds = max_rounds
+        self.arr: Dict[int, float] = {}
+        self.round_time = params.initial_round_time     # T^i
+        self.sub_round = 0                               # j in [0, k)
+        self.round_index = 0
+        self.collecting = False
+
+    # -- parameter helper ---------------------------------------------------------
+    def sub_round_spacing(self) -> float:
+        """Logical-time spacing between sub-round anchors.
+
+        One collection window plus the worst-case adjustment magnitude, so the
+        next anchor is always in the future even after a positive adjustment.
+        """
+        p = self.params
+        adjustment_bound = (1 + p.rho) * (p.beta + p.epsilon) + p.rho * p.delta
+        return p.collection_window() + adjustment_bound
+
+    def minimum_round_length(self) -> float:
+        """P must exceed k sub-round slots plus the basic lower bound."""
+        return self.k * self.sub_round_spacing() + self.params.p_lower_bound()
+
+    def sub_round_anchor(self, j: int) -> float:
+        """Logical anchor time of sub-round j of the current round."""
+        return self.round_time + j * self.sub_round_spacing()
+
+    # -- interrupt handlers -----------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        self._broadcast_sub_round(ctx)
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        if self.collecting:
+            self._update_sub_round(ctx)
+        else:
+            self._broadcast_sub_round(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        self.arr[sender] = ctx.local_time()
+
+    # -- sub-round machinery --------------------------------------------------------------
+    def _broadcast_sub_round(self, ctx: ProcessContext) -> None:
+        anchor = self.sub_round_anchor(self.sub_round)
+        ctx.broadcast(RoundMessage(round_time=anchor))
+        ctx.set_timer(anchor + self.params.collection_window())
+        self.collecting = True
+        ctx.log("broadcast", round_index=self.round_index, sub_round=self.sub_round,
+                round_time=anchor, local_time=ctx.local_time())
+
+    def _update_sub_round(self, ctx: ProcessContext) -> None:
+        anchor = self.sub_round_anchor(self.sub_round)
+        fallback = ctx.local_time()
+        values = [self.arr.get(q, fallback) for q in ctx.process_ids]
+        average = self.averaging.average(values, self.params.f)
+        adjustment = anchor + self.params.delta - average
+        ctx.adjust_correction(adjustment, round_index=self.round_index)
+        ctx.log("update", round_index=self.round_index, sub_round=self.sub_round,
+                average=average, adjustment=adjustment, local_time=ctx.local_time())
+        self.collecting = False
+        self.sub_round += 1
+        if self.sub_round < self.k:
+            # Next exchange within the same round.  If the new clock is already
+            # past the anchor (adjustment larger than the spacing slack), start
+            # the next exchange immediately rather than stalling.
+            if not ctx.set_timer(self.sub_round_anchor(self.sub_round)):
+                self._broadcast_sub_round(ctx)
+            return
+        # Round complete: move to T^{i+1}.
+        self.sub_round = 0
+        self.round_index += 1
+        self.round_time += self.params.round_length
+        if self.max_rounds is None or self.round_index < self.max_rounds:
+            if not ctx.set_timer(self.round_time):
+                ctx.log("missed_round", round_index=self.round_index,
+                        round_time=self.round_time)
+
+    def label(self) -> str:
+        return f"MultiExchange(k={self.k})"

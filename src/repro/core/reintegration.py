@@ -1,0 +1,149 @@
+"""Reintegration of a repaired process (Section 9.1).
+
+A process that has failed and been repaired must synchronize its clock with
+the nonfaulty processes before it can rejoin the maintenance algorithm.  The
+paper's scheme (detailed in [Lu1], summarised in Section 9.1):
+
+1. The repaired process p may awaken at an arbitrary real time, possibly in
+   the middle of a round.  It first *orients* itself by observing arriving
+   ``T^i`` messages, letting part of a round pass before collecting.
+2. Once p identifies a round value ``T'`` for which it can gather *all* the
+   nonfaulty processes' messages (the first round value strictly newer than
+   anything seen while orienting), it records their arrival times, waits long
+   enough on its own (ρ-bounded but unsynchronized) clock to be sure every
+   nonfaulty ``T'`` message has arrived, and then runs the same averaging
+   procedure as the maintenance algorithm: ``ADJ := T' + δ − mid(reduce(ARR))``.
+3. Its clock is now synchronized (the arbitrary initial correction cancels in
+   the subtraction of the average arrival time); it is counted among the ``f``
+   faulty processes until it reaches ``T' + P`` on its new clock, at which
+   point it rejoins the main algorithm and broadcasts ``T^{i+1}`` like everyone
+   else.
+
+:class:`ReintegratingProcess` implements exactly this and then *becomes* a
+:class:`~repro.core.maintenance.WelchLynchProcess` (by delegation) from the
+next round on.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional
+
+from ..sim.process import Process, ProcessContext
+from .averaging import AveragingFunction, FaultTolerantMidpoint
+from .config import SyncParameters
+from .maintenance import Phase, WelchLynchProcess
+from .messages import RoundMessage
+
+__all__ = ["ReintegratingProcess"]
+
+_COLLECTION_DONE = "reintegration-collection-done"
+
+
+class _Stage(Enum):
+    ORIENTING = "orienting"
+    COLLECTING = "collecting"
+    REJOINED = "rejoined"
+
+
+class ReintegratingProcess(Process):
+    """A repaired process that re-synchronizes and then runs the maintenance algorithm."""
+
+    def __init__(
+        self,
+        params: SyncParameters,
+        averaging: Optional[AveragingFunction] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        self.params = params
+        self.averaging = averaging or FaultTolerantMidpoint()
+        self.max_rounds = max_rounds
+        self.stage = _Stage.ORIENTING
+        self.first_observed_round: Optional[float] = None
+        self.target_round: Optional[float] = None
+        self.arrivals: Dict[int, float] = {}
+        self.rejoined_at_round: Optional[float] = None
+        # Until the START (repair) interrupt arrives the process is down and
+        # takes no steps at all, exactly like a crashed process.
+        self.awake = False
+        # The maintenance automaton we become after re-synchronizing.
+        self._maintenance: Optional[WelchLynchProcess] = None
+
+    # -- interrupt handlers ---------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        # Awakening after repair: nothing to do but listen.
+        self.awake = True
+        ctx.log("reintegration_awake", local_time=ctx.local_time())
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        if not self.awake:
+            return
+        if self.stage is _Stage.REJOINED:
+            self._maintenance.on_message(ctx, sender, payload)
+            return
+        if not isinstance(payload, RoundMessage):
+            return
+        round_value = payload.round_time
+        if self.stage is _Stage.ORIENTING:
+            self._orient(ctx, round_value, sender)
+        if self.stage is _Stage.COLLECTING and round_value == self.target_round:
+            self.arrivals[sender] = ctx.local_time()
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        if not self.awake:
+            return
+        if self.stage is _Stage.REJOINED:
+            self._maintenance.on_timer(ctx, payload)
+            return
+        if payload == _COLLECTION_DONE and self.stage is _Stage.COLLECTING:
+            self._resynchronize(ctx)
+
+    # -- the three stages -------------------------------------------------------------
+    def _orient(self, ctx: ProcessContext, round_value: float, sender: int) -> None:
+        """Observe traffic until a strictly newer round value appears."""
+        if self.first_observed_round is None:
+            self.first_observed_round = round_value
+            ctx.log("reintegration_orienting", first_round=round_value)
+            return
+        if round_value > self.first_observed_round:
+            # A fresh round is starting: collect its messages.
+            self.stage = _Stage.COLLECTING
+            self.target_round = round_value
+            self.arrivals = {}
+            # Wait long enough (on our own physical clock) that every nonfaulty
+            # T' message must have arrived: the spread of broadcast times is at
+            # most β and delays vary by at most 2ε, so (1+ρ)(β + δ + ε) local
+            # time measured from the first T' arrival is ample.
+            wait = (1 + self.params.rho) * (self.params.beta + self.params.delta
+                                            + self.params.epsilon)
+            ctx.set_timer(ctx.local_time() + wait, payload=_COLLECTION_DONE)
+            ctx.log("reintegration_collecting", target_round=round_value)
+
+    def _resynchronize(self, ctx: ProcessContext) -> None:
+        """Run the averaging procedure and switch to the maintenance algorithm."""
+        fallback = ctx.local_time()
+        values = [self.arrivals.get(q, fallback) for q in ctx.process_ids]
+        average = self.averaging.average(values, self.params.f)
+        adjustment = self.target_round + self.params.delta - average
+        ctx.adjust_correction(adjustment, round_index=-1)
+        ctx.log("reintegration_adjusted", adjustment=adjustment,
+                target_round=self.target_round, local_time=ctx.local_time())
+        # Become a maintenance process whose next round is T' + P.
+        next_round_time = self.target_round + self.params.round_length
+        maintenance = WelchLynchProcess(self.params, averaging=self.averaging,
+                                        max_rounds=self.max_rounds)
+        maintenance.round_time = next_round_time
+        maintenance.flag = Phase.BCAST
+        self._maintenance = maintenance
+        self.stage = _Stage.REJOINED
+        self.rejoined_at_round = next_round_time
+        scheduled = ctx.set_timer(next_round_time)
+        if not scheduled:
+            # Extremely late reintegration within the round; fall back to the
+            # following round so the timer is in the future.
+            maintenance.round_time = next_round_time + self.params.round_length
+            ctx.set_timer(maintenance.round_time)
+        ctx.log("reintegration_rejoined", next_round_time=maintenance.round_time)
+
+    def label(self) -> str:
+        return "Reintegrating"

@@ -1,0 +1,65 @@
+"""Staggered-broadcast variant (Section 9.3, the Bell Labs implementation).
+
+On a broadcast medium (the paper's Ethernet), having every process broadcast
+the moment its logical clock reaches ``T^i`` means that — precisely when the
+algorithm is working well — all datagrams hit the wire at the same real time,
+collide, and get lost: "when the system behaves well, it is punished".
+
+The fix used in the implementation is to choose a spacing interval σ and have
+process ``p`` (``0 <= p <= n−1``) broadcast at logical time ``T^i + p·σ``.  σ
+should be big enough that collisions are rare enough to be attributed to
+faulty processes.  Worst-case analysis shows the modified algorithm behaves
+very similarly to the original one (the effective β grows by ``(n−1)σ``).
+
+:class:`StaggeredWelchLynchProcess` is a thin, explicit subclass of the
+maintenance process with the stagger enabled; :func:`choose_stagger_interval`
+picks a σ that separates sends by more than the contention window of a given
+delay model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.network import ContentionDelayModel
+from .averaging import AveragingFunction
+from .config import SyncParameters
+from .maintenance import WelchLynchProcess
+
+__all__ = ["StaggeredWelchLynchProcess", "choose_stagger_interval", "effective_beta"]
+
+
+class StaggeredWelchLynchProcess(WelchLynchProcess):
+    """Maintenance algorithm with per-process broadcast slots ``T^i + p·σ``."""
+
+    def __init__(
+        self,
+        params: SyncParameters,
+        stagger_interval: float,
+        averaging: Optional[AveragingFunction] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        if stagger_interval <= 0:
+            raise ValueError("stagger_interval must be positive")
+        super().__init__(params, averaging=averaging, max_rounds=max_rounds,
+                         stagger_interval=stagger_interval)
+
+    def label(self) -> str:
+        return f"StaggeredWelchLynch(sigma={self.stagger_interval})"
+
+
+def choose_stagger_interval(params: SyncParameters,
+                            contention: ContentionDelayModel,
+                            safety_factor: float = 2.0) -> float:
+    """Pick σ so that staggered sends fall outside the contention window.
+
+    The sends of one round are spread over ``β + (n−1)σ`` real time; spacing
+    consecutive slots by ``safety_factor`` times the contention window plus the
+    initial spread β keeps simultaneous arrivals below the collision threshold.
+    """
+    return safety_factor * (contention.window + params.beta)
+
+
+def effective_beta(params: SyncParameters, stagger_interval: float) -> float:
+    """The real-time spread of one round's broadcasts under staggering."""
+    return params.beta + (params.n - 1) * stagger_interval

@@ -1,0 +1,189 @@
+"""Establishing synchronization from arbitrary initial clocks (Section 9.2).
+
+Unlike the maintenance algorithm, rounds here cannot be triggered by local
+times reaching pre-agreed values — the local times may be wildly far apart.
+Instead each round has an extra phase in which processes exchange READY
+messages to decide that they are ready to begin the next round (the two-
+criteria idea credited to [DLS]).
+
+Per round, each nonfaulty process p:
+
+1. broadcasts its local time and starts a first waiting interval of local
+   length ``(1+ρ)(2δ + 4ε)``, long enough to receive a time message from every
+   nonfaulty process;
+2. at the end of the first interval computes (but does not yet apply) the
+   adjustment ``A := mid(reduce(DIFF))`` where ``DIFF[q] = T_q + δ −
+   local-time()`` estimates how far q's clock is ahead of p's;
+3. waits a second interval of local length
+   ``(1+ρ)(4ε + 4ρ(δ+2ε) + 2ρ²(δ+4ε))`` so its next messages cannot arrive
+   before other nonfaulty processes finish their first intervals, then
+   broadcasts READY; if it receives ``f+1`` READY messages before the second
+   interval elapses it broadcasts READY early;
+4. as soon as it has received ``n − f`` READY messages it applies the
+   adjustment (``DIFF := DIFF − A``, ``CORR := CORR + A``) and begins the next
+   round by broadcasting its new clock value.
+
+Lemma 20: the spread ``B^i`` of nonfaulty clock values at the start of round i
+satisfies ``B^{i+1} <= B^i/2 + 2ε + 2ρ(11δ + 39ε)``, so the algorithm
+converges to a closeness of about ``4ε``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..sim.process import Process, ProcessContext
+from .averaging import AveragingFunction, FaultTolerantMidpoint
+from .config import SyncParameters
+from .messages import ReadyMessage, TimeMessage
+
+__all__ = ["StartupProcess"]
+
+# Timer tags so the two timers of a round cannot be confused.
+_FIRST_INTERVAL = "end-first-interval"
+_SECOND_INTERVAL = "end-second-interval"
+
+
+class StartupProcess(Process):
+    """One participant in the start-up (synchronization establishment) algorithm."""
+
+    def __init__(
+        self,
+        params: SyncParameters,
+        averaging: Optional[AveragingFunction] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        self.params = params
+        self.averaging = averaging or FaultTolerantMidpoint()
+        self.max_rounds = max_rounds
+        # Paper-named local variables.
+        self.adjustment: float = 0.0                    # A
+        self.asleep: bool = True                        # ASLEEP
+        self.diff: Dict[int, float] = {}                # DIFF
+        self.early_end: bool = False                    # EARLY-END
+        self.received_ready: Set[int] = set()           # RCVD-READY
+        self.round_start_time: Optional[float] = None   # T
+        self.first_interval_end: Optional[float] = None  # U
+        self.second_interval_end: Optional[float] = None  # V
+        # Bookkeeping (not in the paper): which round we are in, whether the
+        # first interval has ended (replaces the local-time() == U test), and
+        # whether the round's adjustment has been applied.
+        self.round_index: int = 0
+        self.first_interval_done: bool = False
+        self.finished: bool = False
+
+    # -- interval lengths ---------------------------------------------------------
+    def first_interval_length(self) -> float:
+        """``(1+ρ)(2δ + 4ε)`` — long enough to hear every nonfaulty process."""
+        p = self.params
+        return (1 + p.rho) * (2 * p.delta + 4 * p.epsilon)
+
+    def second_interval_length(self) -> float:
+        """``(1+ρ)(4ε + 4ρ(δ+2ε) + 2ρ²(δ+4ε))`` — keeps rounds from overlapping."""
+        p = self.params
+        return (1 + p.rho) * (4 * p.epsilon
+                              + 4 * p.rho * (p.delta + 2 * p.epsilon)
+                              + 2 * p.rho ** 2 * (p.delta + 4 * p.epsilon))
+
+    # -- the begin-round macro ------------------------------------------------------
+    def _begin_round(self, ctx: ProcessContext) -> None:
+        if self.max_rounds is not None and self.round_index >= self.max_rounds:
+            self.finished = True
+            ctx.log("startup_finished", rounds=self.round_index)
+            return
+        self.round_start_time = ctx.local_time()
+        ctx.broadcast(TimeMessage(value=self.round_start_time))
+        self.first_interval_end = self.round_start_time + self.first_interval_length()
+        ctx.set_timer(self.first_interval_end, payload=_FIRST_INTERVAL)
+        self.early_end = False
+        self.received_ready = set()
+        self.first_interval_done = False
+        ctx.log("startup_round_begin", round_index=self.round_index,
+                local_time=self.round_start_time)
+
+    # -- interrupt handlers ------------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self.asleep:
+            self.asleep = False
+            self._begin_round(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        if self.finished:
+            return
+        if isinstance(payload, TimeMessage):
+            self._on_time_message(ctx, sender, payload)
+        elif isinstance(payload, ReadyMessage):
+            self._on_ready_message(ctx, sender)
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        if self.finished:
+            return
+        if payload == _FIRST_INTERVAL:
+            self._end_first_interval(ctx)
+        elif payload == _SECOND_INTERVAL:
+            self._end_second_interval(ctx)
+
+    # -- handlers for each pseudo-code cluster -------------------------------------------
+    def _on_time_message(self, ctx: ProcessContext, sender: int,
+                         message: TimeMessage) -> None:
+        """``receive(T) from q: DIFF[q] := T + δ − local-time(); wake if asleep.``"""
+        self.diff[sender] = message.value + self.params.delta - ctx.local_time()
+        if self.asleep:
+            self.asleep = False
+            self._begin_round(ctx)
+
+    def _end_first_interval(self, ctx: ProcessContext) -> None:
+        """``A := mid(reduce(DIFF))``; arm the second-interval timer."""
+        self.first_interval_done = True
+        values = self._diff_values(ctx)
+        self.adjustment = self.averaging.average(values, self.params.f)
+        self.second_interval_end = (self.first_interval_end
+                                    + self.second_interval_length())
+        ctx.set_timer(self.second_interval_end, payload=_SECOND_INTERVAL)
+        ctx.log("startup_adjustment_computed", round_index=self.round_index,
+                adjustment=self.adjustment)
+
+    def _end_second_interval(self, ctx: ProcessContext) -> None:
+        """Broadcast READY unless it was already sent early."""
+        if not self.early_end:
+            ctx.broadcast(ReadyMessage())
+            ctx.log("startup_ready_sent", round_index=self.round_index, early=False)
+
+    def _on_ready_message(self, ctx: ProcessContext, sender: int) -> None:
+        """The two READY thresholds: ``f+1`` (echo early) and ``n−f`` (advance)."""
+        self.received_ready.add(sender)
+        p = self.params
+        second_end = self.second_interval_end
+        before_second_end = (self.first_interval_done and second_end is not None
+                             and ctx.local_time() < second_end)
+        if (len(self.received_ready) >= p.f + 1 and before_second_end
+                and not self.early_end):
+            ctx.broadcast(ReadyMessage())
+            self.early_end = True
+            ctx.log("startup_ready_sent", round_index=self.round_index, early=True)
+        if len(self.received_ready) >= p.n - p.f and self.first_interval_done:
+            self._apply_adjustment_and_advance(ctx)
+
+    def _apply_adjustment_and_advance(self, ctx: ProcessContext) -> None:
+        """``DIFF := DIFF − A; CORR := CORR + A; begin-round.``"""
+        for q in list(self.diff):
+            self.diff[q] -= self.adjustment
+        ctx.adjust_correction(self.adjustment, round_index=self.round_index)
+        ctx.log("startup_round_end", round_index=self.round_index,
+                adjustment=self.adjustment, local_time=ctx.local_time())
+        self.round_index += 1
+        self._begin_round(ctx)
+
+    # -- helpers ---------------------------------------------------------------------
+    def _diff_values(self, ctx: ProcessContext):
+        """DIFF as an n-entry array; missing entries are 'arbitrary' (0 is safe).
+
+        At most ``f`` entries can be missing (a nonfaulty process' time message
+        always arrives within the first interval), and ``reduce`` discards the
+        ``f`` extremes, so a neutral fill value cannot bias the midpoint
+        outside the nonfaulty range by more than the Lemma 6 argument allows.
+        """
+        return [self.diff.get(q, 0.0) for q in ctx.process_ids]
+
+    def label(self) -> str:
+        return "Startup"

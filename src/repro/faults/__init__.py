@@ -1,0 +1,34 @@
+"""Fault injection: crash, omission, Byzantine and recovery behaviours."""
+
+from .base import FaultStrategy, FaultyProcessWrapper, InterceptedContext
+from .byzantine import (
+    CollusionScheduler,
+    RandomNoiseAttacker,
+    SkewAttacker,
+    TwoFacedClockAttacker,
+)
+from .crash import CrashStrategy, SilentProcess, crash_after
+from .omission import OmissionStrategy, ReceiveOmissionStrategy, omit_sends
+from .recovery import RecoveringProcess, rejoin_time, schedule_recovery
+from .timing import FloodingAttacker, StaleReplayAttacker
+
+__all__ = [
+    "FloodingAttacker",
+    "StaleReplayAttacker",
+    "FaultStrategy",
+    "FaultyProcessWrapper",
+    "InterceptedContext",
+    "CrashStrategy",
+    "SilentProcess",
+    "crash_after",
+    "OmissionStrategy",
+    "ReceiveOmissionStrategy",
+    "omit_sends",
+    "TwoFacedClockAttacker",
+    "SkewAttacker",
+    "RandomNoiseAttacker",
+    "CollusionScheduler",
+    "RecoveringProcess",
+    "rejoin_time",
+    "schedule_recovery",
+]

@@ -1,0 +1,99 @@
+"""Fault-injection framework.
+
+The model places no restriction on what a faulty process does at a step
+(Section 2.1): it may change state arbitrarily, send anything it likes to
+anyone, and set whatever timers it wants.  We expose two complementary ways to
+build faulty processes:
+
+* **wrappers** (:class:`FaultyProcessWrapper`) degrade an otherwise-correct
+  algorithm implementation by intercepting its incoming interrupts and
+  outgoing messages through a :class:`FaultStrategy` — crash and omission
+  faults are expressed this way;
+* **native adversaries** (see :mod:`repro.faults.byzantine`) are stand-alone
+  :class:`~repro.sim.process.Process` implementations that actively attack the
+  synchronization algorithm.
+
+Every faulty process sets ``is_faulty`` so traces exclude it from agreement
+and validity metrics (those properties are only claimed for nonfaulty
+processes).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from ..sim.process import Process, ProcessContext
+
+__all__ = ["FaultStrategy", "InterceptedContext", "FaultyProcessWrapper"]
+
+
+class FaultStrategy(abc.ABC):
+    """Decides how a wrapped process' behaviour is degraded."""
+
+    def should_deliver(self, ctx: ProcessContext, kind: str, sender: Optional[int],
+                       payload: Any) -> bool:
+        """Whether an incoming interrupt reaches the wrapped process at all."""
+        return True
+
+    def transform_outgoing(self, ctx: ProcessContext, recipient: int,
+                           payload: Any) -> Optional[Any]:
+        """Payload actually sent to ``recipient`` (``None`` drops the message)."""
+        return payload
+
+    def is_active(self, ctx: ProcessContext) -> bool:
+        """Whether the fault is currently in effect (used for reporting)."""
+        return True
+
+
+class InterceptedContext:
+    """A :class:`ProcessContext` stand-in that filters outgoing messages.
+
+    Everything except ``send``/``broadcast``/``send_divergent`` is delegated to
+    the real context.
+    """
+
+    def __init__(self, inner: ProcessContext, strategy: FaultStrategy):
+        self._inner = inner
+        self._strategy = strategy
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def send(self, recipient: int, payload: Any) -> None:
+        transformed = self._strategy.transform_outgoing(self._inner, recipient, payload)
+        if transformed is not None:
+            self._inner.send(recipient, transformed)
+
+    def broadcast(self, payload: Any) -> None:
+        for recipient in self._inner.process_ids:
+            self.send(recipient, payload)
+
+    def send_divergent(self, payloads: dict) -> None:
+        for recipient, payload in payloads.items():
+            self.send(recipient, payload)
+
+
+class FaultyProcessWrapper(Process):
+    """Runs an inner (correct) process through a fault strategy."""
+
+    is_faulty = True
+
+    def __init__(self, inner: Process, strategy: FaultStrategy):
+        self.inner = inner
+        self.strategy = strategy
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self.strategy.should_deliver(ctx, "start", None, None):
+            self.inner.on_start(InterceptedContext(ctx, self.strategy))
+
+    def on_timer(self, ctx: ProcessContext, payload: Any = None) -> None:
+        if self.strategy.should_deliver(ctx, "timer", None, payload):
+            self.inner.on_timer(InterceptedContext(ctx, self.strategy), payload)
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload: Any) -> None:
+        if self.strategy.should_deliver(ctx, "message", sender, payload):
+            self.inner.on_message(InterceptedContext(ctx, self.strategy), sender, payload)
+
+    def label(self) -> str:
+        return f"Faulty({self.inner.label()}, {type(self.strategy).__name__})"

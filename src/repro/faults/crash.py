@@ -1,0 +1,51 @@
+"""Crash (fail-stop) faults.
+
+A crashed process simply stops taking steps: it neither processes interrupts
+nor sends messages after its crash time.  This is the *benign* end of the
+Byzantine spectrum; the averaging function handles it because the missing
+arrival-time entries are pushed to the extremes and removed by ``reduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.process import Process, ProcessContext
+from .base import FaultStrategy, FaultyProcessWrapper
+
+__all__ = ["CrashStrategy", "crash_after", "SilentProcess"]
+
+
+class CrashStrategy(FaultStrategy):
+    """Behave correctly until ``crash_real_time``; do nothing afterwards."""
+
+    def __init__(self, crash_real_time: float):
+        self.crash_real_time = float(crash_real_time)
+
+    def _crashed(self, ctx: ProcessContext) -> bool:
+        return ctx.now >= self.crash_real_time
+
+    def should_deliver(self, ctx, kind, sender, payload) -> bool:
+        return not self._crashed(ctx)
+
+    def transform_outgoing(self, ctx, recipient, payload) -> Optional[Any]:
+        if self._crashed(ctx):
+            return None
+        return payload
+
+    def is_active(self, ctx: ProcessContext) -> bool:
+        return self._crashed(ctx)
+
+
+def crash_after(inner: Process, crash_real_time: float) -> FaultyProcessWrapper:
+    """Wrap ``inner`` so it crashes at the given real time."""
+    return FaultyProcessWrapper(inner, CrashStrategy(crash_real_time))
+
+
+class SilentProcess(Process):
+    """A process that is crashed from the very beginning (never says anything)."""
+
+    is_faulty = True
+
+    def label(self) -> str:
+        return "Silent"

@@ -1,0 +1,67 @@
+"""Omission faults: a process that randomly fails to send some of its messages.
+
+Omission faults sit between crash and Byzantine faults.  For the clock
+algorithm an omitted round message simply looks (to the recipient) like a
+crashed sender for that round: the stale ``ARR`` entry lands among the extreme
+values and is removed by ``reduce``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Optional
+
+from ..sim.process import Process
+from .base import FaultStrategy, FaultyProcessWrapper
+
+__all__ = ["OmissionStrategy", "ReceiveOmissionStrategy", "omit_sends"]
+
+
+class OmissionStrategy(FaultStrategy):
+    """Drop each outgoing message independently with probability ``drop_probability``."""
+
+    def __init__(self, drop_probability: float, seed: int = 0,
+                 spare_recipients: Iterable[int] = ()):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = float(drop_probability)
+        self._rng = random.Random(seed)
+        self._spared = frozenset(spare_recipients)
+        self.dropped = 0
+
+    def transform_outgoing(self, ctx, recipient, payload) -> Optional[Any]:
+        if recipient in self._spared:
+            return payload
+        if self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return None
+        return payload
+
+
+class ReceiveOmissionStrategy(FaultStrategy):
+    """Drop each *incoming* ordinary message with probability ``drop_probability``.
+
+    The process still hears its own timers, so it keeps running rounds; it just
+    works from an impoverished ``ARR`` array.
+    """
+
+    def __init__(self, drop_probability: float, seed: int = 0):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = float(drop_probability)
+        self._rng = random.Random(seed)
+        self.dropped = 0
+
+    def should_deliver(self, ctx, kind, sender, payload) -> bool:
+        if kind != "message":
+            return True
+        if self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return False
+        return True
+
+
+def omit_sends(inner: Process, drop_probability: float,
+               seed: int = 0) -> FaultyProcessWrapper:
+    """Wrap ``inner`` with send-omission faults."""
+    return FaultyProcessWrapper(inner, OmissionStrategy(drop_probability, seed=seed))

@@ -1,0 +1,54 @@
+"""Fail-and-recover scenarios (substrate for the Section 9.1 experiments).
+
+The reintegration experiment needs a process that is *absent* (crashed) for a
+while and then wakes up with an arbitrary clock.  In the simulator that is
+expressed by scheduling the repaired process' START message at the recovery
+real time and running a :class:`~repro.core.reintegration.ReintegratingProcess`
+from then on; before the START it takes no steps, exactly like a crashed
+process.  Until it has rejoined it must be counted among the ``f`` faulty
+processes (the paper's accounting), so agreement metrics exclude it until its
+``rejoined`` event appears in the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import SyncParameters
+from ..core.reintegration import ReintegratingProcess
+from ..sim.system import System
+from ..sim.trace import ExecutionTrace
+
+__all__ = ["schedule_recovery", "rejoin_time", "RecoveringProcess"]
+
+
+class RecoveringProcess(ReintegratingProcess):
+    """A reintegrating process explicitly marked faulty until it rejoins.
+
+    ``is_faulty`` stays True for the whole run so that the standard agreement
+    metric never counts it; the experiment code uses :func:`rejoin_time` plus
+    the trace's per-process local times to evaluate how well it re-synchronized
+    after rejoining.
+    """
+
+    is_faulty = True
+
+
+def schedule_recovery(system: System, pid: int, recovery_real_time: float,
+                      params: SyncParameters,
+                      max_rounds: Optional[int] = None) -> RecoveringProcess:
+    """Install a recovering process for ``pid`` waking at ``recovery_real_time``."""
+    process = RecoveringProcess(params)
+    if max_rounds is not None:
+        process.max_rounds = max_rounds
+    system.replace_process(pid, process)
+    system.schedule_start(pid, recovery_real_time)
+    return process
+
+
+def rejoin_time(trace: ExecutionTrace, pid: int) -> Optional[float]:
+    """Real time at which the recovering process rejoined, or None if it never did."""
+    events = trace.events_named("reintegration_rejoined", process_id=pid)
+    if not events:
+        return None
+    return events[0].real_time

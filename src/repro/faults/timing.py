@@ -1,0 +1,125 @@
+"""Timing-based Byzantine behaviours: flooding and stale replays.
+
+The attackers in :mod:`repro.faults.byzantine` lie about *values*.  The two
+here attack the *timing* side of the model instead:
+
+* :class:`FloodingAttacker` — saturates the network with round messages,
+  exercising the contention delay model (Section 9.3's failure mode) and the
+  recipients' tolerance of repeated messages from the same sender (only the
+  latest arrival time per sender is kept, so flooding shifts at most that one
+  entry);
+* :class:`StaleReplayAttacker` — records the round messages it receives from
+  correct processes and re-sends ("replays") them one round later.  Without
+  signatures a replayed value is indistinguishable from a slow process' value,
+  which is exactly the situation the f-fold ``reduce`` has to absorb.
+
+Both stay within the model: a faulty process may send anything at any time,
+but it cannot forge the network's delivery times or drop other processes'
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.config import SyncParameters
+from ..core.messages import RoundMessage
+from ..sim.process import Process, ProcessContext
+
+__all__ = ["FloodingAttacker", "StaleReplayAttacker"]
+
+
+class FloodingAttacker(Process):
+    """Broadcast bursts of round messages as fast as the timer mechanism allows.
+
+    ``burst`` messages are broadcast every ``interval`` of local time; the
+    payload is always the attacker's current guess of the round value, so
+    recipients keep overwriting the same ARR entry (bounded impact on the
+    averaging) while the message system absorbs the load (visible impact on a
+    contention-prone delay model).
+    """
+
+    is_faulty = True
+
+    def __init__(self, params: SyncParameters, burst: int = 5,
+                 interval: Optional[float] = None,
+                 max_messages: Optional[int] = 2000):
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.params = params
+        self.burst = int(burst)
+        self.interval = (float(interval) if interval is not None
+                         else max(params.delta, params.round_length / 20.0))
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        self.max_messages = max_messages
+        self.sent = 0
+
+    def _current_round_guess(self, ctx: ProcessContext) -> float:
+        elapsed = ctx.local_time() - self.params.initial_round_time
+        completed = max(0, int(elapsed / self.params.round_length))
+        return self.params.round_time(completed)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.set_timer(ctx.local_time() + self.interval)
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        if self.max_messages is not None and self.sent >= self.max_messages:
+            return
+        message = RoundMessage(round_time=self._current_round_guess(ctx))
+        for _ in range(self.burst):
+            ctx.broadcast(message)
+            self.sent += ctx.n
+        ctx.set_timer(ctx.local_time() + self.interval)
+
+    def label(self) -> str:
+        return f"Flooding(burst={self.burst}, interval={self.interval})"
+
+
+class StaleReplayAttacker(Process):
+    """Replay previously observed round messages one round late.
+
+    Every ``RoundMessage`` received from another process is stored and
+    re-broadcast after ``staleness`` of local time (default: one round
+    length), so correct processes keep receiving values that were valid a
+    round ago.  The `reduce` step treats the stale values like any other
+    faulty extreme.
+    """
+
+    is_faulty = True
+
+    def __init__(self, params: SyncParameters, staleness: Optional[float] = None,
+                 max_replays: Optional[int] = 500):
+        self.params = params
+        self.staleness = (float(staleness) if staleness is not None
+                          else params.round_length)
+        if self.staleness <= 0:
+            raise ValueError("staleness must be positive")
+        self.max_replays = max_replays
+        self.replayed = 0
+        self._pending: List[Tuple[float, RoundMessage]] = []
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload) -> None:
+        if not isinstance(payload, RoundMessage):
+            return
+        if self.max_replays is not None and self.replayed >= self.max_replays:
+            return
+        due = ctx.local_time() + self.staleness
+        self._pending.append((due, payload))
+        ctx.set_timer(due, payload="replay")
+
+    def on_timer(self, ctx: ProcessContext, payload=None) -> None:
+        if payload != "replay":
+            return
+        now = ctx.local_time()
+        still_pending: List[Tuple[float, RoundMessage]] = []
+        for due, message in self._pending:
+            if due <= now + 1e-12:
+                ctx.broadcast(message)
+                self.replayed += 1
+            else:
+                still_pending.append((due, message))
+        self._pending = still_pending
+
+    def label(self) -> str:
+        return f"StaleReplay(staleness={self.staleness})"

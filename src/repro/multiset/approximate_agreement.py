@@ -1,0 +1,225 @@
+"""Synchronous approximate agreement (Dolev, Lynch, Pinter, Stark, Weihl).
+
+The clock synchronization paper credits its fault-tolerant averaging function
+to the approximate-agreement work [DLPSW1].  This module implements the
+round-based synchronous approximate agreement protocol itself, both because it
+is the intellectual substrate of the averaging function and because it gives a
+clean, simulator-free setting in which to test the convergence (halving)
+property that the clock algorithm inherits.
+
+Protocol (midpoint variant):
+
+* Each of ``n`` processes starts with a real value; at most ``f`` of them are
+  Byzantine, ``n >= 3f + 1``.
+* In each round every process sends its current value to every process.  A
+  Byzantine process may send arbitrary (and different) values to different
+  recipients.
+* Each correct process collects the ``n`` values (a missing value from a
+  crashed process is replaced by the recipient's own value, as is standard),
+  applies ``mid(reduce(., f))`` and adopts the result.
+
+With the midpoint the spread of correct values at least halves per round; with
+the mean it shrinks by a factor ``f / (n - 2f)`` per round (Section 7 of the
+clock paper, and [DLPSW]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .operations import Multiset, fault_tolerant_mean, fault_tolerant_midpoint
+
+__all__ = [
+    "ByzantineValueStrategy",
+    "RandomValueStrategy",
+    "SpoilerStrategy",
+    "TwoFacedStrategy",
+    "ApproximateAgreementResult",
+    "run_approximate_agreement",
+    "midpoint_convergence_rate",
+    "mean_convergence_rate",
+]
+
+
+class ByzantineValueStrategy:
+    """How a faulty process chooses the value it reports to each recipient."""
+
+    def value_for(self, round_index: int, sender: int, recipient: int,
+                  correct_values: Sequence[float]) -> float:
+        raise NotImplementedError
+
+
+class RandomValueStrategy(ByzantineValueStrategy):
+    """Report uniformly random values within (an inflation of) the correct range."""
+
+    def __init__(self, rng: random.Random, inflation: float = 10.0):
+        self._rng = rng
+        self._inflation = inflation
+
+    def value_for(self, round_index: int, sender: int, recipient: int,
+                  correct_values: Sequence[float]) -> float:
+        lo, hi = min(correct_values), max(correct_values)
+        spread = max(hi - lo, 1.0)
+        return self._rng.uniform(lo - self._inflation * spread,
+                                 hi + self._inflation * spread)
+
+
+class SpoilerStrategy(ByzantineValueStrategy):
+    """Always report an extreme value, attempting to drag the average outward."""
+
+    def __init__(self, magnitude: float = 1e6, sign: int = +1):
+        self._magnitude = magnitude
+        self._sign = 1 if sign >= 0 else -1
+
+    def value_for(self, round_index: int, sender: int, recipient: int,
+                  correct_values: Sequence[float]) -> float:
+        return self._sign * self._magnitude
+
+
+class TwoFacedStrategy(ByzantineValueStrategy):
+    """Report the maximum correct value to half the recipients, the minimum to the rest.
+
+    This is the classic attack against non-fault-tolerant averaging: it tries
+    to pull different correct processes toward opposite ends of the interval.
+    """
+
+    def value_for(self, round_index: int, sender: int, recipient: int,
+                  correct_values: Sequence[float]) -> float:
+        lo, hi = min(correct_values), max(correct_values)
+        margin = (hi - lo) or 1.0
+        if recipient % 2 == 0:
+            return hi + margin
+        return lo - margin
+
+
+@dataclass
+class ApproximateAgreementResult:
+    """Outcome of a run of the approximate agreement protocol."""
+
+    rounds: int
+    #: spread (diameter) of the correct processes' values before round 1 and
+    #: after each round; length ``rounds + 1``.
+    spreads: List[float]
+    #: final value held by each correct process, keyed by process id.
+    final_values: Dict[int, float]
+    #: per-round convergence factors spread[i+1] / spread[i] (0/0 treated as 0).
+    factors: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            self.factors = []
+            for before, after in zip(self.spreads, self.spreads[1:]):
+                if before <= 0:
+                    self.factors.append(0.0)
+                else:
+                    self.factors.append(after / before)
+
+    @property
+    def final_spread(self) -> float:
+        return self.spreads[-1]
+
+
+def _default_averager(f: int, use_mean: bool) -> Callable[[Sequence[float]], float]:
+    if use_mean:
+        return lambda values: fault_tolerant_mean(values, f)
+    return lambda values: fault_tolerant_midpoint(values, f)
+
+
+def run_approximate_agreement(
+    initial_values: Sequence[float],
+    f: int,
+    rounds: int,
+    byzantine_ids: Optional[Sequence[int]] = None,
+    strategy: Optional[ByzantineValueStrategy] = None,
+    use_mean: bool = False,
+    rng: Optional[random.Random] = None,
+) -> ApproximateAgreementResult:
+    """Run synchronous approximate agreement.
+
+    Parameters
+    ----------
+    initial_values:
+        One starting value per process; ``len(initial_values)`` is ``n``.
+    f:
+        Maximum number of Byzantine processes tolerated by the averaging
+        function (the *reduce* parameter).
+    rounds:
+        Number of exchange rounds to execute.
+    byzantine_ids:
+        Ids (indices into ``initial_values``) of actually-faulty processes.
+        May be empty; must not exceed ``f`` for the convergence guarantee,
+        though the function will happily simulate over-threshold runs so that
+        callers can demonstrate divergence.
+    strategy:
+        Value-selection strategy for faulty processes.  Defaults to
+        :class:`TwoFacedStrategy`.
+    use_mean:
+        Use the arithmetic-mean variant instead of the midpoint.
+    """
+    n = len(initial_values)
+    if n == 0:
+        raise ValueError("at least one process is required")
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    byz = set(byzantine_ids or ())
+    for b in byz:
+        if not 0 <= b < n:
+            raise ValueError(f"byzantine id {b} out of range for n={n}")
+    strategy = strategy or TwoFacedStrategy()
+    rng = rng or random.Random(0)
+    averager = _default_averager(f, use_mean)
+
+    values: Dict[int, float] = {p: float(v) for p, v in enumerate(initial_values)}
+    correct = [p for p in range(n) if p not in byz]
+    if not correct:
+        raise ValueError("all processes are Byzantine; nothing to measure")
+
+    def correct_spread() -> float:
+        vs = [values[p] for p in correct]
+        return max(vs) - min(vs)
+
+    spreads = [correct_spread()]
+
+    for r in range(rounds):
+        correct_values = [values[p] for p in correct]
+        # Each correct recipient assembles the vector of reports.
+        new_values: Dict[int, float] = {}
+        for recipient in correct:
+            reports: List[float] = []
+            for sender in range(n):
+                if sender in byz:
+                    reports.append(strategy.value_for(r, sender, recipient,
+                                                      correct_values))
+                else:
+                    reports.append(values[sender])
+            new_values[recipient] = averager(reports)
+        for recipient, value in new_values.items():
+            values[recipient] = value
+        spreads.append(correct_spread())
+
+    return ApproximateAgreementResult(
+        rounds=rounds,
+        spreads=spreads,
+        final_values={p: values[p] for p in correct},
+    )
+
+
+def midpoint_convergence_rate() -> float:
+    """Guaranteed per-round convergence factor of the midpoint variant (1/2)."""
+    return 0.5
+
+
+def mean_convergence_rate(n: int, f: int) -> float:
+    """Per-round convergence factor of the mean variant, roughly ``f / (n - 2f)``.
+
+    Section 7 of the clock paper notes that if ``n`` increases while ``f``
+    stays fixed, using the mean gives convergence rate about ``f / (n - 2f)``;
+    for ``f = 0`` the correct values collapse in a single round (rate 0).
+    """
+    if n <= 2 * f:
+        raise ValueError(f"mean variant requires n > 2f; got n={n}, f={f}")
+    if f == 0:
+        return 0.0
+    return f / float(n - 2 * f)

@@ -1,0 +1,50 @@
+"""Discrete-event simulator substrate (Sections 2.2-2.3 of the paper)."""
+
+from .events import EventQueue, Message, MessageKind
+from .network import (
+    AdversarialDelayModel,
+    ContentionDelayModel,
+    DelayModel,
+    FixedDelayModel,
+    PerLinkDelayModel,
+    TruncatedGaussianDelayModel,
+    UniformDelayModel,
+)
+from .process import Process, ProcessContext
+from .recording import (
+    MessageRecord,
+    RecordingDelayModel,
+    delay_statistics,
+    drop_rate,
+    envelope_violations,
+    per_link_counts,
+    per_sender_counts,
+)
+from .system import System
+from .trace import ExecutionTrace, MessageStats, TraceEvent
+
+__all__ = [
+    "MessageRecord",
+    "RecordingDelayModel",
+    "delay_statistics",
+    "drop_rate",
+    "envelope_violations",
+    "per_link_counts",
+    "per_sender_counts",
+    "EventQueue",
+    "Message",
+    "MessageKind",
+    "DelayModel",
+    "FixedDelayModel",
+    "UniformDelayModel",
+    "TruncatedGaussianDelayModel",
+    "PerLinkDelayModel",
+    "ContentionDelayModel",
+    "AdversarialDelayModel",
+    "Process",
+    "ProcessContext",
+    "System",
+    "ExecutionTrace",
+    "MessageStats",
+    "TraceEvent",
+]

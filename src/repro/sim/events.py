@@ -1,0 +1,114 @@
+"""Events and the global message buffer ordering (Section 2.2-2.3).
+
+The model has a single kind of event, ``receive(m, p)``.  Messages live in a
+global buffer together with their scheduled real delivery times.  Two special
+message kinds exist:
+
+* ``START`` — the initial wake-up, exactly one per process;
+* ``TIMER`` — delivered when the process' physical clock reaches a designated
+  value (the process schedules it for itself).
+
+Execution property 4 requires that TIMER messages delivered to a process at
+real time ``t`` be ordered *after* any non-TIMER messages delivered to the same
+process at the same real time ("messages that arrive at the same time as a
+timer is due to go off get in just under the wire").  The event queue encodes
+that tie-breaking rule, followed by a deterministic sequence number so that
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional
+
+__all__ = ["MessageKind", "Message", "EventQueue"]
+
+
+class MessageKind(Enum):
+    """The three interrupt sources of the interrupt-driven process model."""
+
+    START = "start"
+    TIMER = "timer"
+    ORDINARY = "ordinary"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in the global buffer.
+
+    ``payload`` is arbitrary algorithm data (for the clock algorithm it is the
+    round value ``T^i`` or a READY marker).  ``send_time`` and
+    ``delivery_time`` are real times; ``delivery_time > send_time`` except for
+    START messages injected by the environment at system construction.
+    """
+
+    kind: MessageKind
+    sender: int
+    recipient: int
+    payload: Any
+    send_time: float
+    delivery_time: float
+
+    @property
+    def delay(self) -> float:
+        """The message delay ``t' - t``."""
+        return self.delivery_time - self.send_time
+
+    def is_timer(self) -> bool:
+        return self.kind is MessageKind.TIMER
+
+    def is_start(self) -> bool:
+        return self.kind is MessageKind.START
+
+
+class EventQueue:
+    """Priority queue of pending deliveries with the paper's tie-breaking rule.
+
+    Ordering key: ``(delivery_time, timer_last, insertion_sequence)`` where
+    ``timer_last`` is 0 for ordinary/START messages and 1 for TIMER messages,
+    implementing execution property 4.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._delivered = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def delivered_count(self) -> int:
+        """Number of messages popped so far (for trace statistics)."""
+        return self._delivered
+
+    def push(self, message: Message) -> None:
+        """Place a message in the buffer."""
+        timer_last = 1 if message.is_timer() else 0
+        heapq.heappush(
+            self._heap,
+            (message.delivery_time, timer_last, next(self._counter), message),
+        )
+
+    def pop(self) -> Message:
+        """Remove and return the next message to be delivered."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        self._delivered += 1
+        return heapq.heappop(self._heap)[-1]
+
+    def peek_time(self) -> Optional[float]:
+        """Delivery time of the next message, or None when the buffer is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pending(self) -> List[Message]:
+        """Snapshot of undelivered messages (unordered); used by tests/traces."""
+        return [entry[-1] for entry in self._heap]

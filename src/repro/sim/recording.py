@@ -1,0 +1,133 @@
+"""Message-level recording and assumption-A3 auditing.
+
+The execution traces kept by :class:`~repro.sim.system.System` are
+algorithm-level (correction histories plus the events processes choose to
+log).  For debugging delay models, auditing that a run actually respected
+assumption A3 (every delay in ``[δ−ε, δ+ε]``), and measuring contention, it is
+useful to also capture every message the network handled.
+
+:class:`RecordingDelayModel` wraps any :class:`~repro.sim.network.DelayModel`
+and records one :class:`MessageRecord` per send — including drops — without
+changing the delays the inner model produces.  Helper functions then audit the
+records against an envelope and summarize traffic per link and per sender.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import DelayModel
+
+__all__ = [
+    "MessageRecord",
+    "RecordingDelayModel",
+    "envelope_violations",
+    "delay_statistics",
+    "per_link_counts",
+    "per_sender_counts",
+    "drop_rate",
+]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message as seen by the network layer."""
+
+    sender: int
+    recipient: int
+    send_time: float
+    #: the delay the model produced, or None when the message was dropped.
+    delay: Optional[float]
+
+    @property
+    def dropped(self) -> bool:
+        return self.delay is None
+
+    @property
+    def delivery_time(self) -> Optional[float]:
+        if self.delay is None:
+            return None
+        return self.send_time + self.delay
+
+
+class RecordingDelayModel(DelayModel):
+    """Wraps another delay model, recording every decision it makes."""
+
+    def __init__(self, inner: DelayModel):
+        self.inner = inner
+        self.delta = inner.delta
+        self.epsilon = inner.epsilon
+        self.records: List[MessageRecord] = []
+
+    def delay(self, sender: int, recipient: int, send_time: float,
+              rng: random.Random) -> Optional[float]:
+        value = self.inner.delay(sender, recipient, send_time, rng)
+        self.records.append(MessageRecord(sender=sender, recipient=recipient,
+                                          send_time=send_time, delay=value))
+        return value
+
+    def envelope(self) -> Tuple[float, float]:
+        return self.inner.envelope()
+
+    def delivered(self) -> List[MessageRecord]:
+        """Records of messages that were actually delivered."""
+        return [record for record in self.records if not record.dropped]
+
+    def clear(self) -> None:
+        """Forget all records (e.g. between phases of a long experiment)."""
+        self.records = []
+
+
+def envelope_violations(records: Sequence[MessageRecord], delta: float,
+                        epsilon: float, tolerance: float = 1e-12
+                        ) -> List[MessageRecord]:
+    """Delivered messages whose delay falls outside ``[δ−ε, δ+ε]``.
+
+    An empty result certifies that the run respected assumption A3; a
+    non-empty one identifies exactly which messages broke it (useful when a
+    deliberately out-of-spec delay model is used for robustness experiments).
+    """
+    low, high = delta - epsilon, delta + epsilon
+    return [record for record in records
+            if not record.dropped
+            and not (low - tolerance <= record.delay <= high + tolerance)]
+
+
+def delay_statistics(records: Sequence[MessageRecord]) -> Dict[str, float]:
+    """Min / max / mean delay over the delivered messages."""
+    delays = [record.delay for record in records if not record.dropped]
+    if not delays:
+        return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "count": len(delays),
+        "min": min(delays),
+        "max": max(delays),
+        "mean": sum(delays) / len(delays),
+    }
+
+
+def per_link_counts(records: Sequence[MessageRecord]) -> Dict[Tuple[int, int], int]:
+    """Number of sends per (sender, recipient) link, drops included."""
+    counts: Dict[Tuple[int, int], int] = {}
+    for record in records:
+        key = (record.sender, record.recipient)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def per_sender_counts(records: Sequence[MessageRecord]) -> Dict[int, int]:
+    """Number of sends per sender, drops included."""
+    counts: Dict[int, int] = {}
+    for record in records:
+        counts[record.sender] = counts.get(record.sender, 0) + 1
+    return counts
+
+
+def drop_rate(records: Sequence[MessageRecord]) -> float:
+    """Fraction of sends that were dropped (0 when there were no sends)."""
+    if not records:
+        return 0.0
+    dropped = sum(1 for record in records if record.dropped)
+    return dropped / len(records)

@@ -1,0 +1,239 @@
+"""The system: processes + physical clocks + global message buffer (Section 2).
+
+:class:`System` wires together a set of :class:`~repro.sim.process.Process`
+automata, one ρ-bounded physical clock per process, a
+:class:`~repro.sim.network.DelayModel`, and the global
+:class:`~repro.sim.events.EventQueue`.  It implements the execution semantics
+of Section 2.3:
+
+* the buffer initially contains exactly one START message per process (the
+  caller chooses their delivery times, typically ``c^0_p(T0)`` per assumption
+  A4 — see :meth:`schedule_start_at_logical`);
+* an action ``receive(m, p)`` occurs at the message's delivery time; only
+  ``p``'s state and the buffer change;
+* TIMER messages set for a physical-clock value not in the future are simply
+  not scheduled;
+* TIMER deliveries at a given real time are ordered after ordinary deliveries
+  at the same time (handled by the event queue).
+
+Runs are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..clocks.base import Clock
+from ..clocks.logical import CorrectionHistory
+from .events import EventQueue, Message, MessageKind
+from .network import DelayModel, UniformDelayModel
+from .process import Process, ProcessContext
+from .trace import ExecutionTrace, MessageStats, TraceEvent
+
+__all__ = ["System"]
+
+
+class System:
+    """A complete simulated distributed system."""
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        clocks: Sequence[Clock],
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        initial_corrections: Optional[Sequence[float]] = None,
+    ):
+        if len(processes) != len(clocks):
+            raise ValueError(
+                f"need one clock per process; got {len(processes)} processes "
+                f"and {len(clocks)} clocks"
+            )
+        if not processes:
+            raise ValueError("a system needs at least one process")
+        self._processes: Dict[int, Process] = dict(enumerate(processes))
+        self._clocks: Dict[int, Clock] = dict(enumerate(clocks))
+        self._delay_model = delay_model or UniformDelayModel(delta=0.01, epsilon=0.002)
+        self._rng = random.Random(seed)
+        self._process_rngs: Dict[int, random.Random] = {
+            pid: random.Random((seed * 1_000_003 + pid) & 0xFFFFFFFF)
+            for pid in self._processes
+        }
+        corrections = list(initial_corrections or [0.0] * len(processes))
+        if len(corrections) != len(processes):
+            raise ValueError("initial_corrections must have one entry per process")
+        self._histories: Dict[int, CorrectionHistory] = {
+            pid: CorrectionHistory(corrections[pid]) for pid in self._processes
+        }
+        self._queue = EventQueue()
+        self._contexts: Dict[int, ProcessContext] = {
+            pid: ProcessContext(self, pid) for pid in self._processes
+        }
+        self._current_time = 0.0
+        self._started = False
+        self._stats = MessageStats()
+        self._events: List[TraceEvent] = []
+        self._crashed: set = set()
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def n(self) -> int:
+        return len(self._processes)
+
+    @property
+    def current_time(self) -> float:
+        """Real time of the event currently being processed."""
+        return self._current_time
+
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay_model
+
+    @property
+    def processes(self) -> Dict[int, Process]:
+        return dict(self._processes)
+
+    def clock_of(self, pid: int) -> Clock:
+        return self._clocks[pid]
+
+    def correction_history(self, pid: int) -> CorrectionHistory:
+        return self._histories[pid]
+
+    def process_rng(self, pid: int) -> random.Random:
+        return self._process_rngs[pid]
+
+    def faulty_ids(self) -> List[int]:
+        """Processes marked faulty (by their implementation or by crashing)."""
+        marked = {pid for pid, proc in self._processes.items() if proc.is_faulty}
+        return sorted(marked | self._crashed)
+
+    # ------------------------------------------------------------------ setup
+    def set_initial_correction(self, pid: int, value: float) -> None:
+        """Replace the initial CORR value of a process (before any adjustment)."""
+        if self._histories[pid].adjustments:
+            raise RuntimeError(
+                "initial correction can only be set before any adjustment is applied"
+            )
+        self._histories[pid] = CorrectionHistory(value)
+
+    def schedule_start(self, pid: int, real_time: float) -> None:
+        """Place the START message for ``pid`` in the buffer at ``real_time``."""
+        self._queue.push(Message(kind=MessageKind.START, sender=pid, recipient=pid,
+                                 payload=None, send_time=real_time,
+                                 delivery_time=real_time))
+
+    def schedule_start_at_logical(self, pid: int, logical_time: float) -> float:
+        """Schedule START for when ``pid``'s initial logical clock reaches ``logical_time``.
+
+        Implements assumption A4: the START arrives at ``c^0_p(T0)``.  Returns
+        the real delivery time.
+        """
+        corr = self._histories[pid].initial_correction
+        real_time = self._clocks[pid].real_time_at(logical_time - corr)
+        self.schedule_start(pid, real_time)
+        return real_time
+
+    def schedule_all_starts_at_logical(self, logical_time: float) -> Dict[int, float]:
+        """Schedule START messages for every process at the same logical time."""
+        return {pid: self.schedule_start_at_logical(pid, logical_time)
+                for pid in self._processes}
+
+    def mark_crashed(self, pid: int) -> None:
+        """Stop delivering interrupts to ``pid`` and count it as faulty."""
+        self._crashed.add(pid)
+
+    def unmark_crashed(self, pid: int) -> None:
+        """Resume delivering interrupts to ``pid`` (used for reintegration)."""
+        self._crashed.discard(pid)
+
+    def replace_process(self, pid: int, process: Process) -> None:
+        """Swap in a new automaton for ``pid`` (used for repair/reintegration)."""
+        self._processes[pid] = process
+
+    # ------------------------------------------------------------------ messaging
+    def post_message(self, sender: int, recipient: int, payload: Any) -> None:
+        """Send an ordinary message; the delay model decides delay or drop."""
+        if recipient not in self._processes:
+            raise KeyError(f"unknown recipient {recipient}")
+        self._stats.record_send(sender)
+        delay = self._delay_model.delay(sender, recipient, self._current_time, self._rng)
+        if delay is None:
+            self._stats.dropped += 1
+            return
+        if delay <= 0:
+            raise ValueError(f"delay model produced a non-positive delay {delay}")
+        self._queue.push(Message(kind=MessageKind.ORDINARY, sender=sender,
+                                 recipient=recipient, payload=payload,
+                                 send_time=self._current_time,
+                                 delivery_time=self._current_time + delay))
+
+    def post_timer(self, pid: int, physical_time: float, payload: Any = None) -> bool:
+        """Arm a TIMER for when ``pid``'s physical clock reaches ``physical_time``.
+
+        Per Section 2.2, if the corresponding real time is not strictly in the
+        future, no message is placed in the buffer; returns False in that case.
+        """
+        real_time = self._clocks[pid].real_time_at(physical_time)
+        if real_time <= self._current_time:
+            return False
+        self._stats.timers_set += 1
+        self._queue.push(Message(kind=MessageKind.TIMER, sender=pid, recipient=pid,
+                                 payload=payload, send_time=self._current_time,
+                                 delivery_time=real_time))
+        return True
+
+    def log_event(self, pid: int, name: str, data: Dict[str, Any]) -> None:
+        self._events.append(TraceEvent(real_time=self._current_time, process_id=pid,
+                                       name=name, data=dict(data)))
+
+    # ------------------------------------------------------------------ execution
+    def run_until(self, end_time: float, max_events: int = 2_000_000) -> ExecutionTrace:
+        """Deliver every message with delivery time <= ``end_time``.
+
+        Returns an :class:`ExecutionTrace`; the system can be run further by
+        calling :meth:`run_until` again with a later end time.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            message = self._queue.pop()
+            self._current_time = message.delivery_time
+            self._dispatch(message)
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events before reaching t={end_time}; "
+                    "the configuration is probably divergent"
+                )
+        self._current_time = max(self._current_time, end_time)
+        return self.trace()
+
+    def _dispatch(self, message: Message) -> None:
+        pid = message.recipient
+        if pid in self._crashed:
+            # A crashed process receives nothing; the message is simply lost to it.
+            return
+        process = self._processes[pid]
+        ctx = self._contexts[pid]
+        if message.kind is MessageKind.START:
+            process.on_start(ctx)
+        elif message.kind is MessageKind.TIMER:
+            self._stats.timers_fired += 1
+            process.on_timer(ctx, message.payload)
+        else:
+            self._stats.delivered += 1
+            process.on_message(ctx, message.sender, message.payload)
+
+    def trace(self) -> ExecutionTrace:
+        """Snapshot of the run so far."""
+        return ExecutionTrace(
+            clocks=self._clocks,
+            histories=self._histories,
+            faulty_ids=self.faulty_ids(),
+            events=self._events,
+            stats=self._stats,
+            end_time=self._current_time,
+        )

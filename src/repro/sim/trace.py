@@ -1,0 +1,135 @@
+"""Execution traces: everything the analysis layer needs from a run.
+
+A trace captures, for every process, the physical clock and the full history
+of its CORR variable (so local time ``L_p(t)`` and every logical clock
+``C^i_p`` can be reconstructed for arbitrary real times after the run), plus
+message statistics and the algorithm-level events the processes chose to log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..clocks.base import Clock
+from ..clocks.logical import CorrectionHistory, LogicalClockView
+
+__all__ = ["TraceEvent", "MessageStats", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """An algorithm-level event logged via ``ctx.log``."""
+
+    real_time: float
+    process_id: int
+    name: str
+    data: Dict[str, Any]
+
+
+@dataclass
+class MessageStats:
+    """Counters describing message traffic during a run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    timers_set: int = 0
+    timers_fired: int = 0
+    per_process_sent: Dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, sender: int) -> None:
+        self.sent += 1
+        self.per_process_sent[sender] = self.per_process_sent.get(sender, 0) + 1
+
+
+class ExecutionTrace:
+    """Immutable-ish view over the results of a simulation run."""
+
+    def __init__(
+        self,
+        clocks: Dict[int, Clock],
+        histories: Dict[int, CorrectionHistory],
+        faulty_ids: Iterable[int],
+        events: List[TraceEvent],
+        stats: MessageStats,
+        end_time: float,
+    ):
+        self._clocks = dict(clocks)
+        self._histories = dict(histories)
+        self._faulty = frozenset(faulty_ids)
+        self._events = list(events)
+        self._stats = stats
+        self._end_time = end_time
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self._clocks)
+
+    @property
+    def end_time(self) -> float:
+        """Real time at which the run stopped."""
+        return self._end_time
+
+    @property
+    def faulty_ids(self) -> frozenset:
+        return self._faulty
+
+    @property
+    def nonfaulty_ids(self) -> List[int]:
+        return [pid for pid in sorted(self._clocks) if pid not in self._faulty]
+
+    @property
+    def stats(self) -> MessageStats:
+        return self._stats
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        return tuple(self._events)
+
+    def events_named(self, name: str,
+                     process_id: Optional[int] = None) -> List[TraceEvent]:
+        """All logged events with a given name (optionally for one process)."""
+        return [e for e in self._events
+                if e.name == name and (process_id is None or e.process_id == process_id)]
+
+    # -- clock reconstruction -----------------------------------------------------
+    def view(self, process_id: int) -> LogicalClockView:
+        """Logical-clock view (physical clock + correction history) of a process."""
+        return LogicalClockView(self._clocks[process_id], self._histories[process_id])
+
+    def local_time(self, process_id: int, real_time: float) -> float:
+        """``L_p(t)`` for the given process."""
+        return self.view(process_id).local_time(real_time)
+
+    def local_times(self, real_time: float,
+                    include_faulty: bool = False) -> Dict[int, float]:
+        """Local times of all (by default non-faulty) processes at ``real_time``."""
+        ids = sorted(self._clocks) if include_faulty else self.nonfaulty_ids
+        return {pid: self.local_time(pid, real_time) for pid in ids}
+
+    def adjustments(self, process_id: int) -> List[float]:
+        """The per-round adjustments applied by a process."""
+        return self._histories[process_id].adjustments
+
+    def correction_history(self, process_id: int) -> CorrectionHistory:
+        return self._histories[process_id]
+
+    # -- convenience metrics (the heavier ones live in repro.analysis) -------------
+    def skew(self, real_time: float) -> float:
+        """Maximum difference between non-faulty local times at ``real_time``."""
+        values = list(self.local_times(real_time).values())
+        if len(values) < 2:
+            return 0.0
+        return max(values) - min(values)
+
+    def skew_series(self, times: Sequence[float]) -> List[Tuple[float, float]]:
+        """(real time, skew) samples over a grid of real times."""
+        return [(t, self.skew(t)) for t in times]
+
+    def max_skew(self, times: Sequence[float]) -> float:
+        """Maximum skew over the sample grid."""
+        if not times:
+            return 0.0
+        return max(self.skew(t) for t in times)

@@ -1,0 +1,102 @@
+"""Integration tests: the paper's two correctness properties hold end-to-end.
+
+These run the full stack (drift models + delay models + Byzantine adversaries
++ the maintenance algorithm) and check γ-agreement (Theorem 16) and
+(α₁, α₂, α₃)-validity (Theorem 19) on the resulting traces.
+"""
+
+import pytest
+
+from repro.analysis import (
+    adjustment_statistics,
+    measured_agreement,
+    round_start_spreads,
+    run_maintenance_scenario,
+    validity_report,
+)
+from repro.core import adjustment_bound, agreement_bound, validity_parameters
+
+
+def agreement_of(result, params, settle=1):
+    start = result.tmax0 + settle * params.round_length
+    return measured_agreement(result.trace, start, result.end_time, samples=150)
+
+
+class TestTheorem16Agreement:
+    def test_agreement_with_worst_case_fault_count(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=10,
+                                          fault_kind="two_faced", seed=0)
+        assert agreement_of(result, medium_params) <= agreement_bound(medium_params)
+
+    @pytest.mark.parametrize("clock_kind", ["constant", "piecewise", "sinusoidal",
+                                            "walk"])
+    def test_agreement_across_drift_models(self, medium_params, clock_kind):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="skew_early",
+                                          clock_kind=clock_kind, seed=3)
+        assert agreement_of(result, medium_params) <= agreement_bound(medium_params)
+
+    @pytest.mark.parametrize("delay", ["uniform", "fixed", "gaussian", "adversarial"])
+    def test_agreement_across_delay_models(self, medium_params, delay):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="two_faced", delay=delay,
+                                          seed=4)
+        assert agreement_of(result, medium_params) <= agreement_bound(medium_params)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_agreement_over_seeds(self, medium_params, seed):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="two_faced", seed=seed)
+        assert agreement_of(result, medium_params) <= agreement_bound(medium_params)
+
+    def test_agreement_with_larger_system(self):
+        from repro.analysis import default_parameters
+        params = default_parameters(n=13, f=4)
+        result = run_maintenance_scenario(params, rounds=6, fault_kind="two_faced",
+                                          seed=1)
+        assert agreement_of(result, params) <= agreement_bound(params)
+
+    def test_round_spreads_stay_below_beta(self, medium_params):
+        # Theorem 4(c): nonfaulty processes begin every round within beta.
+        result = run_maintenance_scenario(medium_params, rounds=10,
+                                          fault_kind="two_faced", seed=0)
+        spreads = round_start_spreads(result.trace)
+        assert all(value <= medium_params.beta + 1e-9 for value in spreads.values())
+
+    def test_adjustments_stay_below_theorem4a_bound(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=10,
+                                          fault_kind="skew_late", seed=2)
+        assert adjustment_statistics(result.trace).max_abs <= \
+            adjustment_bound(medium_params) + 1e-9
+
+
+class TestTheorem19Validity:
+    def test_validity_envelope_holds(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=10,
+                                          fault_kind="two_faced", seed=0)
+        report = validity_report(result.trace, medium_params,
+                                 tmin0=result.tmin0, tmax0=result.tmax0,
+                                 start=result.tmax0 + 0.01, end=result.end_time,
+                                 samples=80)
+        assert report.holds
+
+    def test_rates_bounded_by_alphas(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=10,
+                                          fault_kind="skew_early", seed=1)
+        report = validity_report(result.trace, medium_params,
+                                 tmin0=result.tmin0, tmax0=result.tmax0,
+                                 start=result.tmax0 + 0.01, end=result.end_time,
+                                 samples=50)
+        vp = validity_parameters(medium_params)
+        assert vp.alpha1 - 1e-6 <= report.min_rate
+        assert report.max_rate <= vp.alpha2 + 1e-6
+
+    def test_skew_attackers_cannot_run_clocks_away(self, medium_params):
+        # A colluding "speed up" attack must not push the rate above alpha2.
+        result = run_maintenance_scenario(medium_params, rounds=12,
+                                          fault_kind="skew_early", seed=5)
+        report = validity_report(result.trace, medium_params,
+                                 tmin0=result.tmin0, tmax0=result.tmax0,
+                                 start=result.tmax0 + 0.01, end=result.end_time,
+                                 samples=50)
+        assert report.holds

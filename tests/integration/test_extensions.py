@@ -1,0 +1,121 @@
+"""Integration tests for the Section 9 extensions and Section 7 variants."""
+
+import pytest
+
+from repro.analysis import (
+    measured_agreement,
+    round_start_spreads,
+    run_maintenance_scenario,
+    run_reintegration_scenario,
+    run_startup_scenario,
+    startup_spread_series,
+    steady_state_round_spread,
+)
+from repro.core import (
+    FaultTolerantMean,
+    agreement_bound,
+    startup_limit,
+    startup_round_recurrence,
+)
+from repro.faults import rejoin_time
+
+
+class TestStartupThenSteadyState:
+    def test_startup_converges_from_wild_initial_spread(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=10, initial_spread=2.0,
+                                      seed=7)
+        series = startup_spread_series(result.trace)
+        assert series[0] > 0.5
+        assert series[-1] <= startup_limit(medium_params)
+
+    def test_startup_respects_lemma20_every_round(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=8, initial_spread=1.0,
+                                      seed=9)
+        series = startup_spread_series(result.trace)
+        for before, after in zip(series, series[1:]):
+            assert after <= startup_round_recurrence(medium_params, before) + 1e-9
+
+    def test_startup_tolerates_byzantine_noise(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=8, initial_spread=1.0,
+                                      fault_kind="random_noise", seed=3)
+        series = startup_spread_series(result.trace)
+        assert series[-1] < series[0] / 8
+
+
+class TestReintegration:
+    def test_repaired_process_rejoins_and_synchronizes(self, medium_params):
+        params = medium_params
+        result = run_reintegration_scenario(params, rounds=12,
+                                            recover_after_rounds=4.5, seed=0)
+        pid = params.n - 1
+        when = rejoin_time(result.trace, pid)
+        assert when is not None
+        gamma = agreement_bound(params)
+        check_from = when + params.round_length
+        check_to = result.end_time - params.round_length
+        for index in range(41):
+            t = check_from + index * (check_to - check_from) / 40
+            times = result.trace.local_times(t, include_faulty=True)
+            spread = max(times.values()) - min(times.values())
+            assert spread <= gamma + 1e-9
+
+    def test_other_processes_unaffected_by_the_recovery(self, medium_params):
+        params = medium_params
+        result = run_reintegration_scenario(params, rounds=12,
+                                            recover_after_rounds=4.5, seed=1)
+        start = result.tmax0 + params.round_length
+        skew = measured_agreement(result.trace, start, result.end_time, samples=100)
+        assert skew <= agreement_bound(params)
+
+    @pytest.mark.parametrize("recover_after", [2.3, 5.7, 8.1])
+    def test_recovery_time_within_round_does_not_matter(self, medium_params,
+                                                        recover_after):
+        result = run_reintegration_scenario(medium_params, rounds=12,
+                                            recover_after_rounds=recover_after,
+                                            seed=2)
+        assert rejoin_time(result.trace, medium_params.n - 1) is not None
+
+
+class TestSection7Variants:
+    def test_mean_variant_synchronizes_under_faults(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="two_faced",
+                                          averaging=FaultTolerantMean(), seed=1)
+        start = result.tmax0 + medium_params.round_length
+        assert measured_agreement(result.trace, start, result.end_time) <= \
+            agreement_bound(medium_params)
+
+    def test_multi_exchange_tightens_steady_state_spread(self, medium_params):
+        """More exchanges per round shrink the drift term of the spread.
+
+        With the coarse simulated drift this is visible as a smaller (or at
+        least not larger) steady-state per-round spread.
+        """
+        from repro.core import MultiExchangeProcess
+        params = medium_params.with_round_length(
+            MultiExchangeProcess(medium_params, 3).minimum_round_length() * 1.1)
+        single = run_maintenance_scenario(params, rounds=5, fault_kind=None,
+                                          exchanges_per_round=1, seed=6)
+        multi = run_maintenance_scenario(params, rounds=5, fault_kind=None,
+                                         exchanges_per_round=3, seed=6)
+        start_s = single.tmax0 + 2 * params.round_length
+        start_m = multi.tmax0 + 2 * params.round_length
+        skew_single = measured_agreement(single.trace, start_s, single.end_time)
+        skew_multi = measured_agreement(multi.trace, start_m, multi.end_time)
+        assert skew_multi <= skew_single * 1.5 + 1e-4
+
+    def test_staggered_broadcast_synchronizes_under_contention(self, medium_params):
+        from repro.core import choose_stagger_interval
+        from repro.sim import ContentionDelayModel
+        params = medium_params
+        contention = ContentionDelayModel(params.delta, params.epsilon,
+                                          window=0.004, threshold=2,
+                                          drop_probability=0.5)
+        sigma = choose_stagger_interval(params, contention)
+        result = run_maintenance_scenario(params, rounds=8, fault_kind=None,
+                                          delay=contention, seed=2,
+                                          stagger_interval=sigma)
+        # With staggering the drop rate is modest and the clocks still converge.
+        spreads = round_start_spreads(result.trace)
+        last = max(spreads)
+        assert spreads[last] <= params.beta + (params.n - 1) * sigma

@@ -1,0 +1,72 @@
+"""Failure-injection matrix: every attacker family under every delay model.
+
+Theorem 16 makes no assumption about *which* arbitrary behaviour the f faulty
+processes exhibit, nor about where in the [δ−ε, δ+ε] envelope the delays
+fall.  This matrix sweeps the cross product of the fault behaviours and the
+delay models the library ships and checks the agreement and adjustment bounds
+on every cell — the closest thing a simulation offers to the theorem's "for
+all executions".
+"""
+
+import pytest
+
+from repro.analysis import (
+    adjustment_statistics,
+    check_maintenance_run,
+    measured_agreement,
+    run_maintenance_scenario,
+)
+from repro.core import adjustment_bound, agreement_bound
+
+FAULT_KINDS = ["silent", "omission", "crash", "two_faced", "skew_early",
+               "skew_late", "random_noise"]
+DELAY_KINDS = ["uniform", "fixed", "gaussian", "adversarial"]
+
+
+class TestFaultDelayMatrix:
+    @pytest.mark.parametrize("fault_kind", FAULT_KINDS)
+    @pytest.mark.parametrize("delay", DELAY_KINDS)
+    def test_agreement_and_adjustment_bounds_hold(self, medium_params, fault_kind,
+                                                  delay):
+        params = medium_params
+        result = run_maintenance_scenario(params, rounds=6, fault_kind=fault_kind,
+                                          delay=delay, seed=13)
+        start = result.tmax0 + params.round_length
+        skew = measured_agreement(result.trace, start, result.end_time, samples=80)
+        stats = adjustment_statistics(result.trace)
+        assert skew <= agreement_bound(params)
+        assert stats.max_abs <= adjustment_bound(params)
+
+
+class TestClockModelMatrix:
+    @pytest.mark.parametrize("clock_kind", ["perfect", "constant", "piecewise",
+                                            "sinusoidal", "walk"])
+    def test_every_drift_model_passes_the_full_audit(self, medium_params,
+                                                     clock_kind):
+        result = run_maintenance_scenario(medium_params, rounds=6,
+                                          fault_kind="two_faced",
+                                          clock_kind=clock_kind, seed=17)
+        report = check_maintenance_run(result)
+        assert report.all_passed, [c.claim for c in report.failed()]
+
+
+class TestLongerHorizonSoak:
+    def test_thirty_rounds_under_attack_stay_within_bounds(self, medium_params):
+        """A longer soak run: no slow drift of the error past the bound."""
+        params = medium_params
+        result = run_maintenance_scenario(params, rounds=30, fault_kind="two_faced",
+                                          seed=19)
+        report = check_maintenance_run(result, samples=400)
+        assert report.all_passed, [c.claim for c in report.failed()]
+
+    def test_agreement_does_not_degrade_over_time(self, medium_params):
+        """The skew in the last third of a long run is no worse than in the middle."""
+        params = medium_params
+        result = run_maintenance_scenario(params, rounds=30, fault_kind="skew_late",
+                                          seed=23)
+        span = result.end_time - result.tmax0
+        middle = measured_agreement(result.trace, result.tmax0 + span / 3,
+                                    result.tmax0 + 2 * span / 3, samples=150)
+        late = measured_agreement(result.trace, result.tmax0 + 2 * span / 3,
+                                  result.end_time, samples=150)
+        assert late <= middle * 1.5 + params.epsilon

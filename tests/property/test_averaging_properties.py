@@ -1,0 +1,82 @@
+"""Property-based tests for the fault-tolerant averaging function and agreement.
+
+These are the invariants that make the clock algorithm work (Lemma 6 and the
+halving property of Lemma 24): no matter what ``f`` Byzantine values are
+injected, the fault-tolerant average stays inside the honest range, and two
+parties that see the same honest values (each within ``x``) compute averages
+within ``diam/2 + 2x`` of each other.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultTolerantMean, FaultTolerantMidpoint
+from repro.multiset import run_approximate_agreement
+
+honest_values = st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                         min_size=5, max_size=9)
+bogus_values = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestLemma6Property:
+    """The average always lies within the range of the honest values."""
+
+    @settings(max_examples=100)
+    @given(honest_values, st.lists(bogus_values, min_size=0, max_size=2))
+    def test_midpoint_stays_in_honest_range(self, honest, bogus):
+        f = 2
+        values = honest + bogus + [honest[0]] * (2 - len(bogus))  # keep |bogus| <= f
+        result = FaultTolerantMidpoint().average(values, f)
+        assert min(honest) - 1e-9 <= result <= max(honest) + 1e-9
+
+    @settings(max_examples=100)
+    @given(honest_values, st.lists(bogus_values, min_size=0, max_size=2))
+    def test_mean_stays_in_honest_range(self, honest, bogus):
+        f = 2
+        values = honest + bogus + [honest[0]] * (2 - len(bogus))
+        result = FaultTolerantMean().average(values, f)
+        assert min(honest) - 1e-9 <= result <= max(honest) + 1e-9
+
+
+class TestHalvingProperty:
+    """Lemma 24 / Lemma 9: two honest observers end up within diam/2 + 2x."""
+
+    @settings(max_examples=60)
+    @given(honest_values,
+           st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+           st.data())
+    def test_two_observers_converge(self, honest, x, data):
+        f = 2
+        n = len(honest) + f
+        perturb = st.floats(min_value=-x, max_value=x, allow_nan=False)
+        bogus = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+        u = [h + data.draw(perturb) for h in honest] + \
+            [data.draw(bogus) for _ in range(f)]
+        v = [h + data.draw(perturb) for h in honest] + \
+            [data.draw(bogus) for _ in range(f)]
+        averager = FaultTolerantMidpoint()
+        diff = abs(averager.average(u, f) - averager.average(v, f))
+        diam = max(honest) - min(honest)
+        assert diff <= diam / 2.0 + 2 * x + 1e-6
+
+
+class TestApproximateAgreementProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=4, max_size=10),
+           st.integers(min_value=1, max_value=6))
+    def test_spread_never_increases_without_faults(self, initial, rounds):
+        result = run_approximate_agreement(initial, f=1, rounds=rounds)
+        for before, after in zip(result.spreads, result.spreads[1:]):
+            assert after <= before + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=7, max_size=10),
+           st.integers(min_value=0, max_value=1))
+    def test_final_values_inside_initial_range_with_faults(self, initial, byz_choice):
+        byzantine = [len(initial) - 1] if byz_choice else []
+        correct = [v for i, v in enumerate(initial) if i not in byzantine]
+        result = run_approximate_agreement(initial, f=2, rounds=3,
+                                           byzantine_ids=byzantine)
+        for value in result.final_values.values():
+            assert min(correct) - 1e-9 <= value <= max(correct) + 1e-9

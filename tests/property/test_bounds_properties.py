@@ -1,0 +1,136 @@
+"""Property-based tests for the closed-form bounds and parameter derivation."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import (
+    SyncParameters,
+    adjustment_bound,
+    agreement_bound,
+    k_exchange_beta,
+    lemma9_compensation_error,
+    startup_limit,
+    startup_round_recurrence,
+    steady_state_beta,
+    validity_parameters,
+)
+
+# Hardware-constant strategies spanning realistic LAN/WAN/cheap-clock regimes.
+rhos = st.floats(min_value=0.0, max_value=5e-3)
+deltas = st.floats(min_value=1e-3, max_value=0.2)
+ratios = st.floats(min_value=0.0, max_value=0.8)  # epsilon = ratio * delta
+sizes = st.tuples(st.integers(min_value=1, max_value=6),
+                  st.integers(min_value=1, max_value=4)).map(
+    lambda pair: (3 * pair[1] + pair[0], pair[1]))  # (n, f) with n >= 3f + 1
+
+
+def derive(n, f, rho, delta, epsilon):
+    return SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon)
+
+
+class TestDerivedParameters:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_derive_always_yields_feasible_parameters(self, size, rho, delta, ratio):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        assert params.is_feasible()
+        assert params.p_lower_bound() <= params.round_length <= params.p_upper_bound()
+        assert params.beta >= params.beta_lower_bound()
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_beta_floor_is_at_least_four_epsilon(self, size, rho, delta, ratio):
+        n, f = size
+        epsilon = ratio * delta
+        params = derive(n, f, rho, delta, epsilon)
+        assert params.beta_lower_bound() >= 4 * epsilon - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_collection_window_covers_beta_and_the_latest_message(self, size, rho,
+                                                                  delta, ratio):
+        """The window (1+rho)(beta+delta+eps) exceeds beta + delta + eps."""
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        assert params.collection_window() >= (params.beta + params.delta
+                                              + params.epsilon) - 1e-12
+
+
+class TestBoundMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios, st.floats(min_value=1.05, max_value=4.0))
+    def test_agreement_bound_grows_with_beta(self, size, rho, delta, ratio, factor):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        larger = params.with_beta(params.beta * factor)
+        assert agreement_bound(larger) > agreement_bound(params)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_bounds_are_positive_and_ordered(self, size, rho, delta, ratio):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        assert adjustment_bound(params) > 0
+        assert agreement_bound(params) > 0
+        assert lemma9_compensation_error(params) > 0
+        # gamma >= beta + epsilon: the agreement bound never beats the initial
+        # closeness plus one delay uncertainty.
+        assert agreement_bound(params) >= params.beta + params.epsilon - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios, st.integers(min_value=1, max_value=6))
+    def test_k_exchange_beta_decreases_in_k_towards_its_limit(self, size, rho, delta,
+                                                              ratio, k):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        current = k_exchange_beta(params, k)
+        following = k_exchange_beta(params, k + 1)
+        limit = 4 * params.epsilon + 2 * params.rho * params.round_length
+        assert following <= current + 1e-15
+        assert current >= limit - 1e-15
+        # k = 1 reproduces the basic 4eps + 4rhoP formula.
+        assert math.isclose(k_exchange_beta(params, 1), steady_state_beta(params),
+                            rel_tol=1e-12, abs_tol=1e-15)
+
+
+class TestValidityParameters:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_envelope_slopes_bracket_one(self, size, rho, delta, ratio):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        vp = validity_parameters(params)
+        assert vp.alpha1 <= 1.0 <= vp.alpha2
+        assert vp.alpha3 == params.epsilon
+        # Symmetric around 1: 1 - alpha1 == alpha2 - 1.
+        assert math.isclose(1.0 - vp.alpha1, vp.alpha2 - 1.0,
+                            rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestStartupRecurrence:
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios,
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_recurrence_contracts_towards_the_fixed_point(self, size, rho, delta,
+                                                          ratio, spread):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        limit = startup_limit(params)
+        after = startup_round_recurrence(params, spread)
+        # Above the fixed point the spread shrinks; below it, it cannot exceed
+        # the fixed point.
+        if spread > limit:
+            assert after < spread
+        else:
+            assert after <= limit + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes, rhos, deltas, ratios)
+    def test_fixed_point_is_stationary(self, size, rho, delta, ratio):
+        n, f = size
+        params = derive(n, f, rho, delta, ratio * delta)
+        limit = startup_limit(params)
+        assert math.isclose(startup_round_recurrence(params, limit), limit,
+                            rel_tol=1e-9, abs_tol=1e-12)

@@ -1,0 +1,93 @@
+"""Property-based tests for the ρ-bounded clock models (Lemmas 1-3)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import (
+    ConstantRateClock,
+    PiecewiseLinearClock,
+    SinusoidalDriftClock,
+    lemma1_holds,
+    lemma2a_holds,
+    lemma2b_holds,
+    rho_rate_bounds,
+)
+
+rho_values = st.floats(min_value=1e-8, max_value=1e-3, allow_nan=False)
+times = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+offsets = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def constant_clock(draw):
+    rho = draw(rho_values)
+    lo, hi = rho_rate_bounds(rho)
+    rate = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    return ConstantRateClock(offset=draw(offsets), rate=rate, rho=rho)
+
+
+@st.composite
+def piecewise_clock(draw):
+    rho = draw(rho_values)
+    lo, hi = rho_rate_bounds(rho)
+    count = draw(st.integers(min_value=1, max_value=4))
+    rates = [draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+             for _ in range(count + 1)]
+    breakpoints = sorted(draw(st.lists(
+        st.floats(min_value=1.0, max_value=5000.0, allow_nan=False),
+        min_size=count, max_size=count, unique=True)))
+    return PiecewiseLinearClock(offset=draw(offsets), rates=rates,
+                                breakpoints=breakpoints, rho=rho)
+
+
+@st.composite
+def sinusoidal_clock(draw):
+    rho = draw(rho_values)
+    amp = draw(st.floats(min_value=0.0, max_value=rho / (1 + rho), allow_nan=False))
+    return SinusoidalDriftClock(offset=draw(offsets), amplitude=amp,
+                                period=draw(st.floats(min_value=10.0, max_value=5000.0)),
+                                phase=draw(st.floats(min_value=0.0, max_value=6.28)),
+                                rho=rho)
+
+
+any_clock = st.one_of(constant_clock(), piecewise_clock(), sinusoidal_clock())
+
+
+class TestClockLemmas:
+    @settings(max_examples=80)
+    @given(any_clock, times, times)
+    def test_lemma1(self, clock, t1, t2):
+        assert lemma1_holds(clock, t1, t2, tolerance=1e-6)
+
+    @settings(max_examples=80)
+    @given(any_clock, times, times)
+    def test_lemma2a(self, clock, t1, t2):
+        assert lemma2a_holds(clock, t1, t2, tolerance=1e-6)
+
+    @settings(max_examples=50)
+    @given(any_clock, any_clock, times, times)
+    def test_lemma2b(self, clock_c, clock_d, t1, t2):
+        assert lemma2b_holds(clock_c, clock_d, t1, t2, tolerance=1e-6)
+
+    @settings(max_examples=80)
+    @given(any_clock, times)
+    def test_monotonicity(self, clock, t):
+        assert clock.read(t + 1.0) > clock.read(t)
+
+    @settings(max_examples=80)
+    @given(any_clock, times)
+    def test_forward_inverse_roundtrip(self, clock, t):
+        assert math.isclose(clock.real_time_at(clock.read(t)), t,
+                            rel_tol=1e-6, abs_tol=1e-4)
+
+    @settings(max_examples=80)
+    @given(any_clock, times)
+    def test_inverse_is_rho_bounded_too(self, clock, t):
+        # The inverse of a rho-bounded clock is rho-bounded (Section 3.1):
+        # elapsed real time between two clock readings is within the band.
+        T1 = clock.read(t)
+        T2 = clock.read(t + 10.0)
+        lo, hi = rho_rate_bounds(clock.rho)
+        elapsed_real = clock.real_time_at(T2) - clock.real_time_at(T1)
+        assert (T2 - T1) * (1 / hi) - 1e-4 <= elapsed_real <= (T2 - T1) * (1 / lo) + 1e-4

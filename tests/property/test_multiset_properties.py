@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the multiset machinery of the Appendix."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.multiset import (
+    Multiset,
+    fault_tolerant_mean,
+    fault_tolerant_midpoint,
+    lemma21_bounds_hold,
+    lemma23_bound_holds,
+    lemma24_holds,
+    reduce_multiset,
+    x_distance,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def multiset_with_f(draw, min_honest=1, max_f=3):
+    """A multiset of n = honest + 2f values together with f."""
+    f = draw(st.integers(min_value=0, max_value=max_f))
+    honest_count = draw(st.integers(min_value=max(min_honest, f + 1), max_value=8))
+    values = draw(st.lists(finite, min_size=honest_count + 2 * f,
+                           max_size=honest_count + 2 * f))
+    return values, f
+
+
+class TestReduceAndMid:
+    @given(multiset_with_f())
+    def test_reduce_size(self, data):
+        values, f = data
+        assert len(reduce_multiset(values, f)) == len(values) - 2 * f
+
+    @given(multiset_with_f())
+    def test_reduce_range_shrinks(self, data):
+        values, f = data
+        full = Multiset(values)
+        reduced = full.reduce(f)
+        assert reduced.min() >= full.min()
+        assert reduced.max() <= full.max()
+
+    @given(multiset_with_f())
+    def test_midpoint_within_reduced_range(self, data):
+        values, f = data
+        reduced = reduce_multiset(values, f)
+        result = fault_tolerant_midpoint(values, f)
+        assert reduced.min() - 1e-9 <= result <= reduced.max() + 1e-9
+
+    @given(multiset_with_f())
+    def test_mean_within_reduced_range(self, data):
+        values, f = data
+        reduced = reduce_multiset(values, f)
+        result = fault_tolerant_mean(values, f)
+        assert reduced.min() - 1e-9 <= result <= reduced.max() + 1e-9
+
+    @given(st.lists(finite, min_size=1, max_size=20), finite)
+    def test_shift_equivariance(self, values, shift):
+        # mid(U + r) = mid(U) + r and reduce(U + r) = reduce(U) + r.
+        ms = Multiset(values)
+        assert ms.shift(shift).mid() == ms.mid() + shift or \
+               math.isclose(ms.shift(shift).mid(), ms.mid() + shift,
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(multiset_with_f())
+    def test_translation_invariance_of_averaging(self, data):
+        values, f = data
+        shift = 17.5
+        base = fault_tolerant_midpoint(values, f)
+        shifted = fault_tolerant_midpoint([v + shift for v in values], f)
+        assert math.isclose(shifted, base + shift, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@st.composite
+def witness_scenario(draw):
+    """Generate (U, V, W, f, x) satisfying the hypotheses of Lemmas 21-24."""
+    f = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=3 * f + 1, max_value=3 * f + 5))
+    honest = draw(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                                     allow_nan=False), min_size=n - f, max_size=n - f))
+    x = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    # U and V contain, for each honest value, something within x of it, plus f
+    # arbitrary (faulty) values each.
+    def paired(seed_offset):
+        perturbations = draw(st.lists(st.floats(min_value=-x, max_value=x,
+                                                allow_nan=False),
+                                      min_size=n - f, max_size=n - f))
+        bogus = draw(st.lists(finite, min_size=f, max_size=f))
+        return [h + p for h, p in zip(honest, perturbations)] + bogus
+    u = paired(1)
+    v = paired(2)
+    return u, v, honest, f, x
+
+
+class TestAppendixLemmaProperties:
+    @settings(max_examples=60)
+    @given(witness_scenario())
+    def test_lemma21(self, scenario):
+        u, _, w, f, x = scenario
+        assert lemma21_bounds_hold(u, w, f, x)
+
+    @settings(max_examples=60)
+    @given(witness_scenario())
+    def test_lemma23(self, scenario):
+        u, v, _, f, x = scenario
+        assert lemma23_bound_holds(u, v, f, x)
+
+    @settings(max_examples=60)
+    @given(witness_scenario())
+    def test_lemma24(self, scenario):
+        u, v, w, f, x = scenario
+        assert lemma24_holds(u, v, w, f, x)
+
+    @settings(max_examples=60)
+    @given(witness_scenario())
+    def test_x_distance_zero_for_constructed_witnesses(self, scenario):
+        u, _, w, f, x = scenario
+        # Each honest value has a partner in U within x, so d_x(W, U) = 0.
+        assert x_distance(w, u, x * (1 + 1e-9) + 1e-9) == 0

@@ -1,0 +1,102 @@
+"""Property-based tests for the statistics, plotting and export helpers."""
+
+import csv
+import io
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import rows_to_csv, summarize
+from repro.analysis.plotting import histogram, scale_to_rows, sparkline
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+samples = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+class TestSummarizeProperties:
+    @given(samples)
+    def test_ordering_invariants(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.count == len(values)
+        assert stats.std >= 0
+
+    @given(samples)
+    def test_confidence_interval_contains_mean(self, values):
+        stats = summarize(values)
+        assert stats.ci95_low <= stats.mean <= stats.ci95_high
+
+    @given(samples, finite_floats)
+    def test_translation_shifts_mean_and_preserves_std(self, values, shift):
+        base = summarize(values)
+        shifted = summarize([v + shift for v in values])
+        assert math.isclose(shifted.mean, base.mean + shift,
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(shifted.std, base.std, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(samples)
+    def test_duplication_preserves_mean_and_extrema(self, values):
+        base = summarize(values)
+        doubled = summarize(values + values)
+        assert math.isclose(doubled.mean, base.mean, rel_tol=1e-12, abs_tol=1e-12)
+        assert doubled.minimum == base.minimum
+        assert doubled.maximum == base.maximum
+
+
+class TestSparklineProperties:
+    @given(samples)
+    def test_length_and_alphabet(self, values):
+        line = sparkline(values)
+        assert len(line) == len(values)
+        assert set(line) <= set("▁▂▃▄▅▆▇█ ")
+
+    @given(samples)
+    def test_extremes_map_to_extreme_glyphs(self, values):
+        line = sparkline(values)
+        low, high = min(values), max(values)
+        if low < high:
+            assert line[values.index(low)] == "▁"
+            assert line[values.index(high)] == "█"
+
+
+class TestScaleToRowsProperties:
+    @given(samples, st.integers(min_value=1, max_value=40))
+    def test_rows_within_range(self, values, height):
+        rows = scale_to_rows(values, height)
+        assert len(rows) == len(values)
+        assert all(row is None or 0 <= row < height for row in rows)
+
+    @given(samples, st.integers(min_value=2, max_value=40))
+    def test_monotone_values_give_monotone_rows(self, values, height):
+        ordered = sorted(values)
+        rows = scale_to_rows(ordered, height)
+        assert all(a <= b for a, b in zip(rows, rows[1:]))
+
+
+class TestHistogramProperties:
+    @given(samples, st.integers(min_value=1, max_value=20))
+    def test_counts_sum_to_sample_size(self, values, bins):
+        text = histogram(values, bins=bins)
+        counts = [int(line.split(")")[1].split()[0])
+                  for line in text.splitlines() if line.startswith("[")]
+        assert sum(counts) == len(values)
+
+
+class TestCsvProperties:
+    @given(st.lists(
+        st.dictionaries(
+            keys=st.sampled_from(["a", "b", "c"]),
+            values=st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+        ),
+        min_size=1, max_size=20,
+    ))
+    def test_round_trip_preserves_values(self, rows):
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        for original, recovered in zip(rows, parsed):
+            for key, value in original.items():
+                assert recovered[key] == str(value)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.amortized (spread-out adjustment application)."""
+
+import pytest
+
+from repro.analysis import (
+    measured_agreement,
+    run_maintenance_scenario,
+    sample_grid,
+)
+from repro.core import AmortizedWelchLynchProcess, agreement_bound
+
+
+def run_amortized(params, rounds=8, steps=8, spread_fraction=0.5, seed=0,
+                  fault_kind="two_faced"):
+    factory = lambda p, r: AmortizedWelchLynchProcess(  # noqa: E731
+        p, steps=steps, spread_fraction=spread_fraction, max_rounds=r)
+    return run_maintenance_scenario(params, rounds=rounds, fault_kind=fault_kind,
+                                    seed=seed, correct_process_factory=factory)
+
+
+class TestConstruction:
+    def test_rejects_bad_steps_and_fraction(self, medium_params):
+        with pytest.raises(ValueError):
+            AmortizedWelchLynchProcess(medium_params, steps=0)
+        with pytest.raises(ValueError):
+            AmortizedWelchLynchProcess(medium_params, spread_fraction=0.0)
+        with pytest.raises(ValueError):
+            AmortizedWelchLynchProcess(medium_params, spread_fraction=1.5)
+
+    def test_spread_interval_and_monotonicity_predicate(self, medium_params):
+        process = AmortizedWelchLynchProcess(medium_params, steps=4,
+                                             spread_fraction=0.5)
+        assert process.spread_interval() == pytest.approx(
+            medium_params.round_length * 0.5)
+        # Adjustments smaller than the spread interval keep time monotone.
+        assert process.is_monotone_for(medium_params.beta)
+        assert not process.is_monotone_for(process.spread_interval() * 2)
+
+    def test_label_mentions_steps(self, medium_params):
+        process = AmortizedWelchLynchProcess(medium_params, steps=3)
+        assert "steps=3" in process.label()
+
+
+class TestBehaviour:
+    def test_amortized_run_still_meets_agreement_bound(self, medium_params):
+        result = run_amortized(medium_params, rounds=8, seed=1)
+        start = result.tmax0 + 2 * medium_params.round_length
+        skew = measured_agreement(result.trace, start, result.end_time, samples=150)
+        # The amortized variant holds the same logical clock as the
+        # instantaneous one at every round boundary, so Theorem 16 still holds
+        # (the within-round transient is below |ADJ| <= the Theorem 4a bound).
+        assert skew <= agreement_bound(medium_params) + 1e-9
+
+    def test_adjustments_are_applied_in_slices(self, medium_params):
+        steps = 5
+        rounds = 4
+        result = run_amortized(medium_params, rounds=rounds, steps=steps, seed=2)
+        nonfaulty = result.trace.nonfaulty_ids
+        for pid in nonfaulty:
+            adjustments = result.trace.adjustments(pid)
+            # Every completed round contributes `steps` slices.
+            assert len(adjustments) >= steps * (rounds - 1)
+
+    def test_total_correction_matches_computed_adjustments(self, medium_params):
+        result = run_amortized(medium_params, rounds=5, steps=4, seed=3)
+        trace = result.trace
+        for pid in trace.nonfaulty_ids:
+            updates = trace.events_named("update", pid)
+            total_computed = sum(event.data["adjustment"] for event in updates)
+            total_applied = sum(trace.adjustments(pid))
+            assert total_applied == pytest.approx(total_computed, abs=1e-12)
+
+    def test_local_time_is_monotone_for_nonfaulty_processes(self, medium_params):
+        result = run_amortized(medium_params, rounds=8, steps=10, seed=4)
+        trace = result.trace
+        grid = sample_grid(result.tmax0, result.end_time, 400)
+        for pid in trace.nonfaulty_ids:
+            values = [trace.local_time(pid, t) for t in grid]
+            diffs = [b - a for a, b in zip(values, values[1:])]
+            # Sliced corrections keep local time non-decreasing even when the
+            # per-round adjustment is negative.
+            assert min(diffs) >= -1e-9
+
+    def test_single_step_matches_base_algorithm(self, medium_params):
+        """steps=1 degenerates to the instantaneous algorithm (same trace)."""
+        amortized = run_amortized(medium_params, rounds=5, steps=1, seed=5)
+        plain = run_maintenance_scenario(medium_params, rounds=5,
+                                         fault_kind="two_faced", seed=5)
+        grid = sample_grid(amortized.tmax0 + medium_params.round_length,
+                           amortized.end_time, 50)
+        for pid in amortized.trace.nonfaulty_ids:
+            for t in grid:
+                assert amortized.trace.local_time(pid, t) == pytest.approx(
+                    plain.trace.local_time(pid, t), abs=1e-9)

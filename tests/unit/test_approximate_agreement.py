@@ -1,0 +1,107 @@
+"""Unit tests for the DLPSW approximate agreement substrate."""
+
+import random
+
+import pytest
+
+from repro.multiset import (
+    RandomValueStrategy,
+    SpoilerStrategy,
+    TwoFacedStrategy,
+    mean_convergence_rate,
+    midpoint_convergence_rate,
+    run_approximate_agreement,
+)
+
+
+class TestProtocolBasics:
+    def test_fault_free_single_round_collapses_with_midpoint(self):
+        result = run_approximate_agreement([0.0, 1.0, 2.0, 4.0], f=0, rounds=1)
+        assert result.final_spread == 0.0
+
+    def test_spread_halves_per_round_with_f_faults(self):
+        initial = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+        result = run_approximate_agreement(initial, f=2, rounds=5,
+                                           byzantine_ids=[5, 6])
+        for before, after in zip(result.spreads, result.spreads[1:]):
+            assert after <= before / 2.0 + 1e-9
+
+    def test_final_values_within_initial_correct_range(self):
+        initial = [3.0, 5.0, 4.0, 4.5, 3.5, 100.0, -100.0]
+        result = run_approximate_agreement(initial, f=2, rounds=4,
+                                           byzantine_ids=[5, 6],
+                                           strategy=SpoilerStrategy())
+        for value in result.final_values.values():
+            assert 3.0 <= value <= 5.0
+
+    def test_factors_computed(self):
+        result = run_approximate_agreement([0.0, 1.0, 2.0, 3.0], f=1, rounds=3,
+                                           byzantine_ids=[3])
+        assert len(result.factors) == 3
+        assert all(f <= 0.5 + 1e-9 for f in result.factors)
+
+    def test_zero_rounds_returns_initial_spread(self):
+        result = run_approximate_agreement([1.0, 4.0, 2.0, 3.0], f=1, rounds=0)
+        assert result.spreads == [3.0]
+        assert result.final_spread == 3.0
+
+    def test_mean_variant_converges(self):
+        initial = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        result = run_approximate_agreement(initial, f=2, rounds=6,
+                                           byzantine_ids=[0, 6], use_mean=True)
+        assert result.final_spread < result.spreads[0] / 4.0
+
+
+class TestStrategies:
+    def test_random_strategy_values_bounded_by_inflation(self):
+        strategy = RandomValueStrategy(random.Random(1), inflation=2.0)
+        value = strategy.value_for(0, 5, 1, [0.0, 1.0])
+        assert -2.0 - 1.0 <= value <= 1.0 + 2.0 + 1.0
+
+    def test_two_faced_sends_different_values(self):
+        strategy = TwoFacedStrategy()
+        high = strategy.value_for(0, 5, 0, [0.0, 1.0])
+        low = strategy.value_for(0, 5, 1, [0.0, 1.0])
+        assert high > 1.0 and low < 0.0
+
+    def test_spoiler_sign(self):
+        assert SpoilerStrategy(sign=-1).value_for(0, 0, 0, [1.0]) < 0
+        assert SpoilerStrategy(sign=+1).value_for(0, 0, 0, [1.0]) > 0
+
+
+class TestValidation:
+    def test_empty_initial_values_rejected(self):
+        with pytest.raises(ValueError):
+            run_approximate_agreement([], f=0, rounds=1)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            run_approximate_agreement([1.0], f=0, rounds=-1)
+
+    def test_out_of_range_byzantine_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_approximate_agreement([1.0, 2.0], f=0, rounds=1, byzantine_ids=[5])
+
+    def test_all_byzantine_rejected(self):
+        with pytest.raises(ValueError):
+            run_approximate_agreement([1.0], f=0, rounds=1, byzantine_ids=[0])
+
+
+class TestConvergenceRates:
+    def test_midpoint_rate(self):
+        assert midpoint_convergence_rate() == 0.5
+
+    def test_mean_rate_formula(self):
+        assert mean_convergence_rate(7, 2) == pytest.approx(2 / 3)
+        assert mean_convergence_rate(10, 1) == pytest.approx(1 / 8)
+
+    def test_mean_rate_zero_faults(self):
+        assert mean_convergence_rate(5, 0) == 0.0
+
+    def test_mean_rate_requires_n_over_2f(self):
+        with pytest.raises(ValueError):
+            mean_convergence_rate(4, 2)
+
+    def test_mean_rate_improves_with_n(self):
+        # Section 7: with f fixed, larger n converges faster with the mean.
+        assert mean_convergence_rate(20, 2) < mean_convergence_rate(8, 2)

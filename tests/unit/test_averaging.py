@@ -1,0 +1,63 @@
+"""Unit tests for the fault-tolerant averaging functions."""
+
+import pytest
+
+from repro.core import FaultTolerantMean, FaultTolerantMidpoint, PlainMean, convergence_rate
+
+
+class TestMidpoint:
+    def test_name(self):
+        assert FaultTolerantMidpoint().name == "midpoint"
+
+    def test_average_is_midpoint_of_reduced_range(self):
+        fn = FaultTolerantMidpoint()
+        assert fn.average([0, 1, 2, 3, 4, 100, -100], f=1) == 2.0
+
+    def test_outliers_cannot_escape_honest_range(self):
+        fn = FaultTolerantMidpoint()
+        honest = [10.0, 10.1, 10.2, 10.3, 10.4]
+        result = fn.average(honest + [1e9, -1e9], f=2)
+        assert 10.0 <= result <= 10.4
+
+    def test_convergence_rate_is_half(self):
+        assert FaultTolerantMidpoint().guaranteed_convergence_rate(7, 2) == 0.5
+
+
+class TestMean:
+    def test_name(self):
+        assert FaultTolerantMean().name == "mean"
+
+    def test_average_excludes_extremes(self):
+        fn = FaultTolerantMean()
+        assert fn.average([0, 2, 4, 100, -100], f=1) == pytest.approx(2.0)
+
+    def test_convergence_rate_formula(self):
+        fn = FaultTolerantMean()
+        assert fn.guaranteed_convergence_rate(7, 2) == pytest.approx(2 / 3)
+        assert fn.guaranteed_convergence_rate(20, 2) == pytest.approx(2 / 16)
+        assert fn.guaranteed_convergence_rate(10, 0) == 0.0
+
+    def test_convergence_rate_requires_n_over_2f(self):
+        with pytest.raises(ValueError):
+            FaultTolerantMean().guaranteed_convergence_rate(4, 2)
+
+
+class TestPlainMean:
+    def test_not_fault_tolerant(self):
+        fn = PlainMean()
+        honest = [1.0, 1.0, 1.0]
+        assert fn.average(honest + [1000.0], f=1) > 100.0
+
+    def test_rate_infinite_with_faults(self):
+        assert PlainMean().guaranteed_convergence_rate(7, 2) == float("inf")
+        assert PlainMean().guaranteed_convergence_rate(7, 0) == 0.0
+
+
+class TestConvergenceRateLookup:
+    def test_by_name(self):
+        assert convergence_rate("midpoint", 7, 2) == 0.5
+        assert convergence_rate("mean", 7, 2) == pytest.approx(2 / 3)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            convergence_rate("median", 7, 2)

@@ -1,0 +1,282 @@
+"""Behavioural unit tests for the Section 10 baseline algorithms.
+
+These complement ``test_baselines.py``: rather than checking that each
+algorithm synchronizes end-to-end, they pin down the algorithm-specific
+behaviours Section 10 discusses — the [LM] egocentric clipping, the [MS]
+acceptance test and its graceful degradation, the [ST] f+1 / n−f relay
+thresholds, the [HSSD] single-message acceleration (and the regression test
+for the stale-timer bug), Marzullo's interval intersection, and the
+free-running control's drift envelope.
+"""
+
+import pytest
+
+from repro.analysis import measured_agreement, run_algorithm_scenario
+from repro.baselines import (
+    HSSDProcess,
+    InteractiveConvergenceProcess,
+    MahaneySchneiderProcess,
+    SrikanthTouegProcess,
+    free_running_skew_bound,
+    hssd_adjustment_estimate,
+    hssd_agreement_estimate,
+    lm_adjustment_estimate,
+    lm_agreement_estimate,
+    marzullo_intersection,
+    st_adjustment_estimate,
+    st_agreement_estimate,
+)
+from repro.core import SyncParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+
+class _StubContext:
+    """Minimal stand-in for ProcessContext where only n is consulted."""
+
+    def __init__(self, n):
+        self.n = n
+        self.process_id = 0
+        self.process_ids = range(n)
+
+
+class TestInteractiveConvergence:
+    def test_offsets_beyond_threshold_are_replaced_by_own_value(self, params):
+        process = InteractiveConvergenceProcess(params, threshold=0.01)
+        offsets = {0: 0.0, 1: 0.004, 2: -0.003, 3: 5.0, 4: -7.0, 5: 0.002, 6: 0.0}
+        combined = process.combine(_StubContext(7), offsets)
+        # The two outrageous values count as 0 (own value), so the average is
+        # bounded by the honest offsets.
+        assert abs(combined) <= 0.01
+        expected = (0.0 + 0.004 - 0.003 + 0.0 + 0.0 + 0.002 + 0.0) / 7
+        assert combined == pytest.approx(expected)
+
+    def test_estimates_scale_with_n(self, params):
+        bigger = SyncParameters.derive(n=13, f=2, rho=params.rho, delta=params.delta,
+                                       epsilon=params.epsilon)
+        assert lm_agreement_estimate(bigger) > lm_agreement_estimate(params)
+        assert lm_adjustment_estimate(bigger) > lm_adjustment_estimate(params)
+
+
+class TestMahaneySchneider:
+    def test_lonely_outliers_are_discarded(self, params):
+        process = MahaneySchneiderProcess(params, closeness=0.01)
+        offsets = {0: 0.0, 1: 0.001, 2: -0.002, 3: 0.003, 4: -0.001, 5: 9.0, 6: -9.0}
+        combined = process.combine(_StubContext(7), offsets)
+        honest = [0.0, 0.001, -0.002, 0.003, -0.001]
+        assert combined == pytest.approx(sum(honest) / len(honest))
+
+    def test_all_values_rejected_falls_back_to_zero(self, params):
+        process = MahaneySchneiderProcess(params, closeness=1e-6)
+        offsets = {pid: pid * 1.0 for pid in range(7)}
+        assert process.combine(_StubContext(7), offsets) == 0.0
+
+    def test_graceful_degradation_beyond_f(self, params):
+        """Even with f+1 wild values the accepted average stays in the honest range."""
+        process = MahaneySchneiderProcess(params, closeness=0.01)
+        offsets = {0: 0.0, 1: 0.002, 2: -0.002, 3: 0.001, 4: 50.0, 5: -80.0, 6: 120.0}
+        combined = process.combine(_StubContext(7), offsets)
+        assert -0.002 <= combined <= 0.002
+
+
+class TestSrikanthToueg:
+    def test_relay_after_f_plus_1_and_accept_after_n_minus_f(self, params):
+        from repro.baselines import STRoundMessage
+        process = SrikanthTouegProcess(params, max_rounds=3)
+
+        sent = []
+        adjustments = []
+
+        class Ctx(_StubContext):
+            def local_time(self):
+                return 0.005
+
+            def broadcast(self, payload):
+                sent.append(payload)
+
+            def adjust_correction(self, adj, round_index=-1):
+                adjustments.append(adj)
+                return adj
+
+            def set_timer(self, logical_time, payload=None):
+                return True
+
+            def log(self, name, **data):
+                pass
+
+        ctx = Ctx(7)
+        # Two distinct senders (f = 2): not yet enough to relay.
+        process.on_message(ctx, 1, STRoundMessage(round_index=0))
+        process.on_message(ctx, 2, STRoundMessage(round_index=0))
+        assert sent == []
+        # The third distinct sender crosses f + 1: the process relays.
+        process.on_message(ctx, 3, STRoundMessage(round_index=0))
+        assert len(sent) == 1
+        # n − f = 5 distinct senders: the round is accepted and the clock set.
+        process.on_message(ctx, 4, STRoundMessage(round_index=0))
+        assert adjustments == []
+        process.on_message(ctx, 5, STRoundMessage(round_index=0))
+        assert len(adjustments) == 1
+        assert adjustments[0] == pytest.approx(params.delta + params.T0 - 0.005)
+
+    def test_estimates_match_section10(self, params):
+        assert st_agreement_estimate(params) == pytest.approx(params.delta
+                                                              + params.epsilon)
+        assert st_adjustment_estimate(params) == pytest.approx(
+            3 * (params.delta + params.epsilon))
+
+
+class TestHSSD:
+    def test_stale_timer_does_not_start_the_next_round(self, params):
+        """Regression: a timer armed for round i must be ignored once round i
+        has been begun via a relayed message (it used to trigger round i+1
+        immediately, accelerating the clock by a full round)."""
+        from repro.baselines import SignedRoundMessage
+        process = HSSDProcess(params, max_rounds=5)
+        updates = []
+
+        class Ctx(_StubContext):
+            def __init__(self, n):
+                super().__init__(n)
+                self._local = params.T0 + params.round_length - 0.002
+
+            def local_time(self):
+                return self._local
+
+            def broadcast(self, payload):
+                pass
+
+            def adjust_correction(self, adj, round_index=-1):
+                updates.append((round_index, adj))
+                self._local += adj
+                return adj
+
+            def set_timer(self, logical_time, payload=None):
+                return True
+
+            def log(self, name, **data):
+                pass
+
+        ctx = Ctx(7)
+        process.round_index = 1
+        # A validly signed round-1 message arrives just before our own timer.
+        process.on_message(ctx, 3, SignedRoundMessage(round_index=1, signers=(3,)))
+        assert [index for index, _ in updates] == [1]
+        # The stale timer for round 1 then fires: it must NOT begin round 2.
+        process.on_timer(ctx, payload=1)
+        assert [index for index, _ in updates] == [1]
+
+    def test_faulty_processes_can_only_accelerate(self, params):
+        """[HSSD] adjustments triggered by (possibly forged-timing) messages are
+        forward jumps: the adjustment is positive when the round message leads
+        the local clock."""
+        from repro.baselines import SignedRoundMessage
+        process = HSSDProcess(params, max_rounds=5)
+        adjustments = []
+
+        class Ctx(_StubContext):
+            def local_time(self):
+                return params.T0 + params.round_length - 0.004
+
+            def broadcast(self, payload):
+                pass
+
+            def adjust_correction(self, adj, round_index=-1):
+                adjustments.append(adj)
+                return adj
+
+            def set_timer(self, logical_time, payload=None):
+                return True
+
+            def log(self, name, **data):
+                pass
+
+        process.round_index = 1
+        process.on_message(Ctx(7), 2, SignedRoundMessage(round_index=1, signers=(2,)))
+        assert adjustments and adjustments[0] > 0
+
+    def test_unsigned_messages_are_rejected(self, params):
+        from repro.baselines import SignedRoundMessage
+        process = HSSDProcess(params, max_rounds=5)
+        called = []
+
+        class Ctx(_StubContext):
+            def local_time(self):
+                return params.T0 + params.round_length - 0.004
+
+            def adjust_correction(self, adj, round_index=-1):
+                called.append(adj)
+                return adj
+
+            def broadcast(self, payload):
+                pass
+
+            def set_timer(self, logical_time, payload=None):
+                return True
+
+            def log(self, name, **data):
+                pass
+
+        process.round_index = 1
+        process.on_message(Ctx(7), 2, SignedRoundMessage(round_index=1, signers=()))
+        assert called == []
+
+    def test_estimates_match_section10(self, params):
+        assert hssd_agreement_estimate(params) == pytest.approx(params.delta
+                                                                + params.epsilon)
+        assert hssd_adjustment_estimate(params) == pytest.approx(
+            (params.f + 1) * (params.delta + params.epsilon))
+
+    def test_high_drift_run_stays_near_delta_plus_epsilon(self):
+        """End-to-end regression for the stale-timer bug at high drift."""
+        params = SyncParameters.derive(n=7, f=2, rho=2e-3, delta=0.01, epsilon=0.002)
+        result = run_algorithm_scenario("hssd", params, rounds=12,
+                                        fault_kind="silent", seed=2)
+        start = result.tmax0 + 2 * params.round_length
+        skew = measured_agreement(result.trace, start, result.end_time, samples=120)
+        assert skew <= 2 * hssd_agreement_estimate(params)
+
+
+class TestMarzulloIntersection:
+    def test_majority_overlap(self):
+        region = marzullo_intersection([(0.0, 1.0), (0.5, 1.5), (0.8, 2.0)],
+                                       required=2)
+        assert region == (0.5, 1.5)
+
+    def test_outlier_is_ignored_with_enough_required_coverage(self):
+        region = marzullo_intersection([(0.0, 1.0), (0.2, 0.9), (10.0, 11.0)],
+                                       required=2)
+        assert region == (0.2, 0.9)
+
+    def test_no_region_when_requirement_unmet(self):
+        assert marzullo_intersection([(0.0, 1.0), (2.0, 3.0)], required=2) is None
+
+    def test_touching_intervals_count(self):
+        region = marzullo_intersection([(0.0, 1.0), (1.0, 2.0)], required=2)
+        assert region == (1.0, 1.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            marzullo_intersection([(1.0, 0.0)], required=1)
+        with pytest.raises(ValueError):
+            marzullo_intersection([(0.0, 1.0)], required=0)
+
+
+class TestUnsynchronizedControl:
+    def test_free_running_skew_bound_grows_linearly(self, params):
+        early = free_running_skew_bound(params, 10.0)
+        late = free_running_skew_bound(params, 20.0)
+        assert late > early
+        assert early >= params.beta
+
+    def test_measured_free_running_skew_respects_the_bound(self):
+        params = SyncParameters.derive(n=7, f=2, rho=2e-3, delta=0.01, epsilon=0.002)
+        result = run_algorithm_scenario("unsynchronized", params, rounds=10,
+                                        fault_kind=None, seed=4)
+        elapsed = result.end_time - result.tmin0
+        skew = measured_agreement(result.trace, result.tmax0, result.end_time,
+                                  samples=100)
+        assert skew <= free_running_skew_bound(params, elapsed)

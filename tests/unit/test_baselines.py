@@ -1,0 +1,180 @@
+"""Unit tests for the Section 10 comparison algorithms."""
+
+import pytest
+
+from repro.analysis import (
+    adjustment_statistics,
+    measured_agreement,
+    run_algorithm_scenario,
+)
+from repro.baselines import (
+    HSSDProcess,
+    InteractiveConvergenceProcess,
+    MahaneySchneiderProcess,
+    MarzulloProcess,
+    SignedRoundMessage,
+    SrikanthTouegProcess,
+    UnsynchronizedProcess,
+    free_running_skew_bound,
+    hssd_adjustment_estimate,
+    hssd_agreement_estimate,
+    lm_adjustment_estimate,
+    lm_agreement_estimate,
+    marzullo_intersection,
+    st_adjustment_estimate,
+    st_agreement_estimate,
+)
+
+
+class TestEgocentricAverage:
+    def test_values_beyond_threshold_replaced_by_own(self, small_params):
+        process = InteractiveConvergenceProcess(small_params, threshold=0.01)
+
+        class Ctx:
+            n = 4
+        offsets = {0: 0.0, 1: 0.005, 2: -0.004, 3: 50.0}
+        result = process.combine(Ctx(), offsets)
+        assert result == pytest.approx((0.0 + 0.005 - 0.004 + 0.0) / 4)
+
+    def test_default_threshold_positive(self, small_params):
+        assert InteractiveConvergenceProcess(small_params).threshold > 0
+
+    def test_paper_estimates_scale_with_n(self, small_params, medium_params):
+        assert lm_agreement_estimate(medium_params) > lm_agreement_estimate(small_params)
+        assert lm_adjustment_estimate(medium_params) == pytest.approx(
+            (2 * medium_params.n + 1) * medium_params.epsilon)
+
+
+class TestMahaneySchneider:
+    def test_lonely_outlier_discarded(self, small_params):
+        process = MahaneySchneiderProcess(small_params, closeness=0.01)
+        accepted = process._accepted_values([0.0, 0.001, -0.002, 99.0], n=4)
+        assert 99.0 not in accepted
+        assert len(accepted) == 3
+
+    def test_all_accepted_when_close(self, small_params):
+        process = MahaneySchneiderProcess(small_params, closeness=0.01)
+        values = [0.0, 0.001, -0.001, 0.002]
+        assert sorted(process._accepted_values(values, n=4)) == sorted(values)
+
+    def test_combine_empty_acceptance_returns_zero(self, small_params):
+        # Pathological case: nothing is close to n - f others.
+        process = MahaneySchneiderProcess(small_params, closeness=1e-9)
+
+        class Ctx:
+            n = 4
+        assert process.combine(Ctx(), {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}) == 0.0
+
+
+class TestSrikanthToueg:
+    def test_estimates(self, medium_params):
+        assert st_agreement_estimate(medium_params) == pytest.approx(0.012)
+        assert st_adjustment_estimate(medium_params) == pytest.approx(0.036)
+
+    def test_relays_after_f_plus_1(self, medium_params):
+        process = SrikanthTouegProcess(medium_params)
+        sent = []
+
+        class Ctx:
+            process_id = 0
+            n = medium_params.n
+            process_ids = range(medium_params.n)
+            def local_time(self):
+                return 0.0
+            def broadcast(self, payload):
+                sent.append(payload)
+            def log(self, *a, **k):
+                pass
+            def adjust_correction(self, *a, **k):
+                pass
+            def set_timer(self, *a, **k):
+                return True
+
+        from repro.baselines import STRoundMessage
+        ctx = Ctx()
+        process.on_message(ctx, 1, STRoundMessage(round_index=0))
+        process.on_message(ctx, 2, STRoundMessage(round_index=0))
+        assert not sent
+        process.on_message(ctx, 3, STRoundMessage(round_index=0))  # f+1 = 3 distinct
+        assert len(sent) == 1
+
+    def test_duplicate_senders_not_double_counted(self, medium_params):
+        process = SrikanthTouegProcess(medium_params)
+        heard = process.heard.setdefault(0, set())
+        heard.add(1)
+        heard.add(1)
+        assert len(heard) == 1
+
+
+class TestHSSD:
+    def test_signature_chain_grows(self):
+        message = SignedRoundMessage(round_index=3, signers=(1,))
+        relayed = message.signed_by(2)
+        assert relayed.signers == (1, 2)
+        assert relayed.signed_by(2).signers == (1, 2)  # idempotent
+
+    def test_estimates(self, medium_params):
+        assert hssd_agreement_estimate(medium_params) == pytest.approx(0.012)
+        assert hssd_adjustment_estimate(medium_params) == pytest.approx(3 * 0.012)
+
+    def test_unsigned_message_ignored(self, medium_params):
+        process = HSSDProcess(medium_params)
+
+        class Ctx:
+            process_id = 0
+            def local_time(self):
+                return 0.0
+        process.on_message(Ctx(), 1, SignedRoundMessage(round_index=0, signers=()))
+        assert 0 not in process.accepted
+
+
+class TestMarzulloIntersection:
+    def test_full_overlap(self):
+        intervals = [(0.0, 2.0), (1.0, 3.0), (1.5, 2.5)]
+        assert marzullo_intersection(intervals, 3) == (1.5, 2.0)
+
+    def test_partial_overlap_uses_best_region(self):
+        intervals = [(0.0, 1.0), (0.5, 1.5), (10.0, 11.0)]
+        assert marzullo_intersection(intervals, 2) == (0.5, 1.0)
+
+    def test_no_region_returns_none(self):
+        assert marzullo_intersection([(0.0, 1.0), (2.0, 3.0)], 2) is None
+
+    def test_required_must_be_positive(self):
+        with pytest.raises(ValueError):
+            marzullo_intersection([(0.0, 1.0)], 0)
+
+    def test_malformed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            marzullo_intersection([(2.0, 1.0)], 1)
+
+    def test_touching_intervals_count(self):
+        assert marzullo_intersection([(0.0, 1.0), (1.0, 2.0)], 2) == (1.0, 1.0)
+
+
+class TestUnsynchronized:
+    def test_never_adjusts(self, small_params):
+        result = run_algorithm_scenario("unsynchronized", small_params, rounds=3,
+                                        fault_kind=None, seed=1)
+        assert adjustment_statistics(result.trace).count == 0
+
+    def test_free_running_bound_grows_linearly(self, small_params):
+        assert free_running_skew_bound(small_params, 100.0) > \
+               free_running_skew_bound(small_params, 10.0)
+
+
+class TestBaselinesSynchronize:
+    @pytest.mark.parametrize("algorithm", ["lamport_melliar_smith",
+                                           "mahaney_schneider",
+                                           "srikanth_toueg",
+                                           "marzullo"])
+    def test_agreement_beats_free_running_over_long_runs(self, medium_params, algorithm):
+        params = medium_params
+        rounds = 8
+        result = run_algorithm_scenario(algorithm, params, rounds=rounds,
+                                        fault_kind="silent", seed=4)
+        start = result.tmax0 + 2 * params.round_length
+        skew = measured_agreement(result.trace, start, result.end_time, samples=80)
+        # Every baseline keeps the clocks at least as close as the spread they
+        # started from plus the drift they would have accumulated unmanaged.
+        assert skew <= params.beta + 0.005

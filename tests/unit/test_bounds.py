@@ -1,0 +1,138 @@
+"""Unit tests for the closed-form bounds of the analysis (Sections 5-9)."""
+
+import pytest
+
+from repro.core import (
+    SyncParameters,
+    adjustment_bound,
+    agreement_bound,
+    k_exchange_beta,
+    lemma9_compensation_error,
+    lemma10_separation_bound,
+    mean_variant_rate,
+    shortest_round_real_time,
+    startup_convergence_series,
+    startup_limit,
+    startup_round_recurrence,
+    steady_state_beta,
+    validity_envelope,
+    validity_holds,
+    validity_parameters,
+)
+
+
+@pytest.fixture
+def params():
+    return SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+
+class TestAdjustmentAndLemmaBounds:
+    def test_adjustment_bound_formula(self, params):
+        expected = (1 + params.rho) * (params.beta + params.epsilon) \
+            + params.rho * params.delta
+        assert adjustment_bound(params) == pytest.approx(expected)
+
+    def test_lemma9_formula(self, params):
+        expected = params.beta / 2 + 2 * params.epsilon \
+            + 2 * params.rho * (params.beta + params.delta + params.epsilon)
+        assert lemma9_compensation_error(params) == pytest.approx(expected)
+
+    def test_lemma10_grows_with_clock_offset(self, params):
+        near = lemma10_separation_bound(params, 0.0)
+        far = lemma10_separation_bound(params, params.round_length)
+        assert far > near
+        assert far - near == pytest.approx(2 * params.rho * params.round_length)
+
+
+class TestAgreement:
+    def test_gamma_exceeds_beta_plus_epsilon(self, params):
+        assert agreement_bound(params) > params.beta + params.epsilon
+
+    def test_gamma_reduces_to_beta_plus_epsilon_without_drift(self):
+        params = SyncParameters(n=7, f=2, rho=0.0, delta=0.01, epsilon=0.002,
+                                beta=0.01, round_length=1.0)
+        assert agreement_bound(params) == pytest.approx(0.012)
+
+    def test_gamma_monotone_in_beta(self, params):
+        assert agreement_bound(params.with_beta(params.beta * 2)) > agreement_bound(params)
+
+
+class TestValidity:
+    def test_lambda_positive_for_feasible_params(self, params):
+        assert shortest_round_real_time(params) > 0
+
+    def test_alpha_values_bracket_one(self, params):
+        vp = validity_parameters(params)
+        assert vp.alpha1 < 1 < vp.alpha2
+        assert vp.alpha3 == params.epsilon
+
+    def test_alphas_tighten_with_longer_rounds(self, params):
+        short = validity_parameters(params)
+        longer = validity_parameters(params.with_round_length(params.P * 2))
+        assert longer.alpha2 < short.alpha2
+        assert longer.alpha1 > short.alpha1
+
+    def test_envelope_orders_correctly(self, params):
+        lower, upper = validity_envelope(params, t=10.0, tmin0=0.0, tmax0=0.01)
+        assert lower < upper
+
+    def test_validity_holds_for_perfect_clock(self, params):
+        # A local time advancing exactly with real time from T0 must be valid.
+        t = 5.0
+        assert validity_holds(params, t, params.T0 + (t - 0.0), tmin0=0.0, tmax0=0.0)
+
+    def test_validity_rejects_runaway_clock(self, params):
+        t = 100.0
+        assert not validity_holds(params, t, params.T0 + 2 * t, tmin0=0.0, tmax0=0.0)
+
+    def test_lambda_error_for_tiny_round_length(self, params):
+        tiny = params.with_round_length(1e-6)
+        with pytest.raises(ValueError):
+            validity_parameters(tiny)
+
+
+class TestSteadyStateAndVariants:
+    def test_steady_state_beta(self, params):
+        assert steady_state_beta(params) == pytest.approx(
+            4 * params.epsilon + 4 * params.rho * params.P)
+
+    def test_k_exchange_improves_on_basic(self, params):
+        basic = steady_state_beta(params)
+        k2 = k_exchange_beta(params, 2)
+        k4 = k_exchange_beta(params, 4)
+        assert k2 < basic
+        assert k4 < k2
+        # limit as k grows: 4eps + 2 rho P
+        assert k_exchange_beta(params, 20) == pytest.approx(
+            4 * params.epsilon + 2 * params.rho * params.P, rel=1e-3)
+
+    def test_k_exchange_k1_matches_basic(self, params):
+        assert k_exchange_beta(params, 1) == pytest.approx(steady_state_beta(params))
+
+    def test_k_must_be_positive(self, params):
+        with pytest.raises(ValueError):
+            k_exchange_beta(params, 0)
+
+    def test_mean_variant_rate(self):
+        assert mean_variant_rate(7, 2) == pytest.approx(2 / 3)
+        assert mean_variant_rate(100, 2) == pytest.approx(2 / 96)
+        assert mean_variant_rate(7, 0) == 0.0
+        with pytest.raises(ValueError):
+            mean_variant_rate(4, 2)
+
+
+class TestStartupBounds:
+    def test_recurrence(self, params):
+        b1 = startup_round_recurrence(params, 1.0)
+        expected = 0.5 + 2 * params.epsilon \
+            + 2 * params.rho * (11 * params.delta + 39 * params.epsilon)
+        assert b1 == pytest.approx(expected)
+
+    def test_series_decreases_toward_limit(self, params):
+        series = startup_convergence_series(params, 2.0, 20)
+        assert len(series) == 21
+        assert all(b <= a + 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] == pytest.approx(startup_limit(params), rel=0.05)
+
+    def test_limit_close_to_4_epsilon(self, params):
+        assert startup_limit(params) == pytest.approx(4 * params.epsilon, rel=0.2)

@@ -1,0 +1,109 @@
+"""Unit tests for the repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.workload == "lan"
+        assert args.n == 7 and args.f == 2
+        assert args.rounds == 10
+
+    def test_sweep_requires_axis_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--axis", "epsilon"])
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "epsilon", "--values", "0.001", "0.002"])
+        assert args.values == ["0.001", "0.002"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "mars"])
+
+
+class TestWorkloadsCommand:
+    def test_lists_every_preset(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lan", "wan", "high-drift", "quiet"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_run_prints_audit_and_succeeds(self, capsys):
+        exit_code = main(["run", "--rounds", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "theorem16_agreement" in out
+        assert "all claims hold" in out
+        assert "skew over time" in out
+
+    def test_run_exports_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "run.json"
+        csv_path = tmp_path / "skew.csv"
+        exit_code = main(["run", "--rounds", "4", "--seed", "2",
+                          "--json", str(json_path), "--csv", str(csv_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["params"]["n"] == 7
+        assert csv_path.read_text().startswith("real_time,skew")
+
+    def test_run_on_quiet_workload(self, capsys):
+        assert main(["run", "--workload", "quiet", "--rounds", "4"]) == 0
+        assert "all claims hold" in capsys.readouterr().out
+
+
+class TestStartupCommand:
+    def test_startup_reports_series_and_limit(self, capsys):
+        exit_code = main(["startup", "--rounds", "6", "--spread", "0.5"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "measured B^i" in out
+        assert "Lemma 20 limit" in out
+        assert "all claims hold" in out
+
+
+class TestCompareCommand:
+    def test_compare_subset_of_algorithms(self, capsys, tmp_path):
+        json_path = tmp_path / "comparison.json"
+        exit_code = main(["compare", "--rounds", "5",
+                          "--algorithms", "welch_lynch", "unsynchronized",
+                          "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "welch_lynch" in out
+        rows = json.loads(json_path.read_text())
+        assert {row["algorithm"] for row in rows} == {"welch_lynch",
+                                                      "unsynchronized"}
+
+
+class TestSweepCommand:
+    def test_epsilon_sweep_outputs_table_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        exit_code = main(["sweep", "--axis", "epsilon",
+                          "--values", "0.001", "0.002",
+                          "--rounds", "4", "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "epsilon" in out and "agreement" in out
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "epsilon,gamma,agreement"
+        assert len(lines) == 3
+
+    def test_fault_count_sweep(self, capsys):
+        exit_code = main(["sweep", "--axis", "fault-count", "--values", "0", "2",
+                          "--rounds", "4"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fault_count" in out

@@ -1,0 +1,188 @@
+"""Unit tests for the ρ-bounded physical clock models."""
+
+import math
+
+import pytest
+
+from repro.clocks import (
+    ConstantRateClock,
+    PerfectClock,
+    PiecewiseLinearClock,
+    RandomRateWalkClock,
+    SinusoidalDriftClock,
+    make_clock_ensemble,
+    rho_rate_bounds,
+)
+
+
+class TestRhoRateBounds:
+    def test_interval(self):
+        lo, hi = rho_rate_bounds(0.01)
+        assert lo == pytest.approx(1 / 1.01)
+        assert hi == pytest.approx(1.01)
+
+    def test_zero_rho(self):
+        assert rho_rate_bounds(0.0) == (1.0, 1.0)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError):
+            rho_rate_bounds(-1e-9)
+
+
+class TestPerfectClock:
+    def test_reads_real_time_plus_offset(self):
+        clock = PerfectClock(offset=3.0)
+        assert clock.read(10.0) == 13.0
+        assert clock.real_time_at(13.0) == 10.0
+
+    def test_rate_is_one(self):
+        assert PerfectClock().rate_at(123.0) == 1.0
+
+    def test_elapsed(self):
+        assert PerfectClock(offset=5.0).elapsed(1.0, 4.0) == 3.0
+
+
+class TestConstantRateClock:
+    def test_forward_and_inverse_are_consistent(self):
+        clock = ConstantRateClock(offset=0.5, rate=1.00005, rho=1e-4)
+        for t in (-10.0, 0.0, 7.3, 1234.5):
+            assert clock.real_time_at(clock.read(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_rate_outside_band_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRateClock(rate=1.1, rho=1e-4)
+        with pytest.raises(ValueError):
+            ConstantRateClock(rate=0.9, rho=1e-4)
+
+    def test_rate_at(self):
+        assert ConstantRateClock(rate=1.00005, rho=1e-3).rate_at(42.0) == 1.00005
+
+    def test_monotone(self):
+        clock = ConstantRateClock(offset=-2.0, rate=0.9999, rho=1e-3)
+        assert clock.read(2.0) > clock.read(1.0)
+
+
+class TestPiecewiseLinearClock:
+    def make(self):
+        return PiecewiseLinearClock(offset=1.0, rates=[1.0001, 0.9999, 1.0],
+                                    breakpoints=[10.0, 20.0], rho=1e-3)
+
+    def test_reading_at_zero_is_offset(self):
+        assert self.make().read(0.0) == 1.0
+
+    def test_reading_is_continuous_at_breakpoints(self):
+        clock = self.make()
+        for b in (10.0, 20.0):
+            assert clock.read(b - 1e-9) == pytest.approx(clock.read(b + 1e-9), abs=1e-6)
+
+    def test_segment_rates(self):
+        clock = self.make()
+        assert clock.rate_at(5.0) == 1.0001
+        assert clock.rate_at(15.0) == 0.9999
+        assert clock.rate_at(25.0) == 1.0
+
+    def test_forward_inverse_consistency(self):
+        clock = self.make()
+        for t in (-5.0, 0.0, 5.0, 12.0, 25.0, 100.0):
+            assert clock.real_time_at(clock.read(t)) == pytest.approx(t, abs=1e-7)
+
+    def test_negative_time_integration(self):
+        clock = PiecewiseLinearClock(offset=0.0, rates=[1.0001], breakpoints=[],
+                                     rho=1e-3)
+        assert clock.read(-10.0) == pytest.approx(-1.0001 * 10.0)
+
+    def test_rates_must_match_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearClock(rates=[1.0], breakpoints=[1.0], rho=1e-3)
+
+    def test_unsorted_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearClock(rates=[1.0, 1.0, 1.0], breakpoints=[5.0, 2.0], rho=1e-3)
+
+    def test_out_of_band_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearClock(rates=[1.5], breakpoints=[], rho=1e-3)
+
+
+class TestSinusoidalDriftClock:
+    def make(self):
+        return SinusoidalDriftClock(offset=2.0, amplitude=5e-5, period=100.0,
+                                    phase=0.3, rho=1e-4)
+
+    def test_reading_at_zero_is_offset(self):
+        assert self.make().read(0.0) == pytest.approx(2.0)
+
+    def test_rate_stays_in_band(self):
+        clock = self.make()
+        lo, hi = rho_rate_bounds(clock.rho)
+        for t in range(0, 500, 7):
+            assert lo - 1e-12 <= clock.rate_at(float(t)) <= hi + 1e-12
+
+    def test_forward_inverse_consistency(self):
+        clock = self.make()
+        for t in (0.0, 12.3, 77.7, 400.0):
+            assert clock.real_time_at(clock.read(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_amplitude_above_band_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalDriftClock(amplitude=1e-3, rho=1e-4)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalDriftClock(period=0.0, rho=1e-4)
+
+
+class TestRandomRateWalkClock:
+    def test_deterministic_given_seed(self):
+        a = RandomRateWalkClock(seed=42, rho=1e-4)
+        b = RandomRateWalkClock(seed=42, rho=1e-4)
+        assert a.read(123.4) == b.read(123.4)
+
+    def test_different_seeds_differ(self):
+        a = RandomRateWalkClock(seed=1, rho=1e-4, offset=0.0)
+        b = RandomRateWalkClock(seed=2, rho=1e-4, offset=0.0)
+        assert a.read(5000.0) != b.read(5000.0)
+
+    def test_rates_within_band(self):
+        clock = RandomRateWalkClock(seed=7, rho=1e-4)
+        lo, hi = rho_rate_bounds(1e-4)
+        assert all(lo <= r <= hi for r in clock.rates)
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValueError):
+            RandomRateWalkClock(segment_length=0.0)
+
+
+class TestClockEnsemble:
+    def test_size_and_rho(self):
+        clocks = make_clock_ensemble(5, rho=1e-4, beta=0.01, seed=3)
+        assert len(clocks) == 5
+        assert all(c.rho == 1e-4 for c in clocks)
+
+    def test_initial_spread_within_beta(self):
+        beta = 0.01
+        clocks = make_clock_ensemble(9, rho=1e-4, beta=beta, seed=11)
+        readings = [c.read(0.0) for c in clocks]
+        assert max(readings) - min(readings) <= beta + 1e-12
+
+    def test_all_kinds_construct(self):
+        for kind in ("perfect", "constant", "piecewise", "sinusoidal", "walk"):
+            clocks = make_clock_ensemble(4, rho=1e-4, beta=0.01, seed=5, kind=kind)
+            assert len(clocks) == 4
+            # Forward/inverse sanity for each kind.
+            for clock in clocks:
+                t = 3.7
+                assert clock.real_time_at(clock.read(t)) == pytest.approx(t, abs=1e-5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_clock_ensemble(3, rho=1e-4, beta=0.01, kind="bogus")
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            make_clock_ensemble(0, rho=1e-4, beta=0.01)
+
+    def test_deterministic_given_seed(self):
+        a = make_clock_ensemble(6, rho=1e-4, beta=0.01, seed=9)
+        b = make_clock_ensemble(6, rho=1e-4, beta=0.01, seed=9)
+        assert [c.read(10.0) for c in a] == [c.read(10.0) for c in b]

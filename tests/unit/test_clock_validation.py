@@ -1,0 +1,89 @@
+"""Unit tests for the Lemma 1-3 numerical validators."""
+
+import pytest
+
+from repro.clocks import (
+    ConstantRateClock,
+    PerfectClock,
+    SinusoidalDriftClock,
+    check_rate_bounds,
+    lemma1_holds,
+    lemma2a_holds,
+    lemma2b_holds,
+    lemma3_holds,
+    sample_times,
+)
+
+
+def fast_clock(rho=1e-3):
+    return ConstantRateClock(offset=0.0, rate=1.0 + rho, rho=rho)
+
+
+def slow_clock(rho=1e-3):
+    return ConstantRateClock(offset=0.0, rate=1.0 / (1.0 + rho), rho=rho)
+
+
+class TestSampleTimes:
+    def test_endpoints_and_count(self):
+        times = sample_times(0.0, 10.0, 5)
+        assert times[0] == 0.0 and times[-1] == 10.0 and len(times) == 5
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            sample_times(0.0, 1.0, 1)
+
+
+class TestRateBounds:
+    def test_within_band(self):
+        clock = SinusoidalDriftClock(amplitude=5e-5, rho=1e-4)
+        assert check_rate_bounds(clock, sample_times(0.0, 2000.0, 50))
+
+    def test_violation_detected(self):
+        # Lie about rho so the actual rate exceeds the claimed band.
+        clock = ConstantRateClock(rate=1.0009, rho=1e-3)
+        clock.rho = 1e-6
+        assert not check_rate_bounds(clock, [0.0, 1.0], tolerance=0.0)
+
+
+class TestLemma1:
+    def test_holds_for_extreme_rates(self):
+        for clock in (fast_clock(), slow_clock(), PerfectClock()):
+            assert lemma1_holds(clock, 0.0, 100.0)
+
+    def test_order_of_arguments_irrelevant(self):
+        assert lemma1_holds(fast_clock(), 100.0, 0.0)
+
+    def test_violation_detected(self):
+        clock = ConstantRateClock(rate=1.0009, rho=1e-3)
+        clock.rho = 1e-6  # claimed band is now tighter than the true rate
+        assert not lemma1_holds(clock, 0.0, 1000.0)
+
+
+class TestLemma2:
+    def test_part_a(self):
+        assert lemma2a_holds(fast_clock(), 5.0, 250.0)
+        assert lemma2a_holds(slow_clock(), 5.0, 250.0)
+
+    def test_part_b(self):
+        assert lemma2b_holds(fast_clock(), slow_clock(), 0.0, 500.0)
+
+    def test_part_b_violation_detected(self):
+        fast = ConstantRateClock(rate=1.0009, rho=1e-3)
+        slow = ConstantRateClock(rate=1.0 / 1.0009, rho=1e-3)
+        fast.rho = slow.rho = 1e-7
+        assert not lemma2b_holds(fast, slow, 0.0, 1000.0)
+
+
+class TestLemma3:
+    def test_holds_for_offset_clocks(self):
+        a = ConstantRateClock(offset=0.00, rate=1.0, rho=1e-4)
+        b = ConstantRateClock(offset=0.01, rate=1.0, rho=1e-4)
+        # inverses differ by exactly 0.01 everywhere.
+        assert lemma3_holds(a, b, 0.0, 100.0, alpha=0.0101)
+
+    def test_vacuous_when_hypothesis_fails(self):
+        a = ConstantRateClock(offset=0.0, rate=1.0, rho=1e-4)
+        b = ConstantRateClock(offset=5.0, rate=1.0, rho=1e-4)
+        # alpha is far smaller than the actual separation: hypothesis fails,
+        # so the check reports True (the lemma claims nothing).
+        assert lemma3_holds(a, b, 0.0, 10.0, alpha=0.001)

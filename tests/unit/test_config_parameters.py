@@ -1,0 +1,142 @@
+"""Unit tests for SyncParameters and the Section 5.2 constraints."""
+
+import math
+
+import pytest
+
+from repro.core import ParameterError, SyncParameters
+
+
+def feasible_params(**overrides):
+    defaults = dict(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+    defaults.update(overrides)
+    return SyncParameters.derive(**defaults)
+
+
+class TestAssumptionValidation:
+    def test_n_at_least_3f_plus_1(self):
+        with pytest.raises(ParameterError):
+            SyncParameters(n=6, f=2, rho=1e-4, delta=0.01, epsilon=0.002,
+                           beta=0.01, round_length=1.0)
+
+    def test_boundary_n_equals_3f_plus_1_allowed(self):
+        params = SyncParameters(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002,
+                                beta=0.01, round_length=1.0)
+        assert params.n == 7
+
+    def test_epsilon_must_be_below_delta(self):
+        with pytest.raises(ParameterError):
+            SyncParameters(n=4, f=1, rho=1e-4, delta=0.01, epsilon=0.02,
+                           beta=0.01, round_length=1.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ParameterError):
+            SyncParameters(n=4, f=-1, rho=1e-4, delta=0.01, epsilon=0.002,
+                           beta=0.01, round_length=1.0)
+        with pytest.raises(ParameterError):
+            SyncParameters(n=4, f=1, rho=-1e-4, delta=0.01, epsilon=0.002,
+                           beta=0.01, round_length=1.0)
+        with pytest.raises(ParameterError):
+            SyncParameters(n=4, f=1, rho=1e-4, delta=0.01, epsilon=0.002,
+                           beta=-0.01, round_length=1.0)
+        with pytest.raises(ParameterError):
+            SyncParameters(n=4, f=1, rho=1e-4, delta=0.01, epsilon=0.002,
+                           beta=0.01, round_length=0.0)
+
+    def test_f_zero_allowed(self):
+        params = SyncParameters(n=1, f=0, rho=0.0, delta=0.01, epsilon=0.0,
+                                beta=0.001, round_length=1.0)
+        assert params.f == 0
+
+
+class TestDerivedQuantities:
+    def test_aliases(self):
+        params = feasible_params()
+        assert params.P == params.round_length
+        assert params.T0 == params.initial_round_time
+
+    def test_collection_window_formula(self):
+        params = feasible_params()
+        expected = (1 + params.rho) * (params.beta + params.delta + params.epsilon)
+        assert params.collection_window() == pytest.approx(expected)
+
+    def test_round_and_update_times(self):
+        params = feasible_params()
+        assert params.round_time(0) == params.T0
+        assert params.round_time(3) == pytest.approx(params.T0 + 3 * params.P)
+        assert params.update_time(2) == pytest.approx(
+            params.round_time(2) + params.collection_window())
+
+
+class TestConstraints:
+    def test_derive_produces_feasible_parameters(self):
+        params = feasible_params()
+        assert params.is_feasible()
+        assert params.constraint_violations() == ()
+
+    def test_p_lower_bound_dominates_small_p(self):
+        params = feasible_params()
+        bad = params.with_round_length(params.p_lower_bound() * 0.5)
+        assert not bad.is_feasible()
+        assert any("below the lower bound" in v for v in bad.constraint_violations())
+
+    def test_p_upper_bound_dominates_large_p(self):
+        params = feasible_params()
+        if math.isinf(params.p_upper_bound()):
+            pytest.skip("no upper bound with rho=0")
+        bad = params.with_round_length(params.p_upper_bound() * 2.0)
+        assert not bad.is_feasible()
+
+    def test_beta_lower_bound_positive_with_epsilon(self):
+        params = feasible_params()
+        assert params.beta_lower_bound() >= 4 * params.epsilon
+
+    def test_beta_lower_bound_zero_when_no_uncertainty_or_drift(self):
+        params = SyncParameters(n=4, f=1, rho=0.0, delta=0.01, epsilon=0.0,
+                                beta=0.001, round_length=1.0)
+        assert params.beta_lower_bound() == 0.0
+
+    def test_beta_below_bound_detected(self):
+        params = feasible_params()
+        bad = params.with_beta(params.beta_lower_bound() * 0.5)
+        assert any("beta" in v for v in bad.constraint_violations())
+
+    def test_require_feasible_raises(self):
+        params = feasible_params()
+        with pytest.raises(ParameterError):
+            params.with_round_length(1e9).require_feasible()
+
+    def test_p_upper_bound_infinite_without_drift(self):
+        params = SyncParameters(n=4, f=1, rho=0.0, delta=0.01, epsilon=0.002,
+                                beta=0.01, round_length=1.0)
+        assert math.isinf(params.p_upper_bound())
+
+    def test_steady_state_beta_formula(self):
+        params = feasible_params()
+        assert params.steady_state_beta() == pytest.approx(
+            4 * params.epsilon + 4 * params.rho * params.round_length)
+
+
+class TestDeriveFactory:
+    def test_round_length_override(self):
+        params = SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01,
+                                       epsilon=0.002, round_length=0.5)
+        assert params.round_length == 0.5
+        assert params.is_feasible()
+
+    def test_zero_epsilon_and_rho_still_feasible(self):
+        params = SyncParameters.derive(n=4, f=1, rho=0.0, delta=0.01, epsilon=0.0)
+        assert params.is_feasible()
+        assert params.beta > 0
+
+    def test_with_beta_and_with_round_length_copy(self):
+        params = feasible_params()
+        other = params.with_beta(params.beta * 2).with_round_length(params.P * 1.1)
+        assert other.beta == pytest.approx(params.beta * 2)
+        assert other.round_length == pytest.approx(params.P * 1.1)
+        assert params.beta != other.beta  # original untouched (frozen dataclass)
+
+    def test_larger_n_does_not_change_beta(self):
+        small = SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+        large = SyncParameters.derive(n=16, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+        assert small.beta == pytest.approx(large.beta)

@@ -1,0 +1,121 @@
+"""Unit tests for the message delay models (assumption A3)."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    AdversarialDelayModel,
+    ContentionDelayModel,
+    FixedDelayModel,
+    PerLinkDelayModel,
+    TruncatedGaussianDelayModel,
+    UniformDelayModel,
+)
+
+
+RNG = random.Random(0)
+
+
+class TestValidation:
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FixedDelayModel(0.0)
+
+    def test_epsilon_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            UniformDelayModel(0.01, -0.001)
+
+    def test_epsilon_must_be_less_than_delta(self):
+        # Assumption A3 requires delta > epsilon.
+        with pytest.raises(ValueError):
+            UniformDelayModel(0.01, 0.01)
+
+
+class TestFixedAndUniform:
+    def test_fixed_delay_is_delta(self):
+        model = FixedDelayModel(0.02)
+        assert model.delay(0, 1, 0.0, RNG) == 0.02
+        assert model.envelope() == (0.02, 0.02)
+
+    def test_uniform_within_envelope(self):
+        model = UniformDelayModel(0.01, 0.002)
+        rng = random.Random(7)
+        for _ in range(500):
+            d = model.delay(0, 1, 0.0, rng)
+            assert 0.008 <= d <= 0.012
+
+    def test_uniform_uses_full_envelope(self):
+        model = UniformDelayModel(0.01, 0.002)
+        rng = random.Random(3)
+        samples = [model.delay(0, 1, 0.0, rng) for _ in range(2000)]
+        assert min(samples) < 0.0085 and max(samples) > 0.0115
+
+
+class TestGaussian:
+    def test_within_envelope(self):
+        model = TruncatedGaussianDelayModel(0.01, 0.002)
+        rng = random.Random(9)
+        for _ in range(500):
+            d = model.delay(0, 1, 0.0, rng)
+            assert 0.008 <= d <= 0.012
+
+    def test_concentrated_near_delta(self):
+        model = TruncatedGaussianDelayModel(0.01, 0.002, sigma=1e-4)
+        rng = random.Random(2)
+        samples = [model.delay(0, 1, 0.0, rng) for _ in range(500)]
+        assert abs(sum(samples) / len(samples) - 0.01) < 5e-4
+
+
+class TestPerLink:
+    def test_specified_links(self):
+        model = PerLinkDelayModel(0.01, 0.002, {(0, 1): 0.011, (1, 0): 0.009})
+        assert model.delay(0, 1, 0.0, RNG) == 0.011
+        assert model.delay(1, 0, 0.0, RNG) == 0.009
+
+    def test_default_links_use_delta(self):
+        model = PerLinkDelayModel(0.01, 0.002, {})
+        assert model.delay(3, 4, 0.0, RNG) == 0.01
+
+    def test_out_of_envelope_link_rejected(self):
+        with pytest.raises(ValueError):
+            PerLinkDelayModel(0.01, 0.002, {(0, 1): 0.05})
+
+
+class TestAdversarial:
+    def test_fast_and_slow_senders(self):
+        model = AdversarialDelayModel(0.01, 0.002, fast_senders=[0], slow_senders=[1])
+        assert model.delay(0, 5, 0.0, RNG) == pytest.approx(0.008)
+        assert model.delay(1, 5, 0.0, RNG) == pytest.approx(0.012)
+        assert model.delay(2, 5, 0.0, RNG) == pytest.approx(0.01)
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialDelayModel(0.01, 0.002, fast_senders=[0], slow_senders=[0])
+
+
+class TestContention:
+    def test_isolated_sends_unaffected(self):
+        model = ContentionDelayModel(0.01, 0.002, window=0.001, threshold=2,
+                                     drop_probability=1.0)
+        rng = random.Random(4)
+        delays = [model.delay(i, 0, i * 1.0, rng) for i in range(10)]
+        assert all(d is not None for d in delays)
+
+    def test_clustered_sends_can_be_dropped(self):
+        model = ContentionDelayModel(0.01, 0.002, window=1.0, threshold=1,
+                                     drop_probability=1.0)
+        rng = random.Random(4)
+        first = model.delay(0, 0, 0.0, rng)
+        second = model.delay(1, 0, 0.0001, rng)
+        assert first is not None
+        assert second is None
+        assert model.dropped == 1
+
+    def test_delays_never_exceed_envelope(self):
+        model = ContentionDelayModel(0.01, 0.002, window=1.0, threshold=1,
+                                     penalty=0.01, drop_probability=0.0)
+        rng = random.Random(5)
+        for index in range(50):
+            d = model.delay(index, 0, 0.0001 * index, rng)
+            assert d is None or d <= 0.012 + 1e-12

@@ -1,0 +1,81 @@
+"""Unit tests for messages and the event queue (execution ordering rules)."""
+
+import pytest
+
+from repro.sim import EventQueue, Message, MessageKind
+
+
+def make(kind, delivery, sender=0, recipient=1, payload=None, send=0.0):
+    return Message(kind=kind, sender=sender, recipient=recipient, payload=payload,
+                   send_time=send, delivery_time=delivery)
+
+
+class TestMessage:
+    def test_delay(self):
+        msg = make(MessageKind.ORDINARY, delivery=1.5, send=1.0)
+        assert msg.delay == pytest.approx(0.5)
+
+    def test_kind_predicates(self):
+        assert make(MessageKind.TIMER, 1.0).is_timer()
+        assert make(MessageKind.START, 1.0).is_start()
+        assert not make(MessageKind.ORDINARY, 1.0).is_timer()
+
+    def test_frozen(self):
+        msg = make(MessageKind.ORDINARY, 1.0)
+        with pytest.raises(AttributeError):
+            msg.delivery_time = 2.0
+
+
+class TestEventQueue:
+    def test_orders_by_delivery_time(self):
+        queue = EventQueue()
+        queue.push(make(MessageKind.ORDINARY, 3.0, payload="late"))
+        queue.push(make(MessageKind.ORDINARY, 1.0, payload="early"))
+        queue.push(make(MessageKind.ORDINARY, 2.0, payload="middle"))
+        assert [queue.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_timers_ordered_after_ordinary_at_same_time(self):
+        # Execution property 4: ordinary messages get in "just under the wire".
+        queue = EventQueue()
+        queue.push(make(MessageKind.TIMER, 5.0, payload="timer"))
+        queue.push(make(MessageKind.ORDINARY, 5.0, payload="msg"))
+        queue.push(make(MessageKind.START, 5.0, payload="start"))
+        popped = [queue.pop().payload for _ in range(3)]
+        assert popped.index("timer") == 2
+        assert set(popped[:2]) == {"msg", "start"}
+
+    def test_fifo_among_equal_priority(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(make(MessageKind.ORDINARY, 1.0, payload=index))
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(make(MessageKind.ORDINARY, 7.0))
+        assert queue.peek_time() == 7.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(make(MessageKind.ORDINARY, 1.0))
+        assert queue and len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_delivered_count(self):
+        queue = EventQueue()
+        queue.push(make(MessageKind.ORDINARY, 1.0))
+        queue.push(make(MessageKind.ORDINARY, 2.0))
+        queue.pop()
+        assert queue.delivered_count == 1
+
+    def test_pending_snapshot(self):
+        queue = EventQueue()
+        queue.push(make(MessageKind.ORDINARY, 1.0, payload="a"))
+        queue.push(make(MessageKind.TIMER, 2.0, payload="b"))
+        assert {m.payload for m in queue.pending()} == {"a", "b"}
+        assert len(queue) == 2  # pending() does not consume

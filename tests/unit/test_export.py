@@ -1,0 +1,116 @@
+"""Unit tests for repro.analysis.export (JSON/CSV serialization)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    comparison_rows_to_dicts,
+    parameters_to_dict,
+    rows_to_csv,
+    run_comparison,
+    run_maintenance_scenario,
+    scenario_to_dict,
+    skew_series_rows,
+    sweep_epsilon,
+    sweep_to_dicts,
+    to_json,
+    trace_to_dict,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario(medium_params_module):
+    return run_maintenance_scenario(medium_params_module, rounds=5,
+                                    fault_kind="two_faced", seed=0)
+
+
+@pytest.fixture(scope="module")
+def medium_params_module():
+    from repro.core import SyncParameters
+    return SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+
+class TestParametersToDict:
+    def test_contains_all_constants_and_derived_bounds(self, medium_params_module):
+        payload = parameters_to_dict(medium_params_module)
+        for key in ("n", "f", "rho", "delta", "epsilon", "beta", "round_length",
+                    "collection_window", "p_lower_bound", "p_upper_bound"):
+            assert key in payload
+        assert payload["n"] == 7
+        assert payload["p_lower_bound"] <= payload["round_length"] <= payload["p_upper_bound"]
+
+
+class TestTraceToDict:
+    def test_structure(self, scenario):
+        payload = trace_to_dict(scenario.trace)
+        assert payload["n"] == 7
+        assert sorted(payload["faulty_ids"]) == [5, 6]
+        assert payload["stats"]["sent"] > 0
+        assert payload["events"], "expected logged events"
+        assert set(payload["corrections"]) == {str(pid) for pid in range(7)}
+
+    def test_local_time_sampling(self, scenario):
+        payload = trace_to_dict(scenario.trace, samples=10)
+        grid = payload["local_times"]["real_times"]
+        assert len(grid) == 10
+        per_process = payload["local_times"]["per_process"]
+        assert len(per_process["0"]) == 10
+
+    def test_json_round_trip(self, scenario):
+        payload = scenario_to_dict(scenario, samples=5)
+        text = to_json(payload)
+        recovered = json.loads(text)
+        assert recovered["rounds"] == scenario.rounds
+        assert recovered["params"]["n"] == 7
+
+
+class TestRowExports:
+    def test_skew_series_rows(self, scenario):
+        rows = skew_series_rows(scenario.trace, scenario.tmax0, scenario.end_time,
+                                samples=20)
+        assert len(rows) == 20
+        assert all(set(row) == {"real_time", "skew"} for row in rows)
+        assert all(row["skew"] >= 0 for row in rows)
+
+    def test_comparison_rows(self, medium_params_module):
+        rows = run_comparison(medium_params_module, rounds=4,
+                              algorithms=["welch_lynch", "unsynchronized"],
+                              fault_kind=None, seed=1)
+        dicts = comparison_rows_to_dicts(rows)
+        assert {d["algorithm"] for d in dicts} == {"welch_lynch", "unsynchronized"}
+        assert all("agreement" in d for d in dicts)
+
+    def test_sweep_to_dicts_merges_inputs_and_outputs(self):
+        result = sweep_epsilon([0.002], rounds=4, seed=0)
+        dicts = sweep_to_dicts(result)
+        assert len(dicts) == 1
+        assert set(dicts[0]) == {"epsilon", "gamma", "agreement"}
+
+
+class TestCsv:
+    def test_rows_to_csv_includes_header_and_all_rows(self):
+        text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_union_of_fieldnames_is_used(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        header = text.splitlines()[0]
+        assert header == "a,b"
+
+    def test_write_csv_and_json_create_files(self, tmp_path, scenario):
+        json_path = tmp_path / "scenario.json"
+        csv_path = tmp_path / "skew.csv"
+        write_json(scenario_to_dict(scenario), str(json_path))
+        write_csv(skew_series_rows(scenario.trace, scenario.tmax0,
+                                   scenario.end_time, samples=5), str(csv_path))
+        assert json.loads(json_path.read_text())["rounds"] == scenario.rounds
+        assert len(csv_path.read_text().splitlines()) == 6  # header + 5 rows

@@ -1,0 +1,164 @@
+"""Unit tests for fault strategies, wrappers and Byzantine adversaries."""
+
+import pytest
+
+from repro.analysis import round_start_spreads, run_maintenance_scenario
+from repro.clocks import PerfectClock
+from repro.core import RoundMessage, WelchLynchProcess, agreement_bound
+from repro.faults import (
+    CrashStrategy,
+    FaultyProcessWrapper,
+    OmissionStrategy,
+    RandomNoiseAttacker,
+    ReceiveOmissionStrategy,
+    SilentProcess,
+    SkewAttacker,
+    TwoFacedClockAttacker,
+    CollusionScheduler,
+    crash_after,
+    omit_sends,
+)
+from repro.sim import FixedDelayModel, Process, System
+
+
+class Collector(Process):
+    """Records ordinary messages it receives."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, ctx, sender, payload):
+        self.received.append((ctx.now, sender, payload))
+
+
+class Chatter(Process):
+    """Broadcasts a message at start and again on each self-timer."""
+
+    def on_start(self, ctx):
+        ctx.broadcast("hi")
+        ctx.set_timer_physical(ctx.physical_time() + 1.0)
+
+    def on_timer(self, ctx, payload=None):
+        ctx.broadcast("hi-again")
+
+
+def run_pair(faulty_process, seconds=5.0):
+    collector = Collector()
+    system = System([faulty_process, collector],
+                    [PerfectClock(), PerfectClock()],
+                    delay_model=FixedDelayModel(0.01))
+    system.schedule_start(0, 0.0)
+    system.run_until(seconds)
+    return collector, system
+
+
+class TestCrash:
+    def test_behaves_correctly_before_crash(self):
+        collector, _ = run_pair(crash_after(Chatter(), crash_real_time=0.5))
+        assert any(payload == "hi" for _, _, payload in collector.received)
+
+    def test_silent_after_crash(self):
+        collector, _ = run_pair(crash_after(Chatter(), crash_real_time=0.5))
+        assert not any(payload == "hi-again" for _, _, payload in collector.received)
+
+    def test_crash_at_time_zero_means_fully_silent(self):
+        collector, _ = run_pair(crash_after(Chatter(), crash_real_time=0.0))
+        assert collector.received == []
+
+    def test_wrapper_is_marked_faulty(self):
+        wrapper = crash_after(Chatter(), 1.0)
+        assert wrapper.is_faulty
+        assert "Crash" in wrapper.label()
+
+    def test_silent_process(self):
+        collector, system = run_pair(SilentProcess())
+        assert collector.received == []
+        assert 0 in system.faulty_ids()
+
+
+class TestOmission:
+    def test_all_drops(self):
+        collector, _ = run_pair(omit_sends(Chatter(), drop_probability=1.0))
+        assert collector.received == []
+
+    def test_no_drops(self):
+        collector, _ = run_pair(omit_sends(Chatter(), drop_probability=0.0))
+        assert len(collector.received) >= 2
+
+    def test_partial_drops_counted(self):
+        strategy = OmissionStrategy(drop_probability=0.5, seed=1)
+        wrapper = FaultyProcessWrapper(Chatter(), strategy)
+        run_pair(wrapper)
+        assert strategy.dropped >= 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            OmissionStrategy(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            ReceiveOmissionStrategy(drop_probability=-0.1)
+
+    def test_receive_omission_keeps_timers(self):
+        strategy = ReceiveOmissionStrategy(drop_probability=1.0, seed=0)
+        assert strategy.should_deliver(None, "timer", None, None)
+        assert strategy.should_deliver(None, "start", None, None)
+        assert not strategy.should_deliver(None, "message", 1, "x")
+
+
+class TestByzantineAttackers:
+    def test_two_faced_sends_to_both_halves(self, small_params):
+        attacker = TwoFacedClockAttacker(small_params, max_rounds=1)
+        collectors = [Collector() for _ in range(3)]
+        system = System([attacker] + collectors,
+                        [PerfectClock() for _ in range(4)],
+                        delay_model=FixedDelayModel(small_params.delta))
+        system.schedule_start(0, 0.0)
+        system.run_until(2 * small_params.round_length)
+        arrival_even = [t for t, _, _ in collectors[1].received]   # pid 2
+        arrival_odd = [t for t, _, _ in collectors[0].received]    # pid 1
+        assert arrival_even and arrival_odd
+        # The "late" half hears strictly later than the "early" half.
+        assert min(arrival_odd) > min(arrival_even) or \
+               min(arrival_even) > min(arrival_odd)
+
+    def test_skew_attacker_direction_validation(self, small_params):
+        with pytest.raises(ValueError):
+            SkewAttacker(small_params, direction=0)
+
+    def test_skew_attacker_sends_every_round(self, small_params):
+        attacker = SkewAttacker(small_params, direction=-1, max_rounds=3)
+        collector = Collector()
+        system = System([attacker, collector], [PerfectClock(), PerfectClock()],
+                        delay_model=FixedDelayModel(small_params.delta))
+        system.schedule_start(0, 0.0)
+        system.run_until(4 * small_params.round_length)
+        round_values = {payload.round_time for _, _, payload in collector.received
+                        if isinstance(payload, RoundMessage)}
+        assert len(round_values) == 3
+
+    def test_random_noise_attacker_sends_bogus_rounds(self, small_params):
+        attacker = RandomNoiseAttacker(small_params, messages_per_round=4,
+                                       max_rounds=2)
+        collector = Collector()
+        system = System([attacker, collector], [PerfectClock(), PerfectClock()],
+                        delay_model=FixedDelayModel(small_params.delta), seed=5)
+        system.schedule_start(0, 0.0)
+        system.run_until(3 * small_params.round_length)
+        assert collector.received
+
+    def test_collusion_builds_aligned_team(self, small_params):
+        team = CollusionScheduler(small_params, direction=+1).build(2, max_rounds=1)
+        assert len(team) == 2
+        assert all(isinstance(member, SkewAttacker) for member in team)
+        assert all(member.direction == +1 for member in team)
+
+
+class TestFaultToleranceOfTheAlgorithm:
+    @pytest.mark.parametrize("fault_kind", ["silent", "crash", "two_faced",
+                                            "skew_early", "skew_late",
+                                            "random_noise", "omission"])
+    def test_agreement_holds_under_every_fault_kind(self, medium_params, fault_kind):
+        result = run_maintenance_scenario(medium_params, rounds=6,
+                                          fault_kind=fault_kind, seed=2)
+        start = result.tmax0 + medium_params.round_length
+        grid = [start + i * (result.end_time - start) / 60 for i in range(61)]
+        assert result.trace.max_skew(grid) <= agreement_bound(medium_params)

@@ -1,0 +1,123 @@
+"""Unit tests for the Welch-Lynch maintenance algorithm process."""
+
+import pytest
+
+from repro.analysis import adjustment_statistics, round_start_spreads, run_maintenance_scenario
+from repro.clocks import PerfectClock, make_clock_ensemble
+from repro.core import (
+    FaultTolerantMean,
+    Phase,
+    RoundMessage,
+    WelchLynchProcess,
+    adjustment_bound,
+)
+from repro.sim import FixedDelayModel, System
+
+
+def run_fault_free(params, rounds=4, seed=0, **kwargs):
+    return run_maintenance_scenario(params, rounds=rounds, fault_kind=None,
+                                     seed=seed, **kwargs)
+
+
+class TestRoundStructure:
+    def test_phases_alternate(self, small_params):
+        result = run_fault_free(small_params, rounds=3)
+        for pid in result.trace.nonfaulty_ids:
+            names = [e.name for e in result.trace.events
+                     if e.process_id == pid and e.name in ("broadcast", "update")]
+            assert names == ["broadcast", "update"] * 3
+
+    def test_round_times_follow_T0_plus_iP(self, small_params):
+        result = run_fault_free(small_params, rounds=3)
+        events = result.trace.events_named("broadcast", process_id=0)
+        round_times = [e.data["round_time"] for e in events]
+        expected = [small_params.round_time(i) for i in range(3)]
+        assert round_times == pytest.approx(expected)
+
+    def test_each_round_broadcasts_to_everyone(self, small_params):
+        result = run_fault_free(small_params, rounds=2)
+        # n processes * n recipients * rounds messages.
+        assert result.trace.stats.sent == small_params.n ** 2 * 2
+
+    def test_max_rounds_stops_the_algorithm(self, small_params):
+        result = run_fault_free(small_params, rounds=2)
+        for pid in result.trace.nonfaulty_ids:
+            assert len(result.trace.adjustments(pid)) == 2
+
+    def test_updates_record_average_and_adjustment(self, small_params):
+        result = run_fault_free(small_params, rounds=1)
+        update = result.trace.events_named("update", process_id=0)[0]
+        assert "average" in update.data and "adjustment" in update.data
+        assert update.data["round_index"] == 0
+
+
+class TestAdjustments:
+    def test_adjustments_respect_theorem4a_bound(self, small_params):
+        result = run_fault_free(small_params, rounds=5)
+        stats = adjustment_statistics(result.trace)
+        assert stats.max_abs <= adjustment_bound(small_params) + 1e-9
+
+    def test_driftfree_identical_clocks_need_no_correction(self, driftfree_params):
+        params = driftfree_params
+        n = params.n
+        processes = [WelchLynchProcess(params, max_rounds=2) for _ in range(n)]
+        clocks = [PerfectClock(offset=0.0) for _ in range(n)]
+        system = System(processes, clocks, delay_model=FixedDelayModel(params.delta))
+        system.schedule_all_starts_at_logical(params.T0)
+        trace = system.run_until(3 * params.round_length)
+        for pid in range(n):
+            for adj in trace.adjustments(pid):
+                assert adj == pytest.approx(0.0, abs=1e-12)
+
+    def test_spread_clocks_converge(self, small_params):
+        result = run_fault_free(small_params, rounds=6)
+        spreads = round_start_spreads(result.trace)
+        assert spreads[5] < spreads[0]
+
+
+class TestVariants:
+    def test_mean_averaging_also_converges(self, small_params):
+        result = run_fault_free(small_params, rounds=5,
+                                averaging=FaultTolerantMean())
+        spreads = round_start_spreads(result.trace)
+        assert spreads[4] < spreads[0]
+
+    def test_stagger_spreads_broadcast_real_times(self, small_params):
+        sigma = 0.005
+        plain = run_fault_free(small_params, rounds=3, seed=1)
+        staggered = run_fault_free(small_params, rounds=3, seed=1,
+                                   stagger_interval=sigma)
+        def spread_of_round(result, index):
+            times = [e.real_time for e in result.trace.events_named("broadcast")
+                     if e.data["round_index"] == index]
+            return max(times) - min(times)
+        assert spread_of_round(staggered, 1) > spread_of_round(plain, 1)
+        # The staggered variant still synchronizes.
+        spreads = round_start_spreads(staggered.trace)
+        assert spreads[2] < 3 * small_params.beta + (small_params.n - 1) * sigma
+
+    def test_label_mentions_averaging(self, small_params):
+        assert "midpoint" in WelchLynchProcess(small_params).label()
+
+
+class TestMessageHandling:
+    def test_arrival_times_recorded_per_sender(self, small_params):
+        params = small_params
+        process = WelchLynchProcess(params)
+
+        class FakeCtx:
+            process_id = 0
+            n = params.n
+            process_ids = range(params.n)
+            def local_time(self):
+                return 42.0
+
+        process.on_message(FakeCtx(), 3, RoundMessage(round_time=params.T0))
+        assert process.arr[3] == 42.0
+
+    def test_initial_state(self, small_params):
+        process = WelchLynchProcess(small_params)
+        assert process.flag is Phase.BCAST
+        assert process.round_time == small_params.T0
+        assert process.round_index == 0
+        assert process.arr == {}

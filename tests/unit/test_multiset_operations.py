@@ -1,0 +1,194 @@
+"""Unit tests for the multiset machinery of the Appendix."""
+
+import math
+
+import pytest
+
+from repro.multiset import (
+    Multiset,
+    diam,
+    drop_largest,
+    drop_smallest,
+    fault_tolerant_mean,
+    fault_tolerant_midpoint,
+    lemma21_bounds_hold,
+    lemma23_bound_holds,
+    lemma24_bound,
+    lemma24_holds,
+    mid,
+    reduce_multiset,
+    select_nonfaulty_window,
+    x_distance,
+)
+
+
+class TestMultisetBasics:
+    def test_values_are_sorted(self):
+        ms = Multiset([3.0, 1.0, 2.0])
+        assert ms.values == (1.0, 2.0, 3.0)
+
+    def test_duplicates_are_kept(self):
+        ms = Multiset([1.0, 1.0, 2.0])
+        assert len(ms) == 3
+        assert list(ms) == [1.0, 1.0, 2.0]
+
+    def test_contains(self):
+        ms = Multiset([1.5, 2.5])
+        assert 1.5 in ms
+        assert 3.0 not in ms
+
+    def test_equality_and_hash(self):
+        assert Multiset([2, 1]) == Multiset([1, 2])
+        assert hash(Multiset([2, 1])) == hash(Multiset([1, 2]))
+        assert Multiset([1]) != Multiset([1, 1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset([1.0, float("nan")])
+
+    def test_min_max_diam(self):
+        ms = Multiset([5.0, -1.0, 3.0])
+        assert ms.min() == -1.0
+        assert ms.max() == 5.0
+        assert ms.diam() == 6.0
+
+    def test_empty_operations_raise(self):
+        empty = Multiset([])
+        for op in (empty.min, empty.max, empty.diam, empty.mid, empty.mean):
+            with pytest.raises(ValueError):
+                op()
+
+    def test_mid_is_midpoint_of_range(self):
+        # mid is NOT the median: it only looks at the extremes.
+        assert Multiset([0.0, 0.0, 0.0, 10.0]).mid() == 5.0
+
+    def test_mean(self):
+        assert Multiset([1.0, 2.0, 3.0, 6.0]).mean() == 3.0
+
+    def test_shift(self):
+        assert Multiset([1.0, 2.0]).shift(2.5).values == (3.5, 4.5)
+
+    def test_repr_round_trips_values(self):
+        ms = Multiset([2.0, 1.0])
+        assert "1.0" in repr(ms) and "2.0" in repr(ms)
+
+
+class TestDropAndReduce:
+    def test_drop_smallest(self):
+        assert Multiset([1, 2, 3]).drop_smallest().values == (2.0, 3.0)
+
+    def test_drop_largest(self):
+        assert Multiset([1, 2, 3]).drop_largest().values == (1.0, 2.0)
+
+    def test_drop_zero_is_identity(self):
+        ms = Multiset([1, 2, 3])
+        assert ms.drop_largest(0) == ms
+        assert ms.drop_smallest(0) == ms
+
+    def test_drop_more_than_size_raises(self):
+        with pytest.raises(ValueError):
+            Multiset([1.0]).drop_smallest(2)
+
+    def test_drop_negative_raises(self):
+        with pytest.raises(ValueError):
+            Multiset([1.0]).drop_largest(-1)
+
+    def test_reduce_removes_f_each_side(self):
+        ms = Multiset([0, 1, 2, 3, 4, 5, 6])
+        assert ms.reduce(2).values == (2.0, 3.0, 4.0)
+
+    def test_reduce_zero_is_identity(self):
+        ms = Multiset([5, 1, 3])
+        assert ms.reduce(0) == ms
+
+    def test_reduce_requires_enough_elements(self):
+        with pytest.raises(ValueError):
+            Multiset([1, 2, 3, 4]).reduce(2)
+
+    def test_reduce_negative_f_raises(self):
+        with pytest.raises(ValueError):
+            Multiset([1, 2, 3]).reduce(-1)
+
+    def test_functional_forms_match_methods(self):
+        values = [3.0, 7.0, 1.0, 9.0, 5.0]
+        assert mid(values) == Multiset(values).mid()
+        assert diam(values) == Multiset(values).diam()
+        assert reduce_multiset(values, 1) == Multiset(values).reduce(1)
+        assert drop_smallest(values) == Multiset(values).drop_smallest()
+        assert drop_largest(values) == Multiset(values).drop_largest()
+
+
+class TestFaultTolerantAverages:
+    def test_midpoint_ignores_f_outliers(self):
+        values = [10.0, 10.2, 10.1, 10.3, 1000.0, -1000.0, 10.15]
+        result = fault_tolerant_midpoint(values, 2)
+        assert 10.0 <= result <= 10.3
+
+    def test_mean_ignores_f_outliers(self):
+        values = [10.0, 10.2, 10.1, 10.3, 1000.0, -1000.0, 10.15]
+        result = fault_tolerant_mean(values, 2)
+        assert 10.0 <= result <= 10.3
+
+    def test_midpoint_exact_value(self):
+        assert fault_tolerant_midpoint([0, 2, 4, 6, 8], 1) == 4.0
+
+    def test_single_faulty_value_cannot_escape_range(self):
+        honest = [5.0, 5.1, 5.2, 5.3]
+        for bogus in (-1e9, 1e9, 5.15):
+            result = fault_tolerant_midpoint(honest + [bogus], 1)
+            assert 5.0 <= result <= 5.3
+
+    def test_select_nonfaulty_window(self):
+        low, high = select_nonfaulty_window([0.0, 1.0, 2.0, 3.0, 100.0], 1)
+        assert low == 1.0 and high == 3.0
+
+
+class TestXDistance:
+    def test_zero_distance_for_identical(self):
+        assert x_distance([1, 2, 3], [1, 2, 3], 0.0) == 0
+
+    def test_within_x_pairs(self):
+        assert x_distance([1.0, 2.0], [1.05, 2.05], 0.1) == 0
+
+    def test_unmatched_counted(self):
+        assert x_distance([0.0, 100.0], [0.0, 0.1], 1.0) == 1
+
+    def test_requires_u_not_larger(self):
+        with pytest.raises(ValueError):
+            x_distance([1, 2, 3], [1], 0.5)
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            x_distance([1.0], [1.0], -0.1)
+
+    def test_larger_v_allows_matching(self):
+        assert x_distance([5.0], [0.0, 5.0, 10.0], 0.0) == 0
+
+    def test_greedy_matching_agrees_with_exact_on_small_inputs(self):
+        from repro.multiset.operations import _x_distance_exact, _x_distance_matching
+        u = (0.0, 1.0, 2.0, 3.5)
+        v = (0.4, 1.6, 2.1, 3.0, 9.0)
+        for x in (0.0, 0.3, 0.5, 1.0, 2.0):
+            assert _x_distance_exact(u, v, x) == _x_distance_matching(u, v, x)
+
+
+class TestAppendixLemmas:
+    def test_lemma21_concrete(self):
+        w = [10.0, 10.5, 11.0, 10.2, 10.8]          # |W| = n - f = 5
+        u = w + [500.0, -500.0]                     # |U| = n = 7, f = 2
+        assert lemma21_bounds_hold(u, w, 2, 0.0)
+
+    def test_lemma23_concrete(self):
+        w = [10.0, 10.5, 11.0, 10.2, 10.8]
+        u = [v + 0.05 for v in w] + [100.0, -100.0]
+        v = [v - 0.05 for v in w] + [50.0, -50.0]
+        assert lemma23_bound_holds(u, v, 2, 0.05)
+
+    def test_lemma24_bound_formula(self):
+        assert lemma24_bound([0.0, 1.0], 0.25) == pytest.approx(0.5 + 0.5)
+
+    def test_lemma24_concrete(self):
+        w = [0.0, 0.2, 0.4, 0.6, 0.9]
+        u = [v + 0.01 for v in w] + [100.0, -100.0]
+        v = [v - 0.01 for v in w] + [3.0, -3.0]
+        assert lemma24_holds(u, v, w, 2, 0.01)

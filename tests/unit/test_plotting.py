@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.plotting (ASCII plots)."""
+
+import math
+
+import pytest
+
+from repro.analysis import histogram, line_plot, sparkline
+from repro.analysis.plotting import scale_to_rows
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        values = [1.0, 2.0, 3.0, 2.0, 1.0]
+        assert len(sparkline(values)) == len(values)
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_empty_series_gives_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_non_finite_values_render_as_spaces(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+
+class TestScaleToRows:
+    def test_rows_within_height(self):
+        rows = scale_to_rows([0.0, 0.5, 1.0], height=5)
+        assert rows == [0, 2, 4]
+
+    def test_constant_series_maps_to_middle(self):
+        rows = scale_to_rows([2.0, 2.0], height=7)
+        assert rows == [3, 3]
+
+    def test_explicit_range_clamps(self):
+        rows = scale_to_rows([-10.0, 0.5, 10.0], height=3, low=0.0, high=1.0)
+        assert rows == [0, 1, 2]
+
+    def test_height_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scale_to_rows([1.0], height=0)
+
+
+class TestLinePlot:
+    def test_contains_legend_and_axis_labels(self):
+        text = line_plot({"skew": [0.0, 1.0, 2.0, 3.0]}, width=20, height=5,
+                         title="skew over time")
+        assert "skew over time" in text
+        assert "* skew" in text
+        assert "3" in text  # the max label
+        assert "0" in text  # the min label
+
+    def test_two_series_get_distinct_markers(self):
+        text = line_plot({"a": [0.0, 1.0], "b": [1.0, 0.0]}, width=10, height=4)
+        assert "* a" in text
+        assert "o b" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+        with pytest.raises(ValueError):
+            line_plot({})
+
+
+class TestHistogram:
+    def test_counts_sum_to_sample_size(self):
+        text = histogram([0.0, 0.1, 0.2, 0.9, 1.0], bins=2, width=10)
+        counts = [int(line.split(")")[1].split()[0]) for line in text.splitlines()]
+        assert sum(counts) == 5
+
+    def test_single_value_sample(self):
+        text = histogram([1.0, 1.0, 1.0], bins=3)
+        assert "3" in text
+
+    def test_title_is_included(self):
+        assert histogram([1.0, 2.0], bins=2, title="delays").startswith("delays")
+
+    def test_rejects_empty_and_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram([], bins=2)
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

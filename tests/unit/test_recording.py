@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.recording (message-level recording and A3 auditing)."""
+
+import random
+
+import pytest
+
+from repro.analysis import run_maintenance_scenario
+from repro.sim import (
+    ContentionDelayModel,
+    FixedDelayModel,
+    MessageRecord,
+    RecordingDelayModel,
+    UniformDelayModel,
+    delay_statistics,
+    drop_rate,
+    envelope_violations,
+    per_link_counts,
+    per_sender_counts,
+)
+
+
+class TestRecordingDelayModel:
+    def test_records_every_send_and_preserves_delays(self):
+        rng = random.Random(0)
+        inner = FixedDelayModel(0.02)
+        recording = RecordingDelayModel(inner)
+        for sender in range(3):
+            assert recording.delay(sender, 0, 1.0, rng) == 0.02
+        assert len(recording.records) == 3
+        assert all(record.delay == 0.02 for record in recording.records)
+        assert recording.envelope() == inner.envelope()
+
+    def test_records_drops(self):
+        rng = random.Random(4)
+        inner = ContentionDelayModel(0.01, 0.002, window=1.0, threshold=1,
+                                     drop_probability=1.0)
+        recording = RecordingDelayModel(inner)
+        recording.delay(0, 1, 0.0, rng)
+        recording.delay(1, 2, 0.0001, rng)
+        assert drop_rate(recording.records) == pytest.approx(0.5)
+        assert len(recording.delivered()) == 1
+
+    def test_clear_forgets_history(self):
+        recording = RecordingDelayModel(FixedDelayModel(0.01))
+        recording.delay(0, 1, 0.0, random.Random(0))
+        recording.clear()
+        assert recording.records == []
+
+    def test_exposes_delta_epsilon_for_bound_formulas(self):
+        recording = RecordingDelayModel(UniformDelayModel(0.01, 0.002))
+        assert recording.delta == 0.01
+        assert recording.epsilon == 0.002
+
+
+class TestAuditHelpers:
+    def _records(self):
+        return [
+            MessageRecord(sender=0, recipient=1, send_time=0.0, delay=0.010),
+            MessageRecord(sender=0, recipient=2, send_time=0.0, delay=0.011),
+            MessageRecord(sender=1, recipient=0, send_time=0.1, delay=0.009),
+            MessageRecord(sender=1, recipient=0, send_time=0.2, delay=None),
+        ]
+
+    def test_envelope_violations_empty_when_within_a3(self):
+        assert envelope_violations(self._records(), delta=0.01, epsilon=0.002) == []
+
+    def test_envelope_violations_finds_out_of_spec_delays(self):
+        records = self._records() + [
+            MessageRecord(sender=2, recipient=0, send_time=0.3, delay=0.05)]
+        bad = envelope_violations(records, delta=0.01, epsilon=0.002)
+        assert len(bad) == 1
+        assert bad[0].delay == 0.05
+
+    def test_delay_statistics(self):
+        stats = delay_statistics(self._records())
+        assert stats["count"] == 3
+        assert stats["min"] == 0.009
+        assert stats["max"] == 0.011
+        assert stats["mean"] == pytest.approx(0.01)
+
+    def test_delay_statistics_empty(self):
+        assert delay_statistics([])["count"] == 0
+
+    def test_per_link_and_per_sender_counts(self):
+        records = self._records()
+        assert per_link_counts(records)[(1, 0)] == 2
+        assert per_sender_counts(records) == {0: 2, 1: 2}
+
+    def test_drop_rate_empty_is_zero(self):
+        assert drop_rate([]) == 0.0
+
+    def test_delivery_time_property(self):
+        delivered = MessageRecord(0, 1, 1.0, 0.01)
+        dropped = MessageRecord(0, 1, 1.0, None)
+        assert delivered.delivery_time == pytest.approx(1.01)
+        assert dropped.delivery_time is None
+        assert dropped.dropped and not delivered.dropped
+
+
+class TestEndToEndAudit:
+    def test_full_run_respects_assumption_a3(self, medium_params):
+        recording = RecordingDelayModel(
+            UniformDelayModel(medium_params.delta, medium_params.epsilon))
+        result = run_maintenance_scenario(medium_params, rounds=5,
+                                          fault_kind="two_faced",
+                                          delay=recording, seed=2)
+        assert result.trace.stats.sent == len(recording.records)
+        assert envelope_violations(recording.records, medium_params.delta,
+                                   medium_params.epsilon) == []
+        # Fully connected broadcasts: every (sender, recipient) pair is used.
+        assert len(per_link_counts(recording.records)) == medium_params.n ** 2

@@ -1,0 +1,64 @@
+"""Unit tests for the Section 9.1 reintegration procedure."""
+
+import pytest
+
+from repro.analysis import run_reintegration_scenario
+from repro.core import ReintegratingProcess, agreement_bound
+from repro.faults import rejoin_time
+
+
+class TestReintegrationLifecycle:
+    def test_process_waits_for_start(self, small_params):
+        process = ReintegratingProcess(small_params)
+        assert process.awake is False
+
+    def test_rejoins_after_recovery(self, medium_params):
+        result = run_reintegration_scenario(medium_params, rounds=10,
+                                            recover_after_rounds=3.5, seed=1)
+        pid = medium_params.n - 1
+        when = rejoin_time(result.trace, pid)
+        assert when is not None
+        assert when > result.start_times[pid]
+
+    def test_rejoin_happens_within_two_rounds_of_recovery(self, medium_params):
+        result = run_reintegration_scenario(medium_params, rounds=10,
+                                            recover_after_rounds=3.5, seed=1)
+        pid = medium_params.n - 1
+        when = rejoin_time(result.trace, pid)
+        assert when - result.start_times[pid] <= 2.5 * medium_params.round_length
+
+    def test_recovered_clock_synchronizes_to_the_group(self, medium_params):
+        params = medium_params
+        result = run_reintegration_scenario(params, rounds=12,
+                                            recover_after_rounds=4.5, seed=0)
+        pid = params.n - 1
+        when = rejoin_time(result.trace, pid)
+        assert when is not None
+        gamma = agreement_bound(params)
+        # After one further round the repaired process must be within gamma of
+        # every other nonfaulty process.
+        check_from = when + params.round_length
+        check_to = result.end_time - params.round_length
+        steps = 40
+        for index in range(steps + 1):
+            t = check_from + index * (check_to - check_from) / steps
+            times = result.trace.local_times(t, include_faulty=True)
+            others = [v for q, v in times.items() if q != pid]
+            assert abs(times[pid] - max(others)) <= gamma + 1e-9 or \
+                   abs(times[pid] - min(others)) <= gamma + 1e-9
+            assert min(others) - gamma <= times[pid] <= max(others) + gamma
+
+    def test_events_logged_in_order(self, medium_params):
+        result = run_reintegration_scenario(medium_params, rounds=10,
+                                            recover_after_rounds=3.5, seed=2)
+        pid = medium_params.n - 1
+        names = [e.name for e in result.trace.events if e.process_id == pid]
+        for required in ("reintegration_awake", "reintegration_collecting",
+                         "reintegration_adjusted", "reintegration_rejoined"):
+            assert required in names
+        assert names.index("reintegration_awake") < names.index("reintegration_rejoined")
+
+    def test_recovering_process_counted_faulty(self, medium_params):
+        result = run_reintegration_scenario(medium_params, rounds=8,
+                                            recover_after_rounds=3.5, seed=0)
+        assert medium_params.n - 1 in result.trace.faulty_ids

@@ -1,0 +1,108 @@
+"""Unit tests for repro.analysis.rounds (per-round analysis of a run)."""
+
+import pytest
+
+from repro.analysis import run_maintenance_scenario
+from repro.analysis.rounds import (
+    adjustment_table,
+    build_round_reports,
+    convergence_factors,
+    detect_missed_rounds,
+    format_round_table,
+)
+from repro.core import adjustment_bound, steady_state_beta
+
+
+@pytest.fixture(scope="module")
+def scenario(module_params):
+    return run_maintenance_scenario(module_params, rounds=8, fault_kind="two_faced",
+                                    seed=0)
+
+
+@pytest.fixture(scope="module")
+def module_params():
+    from repro.core import SyncParameters
+    return SyncParameters.derive(n=7, f=2, rho=1e-4, delta=0.01, epsilon=0.002)
+
+
+class TestBuildRoundReports:
+    def test_one_report_per_completed_round(self, scenario):
+        reports = build_round_reports(scenario.trace)
+        indices = [report.round_index for report in reports]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert len(indices) >= scenario.rounds
+
+    def test_every_nonfaulty_process_participates(self, scenario, module_params):
+        reports = build_round_reports(scenario.trace)
+        nonfaulty = module_params.n - module_params.f
+        # All but (possibly) the trailing partially-executed round are complete.
+        for report in reports[:scenario.rounds - 1]:
+            assert report.participants == nonfaulty
+
+    def test_faulty_processes_excluded_by_default(self, scenario, module_params):
+        reports = build_round_reports(scenario.trace)
+        faulty = set(range(module_params.n - module_params.f, module_params.n))
+        for report in reports:
+            assert not (set(report.per_process) & faulty)
+
+    def test_include_faulty_flag(self, scenario, module_params):
+        reports = build_round_reports(scenario.trace, include_faulty=True)
+        all_pids = set()
+        for report in reports:
+            all_pids |= set(report.per_process)
+        # The two-faced attackers log nothing, but the flag must not crash and
+        # must still include every nonfaulty process.
+        assert set(scenario.trace.nonfaulty_ids) <= all_pids
+
+    def test_round_fields_are_ordered_in_time(self, scenario):
+        reports = build_round_reports(scenario.trace)
+        for report in reports[:scenario.rounds - 1]:
+            for entry in report.per_process.values():
+                assert entry.complete
+                assert entry.broadcast_real_time <= entry.update_real_time
+
+
+class TestDerivedQuantities:
+    def test_spread_matches_round_start_spreads_metric(self, scenario):
+        from repro.analysis import round_start_spreads
+        reports = build_round_reports(scenario.trace)
+        spreads = round_start_spreads(scenario.trace)
+        for report in reports:
+            if report.round_index in spreads and report.spread is not None:
+                assert report.spread == pytest.approx(spreads[report.round_index])
+
+    def test_adjustments_respect_theorem_4a(self, scenario, module_params):
+        table = adjustment_table(build_round_reports(scenario.trace))
+        bound = adjustment_bound(module_params)
+        assert table, "expected at least one round of adjustments"
+        for per_process in table.values():
+            for adjustment in per_process.values():
+                assert abs(adjustment) <= bound
+
+    def test_convergence_factors_reach_steady_state(self, scenario, module_params):
+        reports = build_round_reports(scenario.trace)
+        factors = convergence_factors(reports)
+        assert factors, "expected at least two rounds with a defined spread"
+        # Once at the steady-state floor the spread stops growing beyond it.
+        floor = steady_state_beta(module_params)
+        final_spreads = [r.spread for r in reports if r.spread is not None][-3:]
+        assert all(spread <= floor + 1e-9 for spread in final_spreads)
+
+    def test_no_missed_rounds_with_feasible_parameters(self, scenario):
+        assert detect_missed_rounds(scenario.trace) == {}
+
+    def test_missed_rounds_detected_when_p_is_too_small(self, module_params):
+        """An infeasibly small P makes processes fall out of the round structure."""
+        from dataclasses import replace
+        bad = replace(module_params,
+                      round_length=module_params.p_lower_bound() * 0.45)
+        result = run_maintenance_scenario(bad, rounds=6, fault_kind=None, seed=1)
+        missed = detect_missed_rounds(result.trace)
+        assert missed, "expected missed_round events with an infeasible P"
+
+    def test_format_round_table_mentions_every_round(self, scenario):
+        reports = build_round_reports(scenario.trace)
+        text = format_round_table(reports)
+        assert "round" in text and "max |ADJ|" in text
+        assert len(text.splitlines()) == len(reports) + 2  # header + rule

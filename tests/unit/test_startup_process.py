@@ -1,0 +1,78 @@
+"""Unit tests for the Section 9.2 start-up algorithm."""
+
+import pytest
+
+from repro.analysis import run_startup_scenario, startup_spread_series
+from repro.core import StartupProcess, startup_limit, startup_round_recurrence
+
+
+class TestIntervalLengths:
+    def test_first_interval_formula(self, small_params):
+        process = StartupProcess(small_params)
+        p = small_params
+        assert process.first_interval_length() == pytest.approx(
+            (1 + p.rho) * (2 * p.delta + 4 * p.epsilon))
+
+    def test_second_interval_much_shorter_than_first(self, small_params):
+        process = StartupProcess(small_params)
+        assert process.second_interval_length() < process.first_interval_length()
+
+    def test_initial_state(self, small_params):
+        process = StartupProcess(small_params)
+        assert process.asleep is True
+        assert process.round_index == 0
+        assert process.diff == {}
+        assert process.finished is False
+
+
+class TestConvergence:
+    def test_spread_shrinks_every_round(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=6, initial_spread=0.5,
+                                      seed=3)
+        series = startup_spread_series(result.trace)
+        assert len(series) >= 4
+        # After the first exchange the spread should shrink monotonically
+        # (up to the additive floor of the recurrence).
+        floor = startup_limit(medium_params)
+        for before, after in zip(series, series[1:]):
+            assert after <= max(before, floor) + 1e-9
+
+    def test_rounds_obey_lemma20_recurrence(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=6, initial_spread=0.5,
+                                      seed=5)
+        series = startup_spread_series(result.trace)
+        for before, after in zip(series, series[1:]):
+            assert after <= startup_round_recurrence(medium_params, before) + 1e-9
+
+    def test_final_spread_approaches_limit(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=8, initial_spread=1.0,
+                                      seed=0)
+        series = startup_spread_series(result.trace)
+        assert series[-1] <= startup_limit(medium_params)
+
+    def test_fault_free_also_converges(self, small_params):
+        result = run_startup_scenario(small_params, rounds=6, initial_spread=0.3,
+                                      fault_count=0, seed=2)
+        series = startup_spread_series(result.trace)
+        assert series[-1] < series[0] / 4
+
+
+class TestRoundMachinery:
+    def test_processes_complete_requested_rounds(self, medium_params):
+        rounds = 5
+        result = run_startup_scenario(medium_params, rounds=rounds,
+                                      initial_spread=0.5, seed=1)
+        for pid in result.trace.nonfaulty_ids:
+            begun = result.trace.events_named("startup_round_begin", process_id=pid)
+            assert len(begun) >= rounds - 1
+
+    def test_ready_messages_are_sent(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=3, initial_spread=0.5,
+                                      seed=1)
+        assert result.trace.events_named("startup_ready_sent")
+
+    def test_adjustments_recorded_per_round(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=4, initial_spread=0.5,
+                                      seed=1)
+        for pid in result.trace.nonfaulty_ids:
+            assert len(result.trace.adjustments(pid)) >= 2

@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.sweeps (the parameter sweep framework)."""
+
+import pytest
+
+from repro.analysis import (
+    SweepAxis,
+    SweepResult,
+    run_sweep,
+    sweep_epsilon,
+    sweep_fault_count,
+    sweep_system_size,
+)
+
+
+class TestSweepAxis:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            SweepAxis("", [1, 2])
+
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            SweepAxis("x", [])
+
+
+class TestRunSweep:
+    def test_single_axis_visits_every_value(self):
+        seen = []
+
+        def runner(x):
+            seen.append(x)
+            return {"double": 2 * x}
+
+        result = run_sweep([SweepAxis("x", [1, 2, 3])], runner)
+        assert seen == [1, 2, 3]
+        assert result.column("x") == [1, 2, 3]
+        assert result.column("double") == [2, 4, 6]
+
+    def test_two_axes_take_cartesian_product(self):
+        def runner(x, y):
+            return {"product": x * y}
+
+        result = run_sweep([SweepAxis("x", [1, 2]), SweepAxis("y", [10, 20])], runner)
+        assert len(result.points) == 4
+        assert result.column("product") == [10, 20, 20, 40]
+
+    def test_headers_and_rows_align(self):
+        def runner(x):
+            return {"y": x + 1, "z": x + 2}
+
+        result = run_sweep([SweepAxis("x", [0, 5])], runner)
+        assert result.headers() == ["x", "y", "z"]
+        assert result.rows() == [[0, 1, 2], [5, 6, 7]]
+
+    def test_progress_callback_sees_inputs(self):
+        observed = []
+        run_sweep([SweepAxis("x", [7, 8])],
+                  lambda x: {"y": x},
+                  progress=lambda inputs: observed.append(inputs["x"]))
+        assert observed == [7, 8]
+
+    def test_best_point_minimizes_output(self):
+        result = run_sweep([SweepAxis("x", [1, 2, 3])],
+                           lambda x: {"loss": (x - 2) ** 2})
+        assert result.best("loss").inputs["x"] == 2
+        assert result.best("loss", minimize=False).inputs["x"] in (1, 3)
+
+    def test_best_requires_known_output(self):
+        result = run_sweep([SweepAxis("x", [1])], lambda x: {"y": x})
+        with pytest.raises(ValueError):
+            result.best("missing")
+
+    def test_requires_at_least_one_axis(self):
+        with pytest.raises(ValueError):
+            run_sweep([], lambda: {})
+
+
+class TestReadyMadeSweeps:
+    def test_epsilon_sweep_shape(self):
+        result = sweep_epsilon([0.001, 0.002], rounds=5, seed=1)
+        gammas = result.column("gamma")
+        agreements = result.column("agreement")
+        assert len(gammas) == 2
+        # The bound grows with epsilon and the measurement respects it.
+        assert gammas[1] > gammas[0]
+        for gamma, agreement in zip(gammas, agreements):
+            assert agreement <= gamma
+
+    def test_system_size_sweep_respects_bound(self):
+        result = sweep_system_size([7, 10], rounds=5, seed=2)
+        for gamma, agreement in zip(result.column("gamma"),
+                                    result.column("agreement")):
+            assert agreement <= gamma
+
+    def test_fault_count_sweep_shows_threshold(self):
+        result = sweep_fault_count([0, 2, 3], rounds=6, seed=0)
+        agreements = result.column("agreement")
+        gamma = result.column("gamma")[0]
+        # Within the threshold the bound holds; past it the skew blows up.
+        assert agreements[0] <= gamma
+        assert agreements[1] <= gamma
+        assert agreements[2] > agreements[1]

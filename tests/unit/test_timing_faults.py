@@ -1,0 +1,137 @@
+"""Unit tests for repro.faults.timing (flooding and stale-replay attackers)."""
+
+import pytest
+
+from repro.analysis import measured_agreement, run_maintenance_scenario
+from repro.clocks import make_clock_ensemble
+from repro.core import WelchLynchProcess, agreement_bound
+from repro.faults import FloodingAttacker, StaleReplayAttacker
+from repro.sim import ContentionDelayModel, System, UniformDelayModel
+
+
+def run_with_attackers(params, attacker_factory, rounds=8, seed=0,
+                       delay_model=None):
+    """n - f correct processes plus f attackers built by the factory."""
+    correct = [WelchLynchProcess(params, max_rounds=rounds)
+               for _ in range(params.n - params.f)]
+    attackers = [attacker_factory() for _ in range(params.f)]
+    clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
+                                 seed=seed)
+    system = System(correct + attackers, clocks,
+                    delay_model=delay_model or UniformDelayModel(params.delta,
+                                                                 params.epsilon),
+                    seed=seed)
+    starts = system.schedule_all_starts_at_logical(params.T0)
+    end = params.T0 + rounds * params.round_length + 1.0
+    trace = system.run_until(end)
+    settle = min(t for pid, t in starts.items()
+                 if pid < params.n - params.f) + params.round_length
+    return trace, settle, end
+
+
+class TestFloodingAttacker:
+    def test_construction_validation(self, medium_params):
+        with pytest.raises(ValueError):
+            FloodingAttacker(medium_params, burst=0)
+        with pytest.raises(ValueError):
+            FloodingAttacker(medium_params, interval=-1.0)
+
+    def test_is_marked_faulty(self, medium_params):
+        assert FloodingAttacker(medium_params).is_faulty
+
+    def test_flooding_generates_far_more_traffic_than_correct_processes(
+            self, medium_params):
+        params = medium_params
+        trace, settle, end = run_with_attackers(
+            params, lambda: FloodingAttacker(params, burst=4), rounds=6, seed=1)
+        per_sender = trace.stats.per_process_sent
+        correct_traffic = max(per_sender.get(pid, 0)
+                              for pid in range(params.n - params.f))
+        attacker_traffic = min(per_sender.get(pid, 0)
+                               for pid in range(params.n - params.f, params.n))
+        assert attacker_traffic > 3 * correct_traffic
+
+    def test_agreement_survives_flooding(self, medium_params):
+        params = medium_params
+        trace, settle, end = run_with_attackers(
+            params, lambda: FloodingAttacker(params, burst=4), rounds=8, seed=2)
+        grid = [settle + i * (end - settle) / 120 for i in range(121)]
+        assert trace.max_skew(grid) <= agreement_bound(params)
+
+    def test_flooding_under_contention_breaks_the_delivery_assumption(
+            self, medium_params):
+        """Flooding a lossy medium voids the reliable-delivery assumption.
+
+        The Theorem 16 guarantee assumes every message is delivered (A3).  A
+        flooder on a contention-prone medium causes correct processes' round
+        messages to be dropped, and once more than f entries per round are
+        missing or stale the guarantee genuinely no longer applies — the skew
+        exceeds what the same attack achieves on a reliable medium.  This is a
+        negative control documenting the assumption boundary, not a bug.
+        """
+        params = medium_params
+        contention = ContentionDelayModel(params.delta, params.epsilon,
+                                          window=0.002, threshold=3,
+                                          drop_probability=0.3)
+        lossy_trace, settle, end = run_with_attackers(
+            params, lambda: FloodingAttacker(params, burst=3), rounds=8, seed=3,
+            delay_model=contention)
+        reliable_trace, settle_r, end_r = run_with_attackers(
+            params, lambda: FloodingAttacker(params, burst=3), rounds=8, seed=3)
+        grid = [settle + i * (end - settle) / 120 for i in range(121)]
+        grid_r = [settle_r + i * (end_r - settle_r) / 120 for i in range(121)]
+        assert lossy_trace.stats.dropped > 0
+        assert reliable_trace.max_skew(grid_r) <= agreement_bound(params)
+        assert lossy_trace.max_skew(grid) > reliable_trace.max_skew(grid_r)
+
+    def test_max_messages_caps_the_flood(self, medium_params):
+        params = medium_params
+        attacker_factory = lambda: FloodingAttacker(params, burst=2,  # noqa: E731
+                                                    max_messages=10)
+        trace, _, _ = run_with_attackers(params, attacker_factory, rounds=6, seed=4)
+        for pid in range(params.n - params.f, params.n):
+            assert trace.stats.per_process_sent.get(pid, 0) <= 10 + 2 * params.n
+
+
+class TestStaleReplayAttacker:
+    def test_construction_validation(self, medium_params):
+        with pytest.raises(ValueError):
+            StaleReplayAttacker(medium_params, staleness=0.0)
+
+    def test_is_marked_faulty(self, medium_params):
+        assert StaleReplayAttacker(medium_params).is_faulty
+
+    def test_replays_previously_seen_round_messages(self, medium_params):
+        params = medium_params
+        attackers = []
+
+        def factory():
+            attacker = StaleReplayAttacker(params)
+            attackers.append(attacker)
+            return attacker
+
+        run_with_attackers(params, factory, rounds=6, seed=5)
+        assert all(attacker.replayed > 0 for attacker in attackers)
+
+    def test_agreement_survives_stale_replays(self, medium_params):
+        params = medium_params
+        trace, settle, end = run_with_attackers(
+            params, lambda: StaleReplayAttacker(params), rounds=8, seed=6)
+        grid = [settle + i * (end - settle) / 120 for i in range(121)]
+        assert trace.max_skew(grid) <= agreement_bound(params)
+
+    def test_max_replays_caps_the_attack(self, medium_params):
+        params = medium_params
+        attacker = StaleReplayAttacker(params, max_replays=3)
+        run_with_attackers(params, lambda: attacker, rounds=6, seed=7)
+        assert attacker.replayed <= 3 + params.n  # one timer batch may overshoot slightly
+
+    def test_through_the_scenario_builder_fault_hook(self, medium_params):
+        """Timing attackers compose with the standard scenario machinery."""
+        params = medium_params
+        factory = lambda p, r: WelchLynchProcess(p, max_rounds=r)  # noqa: E731
+        result = run_maintenance_scenario(params, rounds=6, fault_kind="silent",
+                                          seed=8, correct_process_factory=factory)
+        start = result.tmax0 + params.round_length
+        assert measured_agreement(result.trace, start, result.end_time,
+                                  samples=100) <= agreement_bound(params)

@@ -1,0 +1,91 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.clocks import ConstantRateClock, CorrectionHistory, PerfectClock
+from repro.sim import ExecutionTrace, MessageStats, TraceEvent
+
+
+def make_trace(faulty=(), end_time=10.0):
+    clocks = {0: PerfectClock(offset=0.0),
+              1: PerfectClock(offset=0.5),
+              2: ConstantRateClock(offset=1.0, rate=1.0, rho=1e-6)}
+    histories = {pid: CorrectionHistory(0.0) for pid in clocks}
+    histories[1].apply(5.0, -0.5, round_index=0)
+    events = [TraceEvent(real_time=1.0, process_id=0, name="broadcast",
+                         data={"round_index": 0}),
+              TraceEvent(real_time=1.2, process_id=1, name="broadcast",
+                         data={"round_index": 0}),
+              TraceEvent(real_time=2.0, process_id=0, name="update",
+                         data={"round_index": 0, "adjustment": 0.1})]
+    stats = MessageStats(sent=12, delivered=10, dropped=2)
+    return ExecutionTrace(clocks=clocks, histories=histories, faulty_ids=faulty,
+                          events=events, stats=stats, end_time=end_time)
+
+
+class TestBasicAccessors:
+    def test_n_and_end_time(self):
+        trace = make_trace()
+        assert trace.n == 3
+        assert trace.end_time == 10.0
+
+    def test_faulty_and_nonfaulty_ids(self):
+        trace = make_trace(faulty=[2])
+        assert trace.faulty_ids == frozenset({2})
+        assert trace.nonfaulty_ids == [0, 1]
+
+    def test_stats_passthrough(self):
+        assert make_trace().stats.sent == 12
+
+    def test_events_named(self):
+        trace = make_trace()
+        assert len(trace.events_named("broadcast")) == 2
+        assert len(trace.events_named("broadcast", process_id=1)) == 1
+        assert trace.events_named("nothing") == []
+
+
+class TestClockReconstruction:
+    def test_local_time_before_and_after_correction(self):
+        trace = make_trace()
+        # Process 1 has offset 0.5 and applies -0.5 at real time 5.
+        assert trace.local_time(1, 4.0) == pytest.approx(4.5)
+        assert trace.local_time(1, 6.0) == pytest.approx(6.0)
+
+    def test_local_times_excludes_faulty_by_default(self):
+        trace = make_trace(faulty=[2])
+        times = trace.local_times(1.0)
+        assert set(times) == {0, 1}
+        all_times = trace.local_times(1.0, include_faulty=True)
+        assert set(all_times) == {0, 1, 2}
+
+    def test_adjustments(self):
+        trace = make_trace()
+        assert trace.adjustments(1) == [-0.5]
+        assert trace.adjustments(0) == []
+
+    def test_view_returns_logical_view(self):
+        trace = make_trace()
+        view = trace.view(1)
+        assert view.local_time(6.0) == pytest.approx(6.0)
+
+
+class TestSkew:
+    def test_skew_at_time(self):
+        trace = make_trace(faulty=[2])
+        # At t=1: process 0 reads 1.0, process 1 reads 1.5.
+        assert trace.skew(1.0) == pytest.approx(0.5)
+        # After process 1's correction the skew closes.
+        assert trace.skew(6.0) == pytest.approx(0.0)
+
+    def test_skew_series_and_max(self):
+        trace = make_trace(faulty=[2])
+        series = trace.skew_series([1.0, 6.0])
+        assert series[0][1] == pytest.approx(0.5)
+        assert trace.max_skew([1.0, 6.0]) == pytest.approx(0.5)
+
+    def test_max_skew_empty_times(self):
+        assert make_trace().max_skew([]) == 0.0
+
+    def test_single_process_skew_is_zero(self):
+        trace = make_trace(faulty=[1, 2])
+        assert trace.skew(3.0) == 0.0

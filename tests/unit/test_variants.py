@@ -1,0 +1,84 @@
+"""Unit tests for the k-exchange and staggered-broadcast variants."""
+
+import pytest
+
+from repro.analysis import round_start_spreads, run_maintenance_scenario
+from repro.core import (
+    MultiExchangeProcess,
+    StaggeredWelchLynchProcess,
+    choose_stagger_interval,
+    effective_beta,
+)
+from repro.sim import ContentionDelayModel
+
+
+class TestMultiExchange:
+    def test_requires_positive_k(self, small_params):
+        with pytest.raises(ValueError):
+            MultiExchangeProcess(small_params, exchanges_per_round=0)
+
+    def test_sub_round_spacing_exceeds_window(self, small_params):
+        process = MultiExchangeProcess(small_params, exchanges_per_round=2)
+        assert process.sub_round_spacing() > small_params.collection_window()
+
+    def test_minimum_round_length_grows_with_k(self, small_params):
+        p2 = MultiExchangeProcess(small_params, exchanges_per_round=2)
+        p4 = MultiExchangeProcess(small_params, exchanges_per_round=4)
+        assert p4.minimum_round_length() > p2.minimum_round_length()
+
+    def test_runs_and_converges(self, small_params):
+        from repro.core import agreement_bound
+        params = small_params.with_round_length(
+            MultiExchangeProcess(small_params, 2).minimum_round_length() * 1.2)
+        result = run_maintenance_scenario(params, rounds=4, fault_kind=None,
+                                          exchanges_per_round=2, seed=1)
+        assert result.trace.events_named("update")  # rounds actually happened
+        # After the run the nonfaulty clocks are at least as close as the
+        # basic algorithm guarantees.
+        assert result.trace.skew(result.end_time - params.delta) < agreement_bound(params)
+
+    def test_performs_k_updates_per_round(self, small_params):
+        params = small_params.with_round_length(
+            MultiExchangeProcess(small_params, 2).minimum_round_length() * 1.2)
+        result = run_maintenance_scenario(params, rounds=3, fault_kind=None,
+                                          exchanges_per_round=2, seed=0)
+        for pid in result.trace.nonfaulty_ids:
+            updates = result.trace.events_named("update", process_id=pid)
+            assert len(updates) == 3 * 2
+
+    def test_label(self, small_params):
+        assert "k=3" in MultiExchangeProcess(small_params, 3).label()
+
+
+class TestStaggered:
+    def test_requires_positive_sigma(self, small_params):
+        with pytest.raises(ValueError):
+            StaggeredWelchLynchProcess(small_params, stagger_interval=0.0)
+
+    def test_effective_beta(self, small_params):
+        sigma = 0.004
+        assert effective_beta(small_params, sigma) == pytest.approx(
+            small_params.beta + (small_params.n - 1) * sigma)
+
+    def test_choose_stagger_interval_exceeds_contention_window(self, small_params):
+        contention = ContentionDelayModel(small_params.delta, small_params.epsilon,
+                                          window=0.003)
+        sigma = choose_stagger_interval(small_params, contention)
+        assert sigma > contention.window
+
+    def test_label(self, small_params):
+        process = StaggeredWelchLynchProcess(small_params, stagger_interval=0.01)
+        assert "Staggered" in process.label()
+
+    def test_staggering_reduces_contention_drops(self, small_params):
+        params = small_params
+        def run(stagger):
+            contention = ContentionDelayModel(params.delta, params.epsilon,
+                                              window=0.004, threshold=2,
+                                              drop_probability=0.6)
+            result = run_maintenance_scenario(params, rounds=4, fault_kind=None,
+                                              delay=contention, seed=3,
+                                              stagger_interval=stagger)
+            return result.trace.stats.dropped
+        sigma = 2 * (0.004 + params.beta)
+        assert run(sigma) < run(0.0)

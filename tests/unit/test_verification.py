@@ -1,0 +1,92 @@
+"""Unit tests for repro.analysis.verification (the theorem checker)."""
+
+import pytest
+
+from repro.analysis import (
+    check_maintenance_run,
+    check_startup_run,
+    format_report,
+    run_maintenance_scenario,
+    run_startup_scenario,
+)
+from repro.core import PlainMean, agreement_bound
+
+
+class TestMaintenanceReport:
+    def test_clean_run_passes_every_claim(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="two_faced", seed=0)
+        report = check_maintenance_run(result)
+        assert report.all_passed
+        assert report.failed() == []
+        names = {check.claim for check in report.checks}
+        assert names == {"theorem4a_adjustment", "theorem4c_round_spread",
+                         "theorem16_agreement", "theorem19_validity"}
+
+    def test_measured_values_are_consistent_with_bounds(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="skew_late", seed=1)
+        report = check_maintenance_run(result)
+        agreement = report.check("theorem16_agreement")
+        assert agreement.bound == pytest.approx(agreement_bound(medium_params))
+        assert 0 < agreement.measured <= agreement.bound
+        spread = report.check("theorem4c_round_spread")
+        assert spread.bound == medium_params.beta
+
+    def test_lookup_of_unknown_claim_raises(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=5,
+                                          fault_kind=None, seed=2)
+        report = check_maintenance_run(result)
+        with pytest.raises(KeyError):
+            report.check("theorem42")
+
+    def test_broken_algorithm_is_flagged(self, medium_params):
+        """Replacing the averaging with a plain mean under attack fails the audit.
+
+        The random-noise attackers report round values that are many rounds
+        off; without the ``reduce`` step those values reach the average and
+        wreck the adjustments, which the checker must flag.
+        """
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="random_noise",
+                                          averaging=PlainMean(), seed=3)
+        report = check_maintenance_run(result)
+        assert not report.all_passed
+        failed_names = {check.claim for check in report.failed()}
+        # The plain mean lets the attackers push adjustments and/or skew past
+        # the bounds; at least one of the agreement-related claims must fail.
+        assert failed_names & {"theorem16_agreement", "theorem4a_adjustment",
+                               "theorem4c_round_spread"}
+
+    def test_format_report_mentions_verdict(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=5,
+                                          fault_kind=None, seed=4)
+        text = format_report(check_maintenance_run(result))
+        assert "theorem16_agreement" in text
+        assert "all claims hold" in text
+
+    def test_format_report_lists_violations(self, medium_params):
+        result = run_maintenance_scenario(medium_params, rounds=8,
+                                          fault_kind="random_noise",
+                                          averaging=PlainMean(), seed=5)
+        text = format_report(check_maintenance_run(result))
+        assert "VIOLATED" in text
+
+
+class TestStartupReport:
+    def test_startup_run_satisfies_lemma20_every_round(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=8, initial_spread=1.0,
+                                      seed=6)
+        report = check_startup_run(result)
+        assert report.all_passed
+        assert len(report.checks) >= 5
+        assert all(check.claim.startswith("lemma20_round_") for check in report.checks)
+
+    def test_bounds_follow_the_recurrence(self, medium_params):
+        result = run_startup_scenario(medium_params, rounds=6, initial_spread=0.5,
+                                      seed=7)
+        report = check_startup_run(result)
+        bounds = [check.bound for check in report.checks]
+        # The recurrence bound itself decays (roughly halves) round over round
+        # while the spreads are far from the fixed point.
+        assert bounds[1] < bounds[0]
