@@ -1,4 +1,40 @@
-"""Setuptools shim; all metadata lives in pyproject.toml / setup.cfg."""
-from setuptools import setup
+"""Packaging for the Welch-Lynch clock-synchronization reproduction.
 
-setup()
+The version is single-sourced from ``src/repro/__init__.py`` (the
+``__version__`` attribute), which the CLI's ``--version`` flag also reports.
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def read_version() -> str:
+    """Extract ``__version__`` from the package without importing it."""
+    init_path = os.path.join(_HERE, "src", "repro", "__init__.py")
+    with open(init_path, encoding="utf-8") as handle:
+        source = handle.read()
+    match = re.search(r'^__version__\s*=\s*["\']([^"\']+)["\']', source, re.M)
+    if not match:
+        raise RuntimeError(f"__version__ not found in {init_path}")
+    return match.group(1)
+
+
+setup(
+    name="repro-clocksync",
+    version=read_version(),
+    description="Reproduction of Welch & Lynch fault-tolerant clock "
+                "synchronization (PODC 1984), with fault injection, network "
+                "topologies and a theorem-auditing harness",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-clocksync = repro.cli:main",
+        ],
+    },
+)

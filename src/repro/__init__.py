@@ -8,7 +8,10 @@ The package is organised bottom-up:
 * :mod:`repro.clocks` — ρ-bounded physical clocks, logical clocks, validators;
 * :mod:`repro.sim` — the interrupt-driven discrete-event simulator (processes,
   message buffer, delay models, traces);
-* :mod:`repro.faults` — crash, omission and Byzantine fault injection;
+* :mod:`repro.topology` — network topologies (ring, grid, G(n,p), clustered,
+  ...), time-varying link faults, and multi-hop relay routing;
+* :mod:`repro.faults` — crash, omission, Byzantine and link-level fault
+  injection;
 * :mod:`repro.core` — the maintenance algorithm, the start-up algorithm,
   reintegration, the staggered/multi-exchange/mean variants, and the
   closed-form bounds of the analysis;
@@ -32,9 +35,11 @@ from .analysis import (
     run_algorithm_scenario,
     run_comparison,
     run_maintenance_scenario,
+    run_partition_heal_scenario,
     run_reintegration_scenario,
     run_startup_scenario,
 )
+from .topology import Topology, build_topology, make_topology
 from .core import (
     FaultTolerantMean,
     FaultTolerantMidpoint,
@@ -54,8 +59,12 @@ __all__ = [
     "run_algorithm_scenario",
     "run_comparison",
     "run_maintenance_scenario",
+    "run_partition_heal_scenario",
     "run_reintegration_scenario",
     "run_startup_scenario",
+    "Topology",
+    "build_topology",
+    "make_topology",
     "FaultTolerantMidpoint",
     "FaultTolerantMean",
     "SyncParameters",

@@ -24,7 +24,13 @@ from ..baselines.lamport_melliar_smith import (
 from ..baselines.srikanth_toueg import st_adjustment_estimate, st_agreement_estimate
 from ..core.bounds import adjustment_bound, agreement_bound
 from ..core.config import SyncParameters
-from .experiments import ALGORITHM_FACTORIES, ScenarioResult, run_algorithm_scenario
+from ..topology.base import Topology
+from .experiments import (
+    ALGORITHM_FACTORIES,
+    ScenarioResult,
+    effective_parameters,
+    run_algorithm_scenario,
+)
 from .metrics import adjustment_statistics, measured_agreement, messages_per_round
 
 __all__ = ["ComparisonRow", "run_comparison", "paper_estimates"]
@@ -67,22 +73,25 @@ def run_comparison(
     fault_count: Optional[int] = None,
     seed: int = 0,
     settle_rounds: int = 2,
+    topology: Optional[Topology] = None,
 ) -> List[ComparisonRow]:
     """Run every requested algorithm on the same workload and summarize.
 
     Agreement is measured after ``settle_rounds`` rounds so the initial
     transient (which all the algorithms share) does not mask steady-state
-    behaviour.
+    behaviour.  With a ``topology`` every algorithm relays over the same
+    graph and the paper estimates use the topology-effective constants.
     """
     names = list(algorithms) if algorithms is not None else list(ALGORITHM_FACTORIES)
-    estimates = paper_estimates(params)
+    estimates = paper_estimates(effective_parameters(params, topology))
     rows: List[ComparisonRow] = []
     for name in names:
         result = run_algorithm_scenario(name, params, rounds=rounds,
                                         fault_kind=fault_kind,
-                                        fault_count=fault_count, seed=seed)
-        start = (params.initial_round_time
-                 + settle_rounds * params.round_length + result.tmax0)
+                                        fault_count=fault_count, seed=seed,
+                                        topology=topology)
+        start = (result.params.initial_round_time
+                 + settle_rounds * result.params.round_length + result.tmax0)
         agreement = measured_agreement(result.trace, start, result.end_time)
         stats = adjustment_statistics(result.trace)
         est = estimates.get(name, {})

@@ -10,7 +10,7 @@ number of rounds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..baselines.halpern_simons_strong_dolev import HSSDProcess
@@ -21,7 +21,7 @@ from ..baselines.srikanth_toueg import SrikanthTouegProcess
 from ..baselines.unsynchronized import UnsynchronizedProcess
 from ..clocks.drift import make_clock_ensemble
 from ..core.averaging import AveragingFunction
-from ..core.config import SyncParameters
+from ..core.config import ParameterError, SyncParameters
 from ..core.maintenance import WelchLynchProcess
 from ..core.multi_exchange import MultiExchangeProcess
 from ..core.startup import StartupProcess
@@ -41,16 +41,22 @@ from ..sim.network import (
 from ..sim.process import Process
 from ..sim.system import System
 from ..sim.trace import ExecutionTrace
+from ..topology.base import Topology
+from ..topology.routing import delay_envelope
+from ..topology.schedule import LinkSchedule
 
 __all__ = [
     "ScenarioResult",
+    "PartitionHealResult",
     "default_parameters",
+    "effective_parameters",
     "make_delay_model",
     "make_fault_process",
     "run_maintenance_scenario",
     "run_algorithm_scenario",
     "run_startup_scenario",
     "run_reintegration_scenario",
+    "run_partition_heal_scenario",
     "ALGORITHM_FACTORIES",
 ]
 
@@ -64,6 +70,11 @@ class ScenarioResult:
     start_times: Dict[int, float]
     rounds: int
     end_time: float
+
+    @property
+    def is_partition_heal(self) -> bool:
+        """Whether this run carries partition-and-heal context."""
+        return False
 
     @property
     def tmin0(self) -> float:
@@ -97,6 +108,43 @@ def default_parameters(
     """
     return SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon,
                                  round_length=round_length, beta_slack=beta_slack)
+
+
+def effective_parameters(params: SyncParameters,
+                         topology: Optional[Topology]) -> SyncParameters:
+    """Re-derive (β, P) for the end-to-end delay envelope a topology induces.
+
+    On a sparse graph the relay layer stretches message delays to the
+    ``[lo, hi]`` range of :func:`repro.topology.routing.delay_envelope`; the
+    centered constants ``δ' = (lo+hi)/2``, ``ε' = (hi-lo)/2`` make assumption
+    A3 hold again for *end-to-end* delays (every route, from the one-hop
+    ``δ-ε`` best case to the across-the-diameter worst case, lands inside
+    ``[δ'-ε', δ'+ε']``), so the paper's collection window and Theorem 4/16/19
+    bounds — computed from the effective constants — remain sound.  The
+    complete graph (and ``None``) returns ``params`` unchanged.
+    """
+    if topology is None or topology.is_complete:
+        return params
+    lo, hi = delay_envelope(topology, params.delta, params.epsilon)
+    delta_eff = (lo + hi) / 2.0
+    epsilon_eff = (hi - lo) / 2.0
+    # Keep the caller's round length P when it still satisfies the Section
+    # 5.2 constraints for the stretched envelope; otherwise re-derive P (and
+    # beta), since a P chosen for one-hop delays is usually below the
+    # effective lower bound once relays multiply delta and epsilon.
+    try:
+        return SyncParameters.derive(
+            n=params.n, f=params.f, rho=params.rho,
+            delta=delta_eff, epsilon=epsilon_eff,
+            round_length=params.round_length,
+            initial_round_time=params.initial_round_time,
+        )
+    except ParameterError:
+        return SyncParameters.derive(
+            n=params.n, f=params.f, rho=params.rho,
+            delta=delta_eff, epsilon=epsilon_eff,
+            initial_round_time=params.initial_round_time,
+        )
 
 
 def make_delay_model(kind: Union[str, DelayModel], params: SyncParameters,
@@ -164,12 +212,15 @@ ALGORITHM_FACTORIES: Dict[str, Callable[[SyncParameters, int], Process]] = {
 def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
          clock_kind: str, delay_model: DelayModel, seed: int,
          extra_time: float = 0.0,
-         start_scheduler: Optional[Callable[[System], Dict[int, float]]] = None
+         start_scheduler: Optional[Callable[[System], Dict[int, float]]] = None,
+         topology: Optional[Topology] = None,
+         link_schedule: Optional[LinkSchedule] = None,
          ) -> ScenarioResult:
     """Assemble a system, schedule starts, run for ``rounds`` rounds."""
     clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
                                  seed=seed, kind=clock_kind)
-    system = System(processes, clocks, delay_model=delay_model, seed=seed)
+    system = System(processes, clocks, delay_model=delay_model, seed=seed,
+                    topology=topology, link_schedule=link_schedule)
     if start_scheduler is None:
         start_times = system.schedule_all_starts_at_logical(params.initial_round_time)
     else:
@@ -194,6 +245,8 @@ def run_maintenance_scenario(
     stagger_interval: float = 0.0,
     exchanges_per_round: int = 1,
     correct_process_factory: Optional[Callable[[SyncParameters, int], Process]] = None,
+    topology: Optional[Topology] = None,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> ScenarioResult:
     """Run the Welch-Lynch maintenance algorithm under a chosen fault load.
 
@@ -203,6 +256,11 @@ def run_maintenance_scenario(
     parameter set and the round budget) replaces the default
     :class:`WelchLynchProcess` construction — used by the ablation benchmarks
     to run the amortized/staggered variants through the same harness.
+
+    With a ``topology`` the per-hop delay model keeps the caller's (δ, ε)
+    while the algorithm and the returned ``result.params`` use the
+    topology-effective constants of :func:`effective_parameters`, so audits
+    compare against bounds that account for relay accumulation.
     """
     if fault_kind is None:
         fault_count = 0
@@ -210,7 +268,8 @@ def run_maintenance_scenario(
         fault_count = params.f
     if fault_count > params.n:
         raise ValueError("cannot have more faulty processes than processes")
-    delay_model = make_delay_model(delay, params)
+    delay_model = make_delay_model(delay, params)  # per-hop: the base (δ, ε)
+    params = effective_parameters(params, topology)
     processes: List[Process] = []
     for pid in range(params.n - fault_count):
         if correct_process_factory is not None:
@@ -227,7 +286,8 @@ def run_maintenance_scenario(
     for index in range(fault_count):
         processes.append(make_fault_process(fault_kind, params, rounds,
                                             seed=seed + index))
-    return _run(params, processes, rounds, clock_kind, delay_model, seed)
+    return _run(params, processes, rounds, clock_kind, delay_model, seed,
+                topology=topology, link_schedule=link_schedule)
 
 
 def run_algorithm_scenario(
@@ -239,6 +299,8 @@ def run_algorithm_scenario(
     clock_kind: str = "constant",
     delay: Union[str, DelayModel] = "uniform",
     seed: int = 0,
+    topology: Optional[Topology] = None,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> ScenarioResult:
     """Run any of the comparison algorithms on the same workload (E8)."""
     if algorithm not in ALGORITHM_FACTORIES:
@@ -249,13 +311,15 @@ def run_algorithm_scenario(
     if fault_count is None:
         fault_count = params.f
     delay_model = make_delay_model(delay, params)
+    params = effective_parameters(params, topology)
     factory = ALGORITHM_FACTORIES[algorithm]
     processes: List[Process] = [factory(params, rounds)
                                 for _ in range(params.n - fault_count)]
     for index in range(fault_count):
         processes.append(make_fault_process(fault_kind, params, rounds,
                                             seed=seed + index))
-    return _run(params, processes, rounds, clock_kind, delay_model, seed)
+    return _run(params, processes, rounds, clock_kind, delay_model, seed,
+                topology=topology, link_schedule=link_schedule)
 
 
 def run_startup_scenario(
@@ -267,11 +331,14 @@ def run_startup_scenario(
     clock_kind: str = "constant",
     delay: Union[str, DelayModel] = "uniform",
     seed: int = 0,
+    topology: Optional[Topology] = None,
+    link_schedule: Optional[LinkSchedule] = None,
 ) -> ScenarioResult:
     """Run the Section 9.2 start-up algorithm from arbitrarily spread clocks."""
     if fault_count is None:
         fault_count = params.f
     delay_model = make_delay_model(delay, params)
+    params = effective_parameters(params, topology)
     processes: List[Process] = [StartupProcess(params, max_rounds=rounds)
                                 for _ in range(params.n - fault_count)]
     for index in range(fault_count):
@@ -280,7 +347,8 @@ def run_startup_scenario(
     # Clocks start spread over `initial_spread` (arbitrary initial values).
     clocks = make_clock_ensemble(params.n, rho=params.rho, beta=initial_spread,
                                  seed=seed, kind=clock_kind)
-    system = System(processes, clocks, delay_model=delay_model, seed=seed)
+    system = System(processes, clocks, delay_model=delay_model, seed=seed,
+                    topology=topology, link_schedule=link_schedule)
     start_times = {pid: 0.0 for pid in range(params.n)}
     for pid in range(params.n):
         system.schedule_start(pid, 0.0)
@@ -341,3 +409,91 @@ def run_reintegration_scenario(
     trace = system.run_until(end_time)
     return ScenarioResult(params=params, trace=trace, start_times=start_times,
                           rounds=rounds, end_time=end_time)
+
+
+# ---------------------------------------------------------------------------
+# Partition-and-heal (the topology subsystem's flagship scenario)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PartitionHealResult(ScenarioResult):
+    """A maintenance run whose network was partitioned and later healed."""
+
+    groups: List[List[int]] = field(default_factory=list)
+    partition_start: float = 0.0
+    heal_time: float = 0.0
+
+    @property
+    def is_partition_heal(self) -> bool:
+        return True
+
+
+def run_partition_heal_scenario(
+    params: SyncParameters,
+    rounds: int = 16,
+    partition_round: int = 4,
+    heal_round: int = 10,
+    groups: Optional[Sequence[Sequence[int]]] = None,
+    topology: Optional[Topology] = None,
+    clock_kind: str = "constant",
+    delay: Union[str, DelayModel] = "uniform",
+    seed: int = 0,
+    post_heal_rounds: int = 2,
+) -> PartitionHealResult:
+    """Partition the network mid-run, heal it, and keep running (E-topology).
+
+    All processes run the unmodified maintenance algorithm; between rounds
+    ``partition_round`` and ``heal_round`` every link crossing the group
+    boundary is down, so the sides synchronize only internally and drift
+    apart.  After healing, the ordinary averaging pulls them back together —
+    the Lemma 20 halving recurrence bounds the re-convergence (see
+    :func:`repro.analysis.verification.check_partition_heal_run`).
+
+    ``groups`` defaults to the *worst-case* two-way split: processes sorted
+    by physical-clock rate, fast half against slow half, so the isolated
+    sides' rate centroids differ by ≈ ρ and the divergence is guaranteed
+    rather than left to the luck of the seed's rate assignment (a random
+    split can put equally many fast and slow clocks on both sides, in which
+    case the centroids barely separate).  ``topology`` defaults to the
+    complete graph (partitioning is a link-schedule effect, so any graph
+    works as long as the cut respects it — e.g. ``clustered`` with the cut
+    along cluster boundaries).
+    """
+    if not 0 < partition_round < heal_round < rounds:
+        raise ValueError(
+            f"need 0 < partition_round < heal_round < rounds; got "
+            f"{partition_round}, {heal_round}, {rounds}"
+        )
+    delay_model = make_delay_model(delay, params)
+    params = effective_parameters(params, topology)
+    if groups is None:
+        # make_clock_ensemble is deterministic, so probing it here yields
+        # exactly the clocks _run will build below.
+        clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
+                                     seed=seed, kind=clock_kind)
+        by_rate = sorted(range(params.n), key=lambda pid: clocks[pid].rate_at(0.0))
+        half = (params.n + 1) // 2
+        groups = [by_rate[:half], by_rate[half:]]
+    groups = [sorted(group) for group in groups]
+    # Round boundaries in real time (clock rates are 1 ± ρ, so logical round
+    # times map to real times up to a negligible drift term).
+    partition_start = params.initial_round_time + partition_round * params.round_length
+    heal_time = params.initial_round_time + heal_round * params.round_length
+    from ..faults.links import partition_and_heal
+    schedule = partition_and_heal(groups, partition_start, heal_time)
+    # discard_stale: with a whole group unreachable (assumption A2 broken),
+    # stale ARR entries would otherwise corrupt the averages catastrophically
+    # — see the WelchLynchProcess docstring.
+    processes: List[Process] = [WelchLynchProcess(params, max_rounds=rounds,
+                                                  discard_stale=True)
+                                for _ in range(params.n)]
+    extra_time = post_heal_rounds * params.round_length
+    result = _run(params, processes, rounds, clock_kind, delay_model, seed,
+                  extra_time=extra_time, topology=topology,
+                  link_schedule=schedule)
+    return PartitionHealResult(
+        params=result.params, trace=result.trace,
+        start_times=result.start_times, rounds=result.rounds,
+        end_time=result.end_time, groups=list(groups),
+        partition_start=partition_start, heal_time=heal_time,
+    )

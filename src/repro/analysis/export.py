@@ -69,6 +69,8 @@ def trace_to_dict(trace: ExecutionTrace, samples: int = 0) -> Dict[str, Any]:
             "sent": trace.stats.sent,
             "delivered": trace.stats.delivered,
             "dropped": trace.stats.dropped,
+            "relayed": trace.stats.relayed,
+            "unroutable": trace.stats.unroutable,
             "timers_set": trace.stats.timers_set,
             "timers_fired": trace.stats.timers_fired,
             "per_process_sent": dict(trace.stats.per_process_sent),

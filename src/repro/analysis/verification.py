@@ -10,7 +10,10 @@ assembles by hand — can be audited after the fact:
   time of each other;
 * **Theorem 16** — γ-agreement over the post-transient window;
 * **Theorem 19** — the (α₁, α₂, α₃) validity envelope;
-* **Lemma 20** (for start-up runs) — the per-round spread recurrence.
+* **Lemma 20** (for start-up runs) — the per-round spread recurrence;
+* **partition-and-heal** (for runs with a network partition) — divergence
+  while split, then re-convergence inside the Lemma 20 halving envelope once
+  healed.
 
 Each check produces a :class:`ClaimCheck` with the bound, the measured value,
 and a pass flag; :func:`check_maintenance_run` / :func:`check_startup_run`
@@ -29,9 +32,11 @@ from ..core.bounds import (
     startup_round_recurrence,
 )
 from ..core.config import SyncParameters
-from .experiments import ScenarioResult
+from .experiments import PartitionHealResult, ScenarioResult
 from .metrics import (
     adjustment_statistics,
+    cross_group_divergence,
+    divergence_series,
     measured_agreement,
     round_start_spreads,
     startup_spread_series,
@@ -44,6 +49,7 @@ __all__ = [
     "TheoremReport",
     "check_maintenance_run",
     "check_startup_run",
+    "check_partition_heal_run",
     "format_report",
 ]
 
@@ -164,6 +170,82 @@ def check_startup_run(result: ScenarioResult, tolerance: float = 1e-9
             passed=after <= bound + tolerance,
             detail=f"B^{index} = {before:.6f}",
         ))
+    return TheoremReport(params=params, checks=checks)
+
+
+def check_partition_heal_run(result: PartitionHealResult,
+                             divergence_factor: float = 1.5,
+                             heal_rounds: int = 4,
+                             tolerance: float = 1e-9) -> TheoremReport:
+    """Audit a partition-and-heal run: split sides diverge, healing re-converges.
+
+    Three kinds of claims:
+
+    * ``partition_divergence`` — the maximum cross-group divergence while the
+      network is split must exceed ``divergence_factor`` times the settled
+      post-heal divergence (the healed network is the natural reference: it
+      shows what the same clocks and delays produce when connected).  Note
+      the *inverted* sense: this claim passes when the measured value
+      EXCEEDS the bound, demonstrating that the partition really did what a
+      partition does.
+    * ``lemma20_heal_round_i`` — once healed, the round-boundary skews obey
+      the Lemma 20 halving recurrence ``B^{k+1} ≤ B^k/2 + 2ε + 2ρ(11δ+39ε)``
+      (healing is re-synchronization from spread clocks, exactly the start-up
+      regime, so the start-up envelope is the right yardstick).
+    * ``healed_agreement`` — from two rounds after the heal to the end of the
+      run, the global skew is back inside the Theorem 16 γ bound.
+    """
+    params = result.params
+    P = params.round_length
+    checks: List[ClaimCheck] = []
+
+    available = max(0.0, result.end_time - result.heal_time)
+    rounds_available = min(heal_rounds, int(available / P))
+    boundary_skews = [result.trace.skew(result.heal_time + k * P)
+                      for k in range(rounds_available + 1)]
+
+    # Divergence while split, against the settled healed reference.
+    during = max(d for _, d in divergence_series(
+        result.trace, result.groups,
+        result.partition_start + P, result.heal_time, samples=80))
+    settled_times = [result.heal_time + k * P
+                     for k in range(2, rounds_available + 1)] or [result.end_time]
+    healed = min(cross_group_divergence(result.trace, result.groups, t)
+                 for t in settled_times)
+    reference = divergence_factor * healed
+    checks.append(ClaimCheck(
+        claim="partition_divergence",
+        bound=reference,
+        measured=during,
+        passed=during > reference,
+        detail=(f"groups {'/'.join(str(len(g)) for g in result.groups)}; "
+                f"healed reference {healed:.6f} x {divergence_factor:g} "
+                f"(this claim passes when measured EXCEEDS the bound)"),
+    ))
+
+    # Lemma 20 halving once healed.
+    for index, (before, after) in enumerate(zip(boundary_skews,
+                                                boundary_skews[1:])):
+        bound = startup_round_recurrence(params, before)
+        checks.append(ClaimCheck(
+            claim=f"lemma20_heal_round_{index}",
+            bound=bound,
+            measured=after,
+            passed=after <= bound + tolerance,
+            detail=f"B^{index} = {before:.6f} at heal + {index}P",
+        ))
+
+    # Global agreement restored.
+    start = min(result.heal_time + 2 * P, result.end_time)
+    gamma = agreement_bound(params)
+    skew = measured_agreement(result.trace, start, result.end_time, samples=100)
+    checks.append(ClaimCheck(
+        claim="healed_agreement",
+        bound=gamma,
+        measured=skew,
+        passed=skew <= gamma + tolerance,
+        detail=f"window [{start:.4f}, {result.end_time:.4f}]",
+    ))
     return TheoremReport(params=params, checks=checks)
 
 

@@ -20,12 +20,23 @@ cares about:
 * ``adversarial-delay`` — every message delivered at the extreme edge of the
   envelope allowed by assumption A3 (the worst case the analysis covers);
 * ``quiet``        — no faults, no uncertainty: a control for tests.
+
+The topology-parameterized presets drop the complete-graph assumption:
+
+* ``ring-lan``       — LAN constants on a ring: every broadcast relays up to
+  ⌊n/2⌋ hops, stretching the effective (δ', ε') envelope;
+* ``grid-lan``       — LAN constants on a near-square mesh;
+* ``sparse-lan``     — LAN constants on a connected G(n, p=0.35) draw;
+* ``clustered-wan``  — WAN constants on dense clusters over thin bridges;
+* ``partition-heal`` — LAN constants, network split in two mid-run and healed
+  a few rounds later (audited with
+  :func:`~repro.analysis.verification.check_partition_heal_run`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..core.config import SyncParameters
 from ..sim.network import (
@@ -36,7 +47,13 @@ from ..sim.network import (
     TruncatedGaussianDelayModel,
     UniformDelayModel,
 )
-from .experiments import ScenarioResult, run_maintenance_scenario
+from ..topology.base import Topology
+from ..topology.spec import build_topology
+from .experiments import (
+    ScenarioResult,
+    run_maintenance_scenario,
+    run_partition_heal_scenario,
+)
 
 __all__ = ["Workload", "WORKLOADS", "workload_names", "get_workload",
            "build_parameters", "run_workload"]
@@ -61,6 +78,18 @@ class Workload:
     clock_kind: str = "constant"
     #: fault behaviour injected into the last f process slots (None = no faults).
     fault_kind: Optional[str] = "two_faced"
+    #: network graph as a topology spec string ('ring', 'random_gnp:p=0.4', ...);
+    #: None = the paper's implicit complete graph.
+    topology: Optional[str] = None
+    #: link-level fault scenario: currently only 'partition_heal'.
+    link_fault_kind: Optional[str] = None
+    #: extra keyword arguments for the link-fault scenario builder
+    #: (e.g. partition_round / heal_round for 'partition_heal').
+    link_fault_options: Dict[str, float] = field(default_factory=dict)
+
+    def build_topology(self, n: int, seed: int = 0) -> Optional[Topology]:
+        """Instantiate this workload's topology for ``n`` processes (or None)."""
+        return build_topology(self.topology, n=n, seed=seed)
 
     def build_delay_model(self, params: SyncParameters) -> DelayModel:
         """Instantiate this workload's delay model for a parameter set."""
@@ -124,6 +153,44 @@ WORKLOADS: Dict[str, Workload] = {
             rho=0.0, delta=0.01, epsilon=0.0,
             delay_kind="fixed", clock_kind="perfect", fault_kind=None,
         ),
+        Workload(
+            name="ring-lan",
+            description="LAN constants on a ring: broadcasts relay up to "
+                        "floor(n/2) hops, stretching the effective envelope.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            topology="ring", fault_kind=None,
+        ),
+        Workload(
+            name="grid-lan",
+            description="LAN constants on a near-square 2-D mesh.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            topology="grid", fault_kind=None,
+        ),
+        Workload(
+            name="sparse-lan",
+            description="LAN constants on a connected Erdos-Renyi G(n, 0.35) "
+                        "draw (seed-deterministic).",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            topology="random_gnp:p=0.35", fault_kind=None,
+        ),
+        Workload(
+            name="clustered-wan",
+            description="WAN constants on dense clusters joined by thin "
+                        "bridges; cross-cluster traffic funnels through them.",
+            rho=1e-4, delta=0.05, epsilon=0.02,
+            delay_kind="gaussian",
+            topology="clustered:clusters=2,bridges=2", fault_kind=None,
+        ),
+        Workload(
+            name="partition-heal",
+            description="LAN constants; the network splits in two mid-run and "
+                        "heals a few rounds later (divergence then Lemma 20 "
+                        "re-convergence).",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            fault_kind=None,
+            link_fault_kind="partition_heal",
+            link_fault_options={"partition_round": 3, "heal_round": 7},
+        ),
     )
 }
 
@@ -152,15 +219,42 @@ def build_parameters(workload: Workload, n: int = 7, f: int = 2,
 
 def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
                  seed: int = 0, round_length: Optional[float] = None,
-                 stagger_interval: float = 0.0) -> ScenarioResult:
+                 stagger_interval: float = 0.0,
+                 topology: Union[str, Topology, None] = None) -> ScenarioResult:
     """Run the maintenance algorithm on a named workload.
 
     The quiet workload sets ε = 0, for which the derived parameters still get
     a small positive β (clocks that start perfectly aligned are allowed but
     not required).
+
+    ``topology`` (a spec string or a built :class:`Topology`) overrides the
+    workload's own preset graph; link-fault workloads (``partition-heal``)
+    return a :class:`~repro.analysis.experiments.PartitionHealResult`.
     """
     params = build_parameters(workload, n=n, f=f, round_length=round_length)
     delay_model = workload.build_delay_model(params)
+    spec = topology if topology is not None else workload.topology
+    topo = build_topology(spec, n=n, seed=seed)
+    if workload.link_fault_kind == "partition_heal":
+        if stagger_interval:
+            raise ValueError(
+                f"workload {workload.name!r} does not support staggered "
+                f"broadcast (the partition-heal scenario has no stagger "
+                f"support)")
+        options = {key: int(value)
+                   for key, value in workload.link_fault_options.items()}
+        return run_partition_heal_scenario(
+            params,
+            rounds=rounds,
+            topology=topo,
+            clock_kind=workload.clock_kind,
+            delay=delay_model,
+            seed=seed,
+            **options,
+        )
+    if workload.link_fault_kind is not None:
+        raise ValueError(f"workload {workload.name!r} has unknown link fault "
+                         f"kind {workload.link_fault_kind!r}")
     return run_maintenance_scenario(
         params,
         rounds=rounds,
@@ -169,4 +263,5 @@ def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
         delay=delay_model,
         seed=seed,
         stagger_interval=stagger_interval,
+        topology=topo,
     )

@@ -3,14 +3,21 @@
 Installed as the ``repro-clocksync`` console script (also reachable as
 ``python -m repro``).  Sub-commands:
 
-* ``workloads`` — list the named workload presets;
-* ``run``       — run the maintenance algorithm on a workload, audit the run
-  against Theorems 4/16/19, and optionally export the trace;
-* ``startup``   — run the Section 9.2 start-up algorithm and report the
+* ``workloads``  — list the named workload presets;
+* ``topologies`` — list the network topology generators ``--topology`` accepts;
+* ``run``        — run the maintenance algorithm on a workload, audit the run
+  against Theorems 4/16/19 (or the partition-and-heal claims for link-fault
+  workloads), and optionally export the trace;
+* ``startup``    — run the Section 9.2 start-up algorithm and report the
   Lemma 20 convergence series;
-* ``compare``   — the Section 10 comparison table on one shared workload;
-* ``sweep``     — agreement/spread sweeps along the ε, P, n or fault-count
-  axes (the data behind the paper's trade-off discussions).
+* ``compare``    — the Section 10 comparison table on one shared workload;
+* ``sweep``      — agreement/spread sweeps along the ε, P, n, fault-count or
+  topology axes (the data behind the paper's trade-off discussions).
+
+``run``, ``startup`` and ``compare`` accept ``--topology SPEC`` (e.g.
+``ring``, ``grid:cols=3``, ``random_gnp:p=0.4``) to replace the paper's
+implicit complete graph with an arbitrary network; broadcasts then relay
+multi-hop and every audit uses the topology-effective (δ', ε') constants.
 
 Every sub-command prints plain-text tables (see
 :mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
@@ -35,7 +42,7 @@ from .analysis.export import (
     write_csv,
     write_json,
 )
-from .analysis.metrics import skew_series, startup_spread_series
+from .analysis.metrics import divergence_series, skew_series, startup_spread_series
 from .analysis.plotting import sparkline
 from .analysis.reporting import format_series, format_table
 from .analysis.sweeps import (
@@ -44,10 +51,17 @@ from .analysis.sweeps import (
     sweep_fault_count,
     sweep_round_length,
     sweep_system_size,
+    sweep_topology,
 )
-from .analysis.verification import check_maintenance_run, check_startup_run, format_report
+from .analysis.verification import (
+    check_maintenance_run,
+    check_partition_heal_run,
+    check_startup_run,
+    format_report,
+)
 from .analysis.workloads import build_parameters, get_workload, run_workload, workload_names
 from .core.bounds import startup_limit
+from .topology.spec import build_topology, describe_topologies
 
 __all__ = ["main", "build_parser"]
 
@@ -58,14 +72,20 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The complete argument parser (exposed for tests and docs)."""
+    from . import __version__
     parser = argparse.ArgumentParser(
         prog="repro-clocksync",
         description="Welch-Lynch fault-tolerant clock synchronization — "
                     "run, audit, sweep and compare.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("workloads", help="list the named workload presets")
+    subparsers.add_parser(
+        "topologies",
+        help="list the network topology generators --topology accepts")
 
     run_parser = subparsers.add_parser(
         "run", help="run the maintenance algorithm and audit it against the paper")
@@ -95,10 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep agreement/spread along one parameter axis")
     sweep_parser.add_argument("--axis", required=True,
-                              choices=["epsilon", "round-length", "n", "fault-count"],
+                              choices=["epsilon", "round-length", "n",
+                                       "fault-count", "topology"],
                               help="which parameter to sweep")
     sweep_parser.add_argument("--values", nargs="+", required=True,
-                              help="the values to sweep over")
+                              help="the values to sweep over (topology axis: "
+                                   "specs like ring grid random_gnp:p=0.4)")
     sweep_parser.add_argument("--rounds", type=int, default=10)
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--csv", metavar="PATH",
@@ -115,6 +137,10 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="number of tolerated faults (n >= 3f + 1)")
     parser.add_argument("--rounds", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--topology", metavar="SPEC", default=None,
+                        help="network topology spec (e.g. ring, grid:cols=3, "
+                             "random_gnp:p=0.4); default: the workload's own "
+                             "graph, or the complete graph")
 
 
 # ---------------------------------------------------------------------------
@@ -127,16 +153,37 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topologies(_args: argparse.Namespace) -> int:
+    print(format_table(["topology", "description"], describe_topologies()))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
+    topology = build_topology(args.topology or workload.topology,
+                              n=args.n, seed=args.seed)
     result = run_workload(workload, n=args.n, f=args.f, rounds=args.rounds,
-                          seed=args.seed)
+                          seed=args.seed, topology=topology)
     params = result.params
     print(f"workload {workload.name}: n={params.n} f={params.f} "
           f"rho={params.rho} delta={params.delta} epsilon={params.epsilon} "
           f"beta={params.beta:.6f} P={params.round_length:.6f}")
-    report = check_maintenance_run(result, samples=args.samples)
-    print(format_report(report))
+    if topology is not None:
+        print(f"topology {topology.describe()} — effective envelope "
+              f"delta'={params.delta:.6f} epsilon'={params.epsilon:.6f}")
+    if result.is_partition_heal:
+        report = check_partition_heal_run(result)
+        print(f"partition of groups "
+              f"{'/'.join(str(len(g)) for g in result.groups)} over real time "
+              f"[{result.partition_start:.4f}, {result.heal_time:.4f}]")
+        print(format_report(report))
+        divergences = [d for _, d in divergence_series(
+            result.trace, result.groups, result.tmax0 + params.round_length,
+            result.end_time, samples=60)]
+        print(f"cross-group divergence over time: {sparkline(divergences)}")
+    else:
+        report = check_maintenance_run(result, samples=args.samples)
+        print(format_report(report))
     settle = result.tmax0 + params.round_length
     series = [skew for _, skew in skew_series(result.trace, settle,
                                               result.end_time, samples=60)]
@@ -154,8 +201,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_startup(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     params = build_parameters(workload, n=args.n, f=args.f)
+    topology = build_topology(args.topology or workload.topology,
+                              n=args.n, seed=args.seed)
     result = run_startup_scenario(params, rounds=args.rounds,
-                                  initial_spread=args.spread, seed=args.seed)
+                                  initial_spread=args.spread, seed=args.seed,
+                                  topology=topology)
+    params = result.params
     series = startup_spread_series(result.trace)
     print(format_series("measured B^i", series))
     print(f"B^i shape: {sparkline(series)}")
@@ -169,8 +220,11 @@ def _cmd_startup(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     params = build_parameters(workload, n=args.n, f=args.f)
+    topology = build_topology(args.topology or workload.topology,
+                              n=args.n, seed=args.seed)
     rows = run_comparison(params, rounds=args.rounds, algorithms=args.algorithms,
-                          fault_kind=workload.fault_kind, seed=args.seed)
+                          fault_kind=workload.fault_kind, seed=args.seed,
+                          topology=topology)
     print(format_table(
         ["algorithm", "agreement", "max |ADJ|", "msgs/round",
          "paper agreement", "paper |ADJ|"],
@@ -193,6 +247,8 @@ def _run_sweep(args: argparse.Namespace) -> SweepResult:
     if args.axis == "n":
         return sweep_system_size([int(v) for v in args.values],
                                  rounds=args.rounds, seed=args.seed)
+    if args.axis == "topology":
+        return sweep_topology(args.values, rounds=args.rounds, seed=args.seed)
     return sweep_fault_count([int(v) for v in args.values],
                              rounds=args.rounds, seed=args.seed)
 
@@ -208,6 +264,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "workloads": _cmd_workloads,
+    "topologies": _cmd_topologies,
     "run": _cmd_run,
     "startup": _cmd_startup,
     "compare": _cmd_compare,

@@ -33,6 +33,19 @@ Implementation notes:
   spreading sends out in real time.
 * The optional :class:`~repro.core.averaging.AveragingFunction` swaps midpoint
   for mean (Section 7 variant).
+* ``discard_stale=True`` clears ``ARR`` right after each averaging step, so
+  an entry is used for at most one round.  Under A2/A3 this changes nothing
+  (every nonfaulty value is refreshed each round before it is next used);
+  when the network can partition — more than ``f`` peers unreachable, a
+  regime the paper never covers — it is essential: a retained ARR entry from
+  ``i`` rounds ago is ``≈ i·P`` local-time units stale, drags the midpoint
+  down by ``P/2`` or more, and within two rounds the resulting jumps make
+  every process miss its next-round timer and halt.  Clearing happens at the
+  *update* (not at the broadcast) because messages from fast peers
+  legitimately arrive before the recipient's own broadcast whenever clock
+  offsets exceed the one-hop delay — Lemma 12 only guarantees arrival after
+  the previous update.  The topology subsystem's partition experiments run
+  this variant.
 """
 
 from __future__ import annotations
@@ -64,11 +77,13 @@ class WelchLynchProcess(Process):
         averaging: Optional[AveragingFunction] = None,
         max_rounds: Optional[int] = None,
         stagger_interval: float = 0.0,
+        discard_stale: bool = False,
     ):
         self.params = params
         self.averaging = averaging or FaultTolerantMidpoint()
         self.max_rounds = max_rounds
         self.stagger_interval = float(stagger_interval)
+        self.discard_stale = bool(discard_stale)
         # Paper-named local variables.
         self.arr: Dict[int, float] = {}
         self.flag = Phase.BCAST
@@ -117,6 +132,8 @@ class WelchLynchProcess(Process):
     def _update_phase(self, ctx: ProcessContext) -> None:
         """Apply the fault-tolerant average and move to the next round."""
         values = self._collected_values(ctx)
+        if self.discard_stale:
+            self.arr.clear()
         average = self.averaging.average(values, self.params.f)
         adjustment = self.round_time + self.params.delta - average
         ctx.adjust_correction(adjustment, round_index=self.round_index)

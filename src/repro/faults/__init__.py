@@ -1,4 +1,4 @@
-"""Fault injection: crash, omission, Byzantine and recovery behaviours."""
+"""Fault injection: crash, omission, Byzantine, recovery and link behaviours."""
 
 from .base import FaultStrategy, FaultyProcessWrapper, InterceptedContext
 from .byzantine import (
@@ -8,6 +8,14 @@ from .byzantine import (
     TwoFacedClockAttacker,
 )
 from .crash import CrashStrategy, SilentProcess, crash_after
+from .links import (
+    LinkCrash,
+    LinkFlap,
+    LinkPartition,
+    crash_links,
+    flap_link,
+    partition_and_heal,
+)
 from .omission import OmissionStrategy, ReceiveOmissionStrategy, omit_sends
 from .recovery import RecoveringProcess, rejoin_time, schedule_recovery
 from .timing import FloodingAttacker, StaleReplayAttacker
@@ -21,6 +29,12 @@ __all__ = [
     "CrashStrategy",
     "SilentProcess",
     "crash_after",
+    "LinkCrash",
+    "LinkFlap",
+    "LinkPartition",
+    "crash_links",
+    "flap_link",
+    "partition_and_heal",
     "OmissionStrategy",
     "ReceiveOmissionStrategy",
     "omit_sends",

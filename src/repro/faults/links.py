@@ -1,0 +1,183 @@
+"""Link-level fault injectors: crash, flap, and partition-and-heal.
+
+The process-level injectors in this package degrade *automata*; these degrade
+the *network*.  Each class is a :class:`~repro.topology.schedule.LinkFault`
+(a piecewise-constant predicate over links and real time) meant to be stacked
+into a :class:`~repro.topology.schedule.LinkSchedule` and handed to
+:class:`~repro.sim.system.System`:
+
+* :class:`LinkCrash` — a set of links goes down at ``at`` and (optionally)
+  comes back at ``until``;
+* :class:`LinkFlap` — links cycle down/up with a fixed period and duty cycle
+  inside a window (models a flaky cable or a rebooting switch);
+* :class:`LinkPartition` — every link crossing a group boundary is down for a
+  window; healing is just the window ending.
+
+The helpers at the bottom wrap the common one-fault schedules, mirroring the
+``crash_after`` / ``omit_sends`` convenience constructors of the process
+faults.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from ..topology.base import canonical_link
+from ..topology.schedule import LinkFault, LinkSchedule
+
+__all__ = [
+    "LinkCrash",
+    "LinkFlap",
+    "LinkPartition",
+    "crash_links",
+    "flap_link",
+    "partition_and_heal",
+]
+
+
+def _normalize_links(links: Iterable[Tuple[int, int]]) -> frozenset:
+    normalized = frozenset(canonical_link(u, v) for u, v in links)
+    if not normalized:
+        raise ValueError("a link fault needs at least one link")
+    return normalized
+
+
+class LinkCrash(LinkFault):
+    """Links go down at ``at``; with a finite ``until`` they come back up."""
+
+    def __init__(self, links: Iterable[Tuple[int, int]], at: float,
+                 until: float = math.inf):
+        if until <= at:
+            raise ValueError(f"repair time {until} must follow crash time {at}")
+        self.links = _normalize_links(links)
+        self.at = float(at)
+        self.until = float(until)
+
+    def is_down(self, u: int, v: int, t: float) -> bool:
+        return (canonical_link(u, v) in self.links
+                and self.at <= t < self.until)
+
+    def transition_times(self) -> Sequence[float]:
+        if math.isinf(self.until):
+            return (self.at,)
+        return (self.at, self.until)
+
+    def describe(self) -> str:
+        spell = "forever" if math.isinf(self.until) else f"until t={self.until:g}"
+        return (f"crash of {len(self.links)} link(s) at t={self.at:g} ({spell})")
+
+
+class LinkFlap(LinkFault):
+    """Links alternate down/up on a fixed period inside ``[start, end)``.
+
+    Each period begins with ``down_fraction`` of down time.  ``end`` must be
+    finite: the routing layer caches routes per constant-connectivity epoch
+    and needs the complete list of transitions up front.
+    """
+
+    def __init__(self, links: Iterable[Tuple[int, int]], period: float,
+                 down_fraction: float = 0.5, start: float = 0.0,
+                 *, end: float):
+        if period <= 0:
+            raise ValueError(f"flap period must be positive, got {period}")
+        if not 0.0 < down_fraction < 1.0:
+            raise ValueError(f"down_fraction must be in (0, 1), got {down_fraction}")
+        if not math.isfinite(end) or end <= start:
+            raise ValueError(f"flap window [{start}, {end}) must be finite and non-empty")
+        self.links = _normalize_links(links)
+        self.period = float(period)
+        self.down_fraction = float(down_fraction)
+        self.start = float(start)
+        self.end = float(end)
+
+    def is_down(self, u: int, v: int, t: float) -> bool:
+        if canonical_link(u, v) not in self.links:
+            return False
+        if not self.start <= t < self.end:
+            return False
+        phase = (t - self.start) % self.period
+        return phase < self.down_fraction * self.period
+
+    def transition_times(self) -> Sequence[float]:
+        times: List[float] = []
+        t = self.start
+        while t < self.end:
+            times.append(t)  # goes down
+            up = t + self.down_fraction * self.period
+            if up < self.end:
+                times.append(up)  # comes back up
+            t += self.period
+        times.append(self.end)
+        return tuple(times)
+
+    def describe(self) -> str:
+        return (f"flap of {len(self.links)} link(s) every {self.period:g}s "
+                f"({self.down_fraction:.0%} down) during "
+                f"[{self.start:g}, {self.end:g})")
+
+
+class LinkPartition(LinkFault):
+    """Every link crossing a group boundary is down during ``[start, end)``.
+
+    ``groups`` need not cover all nodes; nodes in no group keep all their
+    links (they stay reachable from every side).
+    """
+
+    def __init__(self, groups: Sequence[Iterable[int]], start: float,
+                 end: float = math.inf):
+        if end <= start:
+            raise ValueError(f"heal time {end} must follow partition time {start}")
+        self.groups = tuple(tuple(sorted(group)) for group in groups)
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        self._group_of = {}
+        for index, group in enumerate(self.groups):
+            for pid in group:
+                if pid in self._group_of:
+                    raise ValueError(f"node {pid} appears in two partition groups")
+                self._group_of[pid] = index
+        self.start = float(start)
+        self.end = float(end)
+
+    def is_down(self, u: int, v: int, t: float) -> bool:
+        if not self.start <= t < self.end:
+            return False
+        group_u = self._group_of.get(u)
+        group_v = self._group_of.get(v)
+        return group_u is not None and group_v is not None and group_u != group_v
+
+    def transition_times(self) -> Sequence[float]:
+        if math.isinf(self.end):
+            return (self.start,)
+        return (self.start, self.end)
+
+    @property
+    def heal_time(self) -> float:
+        return self.end
+
+    def describe(self) -> str:
+        sizes = "/".join(str(len(group)) for group in self.groups)
+        spell = "forever" if math.isinf(self.end) else f"heals at t={self.end:g}"
+        return f"partition into groups of {sizes} at t={self.start:g} ({spell})"
+
+
+# -- one-fault schedule helpers (mirroring crash_after / omit_sends) -----------
+
+def crash_links(links: Iterable[Tuple[int, int]], at: float,
+                until: float = math.inf) -> LinkSchedule:
+    """A schedule with a single :class:`LinkCrash`."""
+    return LinkSchedule([LinkCrash(links, at, until)])
+
+
+def flap_link(u: int, v: int, period: float, down_fraction: float = 0.5,
+              start: float = 0.0, *, end: float) -> LinkSchedule:
+    """A schedule with a single one-link :class:`LinkFlap`."""
+    return LinkSchedule([LinkFlap([(u, v)], period, down_fraction, start,
+                                  end=end)])
+
+
+def partition_and_heal(groups: Sequence[Iterable[int]], start: float,
+                       heal: float) -> LinkSchedule:
+    """A schedule that splits the network into ``groups`` and later heals it."""
+    return LinkSchedule([LinkPartition(groups, start, heal)])

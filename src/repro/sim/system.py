@@ -16,13 +16,20 @@ of Section 2.3:
 * TIMER deliveries at a given real time are ordered after ordinary deliveries
   at the same time (handled by the event queue).
 
+With a :class:`~repro.topology.base.Topology` the network layer relays
+messages between non-adjacent processes along shortest routes (fresh per-hop
+delay draws, per-link extra delay and drop probability, and an optional
+:class:`~repro.topology.schedule.LinkSchedule` of link faults).  Without one
+— the default — message delivery is exactly the paper's complete graph and
+the code path (including RNG consumption) is byte-for-byte the seed behavior.
+
 Runs are deterministic given the seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..clocks.base import Clock
 from ..clocks.logical import CorrectionHistory
@@ -30,6 +37,10 @@ from .events import EventQueue, Message, MessageKind
 from .network import DelayModel, UniformDelayModel
 from .process import Process, ProcessContext
 from .trace import ExecutionTrace, MessageStats, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..topology.base import Topology
+    from ..topology.schedule import LinkSchedule
 
 __all__ = ["System"]
 
@@ -44,6 +55,8 @@ class System:
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
         initial_corrections: Optional[Sequence[float]] = None,
+        topology: Optional["Topology"] = None,
+        link_schedule: Optional["LinkSchedule"] = None,
     ):
         if len(processes) != len(clocks):
             raise ValueError(
@@ -75,6 +88,23 @@ class System:
         self._stats = MessageStats()
         self._events: List[TraceEvent] = []
         self._crashed: set = set()
+        if topology is None and link_schedule is not None:
+            # A link schedule over the implicit complete graph (e.g. a plain
+            # partition-and-heal) still needs routing to honor it.
+            from ..topology.generators import complete
+            topology = complete(len(processes))
+        if topology is not None and topology.n != len(processes):
+            raise ValueError(
+                f"topology has {topology.n} nodes but the system has "
+                f"{len(processes)} processes"
+            )
+        self._topology = topology
+        self._link_schedule = link_schedule
+        if topology is None:
+            self._router = None
+        else:
+            from ..topology.routing import Router
+            self._router = Router(topology, link_schedule)
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -89,6 +119,16 @@ class System:
     @property
     def delay_model(self) -> DelayModel:
         return self._delay_model
+
+    @property
+    def topology(self) -> Optional["Topology"]:
+        """The network graph, or ``None`` for the implicit complete graph."""
+        return self._topology
+
+    @property
+    def link_schedule(self) -> Optional["LinkSchedule"]:
+        """The time-varying link faults, if any."""
+        return self._link_schedule
 
     @property
     def processes(self) -> Dict[int, Process]:
@@ -153,20 +193,67 @@ class System:
 
     # ------------------------------------------------------------------ messaging
     def post_message(self, sender: int, recipient: int, payload: Any) -> None:
-        """Send an ordinary message; the delay model decides delay or drop."""
+        """Send an ordinary message; the delay model decides delay or drop.
+
+        With a topology the message is relayed hop by hop along the current
+        shortest route (see :meth:`_relay_delivery_time`); without one it is
+        delivered directly, exactly as in the paper's complete-graph model.
+        """
         if recipient not in self._processes:
             raise KeyError(f"unknown recipient {recipient}")
         self._stats.record_send(sender)
-        delay = self._delay_model.delay(sender, recipient, self._current_time, self._rng)
-        if delay is None:
+        if self._router is None or sender == recipient:
+            delivery_time = self._direct_delivery_time(sender, recipient)
+        else:
+            delivery_time = self._relay_delivery_time(sender, recipient)
+        if delivery_time is None:
             self._stats.dropped += 1
             return
-        if delay <= 0:
-            raise ValueError(f"delay model produced a non-positive delay {delay}")
         self._queue.push(Message(kind=MessageKind.ORDINARY, sender=sender,
                                  recipient=recipient, payload=payload,
                                  send_time=self._current_time,
-                                 delivery_time=self._current_time + delay))
+                                 delivery_time=delivery_time))
+
+    def _direct_delivery_time(self, sender: int, recipient: int) -> Optional[float]:
+        """One delay-model draw, as in the complete-graph model."""
+        delay = self._delay_model.delay(sender, recipient, self._current_time, self._rng)
+        if delay is None:
+            return None
+        if delay <= 0:
+            raise ValueError(f"delay model produced a non-positive delay {delay}")
+        return self._current_time + delay
+
+    def _relay_delivery_time(self, sender: int, recipient: int) -> Optional[float]:
+        """Accumulate per-hop delays along the current shortest route.
+
+        Each hop draws a fresh delay from the delay model (at the time the
+        message reaches that hop) plus the link's extra delay; the hop is lost
+        if the delay model drops it, the link's drop probability fires, or the
+        link schedule has taken the link down by the time the message arrives
+        there.  Returns ``None`` when the message is lost or unroutable.
+        """
+        route = self._router.route(sender, recipient, self._current_time)
+        if route is None:
+            self._stats.unroutable += 1
+            return None
+        topology = self._topology
+        time = self._current_time
+        for hop_sender, hop_recipient in zip(route, route[1:]):
+            if (self._link_schedule is not None
+                    and not self._link_schedule.link_up(hop_sender, hop_recipient, time)):
+                return None  # the link went down while the message was in flight
+            delay = self._delay_model.delay(hop_sender, hop_recipient, time, self._rng)
+            if delay is None:
+                return None
+            if delay <= 0:
+                raise ValueError(f"delay model produced a non-positive delay {delay}")
+            drop_probability = topology.drop_probability(hop_sender, hop_recipient)
+            if drop_probability > 0.0 and self._rng.random() < drop_probability:
+                return None
+            time += delay + topology.extra_delay(hop_sender, hop_recipient)
+        if len(route) > 2:
+            self._stats.relayed += 1
+        return time
 
     def post_timer(self, pid: int, physical_time: float, payload: Any = None) -> bool:
         """Arm a TIMER for when ``pid``'s physical clock reaches ``physical_time``.

@@ -34,6 +34,10 @@ class MessageStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    #: messages that traversed at least one intermediate relay hop.
+    relayed: int = 0
+    #: messages dropped because no route existed at send time (partition).
+    unroutable: int = 0
     timers_set: int = 0
     timers_fired: int = 0
     per_process_sent: Dict[int, int] = field(default_factory=dict)

@@ -1,0 +1,203 @@
+"""The :class:`Topology` abstraction: who can talk to whom, and at what cost.
+
+The paper's model (assumptions A2/A3) implicitly assumes a *complete*
+communication graph: ``broadcast(m)`` reaches every process directly within
+``[δ-ε, δ+ε]``.  A :class:`Topology` drops that assumption and makes the
+network graph a first-class object:
+
+* an undirected **adjacency** over process ids ``0 .. n-1``;
+* optional per-link **extra delay** (added on top of whatever the
+  :class:`~repro.sim.network.DelayModel` samples for the hop);
+* optional per-link **drop probability** (sampled independently per traversal).
+
+Messages between non-adjacent processes are *relayed* hop by hop along
+shortest routes by the network layer (see :mod:`repro.topology.routing`), so
+the end-to-end delay envelope of a sparse graph is the per-hop envelope
+stretched by the route length.  ``complete(n)`` reproduces the paper's
+setting exactly.
+
+Topologies are immutable; time-varying connectivity (link crash, flapping,
+partition-and-heal) is layered on via :class:`~repro.topology.schedule.LinkSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Topology", "LinkKey", "canonical_link"]
+
+#: an undirected link, canonically ordered ``(min, max)``.
+LinkKey = Tuple[int, int]
+
+#: predicate deciding whether a link is currently usable.
+LinkPredicate = Callable[[int, int], bool]
+
+
+def canonical_link(u: int, v: int) -> LinkKey:
+    """The canonical (sorted) form of an undirected link."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Topology:
+    """An immutable undirected communication graph with per-link overrides."""
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "custom",
+        extra_delay: Optional[Dict[Tuple[int, int], float]] = None,
+        drop_probability: Optional[Dict[Tuple[int, int], float]] = None,
+    ):
+        if n < 1:
+            raise ValueError(f"a topology needs at least one node, got n={n}")
+        self.n = int(n)
+        self.name = name
+        self._adjacency: Dict[int, set] = {pid: set() for pid in range(self.n)}
+        links = set()
+        for u, v in edges:
+            self._check_node(u)
+            self._check_node(v)
+            if u == v:
+                raise ValueError(f"self-loop {u}-{v} is not a link")
+            links.add(canonical_link(u, v))
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+        self._links = frozenset(links)
+        self._extra_delay = self._normalize_overrides(extra_delay, "extra_delay",
+                                                      minimum=0.0)
+        self._drop = self._normalize_overrides(drop_probability, "drop_probability",
+                                               minimum=0.0, maximum=1.0)
+
+    def _check_node(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise ValueError(f"node {pid} outside 0..{self.n - 1}")
+
+    def _normalize_overrides(self, overrides, label: str, minimum: float,
+                             maximum: Optional[float] = None) -> Dict[LinkKey, float]:
+        normalized: Dict[LinkKey, float] = {}
+        for (u, v), value in (overrides or {}).items():
+            key = canonical_link(u, v)
+            if key not in self._links:
+                raise ValueError(f"{label} given for non-existent link {u}-{v}")
+            if value < minimum or (maximum is not None and value > maximum):
+                bound = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+                raise ValueError(f"{label} for link {u}-{v} must be {bound}, got {value}")
+            normalized[key] = float(value)
+        return normalized
+
+    # -- structure ---------------------------------------------------------------
+    def links(self) -> List[LinkKey]:
+        """All undirected links, sorted."""
+        return sorted(self._links)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def has_link(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are directly connected (symmetric)."""
+        return canonical_link(u, v) in self._links
+
+    def neighbors(self, pid: int) -> Tuple[int, ...]:
+        """The direct neighbors of a node, in ascending order."""
+        self._check_node(pid)
+        return tuple(sorted(self._adjacency[pid]))
+
+    def degree(self, pid: int) -> int:
+        return len(self._adjacency[pid])
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every pair of distinct nodes is directly linked."""
+        return len(self._links) == self.n * (self.n - 1) // 2
+
+    # -- per-link overrides --------------------------------------------------------
+    def extra_delay(self, u: int, v: int) -> float:
+        """Extra delay added to every traversal of link ``u-v`` (0 by default)."""
+        return self._extra_delay.get(canonical_link(u, v), 0.0)
+
+    def drop_probability(self, u: int, v: int) -> float:
+        """Per-traversal drop probability of link ``u-v`` (0 by default)."""
+        return self._drop.get(canonical_link(u, v), 0.0)
+
+    @property
+    def has_lossy_links(self) -> bool:
+        return any(p > 0.0 for p in self._drop.values())
+
+    # -- connectivity ----------------------------------------------------------------
+    def components(self, link_up: Optional[LinkPredicate] = None) -> List[List[int]]:
+        """Connected components (each sorted; the list ordered by smallest member).
+
+        ``link_up(u, v)`` optionally filters links, e.g. with a
+        :class:`~repro.topology.schedule.LinkSchedule` frozen at one instant —
+        this is how partitions are *detected* from a schedule.
+        """
+        seen: set = set()
+        components: List[List[int]] = []
+        for root in range(self.n):
+            if root in seen:
+                continue
+            stack, component = [root], []
+            seen.add(root)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for peer in self._adjacency[node]:
+                    if peer in seen:
+                        continue
+                    if link_up is not None and not link_up(node, peer):
+                        continue
+                    seen.add(peer)
+                    stack.append(peer)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self, link_up: Optional[LinkPredicate] = None) -> bool:
+        return len(self.components(link_up)) == 1
+
+    def hop_distances(self, source: int,
+                      link_up: Optional[LinkPredicate] = None) -> Dict[int, int]:
+        """BFS hop counts from ``source`` to every reachable node."""
+        self._check_node(source)
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for peer in sorted(self._adjacency[node]):
+                    if peer in distances:
+                        continue
+                    if link_up is not None and not link_up(node, peer):
+                        continue
+                    distances[peer] = distances[node] + 1
+                    next_frontier.append(peer)
+            frontier = next_frontier
+        return distances
+
+    def diameter(self) -> int:
+        """Longest shortest path (in hops) between any two connected nodes."""
+        worst = 0
+        for source in range(self.n):
+            distances = self.hop_distances(source)
+            worst = max(worst, max(distances.values()))
+        return worst
+
+    # -- misc ------------------------------------------------------------------------
+    def describe(self) -> str:
+        shape = "complete" if self.is_complete else f"diameter {self.diameter()}"
+        return (f"{self.name}: n={self.n}, {self.link_count} links, {shape}, "
+                f"{len(self.components())} component(s)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (self.n == other.n and self._links == other._links
+                and self._extra_delay == other._extra_delay
+                and self._drop == other._drop)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._links))

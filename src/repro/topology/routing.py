@@ -1,0 +1,129 @@
+"""Multi-hop relay routing over a topology.
+
+The network layer (not the algorithm!) forwards messages between non-adjacent
+processes along shortest hop-count routes, sampling a fresh per-hop delay from
+the :class:`~repro.sim.network.DelayModel` at each hop, so the end-to-end
+delay of a ``d``-hop route accumulates ``d`` independent draws (plus any
+per-link extra delay the topology declares).  This mirrors store-and-forward
+relaying in a real network and keeps the process automata completely unaware
+of the graph — the paper's algorithms run unmodified.
+
+Routes are deterministic (BFS with ascending neighbor order) and cached per
+constant-connectivity epoch of the :class:`~repro.topology.schedule.LinkSchedule`,
+so routing cost is amortized across the whole run.
+
+:func:`delay_envelope` computes the end-to-end ``[lo, hi]`` delay range the
+relay layer induces over all reachable ordered pairs; the analysis layer uses
+it to re-derive effective ``(δ', ε')`` constants so the paper's collection
+window and bounds account for relay accumulation (assumption A3 holds with
+respect to the *effective* envelope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import Topology
+from .schedule import LinkSchedule
+
+__all__ = ["bfs_routes", "all_pairs_routes", "delay_envelope", "Router"]
+
+Route = Tuple[int, ...]
+LinkPredicate = Optional[object]  # Callable[[int, int], bool]
+
+
+def bfs_routes(topology: Topology, source: int,
+               link_up=None) -> Dict[int, Route]:
+    """Shortest routes from ``source`` to every reachable node.
+
+    Deterministic: the BFS expands neighbors in ascending order, so ties are
+    always broken the same way.  Each route includes both endpoints; the
+    route to ``source`` itself is ``(source,)``.
+    """
+    routes: Dict[int, Route] = {source: (source,)}
+    frontier = [source]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for peer in topology.neighbors(node):
+                if peer in routes:
+                    continue
+                if link_up is not None and not link_up(node, peer):
+                    continue
+                routes[peer] = routes[node] + (peer,)
+                next_frontier.append(peer)
+        frontier = next_frontier
+    return routes
+
+
+def all_pairs_routes(topology: Topology,
+                     link_up=None) -> Dict[int, Dict[int, Route]]:
+    """Deterministic shortest routes for every ordered pair."""
+    return {source: bfs_routes(topology, source, link_up)
+            for source in range(topology.n)}
+
+
+def delay_envelope(topology: Topology, delta: float,
+                   epsilon: float) -> Tuple[float, float]:
+    """The end-to-end delay range ``[lo, hi]`` the relay layer induces.
+
+    For every ordered reachable pair the shortest route contributes
+    ``Σ (δ-ε+extra)`` at best and ``Σ (δ+ε+extra)`` at worst; the envelope is
+    the min/max over all pairs (loopback counts as one hop, matching the
+    simulator's treatment of self-addressed broadcast copies).  Unreachable
+    pairs never deliver, so they do not constrain the envelope.
+    """
+    lo, hi = delta - epsilon, delta + epsilon  # the loopback / 1-hop case
+    for source, routes in all_pairs_routes(topology).items():
+        for destination, route in routes.items():
+            if destination == source:
+                continue
+            extra = sum(topology.extra_delay(u, v)
+                        for u, v in zip(route, route[1:]))
+            hops = len(route) - 1
+            lo = min(lo, hops * (delta - epsilon) + extra)
+            hi = max(hi, hops * (delta + epsilon) + extra)
+    return lo, hi
+
+
+class Router:
+    """Shortest-route lookup with per-epoch caching.
+
+    Without a schedule there is a single static route table.  With one, the
+    table is recomputed per constant-connectivity epoch (link states only
+    change at the schedule's declared transition times).
+    """
+
+    def __init__(self, topology: Topology,
+                 schedule: Optional[LinkSchedule] = None):
+        self.topology = topology
+        self.schedule = schedule
+        self._cache: Dict[Tuple[int, int], Dict[int, Dict[int, Route]]] = {}
+
+    def _routes_at(self, t: float) -> Dict[int, Dict[int, Route]]:
+        if self.schedule is None:
+            key = (0, 0)
+            link_up = None
+        else:
+            # Keyed on the schedule revision too, so faults added after this
+            # Router was built invalidate the cached tables (adding a fault
+            # shifts the boundary list, renumbering the epochs).
+            key = (self.schedule.revision, self.schedule.epoch(t))
+            link_up = lambda u, v: self.schedule.link_up(u, v, t)  # noqa: E731
+        table = self._cache.get(key)
+        if table is None:
+            table = all_pairs_routes(self.topology, link_up)
+            self._cache[key] = table
+        return table
+
+    def route(self, source: int, destination: int, t: float) -> Optional[Route]:
+        """The route used for a message posted at real time ``t``, or ``None``.
+
+        ``None`` means the destination is unreachable at ``t`` (the graph is
+        partitioned, or it was never connected); the message is undeliverable.
+        """
+        return self._routes_at(t)[source].get(destination)
+
+    def reachable(self, source: int, t: float) -> List[int]:
+        """All nodes reachable from ``source`` at ``t`` (including itself)."""
+        return sorted(self._routes_at(t)[source])

@@ -1,0 +1,102 @@
+"""Time-varying link faults: the :class:`LinkSchedule`.
+
+A :class:`Topology` says which links *exist*; a :class:`LinkSchedule` says
+which of them are *usable at a given real time*.  The schedule is a stack of
+:class:`LinkFault` objects — each one a pure predicate ``is_down(u, v, t)``
+over canonical links and real times — and a link is up exactly when no fault
+holds it down.
+
+Concrete fault families (crash, flap, partition-and-heal) live in
+:mod:`repro.faults.links`, next to the process-level fault injectors; this
+module only defines the mechanism.
+
+Faults must be *piecewise constant* in time and declare their transition
+instants via :meth:`LinkFault.transition_times`.  That lets the routing layer
+cache shortest routes per constant-connectivity *epoch* instead of rerunning
+BFS for every message (see :class:`~repro.topology.routing.Router`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["LinkFault", "LinkSchedule"]
+
+
+class LinkFault:
+    """One time-varying reason a set of links is unusable."""
+
+    def is_down(self, u: int, v: int, t: float) -> bool:
+        """Whether this fault holds the (undirected) link ``u-v`` down at ``t``."""
+        raise NotImplementedError
+
+    def transition_times(self) -> Sequence[float]:
+        """The real times at which this fault's link-state changes.
+
+        Must be exhaustive: between two consecutive returned times (and before
+        the first / after the last) ``is_down`` must be constant for every
+        link.  Constant faults return ``()``.
+        """
+        return ()
+
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+        return type(self).__name__
+
+
+class LinkSchedule:
+    """A stack of link faults; a link is up iff no fault holds it down."""
+
+    def __init__(self, faults: Iterable[LinkFault] = ()):
+        self._faults: List[LinkFault] = list(faults)
+        self._boundaries: Tuple[float, ...] = self._collect_boundaries()
+        self._revision = 0
+
+    def _collect_boundaries(self) -> Tuple[float, ...]:
+        times = set()
+        for fault in self._faults:
+            times.update(fault.transition_times())
+        return tuple(sorted(times))
+
+    def add(self, fault: LinkFault) -> "LinkSchedule":
+        """Add a fault (returns self for chaining)."""
+        self._faults.append(fault)
+        self._boundaries = self._collect_boundaries()
+        self._revision += 1
+        return self
+
+    @property
+    def revision(self) -> int:
+        """Bumped by every :meth:`add`; route caches key on it so faults
+        added after a :class:`~repro.topology.routing.Router` was built are
+        still honored."""
+        return self._revision
+
+    @property
+    def faults(self) -> Tuple[LinkFault, ...]:
+        return tuple(self._faults)
+
+    def link_up(self, u: int, v: int, t: float) -> bool:
+        """Whether the link ``u-v`` is usable at real time ``t``."""
+        return not any(fault.is_down(u, v, t) for fault in self._faults)
+
+    def transition_times(self) -> Tuple[float, ...]:
+        """All fault transition instants, sorted and de-duplicated."""
+        return self._boundaries
+
+    def epoch(self, t: float) -> int:
+        """Index of the constant-connectivity interval containing ``t``.
+
+        Link state is constant within an epoch, so routes computed for one
+        time in an epoch are valid for the whole epoch.
+        """
+        return bisect.bisect_right(self._boundaries, t)
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    def describe(self) -> str:
+        if not self._faults:
+            return "no link faults"
+        return "; ".join(fault.describe() for fault in self._faults)

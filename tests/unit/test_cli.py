@@ -31,11 +31,30 @@ class TestParser:
             build_parser().parse_args(["run", "--workload", "mars"])
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
 class TestWorkloadsCommand:
     def test_lists_every_preset(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
-        for name in ("lan", "wan", "high-drift", "quiet"):
+        for name in ("lan", "wan", "high-drift", "quiet", "ring-lan",
+                     "partition-heal"):
+            assert name in out
+
+
+class TestTopologiesCommand:
+    def test_lists_every_generator(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("complete", "ring", "star", "grid", "random_gnp",
+                     "clustered"):
             assert name in out
 
 
@@ -62,6 +81,28 @@ class TestRunCommand:
     def test_run_on_quiet_workload(self, capsys):
         assert main(["run", "--workload", "quiet", "--rounds", "4"]) == 0
         assert "all claims hold" in capsys.readouterr().out
+
+    def test_run_on_ring_topology(self, capsys):
+        exit_code = main(["run", "--topology", "ring", "--rounds", "4"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "topology ring" in out
+        assert "effective envelope" in out
+        assert "all claims hold" in out
+
+    def test_run_rejects_bad_topology_spec(self):
+        with pytest.raises(ValueError):
+            main(["run", "--topology", "moebius", "--rounds", "4"])
+
+    def test_run_partition_heal_workload(self, capsys):
+        exit_code = main(["run", "--workload", "partition-heal",
+                          "--rounds", "10"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "partition_divergence" in out
+        assert "lemma20_heal_round_0" in out
+        assert "cross-group divergence over time" in out
+        assert "all claims hold" in out
 
 
 class TestStartupCommand:
@@ -107,3 +148,11 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "fault_count" in out
+
+    def test_topology_sweep(self, capsys):
+        exit_code = main(["sweep", "--axis", "topology",
+                          "--values", "complete", "ring", "--rounds", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "topology" in out and "diameter" in out
+        assert "ring" in out

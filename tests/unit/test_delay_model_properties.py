@@ -1,0 +1,132 @@
+"""Property tests for every DelayModel subclass (assumption A3).
+
+The invariant under test: *whatever* a delay model samples — any seed, any
+(δ, ε) pair, any sender/recipient/send-time mix — the delay lies inside the
+``[δ-ε, δ+ε]`` envelope (and is strictly positive), unless the model was
+explicitly configured to break the assumption.  Dropping a message (``None``)
+is always allowed in place of a delay.
+
+These are randomized-but-deterministic property tests (fixed seed grids, many
+samples) rather than example-based unit tests; the example-based suite lives
+in test_delay_models.py.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sim import (
+    AdversarialDelayModel,
+    ContentionDelayModel,
+    FixedDelayModel,
+    PerLinkDelayModel,
+    TruncatedGaussianDelayModel,
+    UniformDelayModel,
+)
+
+#: (δ, ε) pairs spanning the regimes the workloads use (ε = 0 up to ε ≈ δ/2).
+ENVELOPES = [(0.01, 0.0), (0.01, 0.002), (0.05, 0.02), (1.0, 0.499)]
+
+SEEDS = [0, 1, 7, 123]
+
+SAMPLES_PER_CASE = 400
+
+
+def model_factories(delta, epsilon):
+    """Every model family instantiated for one (δ, ε) pair."""
+    factories = [
+        ("fixed", lambda: FixedDelayModel(delta)),
+        ("uniform", lambda: UniformDelayModel(delta, epsilon)),
+        ("gaussian", lambda: TruncatedGaussianDelayModel(delta, epsilon)),
+        ("gaussian-wide-sigma",
+         lambda: TruncatedGaussianDelayModel(delta, epsilon, sigma=10 * delta)),
+        ("per-link", lambda: PerLinkDelayModel(
+            delta, epsilon,
+            {(0, 1): delta - epsilon, (1, 0): delta + epsilon,
+             (2, 3): delta})),
+        ("adversarial", lambda: AdversarialDelayModel(
+            delta, epsilon, fast_senders=[0, 2], slow_senders=[1, 3])),
+        ("contention", lambda: ContentionDelayModel(
+            delta, epsilon, window=delta, threshold=1, penalty=delta,
+            drop_probability=0.2)),
+    ]
+    return factories
+
+
+def sample_stream(model, rng, count):
+    """Exercise a model across senders, recipients and clustered send times."""
+    for index in range(count):
+        sender = rng.randrange(8)
+        recipient = rng.randrange(8)
+        # Mix isolated and clustered send times to provoke contention paths.
+        send_time = (index // 16) * 1.0 + rng.uniform(0.0, 1e-3)
+        yield model.delay(sender, recipient, send_time, rng)
+
+
+@pytest.mark.parametrize("delta,epsilon", ENVELOPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_models_respect_the_envelope(delta, epsilon, seed):
+    """Property: every sampled delay is positive and inside [δ-ε, δ+ε]."""
+    for name, factory in model_factories(delta, epsilon):
+        model = factory()
+        lo, hi = model.envelope()
+        # The model's own envelope nests inside the configured [δ-ε, δ+ε]
+        # (FixedDelayModel tightens it to ε = 0).
+        assert delta - epsilon - 1e-12 <= lo <= hi <= delta + epsilon + 1e-12
+        rng = random.Random(seed)
+        for sample in sample_stream(model, rng, SAMPLES_PER_CASE):
+            if sample is None:
+                continue  # a drop is always a legal outcome
+            assert sample > 0.0, f"{name} produced a non-positive delay"
+            assert lo - 1e-12 <= sample <= hi + 1e-12, (
+                f"{name} violated the envelope: {sample} not in [{lo}, {hi}]"
+            )
+
+
+@pytest.mark.parametrize("delta,epsilon", [(0.01, 0.002), (0.05, 0.02)])
+def test_only_contention_is_allowed_to_drop(delta, epsilon):
+    """Property: of the stock models, only the contention model drops."""
+    for name, factory in model_factories(delta, epsilon):
+        model = factory()
+        rng = random.Random(99)
+        drops = sum(1 for s in sample_stream(model, rng, SAMPLES_PER_CASE)
+                    if s is None)
+        if name == "contention":
+            assert drops > 0, "clustered sends should provoke contention drops"
+        else:
+            assert drops == 0, f"{name} unexpectedly dropped {drops} messages"
+
+
+def test_per_link_rejects_envelope_violations_by_construction():
+    """PerLinkDelayModel is configured per link; bad configs must not build."""
+    with pytest.raises(ValueError):
+        PerLinkDelayModel(0.01, 0.002, {(0, 1): 0.0121})
+    with pytest.raises(ValueError):
+        PerLinkDelayModel(0.01, 0.002, {(0, 1): 0.0079})
+
+
+def test_validation_rejects_a3_violations():
+    """Constructors enforce δ > ε >= 0 and δ > 0 across all families."""
+    for bad_delta, bad_epsilon in [(0.0, 0.0), (-1.0, 0.0), (0.01, 0.01),
+                                   (0.01, -0.001), (0.01, 0.02)]:
+        with pytest.raises(ValueError):
+            UniformDelayModel(bad_delta, bad_epsilon)
+        with pytest.raises(ValueError):
+            TruncatedGaussianDelayModel(bad_delta, bad_epsilon)
+        with pytest.raises(ValueError):
+            AdversarialDelayModel(bad_delta, bad_epsilon)
+        with pytest.raises(ValueError):
+            ContentionDelayModel(bad_delta, bad_epsilon)
+
+
+def test_determinism_per_seed():
+    """Property: the sample stream is a pure function of the seed."""
+    for delta, epsilon in ENVELOPES:
+        for name, factory in model_factories(delta, epsilon):
+            streams = []
+            for _ in range(2):
+                model = factory()
+                rng = random.Random(5)
+                streams.append(list(sample_stream(model, rng, 100)))
+            assert streams[0] == streams[1], f"{name} is not seed-deterministic"

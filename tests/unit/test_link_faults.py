@@ -1,0 +1,122 @@
+"""Unit tests for link-level fault injection (repro.faults.links)."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    LinkCrash,
+    LinkFlap,
+    LinkPartition,
+    crash_links,
+    flap_link,
+    partition_and_heal,
+)
+from repro.topology import LinkSchedule, complete
+
+
+class TestLinkCrash:
+    def test_permanent_crash(self):
+        fault = LinkCrash([(0, 1)], at=5.0)
+        assert not fault.is_down(0, 1, 4.999)
+        assert fault.is_down(0, 1, 5.0)
+        assert fault.is_down(1, 0, 1e9)  # symmetric, forever
+        assert not fault.is_down(0, 2, 10.0)
+        assert fault.transition_times() == (5.0,)
+
+    def test_repaired_crash(self):
+        fault = LinkCrash([(0, 1)], at=5.0, until=8.0)
+        assert fault.is_down(0, 1, 7.999)
+        assert not fault.is_down(0, 1, 8.0)
+        assert fault.transition_times() == (5.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkCrash([], at=1.0)
+        with pytest.raises(ValueError):
+            LinkCrash([(0, 1)], at=5.0, until=5.0)
+
+
+class TestLinkFlap:
+    def test_duty_cycle(self):
+        fault = LinkFlap([(0, 1)], period=1.0, down_fraction=0.25,
+                         start=10.0, end=12.0)
+        assert fault.is_down(0, 1, 10.1)      # first 25% of the period: down
+        assert not fault.is_down(0, 1, 10.5)  # rest: up
+        assert fault.is_down(0, 1, 11.2)      # second period
+        assert not fault.is_down(0, 1, 12.3)  # window over
+        assert not fault.is_down(0, 1, 9.9)   # window not begun
+
+    def test_transitions_enumerate_every_edge(self):
+        fault = LinkFlap([(0, 1)], period=1.0, down_fraction=0.5,
+                         start=0.0, end=2.0)
+        assert fault.transition_times() == (0.0, 0.5, 1.0, 1.5, 2.0)
+
+    def test_requires_finite_window(self):
+        with pytest.raises(ValueError):
+            LinkFlap([(0, 1)], period=1.0, end=math.inf)
+        with pytest.raises(ValueError):
+            LinkFlap([(0, 1)], period=0.0, end=1.0)
+        with pytest.raises(ValueError):
+            LinkFlap([(0, 1)], period=1.0, down_fraction=1.0, end=1.0)
+
+
+class TestLinkPartition:
+    def test_cross_group_links_down_during_window(self):
+        fault = LinkPartition([[0, 1], [2, 3]], start=1.0, end=2.0)
+        assert fault.is_down(0, 2, 1.5)
+        assert fault.is_down(3, 1, 1.5)
+        assert not fault.is_down(0, 1, 1.5)   # same group
+        assert not fault.is_down(0, 2, 0.5)   # before
+        assert not fault.is_down(0, 2, 2.0)   # healed
+        assert fault.heal_time == 2.0
+
+    def test_ungrouped_nodes_keep_their_links(self):
+        fault = LinkPartition([[0, 1], [2, 3]], start=0.0, end=10.0)
+        assert not fault.is_down(0, 4, 5.0)
+        assert not fault.is_down(4, 2, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkPartition([[0, 1]], start=0.0)  # one group is no partition
+        with pytest.raises(ValueError):
+            LinkPartition([[0, 1], [1, 2]], start=0.0)  # overlapping groups
+        with pytest.raises(ValueError):
+            LinkPartition([[0], [1]], start=5.0, end=5.0)
+
+
+class TestLinkSchedule:
+    def test_stacked_faults_and_epochs(self):
+        schedule = LinkSchedule([
+            LinkCrash([(0, 1)], at=1.0, until=3.0),
+            LinkCrash([(0, 1)], at=5.0),
+        ])
+        assert schedule.transition_times() == (1.0, 3.0, 5.0)
+        assert [schedule.epoch(t) for t in (0.5, 1.5, 3.5, 6.0)] == [0, 1, 2, 3]
+        assert schedule.link_up(0, 1, 0.5)
+        assert not schedule.link_up(0, 1, 2.0)
+        assert schedule.link_up(0, 1, 4.0)
+        assert not schedule.link_up(0, 1, 9.0)
+
+    def test_empty_schedule_is_falsy_and_all_up(self):
+        schedule = LinkSchedule()
+        assert not schedule
+        assert schedule.link_up(0, 1, 123.0)
+        assert partition_and_heal([[0], [1]], 0.0, 1.0)
+
+    def test_helpers_build_single_fault_schedules(self):
+        assert len(crash_links([(0, 1)], at=1.0).faults) == 1
+        assert len(flap_link(0, 1, period=0.5, end=2.0).faults) == 1
+        schedule = partition_and_heal([[0, 1], [2]], 1.0, 2.0)
+        assert not schedule.link_up(0, 2, 1.5)
+
+    def test_partition_detection_via_components(self):
+        """A schedule frozen at an instant detects the partition structure."""
+        topology = complete(6)
+        schedule = partition_and_heal([[0, 1, 2], [3, 4, 5]], 10.0, 20.0)
+        during = topology.components(
+            link_up=lambda u, v: schedule.link_up(u, v, 15.0))
+        after = topology.components(
+            link_up=lambda u, v: schedule.link_up(u, v, 25.0))
+        assert during == [[0, 1, 2], [3, 4, 5]]
+        assert after == [[0, 1, 2, 3, 4, 5]]
