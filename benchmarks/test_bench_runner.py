@@ -1,0 +1,92 @@
+"""E-runner — the batch execution layer: serial vs parallel vs cached.
+
+Not a paper experiment but the harness the scaled-up ones run on: every
+sweep/comparison/replication now dispatches :class:`repro.runner.RunSpec`
+batches through :class:`repro.runner.BatchRunner`.  This module measures the
+three regimes that matter for experiment throughput:
+
+* **serial**     — ``jobs=1``, the pre-runner baseline;
+* **parallel**   — ``jobs=2``, which must win wall-clock on 2+ CPUs while
+  staying bit-identical per spec;
+* **cached**     — a warm re-run of the same batch, which must be near-free
+  (the in-process result cache keyed on spec hash).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._report import emit
+from repro.analysis import format_table
+from repro.runner import BatchRunner, RunSpec, available_parallelism, replicate
+
+ROUNDS = 40
+SEEDS = range(4)
+
+
+def _specs(bench_params):
+    return [RunSpec.maintenance(bench_params, rounds=ROUNDS, seed=seed)
+            for seed in SEEDS]
+
+
+def test_batch_runner_serial_vs_parallel(benchmark, bench_params):
+    """One 4-spec batch: parallel timing, with serial measured for the table."""
+    specs = _specs(bench_params)
+
+    start = time.perf_counter()
+    serial_results = BatchRunner(jobs=1).run(specs)
+    serial_elapsed = time.perf_counter() - start
+
+    parallel_results = benchmark(
+        lambda: BatchRunner(jobs=2, cache=False).run(specs))
+    parallel_elapsed = benchmark.stats.stats.mean
+
+    emit("E-runner — batch execution, serial vs jobs=2 "
+         f"({available_parallelism()} CPU(s) available)",
+         format_table(
+             ["mode", "wall seconds", "speedup"],
+             [("serial (jobs=1)", serial_elapsed, 1.0),
+              ("parallel (jobs=2)", parallel_elapsed,
+               serial_elapsed / parallel_elapsed if parallel_elapsed else 0.0)],
+             precision=4))
+    # The determinism guarantee holds regardless of CPU count.
+    for a, b in zip(serial_results, parallel_results):
+        assert a.trace.events == b.trace.events
+        assert a.start_times == b.start_times
+
+
+def test_batch_runner_cache_makes_reruns_free(benchmark, bench_params):
+    """A warm batch re-run must cost orders of magnitude less than a cold one."""
+    specs = _specs(bench_params)
+    runner = BatchRunner(jobs=1)
+
+    start = time.perf_counter()
+    cold = runner.run(specs)
+    cold_elapsed = time.perf_counter() - start
+
+    warm = benchmark(lambda: runner.run(specs))
+    warm_elapsed = benchmark.stats.stats.mean
+
+    emit("E-runner — result cache (cold vs warm batch)",
+         format_table(
+             ["pass", "wall seconds"],
+             [("cold", cold_elapsed), ("warm (cached)", warm_elapsed)],
+             precision=6))
+    assert [r.end_time for r in warm] == [r.end_time for r in cold]
+    assert warm_elapsed < cold_elapsed / 10
+
+
+def test_replication_throughput(benchmark, bench_params):
+    """Multi-seed replication, the workload the batch layer exists for."""
+    spec = RunSpec.maintenance(bench_params, rounds=ROUNDS)
+
+    rep = benchmark(lambda: replicate(spec, seeds=SEEDS,
+                                      jobs=min(2, available_parallelism())))
+    emit("E-runner — replicate() over 4 seeds",
+         format_table(
+             ["metric", "mean", "min", "max", "ci95 low", "ci95 high"],
+             [("agreement", rep.agreement.mean, rep.agreement.minimum,
+               rep.agreement.maximum, rep.agreement.ci95_low,
+               rep.agreement.ci95_high)],
+             precision=6))
+    assert rep.validity_holds

@@ -31,7 +31,9 @@ setup(
                 "topologies and a theorem-auditing harness",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.8",
+    # Matches the CI test matrix (.github/workflows/ci.yml): only versions
+    # the suite actually runs on are claimed as supported.
+    python_requires=">=3.10",
     entry_points={
         "console_scripts": [
             "repro-clocksync = repro.cli:main",

@@ -16,7 +16,10 @@ The package is organised bottom-up:
   reintegration, the staggered/multi-exchange/mean variants, and the
   closed-form bounds of the analysis;
 * :mod:`repro.baselines` — the Section 10 comparison algorithms;
-* :mod:`repro.analysis` — metrics, scenario builders, and reporting.
+* :mod:`repro.analysis` — metrics, scenario builders, and reporting;
+* :mod:`repro.runner` — declarative :class:`~repro.runner.RunSpec` run
+  descriptions, the parallel :class:`~repro.runner.BatchRunner`, and
+  multi-seed replication.
 
 Quick start::
 
@@ -39,6 +42,7 @@ from .analysis import (
     run_reintegration_scenario,
     run_startup_scenario,
 )
+from .runner import BatchRunner, RunSpec, execute, replicate
 from .topology import Topology, build_topology, make_topology
 from .core import (
     FaultTolerantMean,
@@ -62,6 +66,10 @@ __all__ = [
     "run_partition_heal_scenario",
     "run_reintegration_scenario",
     "run_startup_scenario",
+    "BatchRunner",
+    "RunSpec",
+    "execute",
+    "replicate",
     "Topology",
     "build_topology",
     "make_topology",

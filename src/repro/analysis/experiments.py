@@ -70,6 +70,10 @@ class ScenarioResult:
     start_times: Dict[int, float]
     rounds: int
     end_time: float
+    #: the :class:`~repro.runner.spec.RunSpec` this run was dispatched from,
+    #: when it came through :func:`repro.runner.execute` (None for direct
+    #: builder calls); lets batched results stay self-describing.
+    spec: Optional[object] = None
 
     @property
     def is_partition_heal(self) -> bool:
@@ -159,7 +163,7 @@ def make_delay_model(kind: Union[str, DelayModel], params: SyncParameters,
     if kind == "fixed":
         return FixedDelayModel(delta)
     if kind == "gaussian":
-        return TruncatedGaussianDelayModel(delta, epsilon)
+        return TruncatedGaussianDelayModel(delta, epsilon, **kwargs)
     if kind == "adversarial":
         return AdversarialDelayModel(delta, epsilon, **kwargs)
     if kind == "contention":

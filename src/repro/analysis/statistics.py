@@ -25,7 +25,7 @@ from .metrics import measured_agreement
 __all__ = [
     "SummaryStats",
     "summarize",
-    "replicate",
+    "replicate_metric",
     "agreement_across_seeds",
     "bound_margin",
     "compare_samples",
@@ -101,11 +101,14 @@ def summarize(values: Sequence[float]) -> SummaryStats:
                         ci95_low=mean - half_width, ci95_high=mean + half_width)
 
 
-def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> SummaryStats:
+def replicate_metric(metric: Callable[[int], float],
+                     seeds: Sequence[int]) -> SummaryStats:
     """Evaluate ``metric(seed)`` for every seed and summarize the results.
 
     ``metric`` is any callable mapping a seed to a number — typically a
-    closure over a scenario builder and a trace metric.
+    closure over a scenario builder and a trace metric.  (Named to stay
+    distinct from :func:`repro.runner.replicate`, which replicates a
+    declarative :class:`~repro.runner.spec.RunSpec` and can parallelize.)
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -133,7 +136,7 @@ def agreement_across_seeds(
         return measured_agreement(result.trace, start, result.end_time,
                                   samples=samples)
 
-    return replicate(metric, seeds)
+    return replicate_metric(metric, seeds)
 
 
 def bound_margin(stats: SummaryStats, bound: float) -> float:

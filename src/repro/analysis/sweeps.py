@@ -10,31 +10,55 @@ A sweep is defined by one or more :class:`SweepAxis` objects (a named list of
 values) and a runner callable that maps one point of the cartesian product to
 a dict of measured quantities.  The result keeps both the inputs and outputs
 per point and can be rendered with :func:`repro.analysis.reporting.format_table`.
+
+Two evaluation paths exist:
+
+* :func:`run_sweep` — the fully generic path: an arbitrary callable per point,
+  evaluated serially (arbitrary closures cannot travel to worker processes);
+* :func:`run_spec_sweep` — the declarative path: each point is described by a
+  :class:`~repro.runner.spec.RunSpec` and measured from its result, so the
+  whole cartesian product (times any replication seeds) fans out through a
+  :class:`~repro.runner.batch.BatchRunner` — ``jobs=N`` runs N simulations at
+  once with results bit-identical to serial execution.
+
+All the ready-made ``sweep_*`` helpers run on the spec path and uniformly
+accept ``seed`` (single run per point), ``seeds`` (replication: outputs become
+means with ``*_ci95`` half-width columns), ``jobs``, ``progress`` and
+``on_result``.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Union)
 
 from ..core.bounds import agreement_bound, steady_state_beta
 from ..core.config import SyncParameters
+from ..runner.batch import BatchRunner
+from ..runner.spec import RunSpec
 from ..topology.spec import build_topology
-from .experiments import run_maintenance_scenario
 from .metrics import measured_agreement, steady_state_round_spread
+from .statistics import summarize
 
 __all__ = [
     "SweepAxis",
     "SweepPoint",
     "SweepResult",
     "run_sweep",
+    "run_spec_sweep",
     "sweep_epsilon",
     "sweep_round_length",
     "sweep_system_size",
     "sweep_fault_count",
     "sweep_topology",
 ]
+
+#: called with a point's swept inputs before it is evaluated.
+Progress = Callable[[Dict[str, object]], None]
+#: called with a point's inputs *and* measured outputs after evaluation.
+OnResult = Callable[[Dict[str, object], Dict[str, float]], None]
 
 
 @dataclass(frozen=True)
@@ -106,26 +130,114 @@ class SweepResult:
         return chooser(scored, key=lambda p: p.outputs[output])
 
 
+def _iter_inputs(axes: Sequence[SweepAxis]) -> Iterable[Dict[str, object]]:
+    for combination in itertools.product(*(axis.values for axis in axes)):
+        yield {axis.name: value for axis, value in zip(axes, combination)}
+
+
 def run_sweep(axes: Sequence[SweepAxis],
               runner: Callable[..., Mapping[str, float]],
-              progress: Optional[Callable[[Dict[str, object]], None]] = None
-              ) -> SweepResult:
+              progress: Optional[Progress] = None,
+              on_result: Optional[OnResult] = None) -> SweepResult:
     """Evaluate ``runner`` on the cartesian product of the axes.
 
     ``runner`` receives the swept values as keyword arguments (one per axis
     name) and returns a mapping of measured quantities.  ``progress``, when
-    given, is called with each point's inputs before it is evaluated.
+    given, is called with each point's inputs before it is evaluated;
+    ``on_result`` with the inputs *and* the measured outputs right after — so
+    long sweeps are observable end to end, not just at submission.
     """
     axes = list(axes)
     if not axes:
         raise ValueError("need at least one axis")
     result = SweepResult(axes=axes)
-    for combination in itertools.product(*(axis.values for axis in axes)):
-        inputs = {axis.name: value for axis, value in zip(axes, combination)}
+    for inputs in _iter_inputs(axes):
         if progress is not None:
             progress(dict(inputs))
         outputs = dict(runner(**inputs))
         result.points.append(SweepPoint(inputs=dict(inputs), outputs=outputs))
+        if on_result is not None:
+            on_result(dict(inputs), dict(outputs))
+    return result
+
+
+def _replicated_outputs(per_seed: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Collapse per-seed output dicts to means plus ``*_ci95`` half-widths."""
+    merged: Dict[str, float] = {}
+    half_widths: Dict[str, float] = {}
+    for name in per_seed[0]:
+        stats = summarize([outputs[name] for outputs in per_seed])
+        merged[name] = stats.mean
+        half_widths[f"{name}_ci95"] = stats.ci95_high - stats.mean
+    merged.update(half_widths)  # ci95 columns after all the means
+    return merged
+
+
+def run_spec_sweep(
+    axes: Sequence[SweepAxis],
+    build: Callable[..., RunSpec],
+    measure: Callable[..., Mapping[str, float]],
+    seeds: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    runner: Optional[BatchRunner] = None,
+    progress: Optional[Progress] = None,
+    on_result: Optional[OnResult] = None,
+) -> SweepResult:
+    """Evaluate a declarative sweep through a :class:`BatchRunner`.
+
+    ``build(**inputs)`` maps one point of the cartesian product to a
+    :class:`RunSpec`; ``measure(result, **inputs)`` turns the executed
+    result into the point's output mapping (the result carries its spec in
+    ``result.spec``, so measures can recover run provenance).
+
+    With ``seeds``, every point is replicated across all of them
+    (``build``'s seed is overridden per replica) and each output column
+    becomes the across-seed mean, joined by a ``<name>_ci95`` half-width
+    column.  All points × seeds execute as one batch, so ``jobs=N``
+    parallelizes across both axes at once; per-spec results are bit-identical
+    to serial execution regardless of ``jobs``.
+
+    The callbacks stream: each point's ``progress``/``on_result`` fires as
+    soon as that point's runs are available (with ``jobs=1`` execution is
+    fully lazy, so ``progress`` fires before the point runs, exactly like
+    :func:`run_sweep`; with a pool, later points keep computing in the
+    background while earlier points are measured and reported).
+    """
+    axes = list(axes)
+    if not axes:
+        raise ValueError("need at least one axis")
+    seed_list = list(seeds) if seeds is not None else None
+    if seed_list is not None and not seed_list:
+        raise ValueError("seeds, when given, must be non-empty")
+    if seed_list is not None and len(set(seed_list)) != len(seed_list):
+        # A repeated seed re-counts one draw as independent samples, biasing
+        # the mean and shrinking the CI.
+        raise ValueError(f"replication seeds must be distinct, got {seed_list}")
+    # The internal default runner does not cache: every spec is measured
+    # exactly once and reduced to a few floats, so holding full traces for
+    # the whole sweep would be pure memory growth.  Callers wanting reuse
+    # across sweeps pass their own runner=.
+    batch = runner if runner is not None else BatchRunner(jobs=jobs, cache=False)
+    points = list(_iter_inputs(axes))
+    spec_lists: List[List[RunSpec]] = []
+    for inputs in points:
+        spec = build(**inputs)
+        if seed_list is None:
+            spec_lists.append([spec])
+        else:
+            spec_lists.append([spec.with_seed(seed) for seed in seed_list])
+    flat = [spec for specs in spec_lists for spec in specs]
+    results = batch.run_iter(flat)
+    result = SweepResult(axes=axes)
+    for inputs, specs in zip(points, spec_lists):
+        if progress is not None:
+            progress(dict(inputs))
+        per_seed = [dict(measure(next(results), **inputs)) for _ in specs]
+        outputs = per_seed[0] if len(per_seed) == 1 \
+            else _replicated_outputs(per_seed)
+        result.points.append(SweepPoint(inputs=dict(inputs), outputs=outputs))
+        if on_result is not None:
+            on_result(dict(inputs), dict(outputs))
     return result
 
 
@@ -133,72 +245,96 @@ def run_sweep(axes: Sequence[SweepAxis],
 # Ready-made sweeps along the axes the paper discusses.
 # ---------------------------------------------------------------------------
 
-def _measure_agreement(params: SyncParameters, rounds: int, fault_kind: Optional[str],
-                       seed: int, settle_rounds: int = 1) -> float:
-    result = run_maintenance_scenario(params, rounds=rounds, fault_kind=fault_kind,
-                                      seed=seed)
-    start = result.tmax0 + settle_rounds * params.round_length
-    return measured_agreement(result.trace, start, result.end_time, samples=150)
+def _agreement_after_settle(result, settle_rounds: int = 1,
+                            samples: int = 150) -> float:
+    start = result.tmax0 + settle_rounds * result.params.round_length
+    return measured_agreement(result.trace, start, result.end_time,
+                              samples=samples)
 
 
 def sweep_epsilon(epsilons: Iterable[float], n: int = 7, f: int = 2,
                   rho: float = 1e-4, delta: float = 0.01, rounds: int = 10,
-                  fault_kind: Optional[str] = "two_faced", seed: int = 0
-                  ) -> SweepResult:
+                  fault_kind: Optional[str] = "two_faced", seed: int = 0,
+                  seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                  progress: Optional[Progress] = None,
+                  on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement and its Theorem 16 bound as the delay uncertainty ε varies."""
 
-    def runner(epsilon: float) -> Dict[str, float]:
+    def build(epsilon: float) -> RunSpec:
         params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
                                        epsilon=epsilon)
+        return RunSpec.maintenance(params, rounds=rounds,
+                                   fault_kind=fault_kind, seed=seed)
+
+    def measure(result, epsilon: float) -> Dict[str, float]:
         return {
-            "gamma": agreement_bound(params),
-            "agreement": _measure_agreement(params, rounds, fault_kind, seed),
+            "gamma": agreement_bound(result.params),
+            "agreement": _agreement_after_settle(result),
         }
 
-    return run_sweep([SweepAxis("epsilon", list(epsilons))], runner)
+    return run_spec_sweep([SweepAxis("epsilon", list(epsilons))], build,
+                          measure, seeds=seeds, jobs=jobs, progress=progress,
+                          on_result=on_result)
 
 
 def sweep_round_length(round_lengths: Iterable[float], n: int = 7, f: int = 2,
                        rho: float = 2e-3, delta: float = 0.01,
                        epsilon: float = 0.002, rounds: int = 14,
-                       seed: int = 0) -> SweepResult:
+                       seed: int = 0, seeds: Optional[Sequence[int]] = None,
+                       jobs: int = 1, progress: Optional[Progress] = None,
+                       on_result: Optional[OnResult] = None) -> SweepResult:
     """Steady-state round spread and the 4ε + 4ρP estimate as P varies (E7)."""
 
-    def runner(round_length: float) -> Dict[str, float]:
+    def build(round_length: float) -> RunSpec:
         params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
-                                       epsilon=epsilon, round_length=round_length)
-        result = run_maintenance_scenario(params, rounds=rounds, fault_kind=None,
-                                          seed=seed)
+                                       epsilon=epsilon,
+                                       round_length=round_length)
+        return RunSpec.maintenance(params, rounds=rounds, fault_kind=None,
+                                   seed=seed)
+
+    def measure(result, round_length: float) -> Dict[str, float]:
         return {
-            "paper_beta": steady_state_beta(params),
+            "paper_beta": steady_state_beta(result.params),
             "spread": steady_state_round_spread(result.trace, skip_rounds=4),
         }
 
-    return run_sweep([SweepAxis("round_length", list(round_lengths))], runner)
+    return run_spec_sweep([SweepAxis("round_length", list(round_lengths))],
+                          build, measure, seeds=seeds, jobs=jobs,
+                          progress=progress, on_result=on_result)
 
 
 def sweep_system_size(sizes: Iterable[int], f: int = 2, rho: float = 1e-4,
                       delta: float = 0.01, epsilon: float = 0.002,
                       rounds: int = 10, fault_kind: Optional[str] = "two_faced",
-                      seed: int = 0) -> SweepResult:
+                      seed: int = 0, seeds: Optional[Sequence[int]] = None,
+                      jobs: int = 1, progress: Optional[Progress] = None,
+                      on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement as n grows at fixed f (the paper: flat; LM: grows)."""
 
-    def runner(n: int) -> Dict[str, float]:
+    def build(n: int) -> RunSpec:
         params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
                                        epsilon=epsilon)
+        return RunSpec.maintenance(params, rounds=rounds,
+                                   fault_kind=fault_kind, seed=seed)
+
+    def measure(result, n: int) -> Dict[str, float]:
         return {
-            "gamma": agreement_bound(params),
-            "agreement": _measure_agreement(params, rounds, fault_kind, seed),
+            "gamma": agreement_bound(result.params),
+            "agreement": _agreement_after_settle(result),
         }
 
-    return run_sweep([SweepAxis("n", list(sizes))], runner)
+    return run_spec_sweep([SweepAxis("n", list(sizes))], build, measure,
+                          seeds=seeds, jobs=jobs, progress=progress,
+                          on_result=on_result)
 
 
 def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
                       rho: float = 1e-4, delta: float = 0.01,
                       epsilon: float = 0.002, rounds: int = 10,
-                      fault_kind: str = "two_faced", seed: int = 0
-                      ) -> SweepResult:
+                      fault_kind: str = "two_faced", seed: int = 0,
+                      seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                      progress: Optional[Progress] = None,
+                      on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement as the number of *actual* attackers varies (the A2 threshold).
 
     The averaging stays configured for ``f``; counts above ``f`` demonstrate
@@ -206,46 +342,53 @@ def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
     """
     params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon)
 
-    def runner(fault_count: int) -> Dict[str, float]:
-        result = run_maintenance_scenario(params, rounds=rounds,
-                                          fault_kind=fault_kind,
-                                          fault_count=fault_count, seed=seed)
-        start = result.tmax0 + params.round_length
+    def build(fault_count: int) -> RunSpec:
+        return RunSpec.maintenance(params, rounds=rounds, fault_kind=fault_kind,
+                                   fault_count=fault_count, seed=seed)
+
+    def measure(result, fault_count: int) -> Dict[str, float]:
         return {
             "gamma": agreement_bound(params),
-            "agreement": measured_agreement(result.trace, start, result.end_time,
-                                            samples=150),
+            "agreement": _agreement_after_settle(result),
         }
 
-    return run_sweep([SweepAxis("fault_count", list(counts))], runner)
+    return run_spec_sweep([SweepAxis("fault_count", list(counts))], build,
+                          measure, seeds=seeds, jobs=jobs, progress=progress,
+                          on_result=on_result)
 
 
 def sweep_topology(specs: Iterable[str], n: int = 7, f: int = 2,
                    rho: float = 1e-4, delta: float = 0.01,
                    epsilon: float = 0.002, rounds: int = 10,
-                   fault_kind: Optional[str] = None, seed: int = 0
-                   ) -> SweepResult:
+                   fault_kind: Optional[str] = None, seed: int = 0,
+                   seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                   progress: Optional[Progress] = None,
+                   on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement across network shapes (complete vs ring vs G(n, p) vs ...).
 
     Each point runs the maintenance algorithm on one topology spec; since the
     relay layer stretches the end-to-end envelope, both the γ bound and the
     measured agreement are reported against the *effective* parameters of the
     run (``result.params``), alongside the graph's diameter so the relay
-    depth driving the stretch is visible in the table.
+    depth driving the stretch is visible in the table.  (With replication
+    ``seeds``, seed-dependent generators like ``random_gnp`` draw one graph
+    per seed, so the diameter column is an across-draw mean like every other
+    output.)
     """
     base = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta, epsilon=epsilon)
 
-    def runner(topology: str) -> Dict[str, float]:
-        graph = build_topology(topology, n=n, seed=seed)
-        result = run_maintenance_scenario(base, rounds=rounds,
-                                          fault_kind=fault_kind,
-                                          topology=graph, seed=seed)
-        start = result.tmax0 + result.params.round_length
+    def build(topology: str) -> RunSpec:
+        return RunSpec.maintenance(base, rounds=rounds, fault_kind=fault_kind,
+                                   topology=topology, seed=seed)
+
+    def measure(result, topology: str) -> Dict[str, float]:
+        graph = build_topology(topology, n=n, seed=result.spec.seed)
         return {
             "diameter": float(graph.diameter()),
             "gamma": agreement_bound(result.params),
-            "agreement": measured_agreement(result.trace, start, result.end_time,
-                                            samples=150),
+            "agreement": _agreement_after_settle(result),
         }
 
-    return run_sweep([SweepAxis("topology", list(specs))], runner)
+    return run_spec_sweep([SweepAxis("topology", list(specs))], build, measure,
+                          seeds=seeds, jobs=jobs, progress=progress,
+                          on_result=on_result)

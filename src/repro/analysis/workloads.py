@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from ..core.config import SyncParameters
+from ..runner.spec import RunSpec, execute
 from ..sim.network import (
     AdversarialDelayModel,
     ContentionDelayModel,
@@ -49,14 +50,10 @@ from ..sim.network import (
 )
 from ..topology.base import Topology
 from ..topology.spec import build_topology
-from .experiments import (
-    ScenarioResult,
-    run_maintenance_scenario,
-    run_partition_heal_scenario,
-)
+from .experiments import ScenarioResult
 
 __all__ = ["Workload", "WORKLOADS", "workload_names", "get_workload",
-           "build_parameters", "run_workload"]
+           "build_parameters", "build_spec", "run_workload"]
 
 
 @dataclass(frozen=True)
@@ -217,6 +214,43 @@ def build_parameters(workload: Workload, n: int = 7, f: int = 2,
                                  round_length=round_length)
 
 
+def build_spec(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
+               seed: int = 0, round_length: Optional[float] = None,
+               stagger_interval: float = 0.0,
+               topology: Union[str, Topology, None] = None) -> RunSpec:
+    """Translate a workload preset into a declarative :class:`RunSpec`.
+
+    This is the bridge between the workload vocabulary (hardware constants +
+    fault mix) and the runner vocabulary (one spec per run): the CLI and the
+    replication/batch machinery both go through it, so a workload name plus
+    (n, f, rounds, seed) fully determines a spec — and therefore, through
+    :func:`repro.runner.execute`'s determinism, a bit-exact run.
+    """
+    params = build_parameters(workload, n=n, f=f, round_length=round_length)
+    topo = topology if topology is not None else workload.topology
+    if workload.link_fault_kind == "partition_heal":
+        if stagger_interval:
+            raise ValueError(
+                f"workload {workload.name!r} does not support staggered "
+                f"broadcast (the partition-heal scenario has no stagger "
+                f"support)")
+        options = {key: int(value)
+                   for key, value in workload.link_fault_options.items()}
+        return RunSpec.partition_heal(
+            params, rounds=rounds, clock_kind=workload.clock_kind,
+            delay=workload.delay_kind, delay_options=workload.delay_options,
+            topology=topo, seed=seed, **options)
+    if workload.link_fault_kind is not None:
+        raise ValueError(f"workload {workload.name!r} has unknown link fault "
+                         f"kind {workload.link_fault_kind!r}")
+    extras = {"stagger_interval": stagger_interval} if stagger_interval else {}
+    return RunSpec.maintenance(
+        params, rounds=rounds, fault_kind=workload.fault_kind,
+        clock_kind=workload.clock_kind, delay=workload.delay_kind,
+        delay_options=workload.delay_options, topology=topo, seed=seed,
+        **extras)
+
+
 def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
                  seed: int = 0, round_length: Optional[float] = None,
                  stagger_interval: float = 0.0,
@@ -230,38 +264,12 @@ def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
     ``topology`` (a spec string or a built :class:`Topology`) overrides the
     workload's own preset graph; link-fault workloads (``partition-heal``)
     return a :class:`~repro.analysis.experiments.PartitionHealResult`.
+
+    A thin wrapper over ``execute(build_spec(...))``; callers that want
+    batching or replication should build the spec themselves and hand it to a
+    :class:`~repro.runner.batch.BatchRunner`.
     """
-    params = build_parameters(workload, n=n, f=f, round_length=round_length)
-    delay_model = workload.build_delay_model(params)
-    spec = topology if topology is not None else workload.topology
-    topo = build_topology(spec, n=n, seed=seed)
-    if workload.link_fault_kind == "partition_heal":
-        if stagger_interval:
-            raise ValueError(
-                f"workload {workload.name!r} does not support staggered "
-                f"broadcast (the partition-heal scenario has no stagger "
-                f"support)")
-        options = {key: int(value)
-                   for key, value in workload.link_fault_options.items()}
-        return run_partition_heal_scenario(
-            params,
-            rounds=rounds,
-            topology=topo,
-            clock_kind=workload.clock_kind,
-            delay=delay_model,
-            seed=seed,
-            **options,
-        )
-    if workload.link_fault_kind is not None:
-        raise ValueError(f"workload {workload.name!r} has unknown link fault "
-                         f"kind {workload.link_fault_kind!r}")
-    return run_maintenance_scenario(
-        params,
-        rounds=rounds,
-        fault_kind=workload.fault_kind,
-        clock_kind=workload.clock_kind,
-        delay=delay_model,
-        seed=seed,
-        stagger_interval=stagger_interval,
-        topology=topo,
-    )
+    return execute(build_spec(workload, n=n, f=f, rounds=rounds, seed=seed,
+                              round_length=round_length,
+                              stagger_interval=stagger_interval,
+                              topology=topology))

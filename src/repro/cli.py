@@ -19,6 +19,12 @@ Installed as the ``repro-clocksync`` console script (also reachable as
 implicit complete graph with an arbitrary network; broadcasts then relay
 multi-hop and every audit uses the topology-effective (δ', ε') constants.
 
+``run``, ``compare`` and ``sweep`` go through :mod:`repro.runner`:
+``--jobs N`` fans independent simulations out over N worker processes (with
+results bit-identical to serial execution), and ``--replicate-seeds S1 S2 …``
+replicates the experiment across seeds, reporting mean/min/max and 95%
+confidence intervals instead of single-draw numbers.
+
 Every sub-command prints plain-text tables (see
 :mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
 claim it audits is violated, so the CLI can be dropped into CI.
@@ -30,7 +36,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .analysis.comparison import run_comparison
+from .analysis.comparison import run_comparison, run_replicated_comparison
 from .analysis.experiments import (
     ALGORITHM_FACTORIES,
     run_startup_scenario,
@@ -59,8 +65,15 @@ from .analysis.verification import (
     check_startup_run,
     format_report,
 )
-from .analysis.workloads import build_parameters, get_workload, run_workload, workload_names
-from .core.bounds import startup_limit
+from .analysis.workloads import (
+    build_parameters,
+    build_spec,
+    get_workload,
+    run_workload,
+    workload_names,
+)
+from .core.bounds import agreement_bound, startup_limit
+from .runner import replicate
 from .topology.spec import build_topology, describe_topologies
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser(
         "run", help="run the maintenance algorithm and audit it against the paper")
     _add_common_options(run_parser)
+    _add_runner_options(run_parser)
     run_parser.add_argument("--json", metavar="PATH",
                             help="export the full scenario (trace included) as JSON")
     run_parser.add_argument("--csv", metavar="PATH",
@@ -106,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = subparsers.add_parser(
         "compare", help="Section 10 comparison of all algorithms on one workload")
     _add_common_options(compare_parser)
+    _add_runner_options(compare_parser)
     compare_parser.add_argument("--algorithms", nargs="+",
                                 choices=sorted(ALGORITHM_FACTORIES),
                                 help="subset of algorithms (default: all)")
@@ -123,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "specs like ring grid random_gnp:p=0.4)")
     sweep_parser.add_argument("--rounds", type=int, default=10)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_runner_options(sweep_parser)
     sweep_parser.add_argument("--csv", metavar="PATH",
                               help="export the sweep table as CSV")
 
@@ -143,6 +159,17 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                              "graph, or the complete graph")
 
 
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default 1 = serial; results are bit-identical "
+                             "either way)")
+    parser.add_argument("--replicate-seeds", nargs="+", type=int, default=None,
+                        metavar="SEED",
+                        help="replicate the experiment across these seeds and "
+                             "report mean/min/max and 95%% CIs")
+
+
 # ---------------------------------------------------------------------------
 # Sub-command implementations
 # ---------------------------------------------------------------------------
@@ -158,7 +185,67 @@ def _cmd_topologies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit(result, samples: int = 200):
+    """The right paper audit for a scenario result (partition-heal aware)."""
+    if result.is_partition_heal:
+        return check_partition_heal_run(result)
+    return check_maintenance_run(result, samples=samples)
+
+
+def _cmd_run_replicated(args: argparse.Namespace) -> int:
+    """Replicate the run workload across seeds; audit every replica."""
+    workload = get_workload(args.workload)
+    spec = build_spec(workload, n=args.n, f=args.f, rounds=args.rounds,
+                      seed=args.seed,
+                      topology=args.topology or workload.topology)
+    rep = replicate(spec, args.replicate_seeds, jobs=args.jobs)
+    params = rep.results[0].params
+    partitioned = rep.results[0].is_partition_heal
+    print(f"workload {workload.name}: n={params.n} f={params.f} "
+          f"replicated over seeds {list(rep.seeds)} with jobs={args.jobs}")
+    reports = [_audit(result, samples=args.samples) for result in rep.results]
+    seed_rows = [
+        {"seed": seed, "agreement": agreement,
+         "validity_violation_rate": rate,
+         "audit": "pass" if report.all_passed else "FAIL"}
+        for seed, agreement, rate, report in zip(
+            rep.seeds, rep.agreement_values, rep.validity_values, reports)]
+    print(format_table(
+        ["seed", "agreement", "validity violations", "audit"],
+        [tuple(row.values()) for row in seed_rows], precision=6))
+    stats = rep.agreement
+    print(f"agreement: mean={stats.mean:.6f} min={stats.minimum:.6f} "
+          f"max={stats.maximum:.6f} ci95=[{stats.ci95_low:.6f}, "
+          f"{stats.ci95_high:.6f}]")
+    if partitioned:
+        # Agreement/validity above span the whole run, *including* the
+        # partition window where divergence is the expected behaviour; the
+        # partition-aware paper claims are what the per-seed audits checked.
+        print("note: partition-heal workload — summary metrics include the "
+              "partition window; the per-seed audits carry the "
+              "partition-aware claims")
+    else:
+        gamma = agreement_bound(params)
+        print(f"worst agreement {rep.worst_agreement:.6f} vs gamma "
+              f"{gamma:.6f} (margin {(gamma - rep.worst_agreement) / gamma:+.1%})")
+        print(f"validity: "
+              f"{'holds on every seed' if rep.validity_holds else 'VIOLATED'}")
+    if args.json:
+        write_json({"workload": workload.name, "n": params.n, "f": params.f,
+                    "rounds": args.rounds, "seeds": list(rep.seeds),
+                    "partition_heal": partitioned,
+                    "summary": rep.metrics(), "per_seed": seed_rows},
+                   args.json)
+        print(f"wrote replication JSON to {args.json}")
+    if args.csv:
+        write_csv(seed_rows, args.csv)
+        print(f"wrote per-seed replication CSV to {args.csv}")
+    return 0 if all(report.all_passed for report in reports) else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.replicate_seeds:
+        return _cmd_run_replicated(args)
     workload = get_workload(args.workload)
     topology = build_topology(args.topology or workload.topology,
                               n=args.n, seed=args.seed)
@@ -222,9 +309,37 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     params = build_parameters(workload, n=args.n, f=args.f)
     topology = build_topology(args.topology or workload.topology,
                               n=args.n, seed=args.seed)
+    if args.replicate_seeds:
+        # Pass the spec *string* through so seed-dependent generators
+        # (random_gnp, clustered) redraw per replica seed; a pre-built graph
+        # would freeze every replica to the --seed draw.
+        rows = run_replicated_comparison(
+            params, seeds=args.replicate_seeds, rounds=args.rounds,
+            algorithms=args.algorithms, fault_kind=workload.fault_kind,
+            topology=args.topology or workload.topology, jobs=args.jobs)
+        print(f"replicated over seeds {args.replicate_seeds} "
+              f"with jobs={args.jobs}")
+        print(format_table(
+            ["algorithm", "agreement mean", "ci95 low", "ci95 high",
+             "worst", "max |ADJ| mean", "paper agreement"],
+            [(r.algorithm, r.agreement.mean, r.agreement.ci95_low,
+              r.agreement.ci95_high, r.agreement.maximum,
+              r.max_adjustment.mean, r.paper_agreement) for r in rows],
+            precision=4))
+        if args.json:
+            write_json([{**{"algorithm": r.algorithm,
+                            "agreement_mean": r.agreement.mean,
+                            "agreement_min": r.agreement.minimum,
+                            "agreement_max": r.agreement.maximum,
+                            "agreement_ci95_low": r.agreement.ci95_low,
+                            "agreement_ci95_high": r.agreement.ci95_high,
+                            "max_adjustment_mean": r.max_adjustment.mean}}
+                        for r in rows], args.json)
+            print(f"wrote replicated comparison JSON to {args.json}")
+        return 0
     rows = run_comparison(params, rounds=args.rounds, algorithms=args.algorithms,
                           fault_kind=workload.fault_kind, seed=args.seed,
-                          topology=topology)
+                          topology=topology, jobs=args.jobs)
     print(format_table(
         ["algorithm", "agreement", "max |ADJ|", "msgs/round",
          "paper agreement", "paper |ADJ|"],
@@ -237,20 +352,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+_SWEEPS = {
+    "epsilon": (sweep_epsilon, float),
+    "round-length": (sweep_round_length, float),
+    "n": (sweep_system_size, int),
+    "fault-count": (sweep_fault_count, int),
+    "topology": (sweep_topology, str),
+}
+
+
 def _run_sweep(args: argparse.Namespace) -> SweepResult:
-    if args.axis == "epsilon":
-        return sweep_epsilon([float(v) for v in args.values],
-                             rounds=args.rounds, seed=args.seed)
-    if args.axis == "round-length":
-        return sweep_round_length([float(v) for v in args.values],
-                                  rounds=args.rounds, seed=args.seed)
-    if args.axis == "n":
-        return sweep_system_size([int(v) for v in args.values],
-                                 rounds=args.rounds, seed=args.seed)
-    if args.axis == "topology":
-        return sweep_topology(args.values, rounds=args.rounds, seed=args.seed)
-    return sweep_fault_count([int(v) for v in args.values],
-                             rounds=args.rounds, seed=args.seed)
+    sweep, cast = _SWEEPS[args.axis]
+    return sweep([cast(v) for v in args.values], rounds=args.rounds,
+                 seed=args.seed, seeds=args.replicate_seeds, jobs=args.jobs)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

@@ -1,0 +1,40 @@
+"""repro.runner — declarative run specs and parallel batch execution.
+
+The execution layer every experiment entry point funnels through:
+
+* :class:`~repro.runner.spec.RunSpec` — a frozen, hashable, picklable
+  description of one simulation run (scenario kind, parameters, faults,
+  delay/clock models, topology, seed, rounds);
+* :func:`~repro.runner.spec.execute` — the single ``spec -> ScenarioResult``
+  dispatcher (pure and deterministic per spec);
+* :class:`~repro.runner.batch.BatchRunner` — fans spec lists out over a
+  ``multiprocessing`` pool with result caching and ordered collection, with a
+  bit-identical-to-serial guarantee;
+* :func:`~repro.runner.replication.replicate` — multi-seed replication with
+  mean/min/max/CI summaries of the agreement and validity metrics.
+
+Quick start::
+
+    from repro.runner import RunSpec, BatchRunner, replicate
+    from repro.analysis import default_parameters
+
+    spec = RunSpec.maintenance(default_parameters(), rounds=10)
+    results = BatchRunner(jobs=4).run([spec.with_seed(s) for s in range(8)])
+    stats = replicate(spec, seeds=range(8), jobs=4)
+    print(stats.agreement)
+"""
+
+from .spec import RunSpec, SCENARIO_KINDS, execute
+from .batch import BatchRunner, available_parallelism, execute_many
+from .replication import ReplicatedResult, replicate
+
+__all__ = [
+    "RunSpec",
+    "SCENARIO_KINDS",
+    "execute",
+    "BatchRunner",
+    "available_parallelism",
+    "execute_many",
+    "ReplicatedResult",
+    "replicate",
+]

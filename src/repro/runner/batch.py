@@ -1,0 +1,156 @@
+"""Batch execution of :class:`~repro.runner.spec.RunSpec` lists.
+
+:class:`BatchRunner` turns a list of specs into a list of results, optionally
+fanning the work out over a :mod:`multiprocessing` pool.  Three properties the
+layers above (sweeps, comparison, replication, CLI) rely on:
+
+* **Ordered collection** — ``run(specs)[i]`` always corresponds to
+  ``specs[i]``, no matter which worker finished first.
+* **Determinism** — :func:`~repro.runner.spec.execute` is a pure function of
+  the spec, so serial and parallel execution produce bit-identical traces per
+  spec (guarded by ``tests/property/test_runner_properties.py``).
+* **Caching** — results are cached by spec (specs hash by value), so a batch
+  containing duplicates runs each distinct spec once, and a runner reused
+  across batches never re-runs a spec it has already executed.
+
+The default is ``jobs=1`` (plain in-process loop, no pool): determinism is
+then trivially inherited rather than asserted, which keeps single-run entry
+points bit-for-bit identical to the pre-runner code paths.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+from .spec import RunSpec, execute
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the cycle
+    from ..analysis.experiments import ScenarioResult
+
+__all__ = ["BatchRunner", "execute_many", "available_parallelism"]
+
+#: callback signature: invoked once per *computed* spec, as results stream in.
+OnResult = Callable[[RunSpec, "ScenarioResult"], None]
+
+
+def available_parallelism() -> int:
+    """CPUs usable by this process (affinity-aware where the OS supports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - macOS/Windows
+        return os.cpu_count() or 1
+
+
+class BatchRunner:
+    """Execute batches of specs, serially or over a worker pool.
+
+    ``jobs`` is the maximum number of worker processes (1 = run in-process;
+    0 or negative = one per available CPU).  ``cache=True`` (the default)
+    memoizes results by spec for the lifetime of the runner.
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True):
+        if jobs < 1:
+            jobs = available_parallelism()
+        self.jobs = int(jobs)
+        self._cache: Optional[Dict[RunSpec, "ScenarioResult"]] = \
+            {} if cache else None
+
+    # -- cache management ----------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """Number of results currently memoized (0 when caching is off)."""
+        return len(self._cache) if self._cache is not None else 0
+
+    def clear_cache(self) -> None:
+        """Drop every memoized result."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, specs: Iterable[RunSpec],
+            on_result: Optional[OnResult] = None) -> List["ScenarioResult"]:
+        """Execute every spec and return results in input order.
+
+        Duplicate specs (and specs already in the cache) are executed once;
+        ``on_result(spec, result)`` fires once per spec actually computed, in
+        first-occurrence order, as soon as its result is available — the
+        observability hook for long batches.
+        """
+        return list(self.run_iter(specs, on_result=on_result))
+
+    def run_iter(self, specs: Iterable[RunSpec],
+                 on_result: Optional[OnResult] = None):
+        """Like :meth:`run`, but yield each result as soon as it is ready.
+
+        Results are yielded in input order.  With ``jobs=1`` execution is
+        fully lazy: a spec only runs when its result is pulled, so consumers
+        (e.g. a sweep's progress callback) interleave with the computation.
+        With a pool, later specs keep computing in the background while
+        earlier results are consumed.
+        """
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, RunSpec):
+                raise TypeError(f"BatchRunner runs RunSpecs, got "
+                                f"{type(spec).__name__}")
+        computed: Dict[RunSpec, "ScenarioResult"] = {}
+        pending: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            if self._cache is not None and spec in self._cache:
+                continue
+            pending.append(spec)
+        arrivals = self._execute_pending(pending)
+        # computed doubles as the lookup when caching is off; with caching on,
+        # every arrival lands in the cache, which also holds prior batches.
+        lookup = self._cache if self._cache is not None else computed
+        remaining: Dict[RunSpec, int] = {}
+        for spec in specs:
+            remaining[spec] = remaining.get(spec, 0) + 1
+        for spec in specs:
+            while spec not in lookup:
+                done_spec, result = next(arrivals)
+                lookup[done_spec] = result
+                if on_result is not None:
+                    on_result(done_spec, result)
+            result = lookup[spec]
+            remaining[spec] -= 1
+            if self._cache is None and remaining[spec] == 0:
+                # No later occurrence needs it: release the trace so long
+                # uncached batches stream in O(workers) memory, not O(batch).
+                del lookup[spec]
+            yield result
+
+    def run_one(self, spec: RunSpec) -> "ScenarioResult":
+        """Execute (or fetch from cache) a single spec."""
+        return self.run([spec])[0]
+
+    def _execute_pending(self, pending: Sequence[RunSpec]):
+        """Yield (spec, result) pairs in ``pending`` order."""
+        if not pending:
+            return
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            for spec in pending:
+                yield spec, execute(spec)
+            return
+        # chunksize > 1 amortizes IPC for large batches of small runs while
+        # keeping enough chunks (4 per worker) for the pool to load-balance.
+        chunksize = max(1, len(pending) // (workers * 4))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for spec, result in zip(pending,
+                                    pool.imap(execute, pending,
+                                              chunksize=chunksize)):
+                yield spec, result
+
+
+def execute_many(specs: Iterable[RunSpec], jobs: int = 1,
+                 on_result: Optional[OnResult] = None) -> List["ScenarioResult"]:
+    """One-shot convenience: ``BatchRunner(jobs).run(specs, on_result)``."""
+    return BatchRunner(jobs=jobs).run(specs, on_result=on_result)

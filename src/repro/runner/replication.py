@@ -1,0 +1,108 @@
+"""Multi-seed replication: one spec, many seeds, summary statistics.
+
+The paper's theorems are worst-case statements while measurements depend on
+the random draws of the delay model and the clock ensemble, so a credible
+reproduction reports distributions, not single numbers.  :func:`replicate`
+runs one :class:`~repro.runner.spec.RunSpec` across a list of seeds (through a
+:class:`~repro.runner.batch.BatchRunner`, so seeds run in parallel with
+``jobs > 1``) and summarizes the agreement and validity metrics with
+mean/min/max and a Student-t 95% confidence interval (via
+:func:`repro.analysis.statistics.summarize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .batch import BatchRunner
+from .spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid the cycle
+    from ..analysis.experiments import ScenarioResult
+    from ..analysis.statistics import SummaryStats
+
+__all__ = ["ReplicatedResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """One spec measured across many seeds.
+
+    ``agreement`` summarizes the maximum nonfaulty skew (Theorem 16's γ
+    territory) per seed; ``validity_violation_rate`` the fraction of local
+    time samples outside the Theorem 19 envelope (0.0 everywhere the paper's
+    claims hold).  ``results`` keeps the per-seed scenario results, in seed
+    order, for callers that want to audit or export individual runs.
+    """
+
+    spec: RunSpec
+    seeds: Tuple[int, ...]
+    agreement: "SummaryStats"
+    validity_violation_rate: "SummaryStats"
+    agreement_values: Tuple[float, ...]
+    validity_values: Tuple[float, ...]
+    results: Tuple["ScenarioResult", ...]
+
+    @property
+    def worst_agreement(self) -> float:
+        """The worst skew seen over every seed — what bounds must dominate."""
+        return self.agreement.maximum
+
+    @property
+    def validity_holds(self) -> bool:
+        """True when no seed produced a single validity-envelope violation."""
+        return self.validity_violation_rate.maximum == 0.0
+
+    def metrics(self) -> Dict[str, float]:
+        """A flat dict of the summary numbers (for tables and CSV export)."""
+        return {
+            "seeds": float(len(self.seeds)),
+            "agreement_mean": self.agreement.mean,
+            "agreement_min": self.agreement.minimum,
+            "agreement_max": self.agreement.maximum,
+            "agreement_ci95_low": self.agreement.ci95_low,
+            "agreement_ci95_high": self.agreement.ci95_high,
+            "validity_violation_rate_mean": self.validity_violation_rate.mean,
+            "validity_violation_rate_max": self.validity_violation_rate.maximum,
+        }
+
+
+def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
+              runner: Optional[BatchRunner] = None, settle_rounds: int = 1,
+              samples: int = 150) -> ReplicatedResult:
+    """Run ``spec`` once per seed and summarize agreement and validity.
+
+    Agreement is measured from ``settle_rounds`` rounds after the last
+    nonfaulty START (so the shared initial transient does not mask
+    steady-state behaviour) to the end of each run.  ``runner`` lets callers
+    share one :class:`BatchRunner` (and its cache) across replications;
+    otherwise a fresh ``BatchRunner(jobs=jobs)`` is used.
+    """
+    from ..analysis.metrics import measured_agreement, validity_report
+    from ..analysis.statistics import summarize
+
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"seeds must be distinct, got {seeds}")
+    batch = runner if runner is not None else BatchRunner(jobs=jobs)
+    results = batch.run([spec.with_seed(seed) for seed in seeds])
+    agreements = []
+    violation_rates = []
+    for result in results:
+        start = result.tmax0 + settle_rounds * result.params.round_length
+        agreements.append(measured_agreement(result.trace, start,
+                                             result.end_time, samples=samples))
+        report = validity_report(result.trace, result.params, result.tmin0,
+                                 result.tmax0, start, result.end_time)
+        violation_rates.append(report.violations / max(1, report.samples))
+    return ReplicatedResult(
+        spec=spec, seeds=seeds,
+        agreement=summarize(agreements),
+        validity_violation_rate=summarize(violation_rates),
+        agreement_values=tuple(agreements),
+        validity_values=tuple(violation_rates),
+        results=tuple(results),
+    )

@@ -1,0 +1,336 @@
+"""Declarative run specifications and the single execution dispatcher.
+
+A :class:`RunSpec` captures *everything* a simulation run needs — the scenario
+kind, the :class:`~repro.core.config.SyncParameters`, the fault mix, the delay
+and clock models, the network topology, the seed and the round budget — as a
+frozen, hashable, picklable value.  Two equal specs describe the same run, and
+because every source of randomness in the simulator is seeded from the spec,
+:func:`execute` is a *pure function*: ``execute(spec)`` produces a
+bit-identical :class:`~repro.analysis.experiments.ScenarioResult` no matter
+when, where, or in which process it is evaluated.  That purity is what lets
+:class:`~repro.runner.batch.BatchRunner` fan specs out over a worker pool (and
+cache results by spec) without changing any observable behaviour.
+
+The five scenario kinds mirror the builders in
+:mod:`repro.analysis.experiments`:
+
+========================  ====================================================
+kind                      underlying builder
+========================  ====================================================
+``maintenance``           :func:`~repro.analysis.experiments.run_maintenance_scenario`
+``algorithm``             :func:`~repro.analysis.experiments.run_algorithm_scenario`
+``startup``               :func:`~repro.analysis.experiments.run_startup_scenario`
+``reintegration``         :func:`~repro.analysis.experiments.run_reintegration_scenario`
+``partition_heal``        :func:`~repro.analysis.experiments.run_partition_heal_scenario`
+========================  ====================================================
+
+Imports from :mod:`repro.analysis` are deferred into the functions so that
+``repro.runner`` can be imported by the analysis layer (sweeps, comparison,
+workloads) without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union, TYPE_CHECKING
+
+from ..core.config import SyncParameters
+from ..topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the cycle
+    from ..analysis.experiments import ScenarioResult
+
+__all__ = ["RunSpec", "execute", "SCENARIO_KINDS"]
+
+#: the scenario kinds :func:`execute` can dispatch.
+SCENARIO_KINDS = ("maintenance", "algorithm", "startup", "reintegration",
+                  "partition_heal")
+
+#: option keys each kind accepts in :attr:`RunSpec.options`.
+_ALLOWED_OPTIONS = {
+    "maintenance": frozenset({"stagger_interval", "exchanges_per_round"}),
+    "algorithm": frozenset(),
+    "startup": frozenset({"initial_spread"}),
+    "reintegration": frozenset({"recover_after_rounds",
+                                "recovered_clock_offset"}),
+    "partition_heal": frozenset({"partition_round", "heal_round",
+                                 "post_heal_rounds", "groups"}),
+}
+
+#: kinds whose builders take no fault injection arguments.
+_NO_FAULT_KINDS = frozenset({"reintegration", "partition_heal"})
+
+OptionItems = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_options(value: Union[Mapping[str, Any], OptionItems, None],
+                    label: str) -> OptionItems:
+    """Normalize an options mapping to a sorted, hashable tuple of pairs."""
+    if value is None:
+        return ()
+    items = sorted(value.items()) if isinstance(value, Mapping) else list(value)
+    frozen = []
+    for item in items:
+        try:
+            key, option = item
+        except (TypeError, ValueError):
+            raise ValueError(f"{label} entries must be (key, value) pairs; "
+                             f"got {item!r}") from None
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"{label} keys must be non-empty strings; "
+                             f"got {key!r}")
+        if isinstance(option, list):
+            option = tuple(tuple(v) if isinstance(v, (list, tuple)) else v
+                           for v in option)
+        frozen.append((key, option))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one simulation run needs, as an immutable value.
+
+    Instances hash and compare by value (so they key result caches), and
+    pickle cheaply (so they travel to pool workers).  Prefer the per-kind
+    constructors — :meth:`maintenance`, :meth:`algorithm_run`,
+    :meth:`startup`, :meth:`reintegration`, :meth:`partition_heal` — which
+    fill in the defaults each scenario expects; direct construction validates
+    strictly and rejects settings the scenario kind cannot honor.
+    """
+
+    #: one of :data:`SCENARIO_KINDS`.
+    kind: str
+    #: the algorithm constants; already hashable and picklable.
+    params: SyncParameters
+    rounds: int = 10
+    #: comparison-algorithm name (required iff ``kind == 'algorithm'``).
+    algorithm: Optional[str] = None
+    #: faulty-process behaviour (see ``make_fault_process``); ``None`` = no faults.
+    fault_kind: Optional[str] = "two_faced"
+    #: how many faulty processes (``None`` = the worst case ``params.f``).
+    fault_count: Optional[int] = None
+    #: physical-clock drift model name.
+    clock_kind: str = "constant"
+    #: delay-model family name (see ``make_delay_model``).
+    delay: str = "uniform"
+    #: extra delay-model constructor arguments, as sorted (key, value) pairs.
+    delay_options: OptionItems = ()
+    #: topology spec string (e.g. ``"ring"``), a built :class:`Topology`
+    #: (hashable, so still cacheable), or ``None`` for the complete graph.
+    topology: Optional[Union[str, Topology]] = None
+    seed: int = 0
+    #: scenario-specific extras (see ``_ALLOWED_OPTIONS``), as sorted pairs.
+    options: OptionItems = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; "
+                             f"choose from {', '.join(SCENARIO_KINDS)}")
+        if not isinstance(self.params, SyncParameters):
+            raise TypeError(f"params must be SyncParameters, "
+                            f"got {type(self.params).__name__}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        object.__setattr__(self, "delay_options",
+                           _freeze_options(self.delay_options, "delay_options"))
+        object.__setattr__(self, "options",
+                           _freeze_options(self.options, "options"))
+        if not isinstance(self.delay, str):
+            raise TypeError("delay must be a delay-model family name (a spec "
+                            "stays declarative; build model objects at "
+                            "execution time)")
+        if self.kind == "algorithm":
+            if self.algorithm is None:
+                raise ValueError("kind='algorithm' needs an algorithm name")
+        elif self.algorithm is not None:
+            raise ValueError(f"kind={self.kind!r} does not take an algorithm")
+        if self.kind in _NO_FAULT_KINDS and self.fault_kind is not None:
+            raise ValueError(
+                f"kind={self.kind!r} injects no process faults; construct it "
+                f"with fault_kind=None (the {self.kind} builder defines its "
+                f"own fault semantics)")
+        if self.fault_kind is None and self.fault_count not in (None, 0):
+            # Guard the "equal specs describe the same run" invariant: a
+            # fault_count with no fault_kind would be silently ignored, making
+            # unequal specs execute identically.
+            raise ValueError(
+                f"fault_count={self.fault_count} without a fault_kind would "
+                f"inject no faults; use fault_count=None")
+        if self.kind == "reintegration" and self.topology is not None:
+            raise ValueError("the reintegration scenario runs on the complete "
+                             "graph only")
+        allowed = _ALLOWED_OPTIONS[self.kind]
+        unknown = [key for key, _ in self.options if key not in allowed]
+        if unknown:
+            raise ValueError(
+                f"options {unknown!r} not supported by kind {self.kind!r}; "
+                f"allowed: {sorted(allowed) or 'none'}")
+
+    # -- convenience ---------------------------------------------------------
+    def options_dict(self) -> Dict[str, Any]:
+        """The scenario-specific extras as a plain dict."""
+        return dict(self.options)
+
+    def delay_options_dict(self) -> Dict[str, Any]:
+        """The delay-model extras as a plain dict."""
+        return dict(self.delay_options)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """An identical spec with a different seed (replication's workhorse)."""
+        return replace(self, seed=seed)
+
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """A short human-readable label (used by progress reporting)."""
+        bits = [self.kind]
+        if self.algorithm:
+            bits.append(self.algorithm)
+        bits.append(f"n={self.params.n}")
+        if self.fault_kind:
+            bits.append(self.fault_kind)
+        if self.topology is not None:
+            name = (self.topology if isinstance(self.topology, str)
+                    else self.topology.name)
+            bits.append(name)
+        bits.append(f"seed={self.seed}")
+        return ":".join(bits)
+
+    # -- per-kind constructors -----------------------------------------------
+    @classmethod
+    def maintenance(cls, params: SyncParameters, rounds: int = 10,
+                    fault_kind: Optional[str] = "two_faced",
+                    fault_count: Optional[int] = None,
+                    clock_kind: str = "constant", delay: str = "uniform",
+                    delay_options: Optional[Mapping[str, Any]] = None,
+                    topology: Optional[Union[str, Topology]] = None,
+                    seed: int = 0, **options: Any) -> "RunSpec":
+        """The Welch-Lynch maintenance algorithm under a chosen fault load."""
+        return cls(kind="maintenance", params=params, rounds=rounds,
+                   fault_kind=fault_kind, fault_count=fault_count,
+                   clock_kind=clock_kind, delay=delay,
+                   delay_options=_freeze_options(delay_options, "delay_options"),
+                   topology=topology, seed=seed,
+                   options=_freeze_options(options, "options"))
+
+    @classmethod
+    def algorithm_run(cls, algorithm: str, params: SyncParameters,
+                      rounds: int = 10,
+                      fault_kind: Optional[str] = "two_faced",
+                      fault_count: Optional[int] = None,
+                      clock_kind: str = "constant", delay: str = "uniform",
+                      delay_options: Optional[Mapping[str, Any]] = None,
+                      topology: Optional[Union[str, Topology]] = None,
+                      seed: int = 0) -> "RunSpec":
+        """Any comparison algorithm on the shared workload (Section 10)."""
+        return cls(kind="algorithm", params=params, rounds=rounds,
+                   algorithm=algorithm, fault_kind=fault_kind,
+                   fault_count=fault_count, clock_kind=clock_kind, delay=delay,
+                   delay_options=_freeze_options(delay_options, "delay_options"),
+                   topology=topology, seed=seed)
+
+    @classmethod
+    def startup(cls, params: SyncParameters, rounds: int = 8,
+                initial_spread: float = 1.0,
+                fault_kind: Optional[str] = "silent",
+                fault_count: Optional[int] = None,
+                clock_kind: str = "constant", delay: str = "uniform",
+                delay_options: Optional[Mapping[str, Any]] = None,
+                topology: Optional[Union[str, Topology]] = None,
+                seed: int = 0) -> "RunSpec":
+        """The Section 9.2 start-up algorithm from arbitrarily spread clocks."""
+        return cls(kind="startup", params=params, rounds=rounds,
+                   fault_kind=fault_kind, fault_count=fault_count,
+                   clock_kind=clock_kind, delay=delay,
+                   delay_options=_freeze_options(delay_options, "delay_options"),
+                   topology=topology, seed=seed,
+                   options=(("initial_spread", float(initial_spread)),))
+
+    @classmethod
+    def reintegration(cls, params: SyncParameters, rounds: int = 12,
+                      recover_after_rounds: float = 4.5,
+                      recovered_clock_offset: Optional[float] = None,
+                      clock_kind: str = "constant", delay: str = "uniform",
+                      delay_options: Optional[Mapping[str, Any]] = None,
+                      seed: int = 0) -> "RunSpec":
+        """Maintenance with one crashed-then-repaired process (Section 9.1)."""
+        options: Dict[str, Any] = {"recover_after_rounds": float(recover_after_rounds)}
+        if recovered_clock_offset is not None:
+            options["recovered_clock_offset"] = float(recovered_clock_offset)
+        return cls(kind="reintegration", params=params, rounds=rounds,
+                   fault_kind=None, clock_kind=clock_kind, delay=delay,
+                   delay_options=_freeze_options(delay_options, "delay_options"),
+                   seed=seed, options=_freeze_options(options, "options"))
+
+    @classmethod
+    def partition_heal(cls, params: SyncParameters, rounds: int = 16,
+                       partition_round: int = 4, heal_round: int = 10,
+                       post_heal_rounds: int = 2,
+                       groups: Optional[Tuple[Tuple[int, ...], ...]] = None,
+                       clock_kind: str = "constant", delay: str = "uniform",
+                       delay_options: Optional[Mapping[str, Any]] = None,
+                       topology: Optional[Union[str, Topology]] = None,
+                       seed: int = 0) -> "RunSpec":
+        """Partition the network mid-run, heal it, keep running (E-topology)."""
+        options: Dict[str, Any] = {
+            "partition_round": int(partition_round),
+            "heal_round": int(heal_round),
+            "post_heal_rounds": int(post_heal_rounds),
+        }
+        if groups is not None:
+            options["groups"] = tuple(tuple(group) for group in groups)
+        return cls(kind="partition_heal", params=params, rounds=rounds,
+                   fault_kind=None, clock_kind=clock_kind, delay=delay,
+                   delay_options=_freeze_options(delay_options, "delay_options"),
+                   topology=topology, seed=seed,
+                   options=_freeze_options(options, "options"))
+
+
+def execute(spec: RunSpec) -> "ScenarioResult":
+    """Run the scenario a spec describes; pure and deterministic per spec.
+
+    This is the single dispatcher every experiment entry point (sweeps,
+    comparison, workloads, CLI) funnels through, and the function
+    :class:`~repro.runner.batch.BatchRunner` ships to pool workers.  The
+    returned result carries the spec back in ``result.spec`` so batched
+    results stay self-describing.
+    """
+    from ..analysis import experiments
+    from ..topology.spec import build_topology
+
+    params = spec.params
+    topology = build_topology(spec.topology, n=params.n, seed=spec.seed)
+    delay_model = experiments.make_delay_model(spec.delay, params,
+                                               **spec.delay_options_dict())
+    options = spec.options_dict()
+    if spec.kind == "maintenance":
+        result = experiments.run_maintenance_scenario(
+            params, rounds=spec.rounds, fault_kind=spec.fault_kind,
+            fault_count=spec.fault_count, clock_kind=spec.clock_kind,
+            delay=delay_model, seed=spec.seed, topology=topology, **options)
+    elif spec.kind == "algorithm":
+        result = experiments.run_algorithm_scenario(
+            spec.algorithm, params, rounds=spec.rounds,
+            fault_kind=spec.fault_kind, fault_count=spec.fault_count,
+            clock_kind=spec.clock_kind, delay=delay_model, seed=spec.seed,
+            topology=topology, **options)
+    elif spec.kind == "startup":
+        result = experiments.run_startup_scenario(
+            params, rounds=spec.rounds, fault_kind=spec.fault_kind or "silent",
+            fault_count=spec.fault_count if spec.fault_kind is not None else 0,
+            clock_kind=spec.clock_kind, delay=delay_model, seed=spec.seed,
+            topology=topology, **options)
+    elif spec.kind == "reintegration":
+        result = experiments.run_reintegration_scenario(
+            params, rounds=spec.rounds, clock_kind=spec.clock_kind,
+            delay=delay_model, seed=spec.seed, **options)
+    else:  # partition_heal — __post_init__ guarantees the kind set
+        groups = options.pop("groups", None)
+        result = experiments.run_partition_heal_scenario(
+            params, rounds=spec.rounds, groups=groups,
+            clock_kind=spec.clock_kind, delay=delay_model, seed=spec.seed,
+            topology=topology, **options)
+    result.spec = spec
+    return result

@@ -30,6 +30,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--workload", "mars"])
 
+    def test_runner_flags_on_run_compare_sweep(self):
+        for argv in (["run", "--jobs", "2", "--replicate-seeds", "0", "1"],
+                     ["compare", "--jobs", "2", "--replicate-seeds", "3"],
+                     ["sweep", "--axis", "n", "--values", "7",
+                      "--jobs", "4", "--replicate-seeds", "0", "1", "2"]):
+            args = build_parser().parse_args(argv)
+            assert args.jobs in (2, 4)
+            assert all(isinstance(seed, int) for seed in args.replicate_seeds)
+
+    def test_runner_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.jobs == 1
+        assert args.replicate_seeds is None
+
 
 class TestVersionFlag:
     def test_version_prints_package_version(self, capsys):
@@ -105,6 +119,55 @@ class TestRunCommand:
         assert "all claims hold" in out
 
 
+class TestRunReplicated:
+    def test_replicated_run_reports_stats_and_audits(self, capsys):
+        exit_code = main(["run", "--rounds", "5",
+                          "--replicate-seeds", "0", "1", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "replicated over seeds [0, 1, 2]" in out
+        assert out.count("pass") >= 3
+        assert "ci95=[" in out
+        assert "worst agreement" in out
+        assert "holds on every seed" in out
+
+    def test_replicated_partition_heal_summary_matches_audits(self, capsys):
+        """The summary must not contradict the partition-aware audits."""
+        exit_code = main(["run", "--workload", "partition-heal",
+                          "--rounds", "10", "--replicate-seeds", "0", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "VIOLATED" not in out
+        assert "partition window" in out
+        assert out.count("pass") >= 2
+
+    def test_replicated_run_exports_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "replication.json"
+        csv_path = tmp_path / "replication.csv"
+        exit_code = main(["run", "--rounds", "4",
+                          "--replicate-seeds", "0", "1",
+                          "--json", str(json_path), "--csv", str(csv_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["seeds"] == [0, 1]
+        assert payload["summary"]["agreement_mean"] > 0
+        assert [row["seed"] for row in payload["per_seed"]] == [0, 1]
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "seed,agreement,validity_violation_rate,audit"
+        assert len(lines) == 3
+
+    def test_replicated_run_with_jobs_matches_serial(self, capsys):
+        assert main(["run", "--rounds", "4", "--replicate-seeds", "0", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "--rounds", "4", "--replicate-seeds", "0", "1",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical numbers; only the reported job count may differ.
+        assert (serial.replace("jobs=1", "jobs=2")
+                == parallel)
+
+
 class TestStartupCommand:
     def test_startup_reports_series_and_limit(self, capsys):
         exit_code = main(["startup", "--rounds", "6", "--spread", "0.5"])
@@ -127,6 +190,18 @@ class TestCompareCommand:
         rows = json.loads(json_path.read_text())
         assert {row["algorithm"] for row in rows} == {"welch_lynch",
                                                       "unsynchronized"}
+
+    def test_compare_replicated_prints_ci_table(self, capsys, tmp_path):
+        json_path = tmp_path / "replicated.json"
+        exit_code = main(["compare", "--rounds", "4",
+                          "--algorithms", "welch_lynch", "unsynchronized",
+                          "--replicate-seeds", "0", "1", "--jobs", "2",
+                          "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "agreement mean" in out and "ci95 low" in out
+        rows = json.loads(json_path.read_text())
+        assert all("agreement_ci95_high" in row for row in rows)
 
 
 class TestSweepCommand:
@@ -156,3 +231,18 @@ class TestSweepCommand:
         assert exit_code == 0
         assert "topology" in out and "diameter" in out
         assert "ring" in out
+
+    def test_sweep_with_jobs_matches_serial_output(self, capsys):
+        argv = ["sweep", "--axis", "epsilon", "--values", "0.001", "0.002",
+                "--rounds", "3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_replicated_sweep_adds_ci_columns(self, capsys):
+        exit_code = main(["sweep", "--axis", "epsilon", "--values", "0.002",
+                          "--rounds", "3", "--replicate-seeds", "0", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "agreement_ci95" in out

@@ -1,0 +1,39 @@
+"""Smoke tests for the ``python -m repro`` entry point (src/repro/__main__.py).
+
+These run the module in a real subprocess, so they cover the ``__main__``
+wiring (argument passing, exit codes, stdout) that in-process CLI tests
+cannot reach.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_module(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, env=env, timeout=120)
+
+
+class TestMainModule:
+    def test_version_flag_exits_zero_with_version(self):
+        from repro import __version__
+        proc = _run_module("--version")
+        assert proc.returncode == 0, proc.stderr
+        assert __version__ in proc.stdout
+
+    def test_topologies_lists_generators(self):
+        proc = _run_module("topologies")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("complete", "ring", "grid", "random_gnp"):
+            assert name in proc.stdout
+
+    def test_no_subcommand_exits_nonzero_with_usage(self):
+        proc = _run_module()
+        assert proc.returncode != 0
+        assert "usage" in proc.stderr.lower()

@@ -1,0 +1,290 @@
+"""Unit tests for repro.runner (RunSpec, execute, BatchRunner, replicate)."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import default_parameters
+from repro.analysis.experiments import (
+    PartitionHealResult,
+    ScenarioResult,
+    run_maintenance_scenario,
+)
+from repro.runner import (
+    BatchRunner,
+    ReplicatedResult,
+    RunSpec,
+    execute,
+    execute_many,
+    replicate,
+)
+from repro.runner import batch as batch_module
+
+
+@pytest.fixture(scope="module")
+def params():
+    return default_parameters(n=7, f=2)
+
+
+class TestRunSpecValidation:
+    def test_rejects_unknown_kind(self, params):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            RunSpec(kind="mystery", params=params)
+
+    def test_algorithm_kind_requires_name(self, params):
+        with pytest.raises(ValueError, match="needs an algorithm"):
+            RunSpec(kind="algorithm", params=params)
+
+    def test_algorithm_name_only_for_algorithm_kind(self, params):
+        with pytest.raises(ValueError, match="does not take an algorithm"):
+            RunSpec(kind="maintenance", params=params, algorithm="marzullo")
+
+    def test_rejects_non_positive_rounds(self, params):
+        with pytest.raises(ValueError, match="rounds"):
+            RunSpec(kind="maintenance", params=params, rounds=0)
+
+    def test_partition_heal_rejects_fault_kind(self, params):
+        with pytest.raises(ValueError, match="fault_kind=None"):
+            RunSpec(kind="partition_heal", params=params)
+
+    def test_reintegration_rejects_topology(self, params):
+        with pytest.raises(ValueError, match="complete graph"):
+            RunSpec(kind="reintegration", params=params, fault_kind=None,
+                    topology="ring")
+
+    def test_rejects_unknown_option_keys(self, params):
+        with pytest.raises(ValueError, match="not supported by kind"):
+            RunSpec.maintenance(params, warp_factor=9)
+
+    def test_rejects_fault_count_without_fault_kind(self, params):
+        with pytest.raises(ValueError, match="inject no faults"):
+            RunSpec.maintenance(params, fault_kind=None, fault_count=2)
+        # Explicit zero faults stays legal either way.
+        RunSpec.maintenance(params, fault_kind=None, fault_count=0)
+
+    def test_rejects_delay_model_objects(self, params):
+        from repro.sim.network import FixedDelayModel
+        with pytest.raises(TypeError, match="declarative"):
+            RunSpec(kind="maintenance", params=params,
+                    delay=FixedDelayModel(0.01))
+
+
+class TestRunSpecValueSemantics:
+    def test_equal_specs_hash_equal(self, params):
+        a = RunSpec.maintenance(params, rounds=5, seed=3,
+                                delay_options={"b": 2.0, "a": 1.0})
+        b = RunSpec.maintenance(params, rounds=5, seed=3,
+                                delay_options={"a": 1.0, "b": 2.0})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_options_normalize_to_sorted_tuples(self, params):
+        spec = RunSpec.maintenance(params, stagger_interval=0.1,
+                                   exchanges_per_round=2)
+        assert spec.options == (("exchanges_per_round", 2),
+                                ("stagger_interval", 0.1))
+        assert spec.options_dict() == {"exchanges_per_round": 2,
+                                       "stagger_interval": 0.1}
+
+    def test_with_seed_changes_only_the_seed(self, params):
+        spec = RunSpec.maintenance(params, rounds=5, seed=0)
+        reseeded = spec.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.replace(seed=0) == spec
+
+    def test_round_trips_through_pickle(self, params):
+        spec = RunSpec.partition_heal(params, rounds=12, partition_round=3,
+                                      heal_round=7, topology="ring", seed=2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_describe_names_the_run(self, params):
+        spec = RunSpec.algorithm_run("marzullo", params, topology="ring",
+                                     seed=4)
+        label = spec.describe()
+        assert "algorithm" in label and "marzullo" in label
+        assert "ring" in label and "seed=4" in label
+
+
+class TestExecute:
+    def test_maintenance_matches_direct_builder_call(self, params):
+        spec = RunSpec.maintenance(params, rounds=5, seed=3)
+        via_spec = execute(spec)
+        direct = run_maintenance_scenario(params, rounds=5, seed=3)
+        assert via_spec.trace.events == direct.trace.events
+        assert via_spec.end_time == direct.end_time
+        assert via_spec.start_times == direct.start_times
+
+    def test_result_carries_its_spec(self, params):
+        spec = RunSpec.maintenance(params, rounds=4, seed=1)
+        assert execute(spec).spec == spec
+
+    def test_dispatches_every_kind(self, params):
+        specs = [
+            RunSpec.maintenance(params, rounds=4),
+            RunSpec.algorithm_run("srikanth_toueg", params, rounds=4),
+            RunSpec.startup(params, rounds=4),
+            RunSpec.reintegration(params, rounds=8),
+            RunSpec.partition_heal(params, rounds=12, partition_round=3,
+                                   heal_round=7),
+        ]
+        for spec in specs:
+            result = execute(spec)
+            assert isinstance(result, ScenarioResult)
+            assert result.spec == spec
+        assert isinstance(execute(specs[-1]), PartitionHealResult)
+
+    def test_topology_spec_string_is_honored(self, params):
+        result = execute(RunSpec.maintenance(params, rounds=4, fault_kind=None,
+                                             topology="ring", seed=1))
+        # The ring stretches the effective envelope: delta' > delta.
+        assert result.params.delta > params.delta
+        assert result.trace.stats.relayed > 0
+
+
+class TestBatchRunner:
+    def test_results_in_input_order(self, params):
+        specs = [RunSpec.maintenance(params, rounds=3, seed=seed)
+                 for seed in (5, 1, 3)]
+        results = BatchRunner().run(specs)
+        assert [r.spec.seed for r in results] == [5, 1, 3]
+
+    def test_duplicates_computed_once(self, params, monkeypatch):
+        calls = []
+
+        def counting_execute(spec):
+            calls.append(spec)
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", counting_execute)
+        spec = RunSpec.maintenance(params, rounds=3, seed=0)
+        results = BatchRunner().run([spec, spec.with_seed(1), spec])
+        assert len(calls) == 2
+        assert results[0] is results[2]
+
+    def test_cache_persists_across_batches(self, params, monkeypatch):
+        calls = []
+
+        def counting_execute(spec):
+            calls.append(spec)
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", counting_execute)
+        runner = BatchRunner()
+        spec = RunSpec.maintenance(params, rounds=3, seed=0)
+        runner.run([spec])
+        runner.run([spec])
+        assert len(calls) == 1
+        assert runner.cache_size == 1
+        runner.clear_cache()
+        runner.run([spec])
+        assert len(calls) == 2
+
+    def test_cache_can_be_disabled(self, params, monkeypatch):
+        calls = []
+
+        def counting_execute(spec):
+            calls.append(spec)
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", counting_execute)
+        runner = BatchRunner(cache=False)
+        spec = RunSpec.maintenance(params, rounds=3, seed=0)
+        runner.run([spec])
+        runner.run([spec])
+        assert len(calls) == 2
+        assert runner.cache_size == 0
+
+    def test_on_result_streams_computed_specs(self, params):
+        seen = []
+        specs = [RunSpec.maintenance(params, rounds=3, seed=seed)
+                 for seed in (0, 1)]
+        BatchRunner().run(specs + [specs[0]],
+                          on_result=lambda spec, result: seen.append(spec.seed))
+        assert seen == [0, 1]  # once per computed spec, first-occurrence order
+
+    def test_rejects_non_specs(self, params):
+        with pytest.raises(TypeError, match="RunSpecs"):
+            BatchRunner().run([params])
+
+    def test_run_iter_is_lazy_when_serial(self, params, monkeypatch):
+        executed = []
+
+        def counting_execute(spec):
+            executed.append(spec.seed)
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", counting_execute)
+        specs = [RunSpec.maintenance(params, rounds=3, seed=seed)
+                 for seed in (0, 1, 2)]
+        stream = BatchRunner().run_iter(specs)
+        assert executed == []          # nothing runs until pulled
+        next(stream)
+        assert executed == [0]         # only the consumed spec ran
+        next(stream)
+        assert executed == [0, 1]
+
+    def test_parallel_matches_serial(self, params):
+        specs = [RunSpec.maintenance(params, rounds=4, seed=seed)
+                 for seed in range(3)]
+        serial = BatchRunner(jobs=1).run(specs)
+        parallel = BatchRunner(jobs=2, cache=False).run(specs)
+        for a, b in zip(serial, parallel):
+            assert a.trace.events == b.trace.events
+            assert a.start_times == b.start_times
+
+    def test_execute_many_convenience(self, params):
+        spec = RunSpec.maintenance(params, rounds=3, seed=0)
+        results = execute_many([spec], jobs=1)
+        assert results[0].spec == spec
+
+    def test_jobs_below_one_maps_to_cpu_count(self):
+        assert BatchRunner(jobs=0).jobs >= 1
+
+
+class TestReplicate:
+    def test_summary_covers_every_seed(self, params):
+        spec = RunSpec.maintenance(params, rounds=4)
+        rep = replicate(spec, seeds=[0, 1, 2])
+        assert isinstance(rep, ReplicatedResult)
+        assert rep.seeds == (0, 1, 2)
+        assert rep.agreement.count == 3
+        assert len(rep.results) == 3
+        assert rep.agreement.minimum <= rep.agreement.mean <= rep.agreement.maximum
+        assert rep.worst_agreement == rep.agreement.maximum
+
+    def test_agreement_stays_under_gamma(self, params):
+        from repro.core import agreement_bound
+        spec = RunSpec.maintenance(params, rounds=6)
+        rep = replicate(spec, seeds=range(3))
+        assert rep.worst_agreement <= agreement_bound(params)
+        assert rep.validity_holds
+
+    def test_metrics_dict_is_flat_and_complete(self, params):
+        rep = replicate(RunSpec.maintenance(params, rounds=4), seeds=[0, 1])
+        metrics = rep.metrics()
+        assert metrics["seeds"] == 2.0
+        for key in ("agreement_mean", "agreement_min", "agreement_max",
+                    "agreement_ci95_low", "agreement_ci95_high",
+                    "validity_violation_rate_mean"):
+            assert key in metrics
+
+    def test_requires_distinct_seeds(self, params):
+        spec = RunSpec.maintenance(params, rounds=3)
+        with pytest.raises(ValueError, match="distinct"):
+            replicate(spec, seeds=[1, 1])
+        with pytest.raises(ValueError, match="at least one"):
+            replicate(spec, seeds=[])
+
+    def test_shared_runner_reuses_cached_results(self, params, monkeypatch):
+        calls = []
+
+        def counting_execute(spec):
+            calls.append(spec)
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", counting_execute)
+        runner = BatchRunner()
+        spec = RunSpec.maintenance(params, rounds=3)
+        replicate(spec, seeds=[0, 1], runner=runner)
+        replicate(spec, seeds=[0, 1, 2], runner=runner)
+        assert len(calls) == 3  # seeds 0 and 1 came from the cache

@@ -10,7 +10,7 @@ from repro.analysis import (
     agreement_margin_report,
     bound_margin,
     compare_samples,
-    replicate,
+    replicate_metric,
     summarize,
 )
 from repro.core import agreement_bound
@@ -62,13 +62,13 @@ class TestReplicate:
             calls.append(seed)
             return float(seed)
 
-        stats = replicate(metric, seeds=[1, 2, 3, 4])
+        stats = replicate_metric(metric, seeds=[1, 2, 3, 4])
         assert calls == [1, 2, 3, 4]
         assert stats.mean == pytest.approx(2.5)
 
     def test_requires_at_least_one_seed(self):
         with pytest.raises(ValueError):
-            replicate(lambda seed: 0.0, seeds=[])
+            replicate_metric(lambda seed: 0.0, seeds=[])
 
 
 class TestBoundMargin:

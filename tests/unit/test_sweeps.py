@@ -5,11 +5,16 @@ import pytest
 from repro.analysis import (
     SweepAxis,
     SweepResult,
+    default_parameters,
+    run_spec_sweep,
     run_sweep,
     sweep_epsilon,
     sweep_fault_count,
+    sweep_round_length,
     sweep_system_size,
+    sweep_topology,
 )
+from repro.runner import BatchRunner, RunSpec
 
 
 class TestSweepAxis:
@@ -73,6 +78,73 @@ class TestRunSweep:
         with pytest.raises(ValueError):
             run_sweep([], lambda: {})
 
+    def test_on_result_sees_inputs_and_outputs(self):
+        observed = []
+        run_sweep([SweepAxis("x", [2, 3])],
+                  lambda x: {"y": 10 * x},
+                  on_result=lambda inputs, outputs: observed.append(
+                      (inputs["x"], outputs["y"])))
+        assert observed == [(2, 20), (3, 30)]
+
+
+class TestRunSpecSweep:
+    def _build(self, seed):
+        params = default_parameters(n=7, f=2)
+
+        def build(rounds):
+            return RunSpec.maintenance(params, rounds=rounds, fault_kind=None,
+                                       seed=seed)
+        return build
+
+    @staticmethod
+    def _measure(result, rounds):
+        return {"end_time": result.end_time,
+                "sent": float(result.trace.stats.sent)}
+
+    def test_visits_points_in_order_with_callbacks(self):
+        progressed, measured = [], []
+        result = run_spec_sweep(
+            [SweepAxis("rounds", [2, 3])], self._build(seed=1), self._measure,
+            progress=lambda inputs: progressed.append(inputs["rounds"]),
+            on_result=lambda inputs, outputs: measured.append(
+                (inputs["rounds"], outputs["sent"])))
+        assert progressed == [2, 3]
+        assert [rounds for rounds, _ in measured] == [2, 3]
+        assert result.column("sent") == [sent for _, sent in measured]
+
+    def test_parallel_equals_serial(self):
+        axes = [SweepAxis("rounds", [2, 3, 4])]
+        serial = run_spec_sweep(axes, self._build(seed=2), self._measure)
+        parallel = run_spec_sweep(axes, self._build(seed=2), self._measure,
+                                  jobs=2)
+        assert serial.rows() == parallel.rows()
+
+    def test_replication_adds_ci_columns(self):
+        result = run_spec_sweep([SweepAxis("rounds", [3])],
+                                self._build(seed=0), self._measure,
+                                seeds=[0, 1, 2])
+        assert result.headers() == ["rounds", "end_time", "sent",
+                                    "end_time_ci95", "sent_ci95"]
+        assert result.points[0].outputs["sent_ci95"] >= 0.0
+
+    def test_shared_runner_caches_across_sweeps(self):
+        runner = BatchRunner()
+        axes = [SweepAxis("rounds", [2, 3])]
+        run_spec_sweep(axes, self._build(seed=3), self._measure, runner=runner)
+        assert runner.cache_size == 2
+        run_spec_sweep(axes, self._build(seed=3), self._measure, runner=runner)
+        assert runner.cache_size == 2  # second sweep was pure cache hits
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            run_spec_sweep([SweepAxis("rounds", [2])], self._build(seed=0),
+                           self._measure, seeds=[])
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_spec_sweep([SweepAxis("rounds", [2])], self._build(seed=0),
+                           self._measure, seeds=[0, 0, 1])
+
 
 class TestReadyMadeSweeps:
     def test_epsilon_sweep_shape(self):
@@ -99,3 +171,29 @@ class TestReadyMadeSweeps:
         assert agreements[0] <= gamma
         assert agreements[1] <= gamma
         assert agreements[2] > agreements[1]
+
+    @pytest.mark.parametrize("sweep,values", [
+        (sweep_epsilon, [0.002]),
+        (sweep_round_length, [0.5]),
+        (sweep_system_size, [7]),
+        (sweep_fault_count, [1]),
+        (sweep_topology, ["ring"]),
+    ])
+    def test_every_helper_exposes_seed_seeds_and_jobs(self, sweep, values):
+        """The uniform replication interface across all five ready-made sweeps."""
+        single = sweep(values, rounds=3, seed=7)
+        assert len(single.points) == 1
+        replicated = sweep(values, rounds=3, seed=7, seeds=[0, 1], jobs=2)
+        outputs = replicated.points[0].outputs
+        ci_names = [name for name in outputs if name.endswith("_ci95")]
+        assert ci_names, "replication must add *_ci95 columns"
+        for name in ci_names:
+            assert outputs[name] >= 0.0
+
+    def test_replicated_sweep_mean_brackets_single_seeds(self):
+        singles = [sweep_epsilon([0.002], rounds=4, seed=seed)
+                   .column("agreement")[0] for seed in (0, 1)]
+        replicated = sweep_epsilon([0.002], rounds=4, seeds=[0, 1])
+        mean = replicated.column("agreement")[0]
+        assert min(singles) <= mean <= max(singles)
+        assert mean == pytest.approx(sum(singles) / 2)
