@@ -1,0 +1,106 @@
+"""E-core — fast-path microbenchmarks: simulator core and metrics engine.
+
+PR 3's profiling-driven fast path (slotted events, tuple-based event queue,
+indexed correction histories, merged-sweep metrics with an optional numpy
+backend) targets three layers; this module times each of them and prints the
+in-process speedup against the frozen seed implementations
+(:mod:`repro.analysis.slowpath`).  The recorded trajectory lives in
+``BENCH_3.json`` (regenerate with ``python -m repro bench``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import emit
+from repro.analysis import default_parameters, run_maintenance_scenario
+from repro.analysis import slowpath
+from repro.analysis.metrics import measured_agreement, sample_grid
+from repro.bench import (
+    bench_event_throughput,
+    bench_trace_reconstruction,
+    _metric_battery,
+)
+from repro.clocks import CorrectionHistory
+from repro.sim import EventQueue, MessageKind
+from repro.sim.traceindex import numpy_enabled
+
+ROUNDS = 8
+SAMPLES = 200
+
+
+def test_event_throughput(benchmark):
+    """Simulator-core event throughput (tuple-based queue + inlined loop)."""
+    result = benchmark(bench_event_throughput, n=24, rounds=4, repeats=1)
+    emit("E-core event throughput",
+         f"{result['events_per_second']:,.0f} events/s "
+         f"({result['events']} events)")
+    assert result["events"] > 0
+
+
+def test_raw_event_queue_push_pop(benchmark):
+    """Raw push_fields/pop_fields cycling through a preloaded buffer."""
+
+    def cycle() -> int:
+        queue = EventQueue()
+        for index in range(5000):
+            kind = MessageKind.TIMER if index % 3 == 0 else MessageKind.ORDINARY
+            queue.push_fields(kind, 0, index % 7, index, 0.0,
+                              float(index % 97))
+        while queue:
+            queue.pop_fields()
+        return queue.delivered_count
+
+    delivered = benchmark(cycle)
+    assert delivered == 5000
+
+
+def test_trace_reconstruction(benchmark):
+    """Indexed ``correction_at`` against a 64-correction history."""
+    result = benchmark(bench_trace_reconstruction, k=64, calls=20_000,
+                       repeats=1)
+    emit("E-core trace reconstruction",
+         f"{result['calls_per_second']:,.0f} lookups/s (k={result['k']})")
+    assert result["calls_per_second"] > 0
+
+
+@pytest.fixture(scope="module")
+def metric_traces():
+    """One silent-fault trace per benchmark size (simulation untimed)."""
+    traces = {}
+    for n in (10, 50, 200):
+        params = default_parameters(n=n, f=2)
+        traces[n] = run_maintenance_scenario(params, rounds=ROUNDS,
+                                             fault_kind="silent", seed=1)
+    return traces
+
+
+@pytest.mark.parametrize("n", [10, 50, 200])
+def test_metrics_engine(benchmark, metric_traces, n):
+    """The audit battery (agreement + validity + skew series) at size n."""
+    result = metric_traces[n]
+    benchmark(_metric_battery, result, SAMPLES)
+    # Equivalence spot check on the exact battery the benchmark timed.
+    start = result.tmax0 + result.params.round_length
+    fast = measured_agreement(result.trace, start, result.end_time,
+                              samples=SAMPLES)
+    seed = slowpath.seed_measured_agreement(result.trace, start,
+                                            result.end_time, samples=SAMPLES)
+    assert fast == seed
+    emit(f"E-core metrics engine n={n}",
+         f"agreement {fast:.6f} (bit-identical to seed path; "
+         f"numpy={'on' if numpy_enabled() else 'off'})")
+
+
+def test_correction_lookup_equivalence_under_load(benchmark):
+    """Dense lookups on a long history stay identical to the seed lookup."""
+    history = CorrectionHistory(0.0)
+    for index in range(256):
+        history.apply(0.25 * (index + 1), ((index % 7) - 3) * 1e-4, index)
+    grid = sample_grid(0.0, 70.0, 2000)
+
+    def lookup_all():
+        return [history.correction_at(t) for t in grid]
+
+    fast = benchmark(lookup_all)
+    assert fast == [slowpath.seed_correction_at(history, t) for t in grid]

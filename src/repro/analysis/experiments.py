@@ -11,6 +11,7 @@ number of rounds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..baselines.halpern_simons_strong_dolev import HSSDProcess
@@ -80,18 +81,24 @@ class ScenarioResult:
         """Whether this run carries partition-and-heal context."""
         return False
 
-    @property
-    def tmin0(self) -> float:
-        """Earliest real time a nonfaulty process received START."""
+    def _nonfaulty_start_times(self) -> List[float]:
         nonfaulty = set(self.trace.nonfaulty_ids)
-        times = [t for pid, t in self.start_times.items() if pid in nonfaulty]
+        return [t for pid, t in self.start_times.items() if pid in nonfaulty]
+
+    @cached_property
+    def tmin0(self) -> float:
+        """Earliest real time a nonfaulty process received START.
+
+        Cached: every audit window derives from it and the fault set is
+        fixed once the run ends.
+        """
+        times = self._nonfaulty_start_times()
         return min(times) if times else 0.0
 
-    @property
+    @cached_property
     def tmax0(self) -> float:
-        """Latest real time a nonfaulty process received START."""
-        nonfaulty = set(self.trace.nonfaulty_ids)
-        times = [t for pid, t in self.start_times.items() if pid in nonfaulty]
+        """Latest real time a nonfaulty process received START (cached)."""
+        times = self._nonfaulty_start_times()
         return max(times) if times else 0.0
 
 

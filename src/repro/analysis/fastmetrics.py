@@ -1,0 +1,123 @@
+"""Grid-sweep implementations of the metrics engine's hot queries.
+
+The quantities the paper's theorems talk about (agreement windows, validity
+envelopes, per-partition skew, cross-group divergence) are all "evaluate
+every process' local time over a dense real-time grid, then reduce".  The
+seed implementation re-resolved every process view at every grid sample —
+O(grid x n x k).  These functions evaluate the whole grid through the
+trace's :class:`~repro.sim.traceindex.TraceIndex` (one merged sweep per
+process, optional numpy vectorization) — O(k + grid x n) — and reduce in
+exactly the seed's operation order, so every float they return is
+bit-identical to the naive path preserved in :mod:`repro.analysis.slowpath`.
+
+:mod:`repro.analysis.metrics` delegates here; call these directly when you
+already hold a grid and want to skip the convenience wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.bounds import validity_envelope
+from ..core.config import SyncParameters
+from ..sim.trace import ExecutionTrace
+
+__all__ = [
+    "local_times_rows",
+    "skew_series_on_grid",
+    "max_skew_on_grid",
+    "validity_report_on_grid",
+    "per_partition_agreement_on_grid",
+    "divergence_series_on_grid",
+]
+
+
+def local_times_rows(trace: ExecutionTrace, pids: Sequence[int],
+                     times: Sequence[float]) -> List[List[float]]:
+    """``L_p(t)`` for each pid over the grid; one row per pid, in pid order."""
+    return trace.index().local_times_rows(pids, times)
+
+
+def skew_series_on_grid(trace: ExecutionTrace,
+                        times: Sequence[float]) -> List[Tuple[float, float]]:
+    """(t, nonfaulty max-min spread) per grid point."""
+    return trace.skew_series(times)
+
+
+def max_skew_on_grid(trace: ExecutionTrace, times: Sequence[float]) -> float:
+    """Maximum nonfaulty spread over the grid."""
+    return trace.max_skew(times)
+
+
+def validity_report_on_grid(trace: ExecutionTrace, params: SyncParameters,
+                            tmin0: float, tmax0: float,
+                            grid: Sequence[float], start: float, end: float):
+    """The Theorem 19 check over a precomputed grid (single sweep).
+
+    Returns an :class:`~repro.analysis.metrics.ValidityReport`; identical
+    counting and rate arithmetic to the seed loop, with the local-time matrix
+    computed once instead of per sample.
+    """
+    from .metrics import ValidityReport  # deferred: metrics imports this module
+
+    pids = trace.nonfaulty_ids
+    rows = trace.index().local_times_rows(pids, grid)
+    violations = 0
+    total = 0
+    initial = params.initial_round_time
+    for position, t in enumerate(grid):
+        lower, upper = validity_envelope(params, t, tmin0, tmax0)
+        low = lower - 1e-9
+        high = upper + 1e-9
+        for row in rows:
+            elapsed = row[position] - initial
+            total += 1
+            if not (low <= elapsed <= high):
+                violations += 1
+    rates = []
+    span = end - start
+    for pid in pids:
+        rates.append((trace.local_time(pid, end)
+                      - trace.local_time(pid, start)) / span)
+    return ValidityReport(samples=total, violations=violations,
+                          min_rate=min(rates) if rates else 1.0,
+                          max_rate=max(rates) if rates else 1.0)
+
+
+def _nonfaulty_groups(trace: ExecutionTrace,
+                      groups: Sequence[Sequence[int]]) -> List[List[int]]:
+    nonfaulty = set(trace.nonfaulty_ids)
+    filtered = [[pid for pid in group if pid in nonfaulty] for group in groups]
+    return [group for group in filtered if group]
+
+
+def per_partition_agreement_on_grid(trace: ExecutionTrace,
+                                    groups: Sequence[Sequence[int]],
+                                    grid: Sequence[float]) -> Dict[int, float]:
+    """Worst within-group spread per (nonfaulty-filtered) group over the grid."""
+    index = trace.index()
+    return {position: index.max_skew(group, grid)
+            for position, group in enumerate(_nonfaulty_groups(trace, groups))}
+
+
+def divergence_series_on_grid(trace: ExecutionTrace,
+                              groups: Sequence[Sequence[int]],
+                              grid: Sequence[float]
+                              ) -> List[Tuple[float, float]]:
+    """(t, spread of group centroids) per grid point.
+
+    Centroid summation keeps the seed's sequential within-group order so the
+    result is bit-identical despite the batched evaluation.
+    """
+    filtered = _nonfaulty_groups(trace, groups)
+    if len(filtered) < 2:
+        return [(t, 0.0) for t in grid]
+    index = trace.index()
+    group_rows = [(index.local_times_rows(group, grid), len(group))
+                  for group in filtered]
+    series: List[Tuple[float, float]] = []
+    for position, t in enumerate(grid):
+        centroids = [sum(row[position] for row in rows) / size
+                     for rows, size in group_rows]
+        series.append((t, max(centroids) - min(centroids)))
+    return series

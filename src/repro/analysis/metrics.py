@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.bounds import validity_envelope
 from ..core.config import SyncParameters
 from ..sim.trace import ExecutionTrace
+from . import fastmetrics
 
 __all__ = [
     "sample_grid",
@@ -154,24 +154,13 @@ def validity_report(trace: ExecutionTrace, params: SyncParameters, tmin0: float,
     Also estimates the long-run rate ``(L_p(end) − L_p(start)) / (end − start)``
     for each nonfaulty process; Theorem 19 implies these rates stay within
     roughly ``[α₁, α₂]``.
+
+    Evaluated as a single grid sweep (see :mod:`repro.analysis.fastmetrics`);
+    bit-identical to the per-sample seed loop.
     """
     grid = sample_grid(start, end, samples)
-    violations = 0
-    total = 0
-    for t in grid:
-        lower, upper = validity_envelope(params, t, tmin0, tmax0)
-        for pid, local in trace.local_times(t).items():
-            elapsed = local - params.initial_round_time
-            total += 1
-            if not (lower - 1e-9 <= elapsed <= upper + 1e-9):
-                violations += 1
-    rates = []
-    span = end - start
-    for pid in trace.nonfaulty_ids:
-        rates.append((trace.local_time(pid, end) - trace.local_time(pid, start)) / span)
-    return ValidityReport(samples=total, violations=violations,
-                          min_rate=min(rates) if rates else 1.0,
-                          max_rate=max(rates) if rates else 1.0)
+    return fastmetrics.validity_report_on_grid(trace, params, tmin0, tmax0,
+                                               grid, start, end)
 
 
 def startup_spread_series(trace: ExecutionTrace) -> List[float]:
@@ -217,11 +206,8 @@ def local_time_rate_estimates(trace: ExecutionTrace, start: float,
 # Per-partition metrics (the topology subsystem's partition experiments)
 # ---------------------------------------------------------------------------
 
-def _nonfaulty_groups(trace: ExecutionTrace,
-                      groups: Sequence[Sequence[int]]) -> List[List[int]]:
-    nonfaulty = set(trace.nonfaulty_ids)
-    filtered = [[pid for pid in group if pid in nonfaulty] for group in groups]
-    return [group for group in filtered if group]
+# The group-filtering semantics live in one place; fastmetrics owns them.
+_nonfaulty_groups = fastmetrics._nonfaulty_groups
 
 
 def group_skew(trace: ExecutionTrace, group: Sequence[int], t: float) -> float:
@@ -241,17 +227,12 @@ def per_partition_agreement(trace: ExecutionTrace,
 
     During a partition each side keeps γ-agreement *internally* even though
     the global skew diverges; this is the quantity that shows it.
+
+    Each group is evaluated as one batched grid sweep (bit-identical to the
+    per-sample loop).
     """
     grid = sample_grid(start, end, samples)
-    filtered = _nonfaulty_groups(trace, groups)
-
-    def skew_at(group: List[int], t: float) -> float:
-        # group is already nonfaulty-filtered; skip group_skew's re-filter.
-        values = [trace.local_time(pid, t) for pid in group]
-        return max(values) - min(values) if len(values) > 1 else 0.0
-
-    return {index: max(skew_at(group, t) for t in grid)
-            for index, group in enumerate(filtered)}
+    return fastmetrics.per_partition_agreement_on_grid(trace, groups, grid)
 
 
 def cross_group_divergence(trace: ExecutionTrace,
@@ -274,6 +255,10 @@ def cross_group_divergence(trace: ExecutionTrace,
 def divergence_series(trace: ExecutionTrace, groups: Sequence[Sequence[int]],
                       start: float, end: float, samples: int = 100
                       ) -> List[Tuple[float, float]]:
-    """(real time, cross-group divergence) samples over a window."""
-    return [(t, cross_group_divergence(trace, groups, t))
-            for t in sample_grid(start, end, samples)]
+    """(real time, cross-group divergence) samples over a window.
+
+    Batched over the grid (bit-identical to calling
+    :func:`cross_group_divergence` per sample).
+    """
+    return fastmetrics.divergence_series_on_grid(
+        trace, groups, sample_grid(start, end, samples))

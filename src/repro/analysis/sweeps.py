@@ -25,6 +25,11 @@ All the ready-made ``sweep_*`` helpers run on the spec path and uniformly
 accept ``seed`` (single run per point), ``seeds`` (replication: outputs become
 means with ``*_ci95`` half-width columns), ``jobs``, ``progress`` and
 ``on_result``.
+
+Per-point measurement (agreement windows, spread series) runs on the batched
+trace-reconstruction fast path (:mod:`repro.analysis.fastmetrics`), so the
+metric cost no longer dominates wide sweeps; combined with ``jobs=N``
+fan-out this is the "as fast as the hardware allows" configuration.
 """
 
 from __future__ import annotations

@@ -12,7 +12,11 @@ Installed as the ``repro-clocksync`` console script (also reachable as
   Lemma 20 convergence series;
 * ``compare``    — the Section 10 comparison table on one shared workload;
 * ``sweep``      — agreement/spread sweeps along the ε, P, n, fault-count or
-  topology axes (the data behind the paper's trade-off discussions).
+  topology axes (the data behind the paper's trade-off discussions);
+* ``bench``      — the core performance benchmarks (event throughput, trace
+  reconstruction, metrics engine, end-to-end workloads); updates the
+  ``BENCH_*.json`` trajectory file and doubles as a CI regression guard
+  (see :mod:`repro.bench`).
 
 ``run``, ``startup`` and ``compare`` accept ``--topology SPEC`` (e.g.
 ``ring``, ``grid:cols=3``, ``random_gnp:p=0.4``) to replace the paper's
@@ -141,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_options(sweep_parser)
     sweep_parser.add_argument("--csv", metavar="PATH",
                               help="export the sweep table as CSV")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the core performance benchmarks and update the "
+                      "BENCH_*.json trajectory")
+    from .bench import add_bench_arguments
+    add_bench_arguments(bench_parser)
 
     return parser
 
@@ -376,6 +386,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+    return bench_main(args)
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "topologies": _cmd_topologies,
@@ -383,6 +398,7 @@ _COMMANDS = {
     "startup": _cmd_startup,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

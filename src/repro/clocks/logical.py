@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CorrectionEvent:
     """One update of the CORR variable.
 
@@ -49,14 +49,29 @@ class CorrectionEvent:
 
 
 class CorrectionHistory:
-    """The full CORR_p(t) history of one process during an execution."""
+    """The full CORR_p(t) history of one process during an execution.
+
+    Lookup-heavy analysis (reconstructing ``L_p(t)`` over dense real-time
+    grids) made ``correction_at`` the hottest function in the package, so the
+    history maintains a *finalized index*: parallel ``_times`` /
+    ``_corrections`` arrays extended incrementally by :meth:`apply`.  A lookup
+    is then a single ``bisect`` against the cached array — O(log k) with zero
+    per-call allocation — instead of rebuilding a breakpoint list per call.
+    The arrays are exposed read-only via :attr:`times` / :attr:`corrections`
+    for the batch evaluators in :mod:`repro.sim.traceindex`.
+    """
+
+    __slots__ = ("_events", "_times", "_corrections")
 
     def __init__(self, initial_correction: float = 0.0):
+        initial = float(initial_correction)
         self._events: List[CorrectionEvent] = [
             CorrectionEvent(real_time=float("-inf"), adjustment=0.0,
-                            new_correction=float(initial_correction),
+                            new_correction=initial,
                             round_index=-1)
         ]
+        self._times: List[float] = [float("-inf")]
+        self._corrections: List[float] = [initial]
 
     @property
     def initial_correction(self) -> float:
@@ -72,30 +87,46 @@ class CorrectionHistory:
         """The per-round adjustments (excluding the initial correction)."""
         return [e.adjustment for e in self._events[1:]]
 
+    @property
+    def times(self) -> Sequence[float]:
+        """Breakpoint real times (index array; first entry is -inf).
+
+        Shared with the history — callers must not mutate it.
+        """
+        return self._times
+
+    @property
+    def corrections(self) -> Sequence[float]:
+        """CORR values per breakpoint, parallel to :attr:`times` (read-only)."""
+        return self._corrections
+
     def current(self) -> float:
         """The most recent CORR value."""
-        return self._events[-1].new_correction
+        return self._corrections[-1]
 
     def apply(self, real_time: float, adjustment: float, round_index: int) -> float:
         """Record ``CORR := CORR + adjustment`` at ``real_time``; returns new CORR."""
-        if real_time < self._events[-1].real_time:
+        real_time = float(real_time)
+        if real_time < self._times[-1]:
             raise ValueError(
                 f"corrections must be recorded in real-time order; "
-                f"{real_time} < {self._events[-1].real_time}"
+                f"{real_time} < {self._times[-1]}"
             )
-        new_corr = self.current() + float(adjustment)
-        self._events.append(CorrectionEvent(real_time=float(real_time),
+        new_corr = self._corrections[-1] + float(adjustment)
+        self._events.append(CorrectionEvent(real_time=real_time,
                                             adjustment=float(adjustment),
                                             new_correction=new_corr,
                                             round_index=round_index))
+        self._times.append(real_time)
+        self._corrections.append(new_corr)
         return new_corr
 
     def correction_at(self, real_time: float) -> float:
         """CORR_p(t): the correction in force at real time ``t``."""
-        times = [e.real_time for e in self._events]
-        index = bisect.bisect_right(times, real_time) - 1
-        index = max(index, 0)
-        return self._events[index].new_correction
+        index = bisect.bisect_right(self._times, real_time) - 1
+        if index < 0:
+            index = 0
+        return self._corrections[index]
 
     def correction_for_round(self, round_index: int) -> Optional[float]:
         """CORR value while logical clock ``C^{round_index+1}`` is in force."""
@@ -111,6 +142,8 @@ class LogicalClockView:
     Provides the local time ``L_p(t)`` and the individual logical clocks
     ``C^i_p`` of the paper, for analysis and metric computation.
     """
+
+    __slots__ = ("_physical", "_history")
 
     def __init__(self, physical_clock: Clock, history: CorrectionHistory):
         self._physical = physical_clock

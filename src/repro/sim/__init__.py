@@ -22,6 +22,7 @@ from .recording import (
 )
 from .system import System
 from .trace import ExecutionTrace, MessageStats, TraceEvent
+from .traceindex import TraceIndex, numpy_available, numpy_enabled, use_numpy
 
 __all__ = [
     "MessageRecord",
@@ -47,4 +48,8 @@ __all__ = [
     "ExecutionTrace",
     "MessageStats",
     "TraceEvent",
+    "TraceIndex",
+    "numpy_available",
+    "numpy_enabled",
+    "use_numpy",
 ]

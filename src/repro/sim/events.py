@@ -19,10 +19,9 @@ runs are reproducible.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 __all__ = ["MessageKind", "Message", "EventQueue"]
 
@@ -35,7 +34,7 @@ class MessageKind(Enum):
     ORDINARY = "ordinary"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A message in the global buffer.
 
@@ -43,6 +42,11 @@ class Message:
     round value ``T^i`` or a READY marker).  ``send_time`` and
     ``delivery_time`` are real times; ``delivery_time > send_time`` except for
     START messages injected by the environment at system construction.
+
+    The simulator's hot path never allocates these: :class:`System` moves raw
+    field tuples through the :class:`EventQueue` (see :meth:`EventQueue.
+    push_fields`).  ``Message`` remains the value type of the public API
+    (``pop``, ``pending``) and of anything that stores messages.
     """
 
     kind: MessageKind
@@ -64,17 +68,32 @@ class Message:
         return self.kind is MessageKind.START
 
 
+#: a heap entry: (delivery_time, timer_last, seq, kind, sender, recipient,
+#: payload, send_time).  The first three fields are the ordering key
+#: (execution property 4 + deterministic FIFO); seq is unique, so comparison
+#: never reaches the non-comparable payload.
+EventEntry = Tuple[float, int, int, MessageKind, int, int, Any, float]
+
+
 class EventQueue:
     """Priority queue of pending deliveries with the paper's tie-breaking rule.
 
     Ordering key: ``(delivery_time, timer_last, insertion_sequence)`` where
     ``timer_last`` is 0 for ordinary/START messages and 1 for TIMER messages,
     implementing execution property 4.
+
+    The heap holds raw field tuples (:data:`EventEntry`) rather than wrapped
+    :class:`Message` objects, so the simulator's delivery loop never pays a
+    per-event allocation: :meth:`push_fields` / :meth:`pop_fields` move bare
+    tuples, while :meth:`push` / :meth:`pop` keep the message-object API for
+    callers that want it.  Both pairs interoperate on the same buffer.
     """
 
+    __slots__ = ("_heap", "_count", "_delivered")
+
     def __init__(self) -> None:
-        self._heap: List[tuple] = []
-        self._counter = itertools.count()
+        self._heap: List[EventEntry] = []
+        self._count = 0
         self._delivered = 0
 
     def __len__(self) -> int:
@@ -88,20 +107,37 @@ class EventQueue:
         """Number of messages popped so far (for trace statistics)."""
         return self._delivered
 
-    def push(self, message: Message) -> None:
-        """Place a message in the buffer."""
-        timer_last = 1 if message.is_timer() else 0
+    def push_fields(self, kind: MessageKind, sender: int, recipient: int,
+                    payload: Any, send_time: float,
+                    delivery_time: float) -> None:
+        """Place a message in the buffer without allocating a Message."""
+        count = self._count
+        self._count = count + 1
         heapq.heappush(
             self._heap,
-            (message.delivery_time, timer_last, next(self._counter), message),
+            (delivery_time, 1 if kind is MessageKind.TIMER else 0, count,
+             kind, sender, recipient, payload, send_time),
         )
 
-    def pop(self) -> Message:
-        """Remove and return the next message to be delivered."""
+    def push(self, message: Message) -> None:
+        """Place a message in the buffer."""
+        self.push_fields(message.kind, message.sender, message.recipient,
+                         message.payload, message.send_time,
+                         message.delivery_time)
+
+    def pop_fields(self) -> EventEntry:
+        """Remove and return the next delivery as a raw field tuple."""
         if not self._heap:
             raise IndexError("pop from an empty event queue")
         self._delivered += 1
-        return heapq.heappop(self._heap)[-1]
+        return heapq.heappop(self._heap)
+
+    def pop(self) -> Message:
+        """Remove and return the next message to be delivered."""
+        entry = self.pop_fields()
+        return Message(kind=entry[3], sender=entry[4], recipient=entry[5],
+                       payload=entry[6], send_time=entry[7],
+                       delivery_time=entry[0])
 
     def peek_time(self) -> Optional[float]:
         """Delivery time of the next message, or None when the buffer is empty."""
@@ -111,4 +147,7 @@ class EventQueue:
 
     def pending(self) -> List[Message]:
         """Snapshot of undelivered messages (unordered); used by tests/traces."""
-        return [entry[-1] for entry in self._heap]
+        return [Message(kind=entry[3], sender=entry[4], recipient=entry[5],
+                        payload=entry[6], send_time=entry[7],
+                        delivery_time=entry[0])
+                for entry in self._heap]

@@ -59,9 +59,15 @@ class Process:
 class ProcessContext:
     """The capabilities available to a process while handling one interrupt."""
 
+    __slots__ = ("_system", "_pid", "_clock")
+
     def __init__(self, system: "System", process_id: int):
         self._system = system
         self._pid = process_id
+        # The physical clock of a process never changes after system
+        # construction (unlike its automaton or correction history), so the
+        # context resolves it once.
+        self._clock = system.clock_of(process_id)
 
     # -- identity ------------------------------------------------------------
     @property
@@ -97,7 +103,7 @@ class ProcessContext:
 
     def physical_time(self) -> float:
         """Current reading of this process' physical clock, ``Ph_p(t)``."""
-        return self._system.clock_of(self._pid).read(self._system.current_time)
+        return self._clock.read(self._system.current_time)
 
     @property
     def correction(self) -> float:
@@ -126,8 +132,7 @@ class ProcessContext:
 
     def broadcast(self, payload: Any) -> None:
         """``broadcast(m)``: send ``payload`` to every process, including self."""
-        for recipient in range(self._system.n):
-            self._system.post_message(self._pid, recipient, payload)
+        self._system.broadcast_from(self._pid, payload)
 
     def send_divergent(self, payloads: dict) -> None:
         """Send different payloads to different recipients (Byzantine capability)."""
@@ -151,4 +156,6 @@ class ProcessContext:
     # -- instrumentation -----------------------------------------------------------
     def log(self, event: str, **data: Any) -> None:
         """Record an algorithm-level event in the execution trace."""
-        self._system.log_event(self._pid, event, data)
+        # The kwargs dict is freshly built per call, so the trace can take
+        # ownership without the defensive copy.
+        self._system.log_event(self._pid, event, data, copy=False)

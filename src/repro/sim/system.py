@@ -88,6 +88,7 @@ class System:
         self._stats = MessageStats()
         self._events: List[TraceEvent] = []
         self._crashed: set = set()
+        self._faulty_cache: Optional[List[int]] = None
         if topology is None and link_schedule is not None:
             # A link schedule over the implicit complete graph (e.g. a plain
             # partition-and-heal) still needs routing to honor it.
@@ -144,9 +145,17 @@ class System:
         return self._process_rngs[pid]
 
     def faulty_ids(self) -> List[int]:
-        """Processes marked faulty (by their implementation or by crashing)."""
-        marked = {pid for pid, proc in self._processes.items() if proc.is_faulty}
-        return sorted(marked | self._crashed)
+        """Processes marked faulty (by their implementation or by crashing).
+
+        Cached until the fault set can change (a crash, an un-crash, or a
+        process replacement); ``is_faulty`` is a per-implementation constant,
+        so those are the only invalidation points.
+        """
+        if self._faulty_cache is None:
+            marked = {pid for pid, proc in self._processes.items()
+                      if proc.is_faulty}
+            self._faulty_cache = sorted(marked | self._crashed)
+        return list(self._faulty_cache)
 
     # ------------------------------------------------------------------ setup
     def set_initial_correction(self, pid: int, value: float) -> None:
@@ -159,9 +168,8 @@ class System:
 
     def schedule_start(self, pid: int, real_time: float) -> None:
         """Place the START message for ``pid`` in the buffer at ``real_time``."""
-        self._queue.push(Message(kind=MessageKind.START, sender=pid, recipient=pid,
-                                 payload=None, send_time=real_time,
-                                 delivery_time=real_time))
+        self._queue.push_fields(MessageKind.START, pid, pid, None,
+                                real_time, real_time)
 
     def schedule_start_at_logical(self, pid: int, logical_time: float) -> float:
         """Schedule START for when ``pid``'s initial logical clock reaches ``logical_time``.
@@ -182,14 +190,17 @@ class System:
     def mark_crashed(self, pid: int) -> None:
         """Stop delivering interrupts to ``pid`` and count it as faulty."""
         self._crashed.add(pid)
+        self._faulty_cache = None
 
     def unmark_crashed(self, pid: int) -> None:
         """Resume delivering interrupts to ``pid`` (used for reintegration)."""
         self._crashed.discard(pid)
+        self._faulty_cache = None
 
     def replace_process(self, pid: int, process: Process) -> None:
         """Swap in a new automaton for ``pid`` (used for repair/reintegration)."""
         self._processes[pid] = process
+        self._faulty_cache = None
 
     # ------------------------------------------------------------------ messaging
     def post_message(self, sender: int, recipient: int, payload: Any) -> None:
@@ -209,10 +220,40 @@ class System:
         if delivery_time is None:
             self._stats.dropped += 1
             return
-        self._queue.push(Message(kind=MessageKind.ORDINARY, sender=sender,
-                                 recipient=recipient, payload=payload,
-                                 send_time=self._current_time,
-                                 delivery_time=delivery_time))
+        self._queue.push_fields(MessageKind.ORDINARY, sender, recipient,
+                                payload, self._current_time, delivery_time)
+
+    def broadcast_from(self, sender: int, payload: Any) -> None:
+        """Send ``payload`` to every process, including the sender.
+
+        Behaviourally identical to calling :meth:`post_message` once per
+        recipient in id order (same RNG draws, same counters, same queue
+        entries) — but with the per-recipient call stack flattened and the
+        hot lookups hoisted, since broadcast is the algorithms' dominant
+        messaging pattern.  Topology runs take the general path.
+        """
+        if self._router is not None:
+            for recipient in range(len(self._processes)):
+                self.post_message(sender, recipient, payload)
+            return
+        stats = self._stats
+        per_process_sent = stats.per_process_sent
+        push_fields = self._queue.push_fields
+        delay_of = self._delay_model.delay
+        rng = self._rng
+        now = self._current_time
+        ordinary = MessageKind.ORDINARY
+        for recipient in range(len(self._processes)):
+            stats.sent += 1
+            per_process_sent[sender] += 1
+            delay = delay_of(sender, recipient, now, rng)
+            if delay is None:
+                stats.dropped += 1
+                continue
+            if delay <= 0:
+                raise ValueError(
+                    f"delay model produced a non-positive delay {delay}")
+            push_fields(ordinary, sender, recipient, payload, now, now + delay)
 
     def _direct_delivery_time(self, sender: int, recipient: int) -> Optional[float]:
         """One delay-model draw, as in the complete-graph model."""
@@ -265,30 +306,61 @@ class System:
         if real_time <= self._current_time:
             return False
         self._stats.timers_set += 1
-        self._queue.push(Message(kind=MessageKind.TIMER, sender=pid, recipient=pid,
-                                 payload=payload, send_time=self._current_time,
-                                 delivery_time=real_time))
+        self._queue.push_fields(MessageKind.TIMER, pid, pid, payload,
+                                self._current_time, real_time)
         return True
 
-    def log_event(self, pid: int, name: str, data: Dict[str, Any]) -> None:
+    def log_event(self, pid: int, name: str, data: Dict[str, Any],
+                  copy: bool = True) -> None:
+        """Record an algorithm-level event.
+
+        ``copy=False`` lets callers that hand over a freshly built dict (the
+        :meth:`~repro.sim.process.ProcessContext.log` kwargs path) skip the
+        defensive copy.
+        """
         self._events.append(TraceEvent(real_time=self._current_time, process_id=pid,
-                                       name=name, data=dict(data)))
+                                       name=name, data=dict(data) if copy else data))
 
     # ------------------------------------------------------------------ execution
     def run_until(self, end_time: float, max_events: int = 2_000_000) -> ExecutionTrace:
         """Deliver every message with delivery time <= ``end_time``.
 
-        Returns an :class:`ExecutionTrace`; the system can be run further by
-        calling :meth:`run_until` again with a later end time.
+        Returns an :class:`ExecutionTrace` (a shared view — see
+        :meth:`trace`); the system can be run further by calling
+        :meth:`run_until` again with a later end time.
+
+        This is the simulator's hot loop: events move through the queue as
+        raw field tuples (no per-event Message allocation) and the dispatch
+        is inlined with hoisted lookups.
         """
         processed = 0
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > end_time:
+        queue = self._queue
+        heap = queue._heap
+        pop_fields = queue.pop_fields
+        processes = self._processes
+        contexts = self._contexts
+        crashed = self._crashed
+        stats = self._stats
+        while heap:
+            next_time = heap[0][0]
+            if next_time > end_time:
                 break
-            message = self._queue.pop()
-            self._current_time = message.delivery_time
-            self._dispatch(message)
+            entry = pop_fields()
+            self._current_time = entry[0]
+            # Inline dispatch: (time, timer_last, seq, kind, sender,
+            # recipient, payload, send_time).
+            pid = entry[5]
+            if pid not in crashed:
+                # A crashed process receives nothing; otherwise deliver.
+                kind = entry[3]
+                if kind is MessageKind.ORDINARY:
+                    stats.delivered += 1
+                    processes[pid].on_message(contexts[pid], entry[4], entry[6])
+                elif kind is MessageKind.TIMER:
+                    stats.timers_fired += 1
+                    processes[pid].on_timer(contexts[pid], entry[6])
+                else:
+                    processes[pid].on_start(contexts[pid])
             processed += 1
             if processed > max_events:
                 raise RuntimeError(
@@ -299,6 +371,7 @@ class System:
         return self.trace()
 
     def _dispatch(self, message: Message) -> None:
+        """Deliver one message object (kept for tests and manual stepping)."""
         pid = message.recipient
         if pid in self._crashed:
             # A crashed process receives nothing; the message is simply lost to it.
@@ -315,7 +388,14 @@ class System:
             process.on_message(ctx, message.sender, message.payload)
 
     def trace(self) -> ExecutionTrace:
-        """Snapshot of the run so far."""
+        """View of the run so far.
+
+        The returned trace *shares* the system's clocks, correction
+        histories, event log, and statistics rather than copying them (the
+        copy made every ``run_until`` O(run length)); it keeps reflecting the
+        run if the system is driven further.  The faulty set is snapshotted
+        at call time.
+        """
         return ExecutionTrace(
             clocks=self._clocks,
             histories=self._histories,
@@ -323,4 +403,5 @@ class System:
             events=self._events,
             stats=self._stats,
             end_time=self._current_time,
+            copy=False,
         )

@@ -4,20 +4,35 @@ A trace captures, for every process, the physical clock and the full history
 of its CORR variable (so local time ``L_p(t)`` and every logical clock
 ``C^i_p`` can be reconstructed for arbitrary real times after the run), plus
 message statistics and the algorithm-level events the processes chose to log.
+
+Traces produced by :meth:`repro.sim.system.System.trace` are *shared views*:
+they reference the system's live clocks, histories, and event log instead of
+deep-copying them (the copy made ``run_until`` O(events) per call).  The
+``faulty_ids`` set is still snapshotted at trace-creation time.  Construct
+with ``copy=True`` (the default) to get the old isolated-snapshot behavior.
+
+Reconstruction queries (``local_time``, ``skew_series``, ``max_skew``) run on
+a lazily built :class:`~repro.sim.traceindex.TraceIndex` — precomputed
+per-process breakpoint arrays evaluated in one merged sweep per grid, with an
+optional numpy path — and are guaranteed bit-identical to the naive
+per-sample reconstruction (see :mod:`repro.analysis.slowpath` and the
+fast-path equivalence tests).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clocks.base import Clock
 from ..clocks.logical import CorrectionHistory, LogicalClockView
+from .traceindex import TraceIndex
 
 __all__ = ["TraceEvent", "MessageStats", "ExecutionTrace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """An algorithm-level event logged via ``ctx.log``."""
 
@@ -40,15 +55,25 @@ class MessageStats:
     unroutable: int = 0
     timers_set: int = 0
     timers_fired: int = 0
-    per_process_sent: Dict[int, int] = field(default_factory=dict)
+    per_process_sent: Dict[int, int] = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        # Callers may pass a plain dict; normalize so record_send can rely on
+        # Counter's missing-key-is-zero behaviour.
+        if not isinstance(self.per_process_sent, Counter):
+            self.per_process_sent = Counter(self.per_process_sent)
 
     def record_send(self, sender: int) -> None:
         self.sent += 1
-        self.per_process_sent[sender] = self.per_process_sent.get(sender, 0) + 1
+        self.per_process_sent[sender] += 1
 
 
 class ExecutionTrace:
     """Immutable-ish view over the results of a simulation run."""
+
+    __slots__ = ("_clocks", "_histories", "_faulty", "_events", "_stats",
+                 "_end_time", "_nonfaulty", "_index", "_events_by_name",
+                 "_named_count")
 
     def __init__(
         self,
@@ -58,13 +83,18 @@ class ExecutionTrace:
         events: List[TraceEvent],
         stats: MessageStats,
         end_time: float,
+        copy: bool = True,
     ):
-        self._clocks = dict(clocks)
-        self._histories = dict(histories)
+        self._clocks = dict(clocks) if copy else clocks
+        self._histories = dict(histories) if copy else histories
         self._faulty = frozenset(faulty_ids)
-        self._events = list(events)
+        self._events = list(events) if copy else events
         self._stats = stats
         self._end_time = end_time
+        self._nonfaulty: Optional[List[int]] = None
+        self._index: Optional[TraceIndex] = None
+        self._events_by_name: Optional[Dict[str, List[TraceEvent]]] = None
+        self._named_count = -1
 
     # -- basic accessors -------------------------------------------------------
     @property
@@ -82,7 +112,14 @@ class ExecutionTrace:
 
     @property
     def nonfaulty_ids(self) -> List[int]:
-        return [pid for pid in sorted(self._clocks) if pid not in self._faulty]
+        return list(self._nonfaulty_cached())
+
+    def _nonfaulty_cached(self) -> List[int]:
+        """The sorted nonfaulty ids, computed once (do not mutate)."""
+        if self._nonfaulty is None:
+            self._nonfaulty = [pid for pid in sorted(self._clocks)
+                               if pid not in self._faulty]
+        return self._nonfaulty
 
     @property
     def stats(self) -> MessageStats:
@@ -94,23 +131,42 @@ class ExecutionTrace:
 
     def events_named(self, name: str,
                      process_id: Optional[int] = None) -> List[TraceEvent]:
-        """All logged events with a given name (optionally for one process)."""
-        return [e for e in self._events
-                if e.name == name and (process_id is None or e.process_id == process_id)]
+        """All logged events with a given name (optionally for one process).
+
+        Indexed by name on first use; the index refreshes itself when the
+        underlying (possibly still-growing) event log has gained entries.
+        """
+        if self._events_by_name is None or self._named_count != len(self._events):
+            by_name: Dict[str, List[TraceEvent]] = {}
+            for event in self._events:
+                by_name.setdefault(event.name, []).append(event)
+            self._events_by_name = by_name
+            self._named_count = len(self._events)
+        matches = self._events_by_name.get(name, [])
+        if process_id is None:
+            return list(matches)
+        return [e for e in matches if e.process_id == process_id]
 
     # -- clock reconstruction -----------------------------------------------------
+    def index(self) -> TraceIndex:
+        """The (lazily built, auto-refreshing) batch reconstruction index."""
+        if self._index is None or self._index.stale():
+            self._index = TraceIndex(self._clocks, self._histories)
+        return self._index
+
     def view(self, process_id: int) -> LogicalClockView:
         """Logical-clock view (physical clock + correction history) of a process."""
         return LogicalClockView(self._clocks[process_id], self._histories[process_id])
 
     def local_time(self, process_id: int, real_time: float) -> float:
         """``L_p(t)`` for the given process."""
-        return self.view(process_id).local_time(real_time)
+        return (self._clocks[process_id].read(real_time)
+                + self._histories[process_id].correction_at(real_time))
 
     def local_times(self, real_time: float,
                     include_faulty: bool = False) -> Dict[int, float]:
         """Local times of all (by default non-faulty) processes at ``real_time``."""
-        ids = sorted(self._clocks) if include_faulty else self.nonfaulty_ids
+        ids = sorted(self._clocks) if include_faulty else self._nonfaulty_cached()
         return {pid: self.local_time(pid, real_time) for pid in ids}
 
     def adjustments(self, process_id: int) -> List[float]:
@@ -123,17 +179,18 @@ class ExecutionTrace:
     # -- convenience metrics (the heavier ones live in repro.analysis) -------------
     def skew(self, real_time: float) -> float:
         """Maximum difference between non-faulty local times at ``real_time``."""
-        values = list(self.local_times(real_time).values())
-        if len(values) < 2:
+        pids = self._nonfaulty_cached()
+        if len(pids) < 2:
             return 0.0
+        values = [self.local_time(pid, real_time) for pid in pids]
         return max(values) - min(values)
 
     def skew_series(self, times: Sequence[float]) -> List[Tuple[float, float]]:
         """(real time, skew) samples over a grid of real times."""
-        return [(t, self.skew(t)) for t in times]
+        return self.index().skew_series(self._nonfaulty_cached(), times)
 
     def max_skew(self, times: Sequence[float]) -> float:
         """Maximum skew over the sample grid."""
         if not times:
             return 0.0
-        return max(self.skew(t) for t in times)
+        return self.index().max_skew(self._nonfaulty_cached(), times)

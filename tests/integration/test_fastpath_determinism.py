@@ -1,0 +1,168 @@
+"""The fast path is bit-identical to the seed execution and metrics path.
+
+Two guarantees are pinned here:
+
+1. **Simulator**: the tuple-based event loop (``EventQueue.push_fields`` /
+   the inlined ``System.run_until``) consumes the RNG in exactly the seed
+   order and produces identical executions.  ``SeedPathSystem`` reconstructs
+   the original loop — Message objects through ``push``/``pop``, per-call
+   ``_dispatch``, deep-copied snapshot traces — and a seeded scenario run on
+   both must agree on every adjustment, every local time, and every message
+   counter.
+
+2. **Metrics**: the indexed/vectorized reconstruction equals the frozen seed
+   implementations (``repro.analysis.slowpath``) on the traces the real
+   algorithms produce, faults and drops included.
+"""
+
+import pytest
+
+from repro.analysis import default_parameters
+from repro.analysis import slowpath
+from repro.analysis.metrics import sample_grid
+from repro.clocks import make_clock_ensemble
+from repro.core.maintenance import WelchLynchProcess
+from repro.faults.byzantine import TwoFacedClockAttacker
+from repro.sim import ExecutionTrace, Message, System, UniformDelayModel
+from repro.sim.network import ContentionDelayModel
+
+
+class SeedPathSystem(System):
+    """A System whose run loop is the seed implementation, verbatim."""
+
+    def run_until(self, end_time, max_events=2_000_000):
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            message = self._queue.pop()
+            self._current_time = message.delivery_time
+            self._dispatch(message)
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError("divergent")
+        self._current_time = max(self._current_time, end_time)
+        return self.trace()
+
+    def trace(self):
+        # The seed's deep-copied snapshot (copy=True) rather than the shared view.
+        return ExecutionTrace(
+            clocks=self._clocks,
+            histories=self._histories,
+            faulty_ids=self.faulty_ids(),
+            events=self._events,
+            stats=self._stats,
+            end_time=self._current_time,
+            copy=True,
+        )
+
+    def broadcast_from(self, sender, payload):
+        # Seed shape: one post_message call stack per recipient.
+        for recipient in range(self.n):
+            self.post_message(sender, recipient, payload)
+
+    def post_message(self, sender, recipient, payload):
+        # Seed shape: wrap in a Message and push it (exercises push()/pop()).
+        if recipient not in self._processes:
+            raise KeyError(f"unknown recipient {recipient}")
+        self._stats.record_send(sender)
+        delivery_time = self._direct_delivery_time(sender, recipient)
+        if delivery_time is None:
+            self._stats.dropped += 1
+            return
+        from repro.sim.events import MessageKind
+        self._queue.push(Message(kind=MessageKind.ORDINARY, sender=sender,
+                                 recipient=recipient, payload=payload,
+                                 send_time=self._current_time,
+                                 delivery_time=delivery_time))
+
+
+def _build(system_cls, params, rounds, delay_model, seed):
+    processes = [WelchLynchProcess(params, max_rounds=rounds)
+                 for _ in range(params.n - params.f)]
+    processes += [TwoFacedClockAttacker(params, max_rounds=rounds + 2)
+                  for _ in range(params.f)]
+    clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
+                                 seed=seed, kind="constant")
+    system = system_cls(processes, clocks, delay_model=delay_model, seed=seed)
+    system.schedule_all_starts_at_logical(params.initial_round_time)
+    return system
+
+
+@pytest.mark.parametrize("delay_factory", [
+    lambda p: UniformDelayModel(p.delta, p.epsilon),
+    # Drops + queue-state-dependent delays: stresses RNG consumption order.
+    lambda p: ContentionDelayModel(p.delta, p.epsilon, window=0.004,
+                                   threshold=2, drop_probability=0.3),
+], ids=["uniform", "contention-with-drops"])
+def test_fast_loop_matches_seed_loop(delay_factory):
+    params = default_parameters(n=7, f=2)
+    rounds = 6
+    end = params.initial_round_time + (rounds + 1) * params.round_length
+
+    old = _build(SeedPathSystem, params, rounds, delay_factory(params), seed=11)
+    new = _build(System, params, rounds, delay_factory(params), seed=11)
+    old_trace = old.run_until(end)
+    new_trace = new.run_until(end)
+
+    # Identical adjustments (RNG consumption and event ordering unchanged).
+    for pid in range(params.n):
+        assert new_trace.adjustments(pid) == old_trace.adjustments(pid)
+        assert (new_trace.correction_history(pid).events
+                == old_trace.correction_history(pid).events)
+
+    # Identical local times over a dense grid.
+    grid = sample_grid(0.0, end, 257)
+    for pid in range(params.n):
+        for t in grid[::16]:
+            assert new_trace.local_time(pid, t) == old_trace.local_time(pid, t)
+    assert new_trace.skew_series(grid) == old_trace.skew_series(grid)
+
+    # Identical message statistics (Counter == dict compares by content).
+    old_stats, new_stats = old_trace.stats, new_trace.stats
+    assert (new_stats.sent, new_stats.delivered, new_stats.dropped,
+            new_stats.timers_set, new_stats.timers_fired) == \
+           (old_stats.sent, old_stats.delivered, old_stats.dropped,
+            old_stats.timers_set, old_stats.timers_fired)
+    assert dict(new_stats.per_process_sent) == dict(old_stats.per_process_sent)
+
+    # Identical event logs.
+    assert [(e.real_time, e.process_id, e.name, e.data)
+            for e in new_trace.events] == \
+           [(e.real_time, e.process_id, e.name, e.data)
+            for e in old_trace.events]
+
+
+def test_fast_metrics_match_seed_on_real_trace():
+    params = default_parameters(n=7, f=2)
+    system = _build(System, params, 6,
+                    UniformDelayModel(params.delta, params.epsilon), seed=4)
+    end = params.initial_round_time + 7 * params.round_length
+    trace = system.run_until(end)
+    grid = sample_grid(params.initial_round_time, end, 211)
+    assert trace.skew_series(grid) == slowpath.seed_skew_series(trace, grid)
+    assert trace.max_skew(grid) == slowpath.seed_max_skew(trace, grid)
+    for t in grid[::10]:
+        assert trace.local_times(t) == slowpath.seed_local_times(trace, t)
+
+
+def test_shared_view_trace_tracks_continued_run():
+    """run_until -> trace is a shared view; driving the system further is
+    reflected, and the lazily indexed queries stay correct."""
+    params = default_parameters(n=5, f=1)
+    system = _build(System, params, 8,
+                    UniformDelayModel(params.delta, params.epsilon), seed=2)
+    mid = params.initial_round_time + 2 * params.round_length
+    end = params.initial_round_time + 6 * params.round_length
+    trace = system.run_until(mid)
+    events_before = len(trace.events)
+    adjustments_before = len(trace.adjustments(0))
+    trace.max_skew(sample_grid(0.0, mid, 50))  # build the index early
+    system.run_until(end)
+    assert len(trace.events) > events_before
+    assert len(trace.adjustments(0)) > adjustments_before
+    # Index must refresh for the grown histories.
+    grid = sample_grid(0.0, end, 101)
+    assert trace.skew_series(grid) == slowpath.seed_skew_series(trace, grid)
+    assert trace.events_named("broadcast")  # name index refreshes too

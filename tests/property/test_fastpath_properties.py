@@ -1,0 +1,171 @@
+"""Hypothesis guards for the fast path's bit-identical guarantee.
+
+The indexed/vectorized reconstruction (``repro.sim.traceindex`` +
+``repro.analysis.fastmetrics``) must return exactly the floats the seed
+implementation (frozen in ``repro.analysis.slowpath``) returns, for every
+history shape, drift model, and grid — and the tuple-based event queue must
+preserve execution property 4 (TIMER messages deliver after non-TIMER
+messages at the same real time) with deterministic FIFO tie-breaking.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import slowpath
+from repro.clocks import (
+    ConstantRateClock,
+    CorrectionHistory,
+    PerfectClock,
+    PiecewiseLinearClock,
+    rho_rate_bounds,
+)
+from repro.sim import EventQueue, ExecutionTrace, Message, MessageKind, MessageStats
+from repro.sim import traceindex
+
+RHO = 1e-4
+
+
+@pytest.fixture(params=["numpy", "python"])
+def backend(request):
+    """Run each property on both the numpy and the pure-python backend."""
+    if request.param == "numpy" and not traceindex.numpy_available():
+        pytest.skip("numpy not installed")
+    previous = traceindex.numpy_enabled()
+    traceindex.use_numpy(request.param == "numpy")
+    yield request.param
+    traceindex.use_numpy(previous)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                   allow_infinity=False)
+small = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False,
+                  allow_infinity=False)
+
+
+@st.composite
+def histories(draw):
+    history = CorrectionHistory(draw(small))
+    times = sorted(draw(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                           allow_nan=False), max_size=8)))
+    for index, t in enumerate(times):
+        history.apply(t, draw(small), index)
+    return history
+
+
+@st.composite
+def clocks(draw):
+    kind = draw(st.sampled_from(["perfect", "constant", "piecewise"]))
+    if kind == "perfect":
+        return PerfectClock(offset=draw(small))
+    lo, hi = rho_rate_bounds(RHO)
+    if kind == "constant":
+        return ConstantRateClock(offset=draw(small),
+                                 rate=draw(st.floats(min_value=lo, max_value=hi)),
+                                 rho=RHO)
+    count = draw(st.integers(min_value=1, max_value=3))
+    breakpoints = sorted(draw(st.sets(
+        st.floats(min_value=1.0, max_value=90.0, allow_nan=False),
+        min_size=count, max_size=count)))
+    rates = [draw(st.floats(min_value=lo, max_value=hi))
+             for _ in range(count + 1)]
+    return PiecewiseLinearClock(offset=draw(small), rates=rates,
+                                breakpoints=breakpoints, rho=RHO)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    clock_map = {pid: draw(clocks()) for pid in range(n)}
+    history_map = {pid: draw(histories()) for pid in range(n)}
+    faulty = draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+    return ExecutionTrace(clocks=clock_map, histories=history_map,
+                          faulty_ids=faulty, events=[], stats=MessageStats(),
+                          end_time=100.0)
+
+
+grids = st.lists(st.floats(min_value=-10.0, max_value=110.0, allow_nan=False),
+                 max_size=30)
+
+
+# ---------------------------------------------------------------------------
+# Fast path == seed path
+# ---------------------------------------------------------------------------
+
+@given(history=histories(), queries=grids)
+def test_correction_at_matches_seed(history, queries):
+    for t in queries:
+        assert history.correction_at(t) == slowpath.seed_correction_at(history, t)
+
+
+@given(trace=traces(), grid=grids)
+@settings(max_examples=60,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_local_times_match_seed(backend, trace, grid):
+    for t in grid:
+        assert trace.local_times(t) == slowpath.seed_local_times(trace, t)
+        assert (trace.local_times(t, include_faulty=True)
+                == slowpath.seed_local_times(trace, t, include_faulty=True))
+
+
+@given(trace=traces(), grid=grids)
+@settings(max_examples=60,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_skew_series_matches_seed_on_sorted_grid(backend, trace, grid):
+    grid = sorted(grid)
+    assert trace.skew_series(grid) == slowpath.seed_skew_series(trace, grid)
+    assert trace.max_skew(grid) == slowpath.seed_max_skew(trace, grid)
+
+
+@given(trace=traces(), grid=grids)
+@settings(max_examples=60,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_skew_series_matches_seed_on_unsorted_grid(backend, trace, grid):
+    # Unsorted grids take the per-point bisect branch; same floats required.
+    assert trace.skew_series(grid) == slowpath.seed_skew_series(trace, grid)
+    assert trace.max_skew(grid) == slowpath.seed_max_skew(trace, grid)
+
+
+@given(trace=traces(), grid=grids)
+@settings(max_examples=40,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_index_survives_history_growth(backend, trace, grid):
+    """Appending a correction after index build must invalidate it."""
+    grid = sorted(grid)
+    trace.max_skew(grid)  # force the index to exist
+    trace.correction_history(0).apply(200.0, 0.25, 99)
+    assert trace.skew_series(grid) == slowpath.seed_skew_series(trace, grid)
+    assert trace.local_times(250.0) == slowpath.seed_local_times(trace, 250.0)
+
+
+# ---------------------------------------------------------------------------
+# Event-queue ordering (execution property 4)
+# ---------------------------------------------------------------------------
+
+message_specs = st.lists(
+    st.tuples(st.sampled_from(list(MessageKind)),
+              st.integers(min_value=0, max_value=3)),
+    max_size=40)
+
+
+@given(specs=message_specs, raw=st.booleans())
+def test_event_queue_tuple_ordering_preserves_property4(specs, raw):
+    """Pop order == stable sort by (delivery time, TIMER-last), regardless of
+    whether events enter as Message objects or raw field tuples."""
+    queue = EventQueue()
+    for index, (kind, slot) in enumerate(specs):
+        if raw:
+            queue.push_fields(kind, 0, 0, index, 0.0, float(slot))
+        else:
+            queue.push(Message(kind=kind, sender=0, recipient=0, payload=index,
+                               send_time=0.0, delivery_time=float(slot)))
+    expected = [index for index, (kind, slot) in sorted(
+        enumerate(specs),
+        key=lambda item: (item[1][1], item[1][0] is MessageKind.TIMER, item[0]))]
+    popped = [queue.pop().payload for _ in specs]
+    assert popped == expected
+    assert queue.delivered_count == len(specs)

@@ -1,0 +1,176 @@
+"""Unit tests for the fast-path surfaces: raw event-queue API, Counter-backed
+message stats, trace index invalidation, the bench harness, and its CLI."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import build_parser
+from repro.clocks import ConstantRateClock, CorrectionHistory, PerfectClock
+from repro.sim import (
+    EventQueue,
+    ExecutionTrace,
+    Message,
+    MessageKind,
+    MessageStats,
+)
+from repro.sim.traceindex import TraceIndex
+
+
+class TestEventQueueRawAPI:
+    def test_push_fields_pop_fields_round_trip(self):
+        queue = EventQueue()
+        queue.push_fields(MessageKind.ORDINARY, 1, 2, "hi", 0.5, 1.5)
+        entry = queue.pop_fields()
+        assert entry[0] == 1.5          # delivery time
+        assert entry[1] == 0            # timer_last
+        assert entry[3] is MessageKind.ORDINARY
+        assert entry[4:] == (1, 2, "hi", 0.5)
+        assert queue.delivered_count == 1
+
+    def test_raw_and_object_apis_interoperate(self):
+        queue = EventQueue()
+        queue.push_fields(MessageKind.TIMER, 0, 0, "t", 0.0, 2.0)
+        queue.push(Message(kind=MessageKind.ORDINARY, sender=1, recipient=0,
+                           payload="m", send_time=0.0, delivery_time=2.0))
+        # Property 4: the ordinary message wins the tie despite later insert.
+        first = queue.pop()
+        assert first.payload == "m" and first.kind is MessageKind.ORDINARY
+        assert queue.pop_fields()[6] == "t"
+
+    def test_pending_reconstructs_messages(self):
+        queue = EventQueue()
+        queue.push_fields(MessageKind.START, 3, 3, None, 1.0, 1.0)
+        (pending,) = queue.pending()
+        assert isinstance(pending, Message)
+        assert pending.is_start() and pending.sender == 3
+        assert pending.delay == 0.0
+
+    def test_message_is_slotted_and_frozen(self):
+        msg = Message(kind=MessageKind.ORDINARY, sender=0, recipient=1,
+                      payload=None, send_time=0.0, delivery_time=1.0)
+        assert not hasattr(msg, "__dict__")
+        with pytest.raises(AttributeError):
+            msg.delivery_time = 2.0
+
+
+class TestMessageStats:
+    def test_record_send_counts(self):
+        stats = MessageStats()
+        for sender in (0, 1, 0, 2, 0):
+            stats.record_send(sender)
+        assert stats.sent == 5
+        assert dict(stats.per_process_sent) == {0: 3, 1: 1, 2: 1}
+
+    def test_plain_dict_construction_still_counts(self):
+        stats = MessageStats(per_process_sent={4: 2})
+        stats.record_send(4)
+        stats.record_send(9)
+        assert stats.per_process_sent[4] == 3
+        assert stats.per_process_sent[9] == 1
+
+
+class TestTraceIndex:
+    def _trace(self):
+        clocks = {0: PerfectClock(), 1: ConstantRateClock(offset=0.1, rate=1.0)}
+        histories = {0: CorrectionHistory(0.0), 1: CorrectionHistory(0.0)}
+        return ExecutionTrace(clocks=clocks, histories=histories, faulty_ids=(),
+                              events=[], stats=MessageStats(), end_time=10.0)
+
+    def test_stale_after_history_growth(self):
+        trace = self._trace()
+        index = trace.index()
+        assert not index.stale()
+        trace.correction_history(0).apply(5.0, 0.25, 0)
+        assert index.stale()
+        # trace.index() hands back a rebuilt, correct index.
+        assert trace.index().local_time(0, 6.0) == 6.25
+
+    def test_single_point_matches_row_evaluation(self):
+        trace = self._trace()
+        trace.correction_history(1).apply(2.0, -0.1, 0)
+        index = trace.index()
+        grid = [0.0, 1.0, 2.0, 3.0]
+        rows = index.local_times_rows([0, 1], grid)
+        for row, pid in zip(rows, [0, 1]):
+            assert row == [index.local_time(pid, t) for t in grid]
+
+    def test_correction_index_properties(self):
+        history = CorrectionHistory(0.5)
+        history.apply(1.0, 0.25, 0)
+        assert list(history.times) == [float("-inf"), 1.0]
+        assert list(history.corrections) == [0.5, 0.75]
+        assert history.current() == 0.75
+        assert history.correction_at(0.0) == 0.5
+        assert history.correction_at(1.0) == 0.75
+
+
+class TestBenchHarness:
+    def test_small_benchmarks_produce_sane_numbers(self):
+        et = bench.bench_event_throughput(n=7, rounds=2, repeats=1)
+        assert et["events"] > 0 and et["events_per_second"] > 0
+        tr = bench.bench_trace_reconstruction(k=8, calls=1000, repeats=1)
+        assert tr["calls_per_second"] > 0
+        metrics = bench.bench_metrics(n=4, rounds=2, samples=20, repeats=1)
+        assert metrics["seconds"] > 0 and metrics["reference_seconds"] > 0
+
+    def test_merge_and_speedups(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        results = {"metrics_n200": {"seconds": 0.1},
+                   "event_throughput": {"seconds": 0.02,
+                                        "events_per_second": 100.0}}
+        payload = bench.merge_results(str(path), results, "seed",
+                                      record_baseline=True)
+        path.write_text(json.dumps(payload))
+        faster = {"metrics_n200": {"seconds": 0.005},
+                  "event_throughput": {"seconds": 0.01,
+                                       "events_per_second": 200.0}}
+        payload = bench.merge_results(str(path), faster, "fast",
+                                      record_baseline=False)
+        assert payload["baseline"]["label"] == "seed"
+        assert payload["speedups"]["metrics_n200"] == pytest.approx(20.0)
+        assert payload["speedups"]["event_throughput"] == pytest.approx(2.0)
+
+    def test_regression_guard(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({
+            "baseline": {"results": {"event_throughput":
+                                     {"events_per_second": 1000.0}}}}))
+        healthy = {"event_throughput": {"events_per_second": 800.0}}
+        assert bench.check_event_throughput(healthy, str(path)) is None
+        regressed = {"event_throughput": {"events_per_second": 600.0}}
+        failure = bench.check_event_throughput(regressed, str(path))
+        assert failure is not None and "dropped" in failure
+
+    def test_regression_guard_without_baseline(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"schema": 1}))
+        failure = bench.check_event_throughput(
+            {"event_throughput": {"events_per_second": 1.0}}, str(path))
+        assert failure is not None and "record-baseline" in failure
+
+    def test_format_results_renders_every_section(self):
+        results = {
+            "event_throughput": {"events": 10, "seconds": 0.1,
+                                 "events_per_second": 100.0},
+            "trace_reconstruction": {"k": 8, "calls": 100, "seconds": 0.01,
+                                     "calls_per_second": 1e4},
+            "metrics_n10": {"seconds": 0.01, "reference_seconds": 0.1,
+                            "in_process_speedup": 10.0},
+            "end_to_end": {"seconds": 0.2, "workloads": ["lan"]},
+        }
+        text = bench.format_results(results, {"metrics_n10": 10.0})
+        for fragment in ("event throughput", "trace reconstruction",
+                         "metrics_n10", "end_to_end", "speedup vs baseline"):
+            assert fragment in text
+
+
+class TestBenchCLI:
+    def test_parser_accepts_bench_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--no-write", "--check", "BENCH_3.json",
+             "--tolerance", "0.5", "--label", "x"])
+        assert args.command == "bench"
+        assert args.quick and args.no_write
+        assert args.tolerance == 0.5
