@@ -1,0 +1,77 @@
+"""E-streaming — the observer pipeline at long horizons.
+
+PR 4's streaming refactor decouples observation from storage: a
+``record_trace=False`` run keeps O(n) state (bounded correction histories,
+per-process last-correction observer state) while the online skew/validity
+metrics match the batch engine bit for bit.  This module benchmarks the
+no-trace path at a test-sized horizon and checks the memory contract; the
+recorded full-size trajectory (n = 100, 60 rounds) lives in ``BENCH_4.json``
+(regenerate with ``python -m repro bench``).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from benchmarks._report import emit
+from repro.analysis import default_parameters, run_maintenance_scenario
+from repro.analysis.metrics import measured_agreement
+from repro.analysis.online import build_observers
+from repro.bench import bench_streaming
+
+N = 24
+ROUNDS = 16
+
+
+def _factory(system, starts, end, params):
+    return build_observers(("skew", "validity"), system, params, starts, end)
+
+
+def test_streaming_throughput(benchmark):
+    """No-trace events/s through the pipeline with online metrics attached."""
+    result = benchmark(bench_streaming, n=N, rounds=ROUNDS, repeats=1)
+    emit("E-streaming throughput",
+         f"{result['events_per_second']:,.0f} events/s "
+         f"({result['events']} events, n={N}, {ROUNDS} rounds), "
+         f"peak alloc {result['peak_tracemalloc_bytes']:,} B")
+    assert result["events"] > 0
+    assert result["validity_violations"] == 0
+
+
+def test_streaming_peak_allocation_beats_batch():
+    """The no-trace path must allocate strictly less than the batch path."""
+    params = default_parameters(n=N, f=2)
+
+    def measure(**kwargs):
+        tracemalloc.start()
+        result = run_maintenance_scenario(params, rounds=ROUNDS,
+                                          fault_kind="silent", seed=5,
+                                          **kwargs)
+        if kwargs.get("record_trace", True):
+            start = result.tmax0 + params.round_length
+            measured_agreement(result.trace, start, result.end_time,
+                               samples=200)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    streaming_peak = measure(record_trace=False, observers=_factory)
+    batch_peak = measure()
+    emit("E-streaming memory",
+         f"peak alloc: streaming {streaming_peak:,} B vs batch "
+         f"{batch_peak:,} B ({batch_peak / streaming_peak:.1f}x)")
+    assert streaming_peak < batch_peak
+
+
+def test_streaming_metrics_match_batch_at_horizon():
+    """The recorded/streamed split agrees at the benchmark's horizon."""
+    params = default_parameters(n=N, f=2)
+    streamed = run_maintenance_scenario(params, rounds=ROUNDS,
+                                        fault_kind="silent", seed=5,
+                                        record_trace=False,
+                                        observers=_factory)
+    recorded = run_maintenance_scenario(params, rounds=ROUNDS,
+                                        fault_kind="silent", seed=5)
+    start = recorded.tmax0 + params.round_length
+    assert streamed.online("skew").max_skew == measured_agreement(
+        recorded.trace, start, recorded.end_time, samples=200)

@@ -39,6 +39,7 @@ from ..sim.network import (
     TruncatedGaussianDelayModel,
     UniformDelayModel,
 )
+from ..sim.events import EventBudgetExceeded
 from ..sim.process import Process
 from ..sim.system import System
 from ..sim.trace import ExecutionTrace
@@ -75,6 +76,16 @@ class ScenarioResult:
     #: when it came through :func:`repro.runner.execute` (None for direct
     #: builder calls); lets batched results stay self-describing.
     spec: Optional[object] = None
+    #: streaming observers attached for this run, keyed by observer ``name``
+    #: (e.g. ``"skew"`` -> :class:`~repro.analysis.online.OnlineSkew`); the
+    #: only metrics source when the run recorded no trace.
+    observers: Dict[str, object] = field(default_factory=dict)
+    #: snapshot/restore cycles the run went through (``checkpoint_every``).
+    checkpoints: int = 0
+
+    def online(self, name: str) -> Optional[object]:
+        """The attached streaming observer with the given name, or ``None``."""
+        return self.observers.get(name)
 
     @property
     def is_partition_heal(self) -> bool:
@@ -220,18 +231,48 @@ ALGORITHM_FACTORIES: Dict[str, Callable[[SyncParameters, int], Process]] = {
 }
 
 
+#: an observer factory: called with (system, start_times, end_time, params)
+#: after START scheduling but before the run, returns observers to attach.
+ObserverFactory = Callable[[System, Dict[int, float], float, SyncParameters],
+                           Sequence["object"]]
+
+
 def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
          clock_kind: str, delay_model: DelayModel, seed: int,
          extra_time: float = 0.0,
          start_scheduler: Optional[Callable[[System], Dict[int, float]]] = None,
          topology: Optional[Topology] = None,
          link_schedule: Optional[LinkSchedule] = None,
+         observers: Union[ObserverFactory, Sequence[object], None] = None,
+         record_trace: bool = True,
+         max_events: int = 2_000_000,
+         checkpoint_every: Optional[float] = None,
+         horizon: Optional[float] = None,
          ) -> ScenarioResult:
-    """Assemble a system, schedule starts, run for ``rounds`` rounds."""
+    """Assemble a system, schedule starts, run for ``rounds`` rounds.
+
+    The streaming knobs thread the observer pipeline through every scenario:
+
+    * ``observers`` — streaming observers to attach (or a factory called with
+      the assembled system, the START times, the end time and the effective
+      parameters — what :func:`repro.analysis.online.build_observers` needs);
+    * ``record_trace=False`` — drop the default full-trace recorder and bound
+      the correction histories, so the run needs O(n) memory beyond what the
+      attached observers keep;
+    * ``horizon`` — extend the run to at least this real time (long-horizon
+      steady-state studies);
+    * ``checkpoint_every`` — segment the run at that real-time period, taking
+      a full :meth:`~repro.sim.system.System.snapshot` / ``restore`` round
+      trip (pickle included) at every boundary; results are bit-identical to
+      the unsegmented run;
+    * ``max_events`` — the total interrupt budget across all segments
+      (:class:`~repro.sim.events.EventBudgetExceeded` carries the counts).
+    """
     clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
                                  seed=seed, kind=clock_kind)
     system = System(processes, clocks, delay_model=delay_model, seed=seed,
-                    topology=topology, link_schedule=link_schedule)
+                    topology=topology, link_schedule=link_schedule,
+                    record_trace=record_trace)
     if start_scheduler is None:
         start_times = system.schedule_all_starts_at_logical(params.initial_round_time)
     else:
@@ -239,9 +280,57 @@ def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
     end_time = (params.initial_round_time + rounds * params.round_length
                 + params.collection_window() + 10 * params.delta
                 + params.beta + extra_time)
-    trace = system.run_until(end_time)
+    if horizon is not None:
+        end_time = max(end_time, float(horizon))
+    built = (list(observers(system, start_times, end_time, params))
+             if callable(observers) else list(observers or ()))
+    for observer in built:
+        system.add_observer(observer)
+    checkpoints = 0
+    try:
+        if checkpoint_every:
+            period = float(checkpoint_every)
+            if period <= 0:
+                raise ValueError(
+                    f"checkpoint_every must be positive, got {period}")
+            boundary = period
+            while boundary < end_time:
+                system.run_until(
+                    boundary,
+                    max_events=max_events - system.events_dispatched)
+                system.restore(system.snapshot())
+                checkpoints += 1
+                boundary += period
+        trace = system.run_until(
+            end_time, max_events=max_events - system.events_dispatched)
+    except EventBudgetExceeded as err:
+        # Segments run on the *remaining* budget; re-raise with the run's
+        # totals so the counts always describe the whole run.
+        raise EventBudgetExceeded(
+            processed=system.events_dispatched, max_events=max_events,
+            current_time=err.current_time, end_time=end_time,
+            pending=err.pending) from None
+    system.finalize_observers()
+    # Checkpointing restores *pickled copies* of the observers, so the
+    # objects that saw the whole run are the system's, not the ones built
+    # above.  The attached observers occupy the tail of the system's list
+    # (the default recorder precedes them), so match positionally and copy
+    # the final state back into the caller's objects — references the caller
+    # kept (the pattern every non-checkpointed test uses) stay live.
+    final = system.observers[len(system.observers) - len(built):] \
+        if built else []
+    resolved = []
+    for original, restored in zip(built, final):
+        if original is not restored and hasattr(restored, "__dict__") \
+                and hasattr(original, "__dict__"):
+            original.__dict__.clear()
+            original.__dict__.update(restored.__dict__)
+            restored = original
+        resolved.append(restored)
     return ScenarioResult(params=params, trace=trace, start_times=start_times,
-                          rounds=rounds, end_time=end_time)
+                          rounds=rounds, end_time=end_time,
+                          observers={obs.name: obs for obs in resolved},
+                          checkpoints=checkpoints)
 
 
 def run_maintenance_scenario(
@@ -258,6 +347,11 @@ def run_maintenance_scenario(
     correct_process_factory: Optional[Callable[[SyncParameters, int], Process]] = None,
     topology: Optional[Topology] = None,
     link_schedule: Optional[LinkSchedule] = None,
+    observers: Union[ObserverFactory, Sequence[object], None] = None,
+    record_trace: bool = True,
+    max_events: int = 2_000_000,
+    checkpoint_every: Optional[float] = None,
+    horizon: Optional[float] = None,
 ) -> ScenarioResult:
     """Run the Welch-Lynch maintenance algorithm under a chosen fault load.
 
@@ -298,7 +392,10 @@ def run_maintenance_scenario(
         processes.append(make_fault_process(fault_kind, params, rounds,
                                             seed=seed + index))
     return _run(params, processes, rounds, clock_kind, delay_model, seed,
-                topology=topology, link_schedule=link_schedule)
+                topology=topology, link_schedule=link_schedule,
+                observers=observers, record_trace=record_trace,
+                max_events=max_events, checkpoint_every=checkpoint_every,
+                horizon=horizon)
 
 
 def run_algorithm_scenario(
@@ -312,6 +409,11 @@ def run_algorithm_scenario(
     seed: int = 0,
     topology: Optional[Topology] = None,
     link_schedule: Optional[LinkSchedule] = None,
+    observers: Union[ObserverFactory, Sequence[object], None] = None,
+    record_trace: bool = True,
+    max_events: int = 2_000_000,
+    checkpoint_every: Optional[float] = None,
+    horizon: Optional[float] = None,
 ) -> ScenarioResult:
     """Run any of the comparison algorithms on the same workload (E8)."""
     if algorithm not in ALGORITHM_FACTORIES:
@@ -330,7 +432,10 @@ def run_algorithm_scenario(
         processes.append(make_fault_process(fault_kind, params, rounds,
                                             seed=seed + index))
     return _run(params, processes, rounds, clock_kind, delay_model, seed,
-                topology=topology, link_schedule=link_schedule)
+                topology=topology, link_schedule=link_schedule,
+                observers=observers, record_trace=record_trace,
+                max_events=max_events, checkpoint_every=checkpoint_every,
+                horizon=horizon)
 
 
 def run_startup_scenario(
@@ -450,6 +555,7 @@ def run_partition_heal_scenario(
     delay: Union[str, DelayModel] = "uniform",
     seed: int = 0,
     post_heal_rounds: int = 2,
+    observers: Union[ObserverFactory, Sequence[object], None] = None,
 ) -> PartitionHealResult:
     """Partition the network mid-run, heal it, and keep running (E-topology).
 
@@ -501,10 +607,11 @@ def run_partition_heal_scenario(
     extra_time = post_heal_rounds * params.round_length
     result = _run(params, processes, rounds, clock_kind, delay_model, seed,
                   extra_time=extra_time, topology=topology,
-                  link_schedule=schedule)
+                  link_schedule=schedule, observers=observers)
     return PartitionHealResult(
         params=result.params, trace=result.trace,
         start_times=result.start_times, rounds=result.rounds,
-        end_time=result.end_time, groups=list(groups),
+        end_time=result.end_time, observers=result.observers,
+        groups=list(groups),
         partition_start=partition_start, heal_time=heal_time,
     )

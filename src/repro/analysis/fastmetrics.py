@@ -79,9 +79,7 @@ def validity_report_on_grid(trace: ExecutionTrace, params: SyncParameters,
     for pid in pids:
         rates.append((trace.local_time(pid, end)
                       - trace.local_time(pid, start)) / span)
-    return ValidityReport(samples=total, violations=violations,
-                          min_rate=min(rates) if rates else 1.0,
-                          max_rate=max(rates) if rates else 1.0)
+    return ValidityReport.from_counts(total, violations, rates)
 
 
 def _nonfaulty_groups(trace: ExecutionTrace,

@@ -145,6 +145,21 @@ class ValidityReport:
     def holds(self) -> bool:
         return self.violations == 0
 
+    @classmethod
+    def from_counts(cls, samples: int, violations: int,
+                    rates: Sequence[float]) -> "ValidityReport":
+        """Assemble a report from raw counts and per-process rate estimates.
+
+        The single construction point shared by the batch grid sweep
+        (:func:`repro.analysis.fastmetrics.validity_report_on_grid`) and the
+        streaming observer (:class:`repro.analysis.online.OnlineValidity`),
+        so the empty-rates convention and min/max handling cannot drift
+        between the two paths.
+        """
+        return cls(samples=samples, violations=violations,
+                   min_rate=min(rates) if rates else 1.0,
+                   max_rate=max(rates) if rates else 1.0)
+
 
 def validity_report(trace: ExecutionTrace, params: SyncParameters, tmin0: float,
                     tmax0: float, start: float, end: float,

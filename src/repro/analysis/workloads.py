@@ -83,6 +83,14 @@ class Workload:
     #: extra keyword arguments for the link-fault scenario builder
     #: (e.g. partition_round / heal_round for 'partition_heal').
     link_fault_options: Dict[str, float] = field(default_factory=dict)
+    #: rounds a run of this workload defaults to (long-horizon presets raise
+    #: it well past what callers usually pass explicitly).
+    default_rounds: int = 10
+    #: False = stream by default: no full trace, bounded correction
+    #: histories, metrics from the online observers.
+    record_trace: bool = True
+    #: online observers attached by default ('skew', 'validity', 'network').
+    observers: Tuple[str, ...] = ()
 
     def build_topology(self, n: int, seed: int = 0) -> Optional[Topology]:
         """Instantiate this workload's topology for ``n`` processes (or None)."""
@@ -179,6 +187,25 @@ WORKLOADS: Dict[str, Workload] = {
             topology="clustered:clusters=2,bridges=2", fault_kind=None,
         ),
         Workload(
+            name="long-horizon-lan",
+            description="LAN constants over 60 resynchronization rounds, "
+                        "streamed: no trace, online skew/validity observers, "
+                        "O(n) memory.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            default_rounds=60, record_trace=False,
+            observers=("skew", "validity"),
+        ),
+        Workload(
+            name="steady-state-wan",
+            description="WAN constants (50 ms +/- 20 ms, gaussian) held for "
+                        "50 rounds to observe the steady-state ~4 epsilon + "
+                        "4 rho P floor; streamed with online observers.",
+            rho=1e-4, delta=0.05, epsilon=0.02,
+            delay_kind="gaussian",
+            default_rounds=50, record_trace=False,
+            observers=("skew", "validity"),
+        ),
+        Workload(
             name="partition-heal",
             description="LAN constants; the network splits in two mid-run and "
                         "heals a few rounds later (divergence then Lemma 20 "
@@ -214,10 +241,16 @@ def build_parameters(workload: Workload, n: int = 7, f: int = 2,
                                  round_length=round_length)
 
 
-def build_spec(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
+def build_spec(workload: Workload, n: int = 7, f: int = 2,
+               rounds: Optional[int] = None,
                seed: int = 0, round_length: Optional[float] = None,
                stagger_interval: float = 0.0,
-               topology: Union[str, Topology, None] = None) -> RunSpec:
+               topology: Union[str, Topology, None] = None,
+               record_trace: Optional[bool] = None,
+               observers: Optional[Tuple[str, ...]] = None,
+               horizon: Optional[float] = None,
+               checkpoint_every: Optional[float] = None,
+               samples: Optional[int] = None) -> RunSpec:
     """Translate a workload preset into a declarative :class:`RunSpec`.
 
     This is the bridge between the workload vocabulary (hardware constants +
@@ -225,15 +258,31 @@ def build_spec(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
     replication/batch machinery both go through it, so a workload name plus
     (n, f, rounds, seed) fully determines a spec — and therefore, through
     :func:`repro.runner.execute`'s determinism, a bit-exact run.
+
+    ``rounds``, ``record_trace`` and ``observers`` default to the workload's
+    own presets (the long-horizon workloads stream by default); pass explicit
+    values to override.  ``horizon`` / ``checkpoint_every`` thread straight
+    through to the streaming pipeline.
     """
     params = build_parameters(workload, n=n, f=f, round_length=round_length)
     topo = topology if topology is not None else workload.topology
+    if rounds is None:
+        rounds = workload.default_rounds
     if workload.link_fault_kind == "partition_heal":
         if stagger_interval:
             raise ValueError(
                 f"workload {workload.name!r} does not support staggered "
                 f"broadcast (the partition-heal scenario has no stagger "
                 f"support)")
+        if (record_trace is False or observers or horizon is not None
+                or checkpoint_every is not None or samples is not None):
+            # Dropping these silently would report a streaming run that
+            # never happened (and skip every audit).
+            raise ValueError(
+                f"workload {workload.name!r} runs the partition-heal "
+                f"scenario, which does not support the streaming pipeline "
+                f"(record_trace=False / observers / horizon / "
+                f"checkpoint_every / samples)")
         options = {key: int(value)
                    for key, value in workload.link_fault_options.items()}
         return RunSpec.partition_heal(
@@ -244,14 +293,21 @@ def build_spec(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
         raise ValueError(f"workload {workload.name!r} has unknown link fault "
                          f"kind {workload.link_fault_kind!r}")
     extras = {"stagger_interval": stagger_interval} if stagger_interval else {}
+    if record_trace is None:
+        record_trace = workload.record_trace
+    if observers is None:
+        observers = workload.observers
     return RunSpec.maintenance(
         params, rounds=rounds, fault_kind=workload.fault_kind,
         clock_kind=workload.clock_kind, delay=workload.delay_kind,
         delay_options=workload.delay_options, topology=topo, seed=seed,
+        record_trace=record_trace, observers=tuple(observers),
+        horizon=horizon, checkpoint_every=checkpoint_every, samples=samples,
         **extras)
 
 
-def run_workload(workload: Workload, n: int = 7, f: int = 2, rounds: int = 10,
+def run_workload(workload: Workload, n: int = 7, f: int = 2,
+                 rounds: Optional[int] = None,
                  seed: int = 0, round_length: Optional[float] = None,
                  stagger_interval: float = 0.0,
                  topology: Union[str, Topology, None] = None) -> ScenarioResult:

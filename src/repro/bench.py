@@ -13,7 +13,11 @@ the measuring stick.  It times the three layers the fast path targets
   (:mod:`repro.analysis.slowpath`) for a machine-independent speedup figure;
 * **end-to-end** — build + run + audit over the default workload suite
   (``lan``, ``wan``, ``adversarial-delay`` at n = 7), the shape of a CLI
-  ``run`` invocation.
+  ``run`` invocation;
+* **streaming** — a long-horizon ``record_trace=False`` run (n = 100, 60
+  rounds) through the observer pipeline with online skew/validity metrics,
+  recording events/s, the tracemalloc allocation peak, and the process peak
+  RSS — the regime the batch path cannot reach without O(events) memory.
 
 Results are written to a ``BENCH_*.json`` trajectory file with two slots:
 ``baseline`` (recorded once, before a perf change lands — pass
@@ -21,7 +25,10 @@ Results are written to a ``BENCH_*.json`` trajectory file with two slots:
 compares the two.  ``--check FILE`` turns the run into a regression guard: it
 fails when the measured event throughput drops more than ``--tolerance``
 (default 30%) below the recorded *baseline* throughput, so a fast path that
-regresses to seed speed fails CI even on slower machines.
+regresses to seed speed fails CI even on slower machines — and when the
+streaming run's allocation peak grows more than ``--memory-tolerance``
+(default 50%) above the recorded one, so an accidental O(events) buffer on
+the no-trace path fails CI too.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import json
 import os
 import platform
 import time
+import tracemalloc
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis.experiments import default_parameters, run_maintenance_scenario
@@ -56,16 +64,23 @@ __all__ = [
     "bench_trace_reconstruction",
     "bench_metrics",
     "bench_end_to_end",
+    "bench_streaming",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
     "check_event_throughput",
+    "check_streaming_memory",
     "format_results",
     "main",
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_3.json"
+DEFAULT_BENCH_PATH = "BENCH_4.json"
+
+#: the streaming benchmark's fixed configuration — identical in quick and
+#: full mode so the memory guard always compares like with like.
+STREAMING_N = 100
+STREAMING_ROUNDS = 60
 
 #: the workload presets an end-to-end CLI-style invocation exercises.
 END_TO_END_SUITE = ("lan", "wan", "adversarial-delay")
@@ -198,6 +213,70 @@ def bench_metrics(n: int, rounds: int = 8, samples: int = 200,
                                    if seconds > 0 else 0.0)}
 
 
+def _peak_rss_kb() -> Optional[float]:
+    """Process high-water RSS in KiB (Linux semantics), or None off-POSIX."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def bench_streaming(n: int = STREAMING_N, rounds: int = STREAMING_ROUNDS,
+                    repeats: int = 1) -> Dict[str, object]:
+    """A long-horizon no-trace run through the streaming observer pipeline.
+
+    Runs the maintenance algorithm for ``rounds`` resynchronization rounds at
+    system size ``n`` with ``record_trace=False`` and online skew + validity
+    observers — the workload whose batch equivalent would materialize an
+    O(events) trace before the first metric.  Times the full run (simulation
+    plus online metrics), then repeats it once under :mod:`tracemalloc` for
+    the allocation peak (that pass is untimed: tracemalloc roughly doubles
+    the runtime).  ``peak_rss_kb`` is the *process* high-water mark — a
+    monotone number useful for the record, while ``peak_tracemalloc_bytes``
+    is the comparable figure the regression guard checks.
+    """
+    from .analysis.online import build_observers
+
+    params = default_parameters(n=n, f=_legal_f(n))
+
+    def factory(system, start_times, end_time, run_params):
+        return build_observers(("skew", "validity"), system, run_params,
+                               start_times, end_time)
+
+    def build_and_run():
+        return run_maintenance_scenario(params, rounds=rounds,
+                                        fault_kind="silent", seed=5,
+                                        record_trace=False,
+                                        observers=factory)
+
+    def one() -> float:
+        start = time.perf_counter()
+        result = build_and_run()
+        elapsed = time.perf_counter() - start
+        one.result = result
+        return elapsed
+
+    seconds = _best_of(repeats, one)
+    result = one.result
+    stats = result.trace.stats
+    events = stats.delivered + stats.timers_fired + n
+    tracemalloc.start()
+    memory_result = build_and_run()
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    skew = memory_result.online("skew")
+    validity = memory_result.online("validity").report()
+    return {
+        "n": n, "rounds": rounds, "events": events, "seconds": seconds,
+        "events_per_second": events / seconds if seconds > 0 else 0.0,
+        "peak_tracemalloc_bytes": int(peak_bytes),
+        "peak_rss_kb": _peak_rss_kb(),
+        "max_skew": skew.max_skew,
+        "validity_violations": validity.violations,
+    }
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -256,6 +335,9 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     results["end_to_end"] = bench_end_to_end(
         rounds=5 if quick else 10, samples=100 if quick else 200,
         repeats=1 if quick else 2)
+    # Same n/rounds in both modes: the memory guard compares config-matched
+    # entries, and CI runs --quick against a full-mode recording.
+    results["streaming"] = bench_streaming(repeats=1)
     return results
 
 
@@ -268,7 +350,9 @@ def _environment() -> Dict[str, str]:
 #: result fields that carry measurements rather than benchmark parameters.
 _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "in_process_speedup", "events",
-                               "events_per_second", "calls_per_second"})
+                               "events_per_second", "calls_per_second",
+                               "peak_tracemalloc_bytes", "peak_rss_kb",
+                               "max_skew", "validity_violations"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -352,6 +436,46 @@ def check_event_throughput(results: Dict[str, object], baseline_path: str,
     return None
 
 
+def check_streaming_memory(results: Dict[str, object], baseline_path: str,
+                           tolerance: float = 0.50) -> Optional[str]:
+    """Memory regression guard for the streaming slot.
+
+    Compares the no-trace run's tracemalloc allocation peak against the
+    recorded trajectory (preferring the ``baseline`` slot, falling back to
+    ``current`` — older trajectory files predate the streaming slot).
+    Returns ``None`` when healthy, when no comparable recording exists, or
+    when the configurations (n, rounds) differ; else a failure description.
+    Allocation peaks are machine-stable (unlike wall-clock), so no
+    calibration division is needed.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    reference = None
+    for slot_name in ("baseline", "current"):
+        slot = recorded.get(slot_name) or {}
+        entry = (slot.get("results") or {}).get("streaming")
+        if isinstance(entry, dict) and entry.get("peak_tracemalloc_bytes"):
+            reference = entry
+            break
+    if reference is None:
+        return None
+    measured_entry = results.get("streaming")
+    if not isinstance(measured_entry, dict):
+        return None
+    config_keys = (set(reference) | set(measured_entry)) - _MEASUREMENT_KEYS
+    if any(reference.get(key) != measured_entry.get(key)
+           for key in config_keys):
+        return None
+    measured = measured_entry["peak_tracemalloc_bytes"]
+    ceiling = reference["peak_tracemalloc_bytes"] * (1.0 + tolerance)
+    if measured > ceiling:
+        return (f"streaming peak allocation {measured:,} B grew more than "
+                f"{tolerance:.0%} above the recorded "
+                f"{reference['peak_tracemalloc_bytes']:,} B — the no-trace "
+                f"path is accumulating per-event state again")
+    return None
+
+
 def format_results(results: Dict[str, object],
                    speedups: Optional[Dict[str, float]] = None) -> str:
     """Human-readable summary table of one benchmark run."""
@@ -372,6 +496,15 @@ def format_results(results: Dict[str, object],
     e2e = results["end_to_end"]
     lines.append(f"end_to_end            {e2e['seconds']:>10.4f} s "
                  f"({', '.join(e2e['workloads'])})")
+    streaming = results.get("streaming")
+    if streaming:
+        rss = (f", peak RSS {streaming['peak_rss_kb']:,.0f} KiB"
+               if streaming.get("peak_rss_kb") else "")
+        lines.append(
+            f"streaming             {streaming['events_per_second']:>12,.0f} ev/s "
+            f"(n={streaming['n']}, {streaming['rounds']} rounds, "
+            f"{streaming['events']} events, peak alloc "
+            f"{streaming['peak_tracemalloc_bytes']:,} B{rss})")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))
@@ -385,10 +518,15 @@ def main(args: argparse.Namespace) -> int:
     if args.check:
         failure = check_event_throughput(results, args.check,
                                          tolerance=args.tolerance)
+        if failure is None:
+            failure = check_streaming_memory(
+                results, args.check, tolerance=args.memory_tolerance)
         if failure:
             print(f"REGRESSION: {failure}")
             return 1
-        print(f"regression guard passed (tolerance {args.tolerance:.0%})")
+        print(f"regression guards passed (throughput tolerance "
+              f"{args.tolerance:.0%}, memory tolerance "
+              f"{args.memory_tolerance:.0%})")
     payload = merge_results(args.out, results, label=args.label,
                             record_baseline=args.record_baseline)
     speedups = payload.get("speedups") if isinstance(payload, dict) else None
@@ -420,6 +558,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional throughput drop for --check "
                              "(default 0.30)")
+    parser.add_argument("--memory-tolerance", type=float, default=0.50,
+                        help="allowed fractional growth of the streaming "
+                             "slot's allocation peak for --check "
+                             "(default 0.50)")
     parser.add_argument("--no-write", action="store_true",
                         help="print results without touching the trajectory "
                              "file")

@@ -114,6 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="export the skew-over-time series as CSV")
     run_parser.add_argument("--samples", type=int, default=200,
                             help="samples for the agreement window (default 200)")
+    run_parser.add_argument("--no-trace", action="store_true",
+                            help="streaming mode: record no execution trace "
+                                 "and bound all per-process state (O(n) "
+                                 "memory); metrics come from --observe")
+    run_parser.add_argument("--observe", metavar="LIST", default=None,
+                            help="comma-separated online observers to attach "
+                                 "(skew,validity,network); default in "
+                                 "streaming mode: skew,validity")
+    run_parser.add_argument("--checkpoint-every", type=float, default=None,
+                            metavar="T",
+                            help="snapshot/restore the simulation every T "
+                                 "simulated seconds (results are "
+                                 "bit-identical to an unsegmented run)")
+    run_parser.add_argument("--horizon", type=float, default=None, metavar="T",
+                            help="extend the run to at least T simulated "
+                                 "seconds (long-horizon studies)")
 
     startup_parser = subparsers.add_parser(
         "startup", help="run the Section 9.2 start-up algorithm from arbitrary clocks")
@@ -161,7 +177,9 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-n", type=int, default=7, help="number of processes")
     parser.add_argument("-f", type=int, default=2,
                         help="number of tolerated faults (n >= 3f + 1)")
-    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="resynchronization rounds (default: the "
+                             "workload's preset, usually 10)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--topology", metavar="SPEC", default=None,
                         help="network topology spec (e.g. ring, grid:cols=3, "
@@ -202,24 +220,64 @@ def _audit(result, samples: int = 200):
     return check_maintenance_run(result, samples=samples)
 
 
+def _streaming_requested(args: argparse.Namespace, workload) -> bool:
+    """Whether this run goes through the streaming observer pipeline."""
+    return bool(args.no_trace or args.observe or args.checkpoint_every
+                or args.horizon or not workload.record_trace
+                or workload.observers)
+
+
+def _observer_names(args: argparse.Namespace, workload) -> tuple:
+    if args.observe:
+        return tuple(name.strip() for name in args.observe.split(",") if name.strip())
+    if workload.observers:
+        return tuple(workload.observers)
+    return ("skew", "validity")
+
+
 def _cmd_run_replicated(args: argparse.Namespace) -> int:
     """Replicate the run workload across seeds; audit every replica."""
     workload = get_workload(args.workload)
-    spec = build_spec(workload, n=args.n, f=args.f, rounds=args.rounds,
-                      seed=args.seed,
-                      topology=args.topology or workload.topology)
-    rep = replicate(spec, args.replicate_seeds, jobs=args.jobs)
+    streaming = _streaming_requested(args, workload)
+    overrides = {}
+    if streaming:
+        overrides = {"record_trace": not (args.no_trace
+                                          or not workload.record_trace),
+                     "observers": _observer_names(args, workload),
+                     "horizon": args.horizon,
+                     "checkpoint_every": args.checkpoint_every,
+                     "samples": args.samples}
+    try:
+        spec = build_spec(workload, n=args.n, f=args.f, rounds=args.rounds,
+                          seed=args.seed,
+                          topology=args.topology or workload.topology,
+                          **overrides)
+        rep = replicate(spec, args.replicate_seeds, jobs=args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     params = rep.results[0].params
     partitioned = rep.results[0].is_partition_heal
     print(f"workload {workload.name}: n={params.n} f={params.f} "
           f"replicated over seeds {list(rep.seeds)} with jobs={args.jobs}")
-    reports = [_audit(result, samples=args.samples) for result in rep.results]
+    if not spec.record_trace:
+        # No trace to audit: the per-seed verdict is the online skew
+        # envelope against gamma plus a clean validity count.
+        gamma = agreement_bound(params)
+        reports = None
+        passes = [agreement <= gamma + 1e-9 and rate == 0.0
+                  for agreement, rate in zip(rep.agreement_values,
+                                             rep.validity_values)]
+    else:
+        reports = [_audit(result, samples=args.samples)
+                   for result in rep.results]
+        passes = [report.all_passed for report in reports]
     seed_rows = [
         {"seed": seed, "agreement": agreement,
          "validity_violation_rate": rate,
-         "audit": "pass" if report.all_passed else "FAIL"}
-        for seed, agreement, rate, report in zip(
-            rep.seeds, rep.agreement_values, rep.validity_values, reports)]
+         "audit": "pass" if passed else "FAIL"}
+        for seed, agreement, rate, passed in zip(
+            rep.seeds, rep.agreement_values, rep.validity_values, passes)]
     print(format_table(
         ["seed", "agreement", "validity violations", "audit"],
         [tuple(row.values()) for row in seed_rows], precision=6))
@@ -242,21 +300,105 @@ def _cmd_run_replicated(args: argparse.Namespace) -> int:
               f"{'holds on every seed' if rep.validity_holds else 'VIOLATED'}")
     if args.json:
         write_json({"workload": workload.name, "n": params.n, "f": params.f,
-                    "rounds": args.rounds, "seeds": list(rep.seeds),
+                    "rounds": rep.results[0].rounds, "seeds": list(rep.seeds),
                     "partition_heal": partitioned,
+                    "streamed": not spec.record_trace,
                     "summary": rep.metrics(), "per_seed": seed_rows},
                    args.json)
         print(f"wrote replication JSON to {args.json}")
     if args.csv:
         write_csv(seed_rows, args.csv)
         print(f"wrote per-seed replication CSV to {args.csv}")
-    return 0 if all(report.all_passed for report in reports) else 1
+    return 0 if all(passes) else 1
+
+
+def _cmd_run_streaming(args: argparse.Namespace) -> int:
+    """One run through the streaming pipeline; audit from online observers."""
+    from .runner import execute
+
+    workload = get_workload(args.workload)
+    record_trace = not (args.no_trace or not workload.record_trace)
+    names = _observer_names(args, workload)
+    if not record_trace and not {"skew", "validity"} <= set(names):
+        # Without a trace there is no batch audit; refuse to report success
+        # on a run nothing audited (mirrors replicate()'s requirement).
+        print("error: a --no-trace run needs both 'skew' and 'validity' in "
+              "--observe so the paper claims can be audited online",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = build_spec(workload, n=args.n, f=args.f, rounds=args.rounds,
+                          seed=args.seed,
+                          topology=args.topology or workload.topology,
+                          record_trace=record_trace, observers=names,
+                          horizon=args.horizon,
+                          checkpoint_every=args.checkpoint_every,
+                          samples=args.samples)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = execute(spec)
+    params = result.params
+    mode = "streaming (no trace)" if not record_trace else "recorded trace"
+    print(f"workload {workload.name}: n={params.n} f={params.f} "
+          f"rounds={result.rounds} seed={args.seed} — {mode}, "
+          f"observers: {', '.join(names)}")
+    print(f"horizon: {result.end_time:.4f} s simulated, "
+          f"{result.trace.stats.delivered} messages delivered")
+    if args.checkpoint_every:
+        print(f"checkpoints: {result.checkpoints} snapshot/restore round "
+              f"trips (every {args.checkpoint_every} s)")
+    ok = True
+    skew_obs = result.online("skew")
+    if skew_obs is not None:
+        gamma = agreement_bound(params)
+        passed = skew_obs.max_skew <= gamma + 1e-9
+        ok = ok and passed
+        print(f"online agreement: max skew {skew_obs.max_skew:.6f} vs gamma "
+              f"{gamma:.6f} over {skew_obs.samples} samples "
+              f"[{'pass' if passed else 'FAIL'}]")
+    validity_obs = result.online("validity")
+    if validity_obs is not None:
+        report = validity_obs.report()
+        ok = ok and report.holds
+        print(f"online validity: {report.violations} violations over "
+              f"{report.samples} samples, rates in [{report.min_rate:.6f}, "
+              f"{report.max_rate:.6f}] [{'pass' if report.holds else 'FAIL'}]")
+    network_obs = result.online("network")
+    if network_obs is not None:
+        from .sim.recording import delay_statistics, drop_rate
+        stats = delay_statistics(network_obs.records)
+        print(f"online network: {len(network_obs.records)} sends, drop rate "
+              f"{drop_rate(network_obs.records):.4f}, delays "
+              f"[{stats['min']:.6f}, {stats['max']:.6f}] "
+              f"mean {stats['mean']:.6f}")
+    if record_trace:
+        # The full trace exists too: run the standard paper audit beside the
+        # online numbers.
+        report = _audit(result, samples=args.samples)
+        ok = ok and report.all_passed
+        print(format_report(report))
+    if args.json:
+        payload = {"workload": workload.name, "n": params.n, "f": params.f,
+                   "rounds": result.rounds, "seed": args.seed,
+                   "streamed": not record_trace,
+                   "checkpoints": result.checkpoints,
+                   "end_time": result.end_time}
+        for name in names:
+            observer = result.online(name)
+            if observer is not None and hasattr(observer, "result"):
+                payload[name] = observer.result()
+        write_json(payload, args.json)
+        print(f"wrote streaming summary JSON to {args.json}")
+    return 0 if ok else 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.replicate_seeds:
         return _cmd_run_replicated(args)
     workload = get_workload(args.workload)
+    if _streaming_requested(args, workload):
+        return _cmd_run_streaming(args)
     topology = build_topology(args.topology or workload.topology,
                               n=args.n, seed=args.seed)
     result = run_workload(workload, n=args.n, f=args.f, rounds=args.rounds,
@@ -300,7 +442,8 @@ def _cmd_startup(args: argparse.Namespace) -> int:
     params = build_parameters(workload, n=args.n, f=args.f)
     topology = build_topology(args.topology or workload.topology,
                               n=args.n, seed=args.seed)
-    result = run_startup_scenario(params, rounds=args.rounds,
+    rounds = args.rounds if args.rounds is not None else workload.default_rounds
+    result = run_startup_scenario(params, rounds=rounds,
                                   initial_spread=args.spread, seed=args.seed,
                                   topology=topology)
     params = result.params
@@ -316,6 +459,8 @@ def _cmd_startup(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
+    if args.rounds is None:
+        args.rounds = workload.default_rounds
     params = build_parameters(workload, n=args.n, f=args.f)
     topology = build_topology(args.topology or workload.topology,
                               n=args.n, seed=args.seed)

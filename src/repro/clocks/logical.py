@@ -61,10 +61,17 @@ class CorrectionHistory:
     for the batch evaluators in :mod:`repro.sim.traceindex`.
     """
 
-    __slots__ = ("_events", "_times", "_corrections")
+    __slots__ = ("_events", "_times", "_corrections", "_initial",
+                 "_max_entries")
 
-    def __init__(self, initial_correction: float = 0.0):
+    def __init__(self, initial_correction: float = 0.0,
+                 max_entries: Optional[int] = None):
         initial = float(initial_correction)
+        self._initial = initial
+        if max_entries is not None and max_entries < 2:
+            raise ValueError("max_entries must be at least 2 (sentinel + "
+                             "latest breakpoint)")
+        self._max_entries = max_entries
         self._events: List[CorrectionEvent] = [
             CorrectionEvent(real_time=float("-inf"), adjustment=0.0,
                             new_correction=initial,
@@ -75,7 +82,12 @@ class CorrectionHistory:
 
     @property
     def initial_correction(self) -> float:
-        return self._events[0].new_correction
+        return self._initial
+
+    @property
+    def bounded(self) -> bool:
+        """True when old breakpoints are discarded (streaming/no-trace runs)."""
+        return self._max_entries is not None
 
     @property
     def events(self) -> Sequence[CorrectionEvent]:
@@ -119,6 +131,16 @@ class CorrectionHistory:
                                             round_index=round_index))
         self._times.append(real_time)
         self._corrections.append(new_corr)
+        if self._max_entries is not None and len(self._times) > self._max_entries:
+            # Streaming mode: forget the oldest breakpoints.  The -inf
+            # sentinel inherits the correction in force just before the
+            # earliest retained breakpoint, so lookups at or after the trim
+            # horizon stay exact; lookups before it get the horizon value.
+            excess = len(self._times) - self._max_entries
+            self._corrections[0] = self._corrections[excess]
+            del self._times[1:1 + excess]
+            del self._corrections[1:1 + excess]
+            del self._events[1:1 + excess]
         return new_corr
 
     def correction_at(self, real_time: float) -> float:

@@ -16,6 +16,16 @@ layers above (sweeps, comparison, replication, CLI) rely on:
 The default is ``jobs=1`` (plain in-process loop, no pool): determinism is
 then trivially inherited rather than asserted, which keeps single-run entry
 points bit-for-bit identical to the pre-runner code paths.
+
+A run that blows its interrupt budget raises
+:class:`~repro.sim.events.EventBudgetExceeded` out of :meth:`BatchRunner.run`
+with the counts *and* the offending :class:`RunSpec` attached (``err.spec``,
+set by :func:`~repro.runner.spec.execute`); the exception reconstructs itself
+across the multiprocessing boundary, so pool execution surfaces exactly the
+same diagnostics as serial execution.  Streaming results travel whole:
+``ScenarioResult.observers`` (online metrics state) pickles back from the
+workers alongside the trace — or instead of one, for ``record_trace=False``
+specs, which is how replicated long-horizon studies stay bounded-memory.
 """
 
 from __future__ import annotations

@@ -78,6 +78,12 @@ def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
     steady-state behaviour) to the end of each run.  ``runner`` lets callers
     share one :class:`BatchRunner` (and its cache) across replications;
     otherwise a fresh ``BatchRunner(jobs=jobs)`` is used.
+
+    Streaming specs (``record_trace=False``) carry no usable trace, so their
+    per-seed metrics come from the online observers instead — the spec must
+    request at least ``('skew', 'validity')``.  The observer grids are the
+    standard audit windows (1 settle round, 200/100 samples), so
+    ``settle_rounds`` / ``samples`` do not apply to streamed replicas.
     """
     from ..analysis.metrics import measured_agreement, validity_report
     from ..analysis.statistics import summarize
@@ -87,11 +93,20 @@ def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
         raise ValueError("need at least one seed")
     if len(set(seeds)) != len(seeds):
         raise ValueError(f"seeds must be distinct, got {seeds}")
+    if not spec.record_trace and not {"skew", "validity"} <= set(spec.observers):
+        raise ValueError(
+            "replicating a record_trace=False spec needs online metrics: "
+            "construct it with observers=('skew', 'validity')")
     batch = runner if runner is not None else BatchRunner(jobs=jobs)
     results = batch.run([spec.with_seed(seed) for seed in seeds])
     agreements = []
     violation_rates = []
     for result in results:
+        if not spec.record_trace:
+            agreements.append(result.online("skew").max_skew)
+            report = result.online("validity").report()
+            violation_rates.append(report.violations / max(1, report.samples))
+            continue
         start = result.tmax0 + settle_rounds * result.params.round_length
         agreements.append(measured_agreement(result.trace, start,
                                              result.end_time, samples=samples))

@@ -60,6 +60,15 @@ _ALLOWED_OPTIONS = {
 #: kinds whose builders take no fault injection arguments.
 _NO_FAULT_KINDS = frozenset({"reintegration", "partition_heal"})
 
+#: kinds whose builders accept the streaming pipeline knobs
+#: (observers / record_trace / horizon / checkpoint_every / max_events).
+_STREAMING_KINDS = frozenset({"maintenance", "algorithm"})
+
+#: online observer names a spec may request (mirrors
+#: :data:`repro.analysis.online.ONLINE_OBSERVER_NAMES`; the factory
+#: re-validates at execution time).
+_OBSERVER_NAMES = frozenset({"skew", "validity", "network"})
+
 OptionItems = Tuple[Tuple[str, Any], ...]
 
 
@@ -121,6 +130,22 @@ class RunSpec:
     seed: int = 0
     #: scenario-specific extras (see ``_ALLOWED_OPTIONS``), as sorted pairs.
     options: OptionItems = ()
+    #: record the full execution trace (False = streaming/bounded-memory run;
+    #: metrics then come from the ``observers``).
+    record_trace: bool = True
+    #: online observers to attach, by name ('skew', 'validity', 'network').
+    observers: Tuple[str, ...] = ()
+    #: extend the run to at least this real time (long-horizon studies).
+    horizon: Optional[float] = None
+    #: snapshot/restore the system at this real-time period (checkpointing).
+    checkpoint_every: Optional[float] = None
+    #: total interrupt budget (None = the simulator default of 2M); exceeding
+    #: it raises :class:`~repro.sim.events.EventBudgetExceeded` with counts.
+    max_events: Optional[int] = None
+    #: sample-grid resolution for the online observers (None = the audit
+    #: default of 200 agreement / 100 validity samples); only meaningful
+    #: together with ``observers``.
+    samples: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SCENARIO_KINDS:
@@ -165,6 +190,30 @@ class RunSpec:
             raise ValueError(
                 f"options {unknown!r} not supported by kind {self.kind!r}; "
                 f"allowed: {sorted(allowed) or 'none'}")
+        object.__setattr__(self, "observers", tuple(self.observers))
+        streaming_used = (not self.record_trace or self.observers
+                          or self.horizon is not None
+                          or self.checkpoint_every is not None
+                          or self.max_events is not None
+                          or self.samples is not None)
+        if streaming_used and self.kind not in _STREAMING_KINDS:
+            raise ValueError(
+                f"kind={self.kind!r} does not support the streaming pipeline "
+                f"knobs (record_trace/observers/horizon/checkpoint_every/"
+                f"max_events/samples); only {sorted(_STREAMING_KINDS)} do")
+        bad = [name for name in self.observers if name not in _OBSERVER_NAMES]
+        if bad:
+            raise ValueError(f"unknown observers {bad!r}; "
+                             f"choose from {sorted(_OBSERVER_NAMES)}")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError(f"checkpoint_every must be positive, got "
+                             f"{self.checkpoint_every}")
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {self.max_events}")
+        if self.samples is not None and self.samples < 2:
+            raise ValueError(f"samples must be >= 2, got {self.samples}")
 
     # -- convenience ---------------------------------------------------------
     def options_dict(self) -> Dict[str, Any]:
@@ -195,6 +244,8 @@ class RunSpec:
             name = (self.topology if isinstance(self.topology, str)
                     else self.topology.name)
             bits.append(name)
+        if not self.record_trace:
+            bits.append("stream")
         bits.append(f"seed={self.seed}")
         return ":".join(bits)
 
@@ -206,14 +257,23 @@ class RunSpec:
                     clock_kind: str = "constant", delay: str = "uniform",
                     delay_options: Optional[Mapping[str, Any]] = None,
                     topology: Optional[Union[str, Topology]] = None,
-                    seed: int = 0, **options: Any) -> "RunSpec":
+                    seed: int = 0, record_trace: bool = True,
+                    observers: Tuple[str, ...] = (),
+                    horizon: Optional[float] = None,
+                    checkpoint_every: Optional[float] = None,
+                    max_events: Optional[int] = None,
+                    samples: Optional[int] = None,
+                    **options: Any) -> "RunSpec":
         """The Welch-Lynch maintenance algorithm under a chosen fault load."""
         return cls(kind="maintenance", params=params, rounds=rounds,
                    fault_kind=fault_kind, fault_count=fault_count,
                    clock_kind=clock_kind, delay=delay,
                    delay_options=_freeze_options(delay_options, "delay_options"),
                    topology=topology, seed=seed,
-                   options=_freeze_options(options, "options"))
+                   options=_freeze_options(options, "options"),
+                   record_trace=record_trace, observers=tuple(observers),
+                   horizon=horizon, checkpoint_every=checkpoint_every,
+                   max_events=max_events, samples=samples)
 
     @classmethod
     def algorithm_run(cls, algorithm: str, params: SyncParameters,
@@ -223,13 +283,21 @@ class RunSpec:
                       clock_kind: str = "constant", delay: str = "uniform",
                       delay_options: Optional[Mapping[str, Any]] = None,
                       topology: Optional[Union[str, Topology]] = None,
-                      seed: int = 0) -> "RunSpec":
+                      seed: int = 0, record_trace: bool = True,
+                      observers: Tuple[str, ...] = (),
+                      horizon: Optional[float] = None,
+                      checkpoint_every: Optional[float] = None,
+                      max_events: Optional[int] = None,
+                      samples: Optional[int] = None) -> "RunSpec":
         """Any comparison algorithm on the shared workload (Section 10)."""
         return cls(kind="algorithm", params=params, rounds=rounds,
                    algorithm=algorithm, fault_kind=fault_kind,
                    fault_count=fault_count, clock_kind=clock_kind, delay=delay,
                    delay_options=_freeze_options(delay_options, "delay_options"),
-                   topology=topology, seed=seed)
+                   topology=topology, seed=seed,
+                   record_trace=record_trace, observers=tuple(observers),
+                   horizon=horizon, checkpoint_every=checkpoint_every,
+                   max_events=max_events, samples=samples)
 
     @classmethod
     def startup(cls, params: SyncParameters, rounds: int = 8,
@@ -288,6 +356,31 @@ class RunSpec:
                    options=_freeze_options(options, "options"))
 
 
+def _streaming_kwargs(spec: RunSpec) -> Dict[str, Any]:
+    """Translate a spec's streaming fields into scenario-builder kwargs."""
+    kwargs: Dict[str, Any] = {}
+    if not spec.record_trace:
+        kwargs["record_trace"] = False
+    if spec.horizon is not None:
+        kwargs["horizon"] = spec.horizon
+    if spec.checkpoint_every is not None:
+        kwargs["checkpoint_every"] = spec.checkpoint_every
+    if spec.max_events is not None:
+        kwargs["max_events"] = spec.max_events
+    if spec.observers:
+        names = spec.observers
+        samples = spec.samples
+
+        def factory(system, start_times, end_time, params):
+            from ..analysis.online import build_observers
+            extra = {} if samples is None else {"samples": samples}
+            return build_observers(names, system, params, start_times,
+                                   end_time, **extra)
+
+        kwargs["observers"] = factory
+    return kwargs
+
+
 def execute(spec: RunSpec) -> "ScenarioResult":
     """Run the scenario a spec describes; pure and deterministic per spec.
 
@@ -295,11 +388,24 @@ def execute(spec: RunSpec) -> "ScenarioResult":
     comparison, workloads, CLI) funnels through, and the function
     :class:`~repro.runner.batch.BatchRunner` ships to pool workers.  The
     returned result carries the spec back in ``result.spec`` so batched
-    results stay self-describing.
+    results stay self-describing.  An
+    :class:`~repro.sim.events.EventBudgetExceeded` raised by the simulator is
+    re-raised with the offending spec attached (``err.spec``), so batch and
+    replication callers can tell exactly which run blew its budget — the
+    counts and the spec survive the multiprocessing round trip.
     """
     from ..analysis import experiments
+    from ..sim.events import EventBudgetExceeded
     from ..topology.spec import build_topology
 
+    try:
+        return _execute(spec, experiments, build_topology)
+    except EventBudgetExceeded as err:
+        err.spec = spec
+        raise
+
+
+def _execute(spec: RunSpec, experiments, build_topology) -> "ScenarioResult":
     params = spec.params
     topology = build_topology(spec.topology, n=params.n, seed=spec.seed)
     delay_model = experiments.make_delay_model(spec.delay, params,
@@ -309,13 +415,14 @@ def execute(spec: RunSpec) -> "ScenarioResult":
         result = experiments.run_maintenance_scenario(
             params, rounds=spec.rounds, fault_kind=spec.fault_kind,
             fault_count=spec.fault_count, clock_kind=spec.clock_kind,
-            delay=delay_model, seed=spec.seed, topology=topology, **options)
+            delay=delay_model, seed=spec.seed, topology=topology,
+            **_streaming_kwargs(spec), **options)
     elif spec.kind == "algorithm":
         result = experiments.run_algorithm_scenario(
             spec.algorithm, params, rounds=spec.rounds,
             fault_kind=spec.fault_kind, fault_count=spec.fault_count,
             clock_kind=spec.clock_kind, delay=delay_model, seed=spec.seed,
-            topology=topology, **options)
+            topology=topology, **_streaming_kwargs(spec), **options)
     elif spec.kind == "startup":
         result = experiments.run_startup_scenario(
             params, rounds=spec.rounds, fault_kind=spec.fault_kind or "silent",

@@ -1,6 +1,6 @@
 """Discrete-event simulator substrate (Sections 2.2-2.3 of the paper)."""
 
-from .events import EventQueue, Message, MessageKind
+from .events import EventBudgetExceeded, EventQueue, Message, MessageKind
 from .network import (
     AdversarialDelayModel,
     ContentionDelayModel,
@@ -10,9 +10,11 @@ from .network import (
     TruncatedGaussianDelayModel,
     UniformDelayModel,
 )
+from .observers import Observer, TraceRecorder
 from .process import Process, ProcessContext
 from .recording import (
     MessageRecord,
+    NetworkRecorder,
     RecordingDelayModel,
     delay_statistics,
     drop_rate,
@@ -20,18 +22,22 @@ from .recording import (
     per_link_counts,
     per_sender_counts,
 )
-from .system import System
+from .system import System, SystemSnapshot
 from .trace import ExecutionTrace, MessageStats, TraceEvent
 from .traceindex import TraceIndex, numpy_available, numpy_enabled, use_numpy
 
 __all__ = [
     "MessageRecord",
+    "NetworkRecorder",
+    "Observer",
+    "TraceRecorder",
     "RecordingDelayModel",
     "delay_statistics",
     "drop_rate",
     "envelope_violations",
     "per_link_counts",
     "per_sender_counts",
+    "EventBudgetExceeded",
     "EventQueue",
     "Message",
     "MessageKind",
@@ -45,6 +51,7 @@ __all__ = [
     "Process",
     "ProcessContext",
     "System",
+    "SystemSnapshot",
     "ExecutionTrace",
     "MessageStats",
     "TraceEvent",

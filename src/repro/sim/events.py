@@ -23,7 +23,47 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
-__all__ = ["MessageKind", "Message", "EventQueue"]
+__all__ = ["MessageKind", "Message", "EventQueue", "EventBudgetExceeded"]
+
+
+class EventBudgetExceeded(RuntimeError):
+    """``run_until`` hit its ``max_events`` budget before reaching the horizon.
+
+    Subclasses :class:`RuntimeError` for backward compatibility, but carries
+    the counts so callers (and the runner layer) can report exactly how far
+    the run got instead of guessing from a message string:
+
+    * ``processed`` — interrupts dispatched by the offending ``run_until``;
+    * ``max_events`` — the budget that was exceeded;
+    * ``current_time`` / ``end_time`` — how far real time got vs the target;
+    * ``pending`` — messages still in the buffer when the budget tripped;
+    * ``spec`` — the :class:`~repro.runner.spec.RunSpec` being executed, when
+      the run came through :func:`repro.runner.execute` (else ``None``).
+    """
+
+    def __init__(self, processed: int, max_events: int, current_time: float,
+                 end_time: float, pending: int = 0, spec: Any = None):
+        self.processed = int(processed)
+        self.max_events = int(max_events)
+        self.current_time = float(current_time)
+        self.end_time = float(end_time)
+        self.pending = int(pending)
+        self.spec = spec
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        origin = f" (spec {self.spec.describe()})" if self.spec is not None else ""
+        return (f"exceeded the budget of {self.max_events} events after "
+                f"processing {self.processed}, at t={self.current_time} of "
+                f"end_time={self.end_time} with {self.pending} messages still "
+                f"pending{origin}; the configuration is probably divergent")
+
+    def __reduce__(self):
+        # Exceptions travel back from multiprocessing pool workers by pickle;
+        # reconstruct from the counts so the attributes survive the trip.
+        return (type(self), (self.processed, self.max_events,
+                             self.current_time, self.end_time, self.pending,
+                             self.spec))
 
 
 class MessageKind(Enum):

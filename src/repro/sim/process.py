@@ -120,10 +120,12 @@ class ProcessContext:
         self._system.set_initial_correction(self._pid, value)
 
     def adjust_correction(self, adjustment: float, round_index: int = -1) -> float:
-        """``CORR := CORR + adjustment``; returns the new CORR value."""
-        return self._system.correction_history(self._pid).apply(
-            self._system.current_time, adjustment, round_index
-        )
+        """``CORR := CORR + adjustment``; returns the new CORR value.
+
+        Routed through the system so streaming observers see every CORR
+        update (same arithmetic and history bookkeeping as before).
+        """
+        return self._system.apply_correction(self._pid, adjustment, round_index)
 
     # -- communication ----------------------------------------------------------
     def send(self, recipient: int, payload: Any) -> None:

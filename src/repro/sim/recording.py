@@ -6,10 +6,20 @@ log).  For debugging delay models, auditing that a run actually respected
 assumption A3 (every delay in ``[δ−ε, δ+ε]``), and measuring contention, it is
 useful to also capture every message the network handled.
 
-:class:`RecordingDelayModel` wraps any :class:`~repro.sim.network.DelayModel`
-and records one :class:`MessageRecord` per send — including drops — without
-changing the delays the inner model produces.  Helper functions then audit the
-records against an envelope and summarize traffic per link and per sender.
+:class:`NetworkRecorder` is the observer-pipeline form: attached to a
+:class:`~repro.sim.system.System`, it receives one notification per
+*end-to-end* message with the final outcome — so relayed messages produce a
+single record (not one per hop) and every way a message can be lost
+(delay-model drop, per-link drop probability, a link going down mid-flight,
+no route) is accounted exactly once.  Prefer it for A3 auditing.
+
+:class:`RecordingDelayModel` is the older wrapper form: it wraps any
+:class:`~repro.sim.network.DelayModel` and records one :class:`MessageRecord`
+per *delay draw* without changing the delays the inner model produces.  On
+the complete graph that coincides with per-message recording, but under a
+topology it logs once per relay hop and cannot see topology-level drops —
+use :class:`NetworkRecorder` there.  Helper functions audit either record
+stream against an envelope and summarize traffic per link and per sender.
 """
 
 from __future__ import annotations
@@ -19,9 +29,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .network import DelayModel
+from .observers import Observer
 
 __all__ = [
     "MessageRecord",
+    "NetworkRecorder",
     "RecordingDelayModel",
     "envelope_violations",
     "delay_statistics",
@@ -50,6 +62,39 @@ class MessageRecord:
         if self.delay is None:
             return None
         return self.send_time + self.delay
+
+
+class NetworkRecorder(Observer):
+    """Network-level observer: one record per end-to-end message.
+
+    The system reports each :meth:`~repro.sim.system.System.post_message` /
+    broadcast copy exactly once, with the *final* outcome after routing:
+    ``delay`` is the end-to-end delay (relay hops and per-link extras
+    included) or ``None`` when the message was lost anywhere along the way.
+    ``drop_rate(recorder.records)`` therefore matches the system's own
+    ``dropped + unroutable`` counters exactly — the invariant the
+    double-counting-prone :class:`RecordingDelayModel` could not give under
+    a topology.
+    """
+
+    name = "network"
+
+    def __init__(self) -> None:
+        self.records: List[MessageRecord] = []
+
+    def on_send(self, sender: int, recipient: int, send_time: float,
+                delivery_time: Optional[float]) -> None:
+        delay = None if delivery_time is None else delivery_time - send_time
+        self.records.append(MessageRecord(sender=sender, recipient=recipient,
+                                          send_time=send_time, delay=delay))
+
+    def delivered(self) -> List[MessageRecord]:
+        """Records of messages that were actually delivered."""
+        return [record for record in self.records if not record.dropped]
+
+    def clear(self) -> None:
+        """Forget all records (e.g. between phases of a long experiment)."""
+        self.records = []
 
 
 class RecordingDelayModel(DelayModel):

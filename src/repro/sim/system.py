@@ -28,13 +28,15 @@ Runs are deterministic given the seed.
 
 from __future__ import annotations
 
+import pickle
 import random
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..clocks.base import Clock
 from ..clocks.logical import CorrectionHistory
-from .events import EventQueue, Message, MessageKind
+from .events import EventBudgetExceeded, EventQueue, Message, MessageKind
 from .network import DelayModel, UniformDelayModel
+from .observers import HOOK_NAMES, Observer, TraceRecorder
 from .process import Process, ProcessContext
 from .trace import ExecutionTrace, MessageStats, TraceEvent
 
@@ -42,7 +44,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from ..topology.base import Topology
     from ..topology.schedule import LinkSchedule
 
-__all__ = ["System"]
+__all__ = ["System", "SystemSnapshot"]
+
+#: correction breakpoints kept per process when ``record_trace=False`` (the
+#: current value plus a small tail for in-flight queries; O(1) per process).
+_BOUNDED_HISTORY_ENTRIES = 8
+
+
+class SystemSnapshot:
+    """A frozen, picklable image of a :class:`System` mid-run.
+
+    Produced by :meth:`System.snapshot`; consumed by :meth:`System.restore`.
+    The state is stored as pickled bytes, so a snapshot is cheap to ship to
+    another process (or to disk) and every ``restore`` gets a *fresh* copy —
+    restoring twice from the same snapshot yields two independent,
+    bit-identical continuations.
+    """
+
+    __slots__ = ("data", "time", "events_dispatched")
+
+    def __init__(self, data: bytes, time: float, events_dispatched: int):
+        self.data = data
+        self.time = time
+        self.events_dispatched = events_dispatched
+
+    def __len__(self) -> int:
+        return len(self.data)
 
 
 class System:
@@ -57,6 +84,8 @@ class System:
         initial_corrections: Optional[Sequence[float]] = None,
         topology: Optional["Topology"] = None,
         link_schedule: Optional["LinkSchedule"] = None,
+        observers: Optional[Sequence[Observer]] = None,
+        record_trace: bool = True,
     ):
         if len(processes) != len(clocks):
             raise ValueError(
@@ -76,8 +105,12 @@ class System:
         corrections = list(initial_corrections or [0.0] * len(processes))
         if len(corrections) != len(processes):
             raise ValueError("initial_corrections must have one entry per process")
+        self._record_trace = bool(record_trace)
+        self._history_bound = None if record_trace else _BOUNDED_HISTORY_ENTRIES
         self._histories: Dict[int, CorrectionHistory] = {
-            pid: CorrectionHistory(corrections[pid]) for pid in self._processes
+            pid: CorrectionHistory(corrections[pid],
+                                   max_entries=self._history_bound)
+            for pid in self._processes
         }
         self._queue = EventQueue()
         self._contexts: Dict[int, ProcessContext] = {
@@ -86,9 +119,23 @@ class System:
         self._current_time = 0.0
         self._started = False
         self._stats = MessageStats()
-        self._events: List[TraceEvent] = []
         self._crashed: set = set()
         self._faulty_cache: Optional[List[int]] = None
+        self._events_dispatched = 0
+        # Full-trace recording is the default observer; dropping it (plus the
+        # bounded histories above) is what makes long horizons O(n) memory.
+        self._observers: List[Observer] = []
+        self._recorder: Optional[TraceRecorder] = None
+        if record_trace:
+            self._recorder = TraceRecorder()
+            self._observers.append(self._recorder)
+        self._events: List[TraceEvent] = (self._recorder.events
+                                          if self._recorder is not None else [])
+        for observer in (observers or ()):
+            self._observers.append(observer)
+        self._rebuild_sinks()
+        for observer in self._observers:
+            observer.on_attach(self)
         if topology is None and link_schedule is not None:
             # A link schedule over the implicit complete graph (e.g. a plain
             # partition-and-heal) still needs routing to honor it.
@@ -157,6 +204,56 @@ class System:
             self._faulty_cache = sorted(marked | self._crashed)
         return list(self._faulty_cache)
 
+    # ------------------------------------------------------------------ observers
+    @property
+    def observers(self) -> List[Observer]:
+        """The attached observers (the default TraceRecorder included)."""
+        return list(self._observers)
+
+    @property
+    def record_trace(self) -> bool:
+        """Whether full-trace recording (the default observer) is active."""
+        return self._recorder is not None
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total interrupts dispatched over the system's lifetime."""
+        return self._events_dispatched
+
+    def add_observer(self, observer: Observer) -> Observer:
+        """Attach a streaming observer; returns it for chaining."""
+        self._observers.append(observer)
+        self._rebuild_sinks()
+        observer.on_attach(self)
+        return observer
+
+    def finalize_observers(self) -> None:
+        """Tell every observer the run is over (no more notifications).
+
+        Call after the final :meth:`run_until` — the scenario builders do —
+        so grid-based observers can flush trailing sample points.  Safe to
+        call more than once.
+        """
+        for observer in self._observers:
+            observer.on_finalize()
+
+    def _rebuild_sinks(self) -> None:
+        """Recompute the per-hook dispatch lists from the observer list.
+
+        Only hooks an observer actually overrides are dispatched, so the
+        simulator's hot paths pay nothing for hooks nobody subscribed to.
+        """
+        sinks: Dict[str, List] = {hook: [] for hook in HOOK_NAMES}
+        for observer in self._observers:
+            for hook in HOOK_NAMES:
+                if observer.subscribed(hook):
+                    sinks[hook].append(getattr(observer, hook))
+        self._dispatch_sinks = sinks["on_dispatch"]
+        self._send_sinks = sinks["on_send"]
+        self._log_sinks = sinks["on_log"]
+        self._correction_sinks = sinks["on_correction"]
+        self._advance_sinks = sinks["on_advance"]
+
     # ------------------------------------------------------------------ setup
     def set_initial_correction(self, pid: int, value: float) -> None:
         """Replace the initial CORR value of a process (before any adjustment)."""
@@ -164,7 +261,24 @@ class System:
             raise RuntimeError(
                 "initial correction can only be set before any adjustment is applied"
             )
-        self._histories[pid] = CorrectionHistory(value)
+        self._histories[pid] = CorrectionHistory(value,
+                                                 max_entries=self._history_bound)
+        for sink in self._correction_sinks:
+            sink(pid, float("-inf"), 0.0, float(value), -1)
+
+    def apply_correction(self, pid: int, adjustment: float,
+                         round_index: int = -1) -> float:
+        """``CORR_pid += adjustment`` at the current time; notify observers.
+
+        The single entry point through which every correction flows (processes
+        reach it via :meth:`ProcessContext.adjust_correction`), so streaming
+        observers see each CORR update exactly once, in real-time order.
+        """
+        new_corr = self._histories[pid].apply(self._current_time, adjustment,
+                                              round_index)
+        for sink in self._correction_sinks:
+            sink(pid, self._current_time, adjustment, new_corr, round_index)
+        return new_corr
 
     def schedule_start(self, pid: int, real_time: float) -> None:
         """Place the START message for ``pid`` in the buffer at ``real_time``."""
@@ -219,7 +333,11 @@ class System:
             delivery_time = self._relay_delivery_time(sender, recipient)
         if delivery_time is None:
             self._stats.dropped += 1
+            for sink in self._send_sinks:
+                sink(sender, recipient, self._current_time, None)
             return
+        for sink in self._send_sinks:
+            sink(sender, recipient, self._current_time, delivery_time)
         self._queue.push_fields(MessageKind.ORDINARY, sender, recipient,
                                 payload, self._current_time, delivery_time)
 
@@ -232,7 +350,9 @@ class System:
         hot lookups hoisted, since broadcast is the algorithms' dominant
         messaging pattern.  Topology runs take the general path.
         """
-        if self._router is not None:
+        if self._router is not None or self._send_sinks:
+            # Topology relays and network-level observers both need the
+            # general per-recipient path (same RNG draws and counters).
             for recipient in range(len(self._processes)):
                 self.post_message(sender, recipient, payload)
             return
@@ -312,14 +432,22 @@ class System:
 
     def log_event(self, pid: int, name: str, data: Dict[str, Any],
                   copy: bool = True) -> None:
-        """Record an algorithm-level event.
+        """Record an algorithm-level event via the log observers.
 
-        ``copy=False`` lets callers that hand over a freshly built dict (the
-        :meth:`~repro.sim.process.ProcessContext.log` kwargs path) skip the
-        defensive copy.
+        With ``record_trace=True`` (the default) the :class:`TraceRecorder`
+        sink appends it to the shared event list exactly as the pre-pipeline
+        code did; with no log observers at all the event is dropped without
+        even being constructed.  ``copy=False`` lets callers that hand over a
+        freshly built dict (the :meth:`~repro.sim.process.ProcessContext.log`
+        kwargs path) skip the defensive copy.
         """
-        self._events.append(TraceEvent(real_time=self._current_time, process_id=pid,
-                                       name=name, data=dict(data) if copy else data))
+        sinks = self._log_sinks
+        if not sinks:
+            return
+        event = TraceEvent(real_time=self._current_time, process_id=pid,
+                           name=name, data=dict(data) if copy else data)
+        for sink in sinks:
+            sink(event)
 
     # ------------------------------------------------------------------ execution
     def run_until(self, end_time: float, max_events: int = 2_000_000) -> ExecutionTrace:
@@ -327,11 +455,15 @@ class System:
 
         Returns an :class:`ExecutionTrace` (a shared view — see
         :meth:`trace`); the system can be run further by calling
-        :meth:`run_until` again with a later end time.
+        :meth:`run_until` again with a later end time.  Raises
+        :class:`~repro.sim.events.EventBudgetExceeded` (with the counts) when
+        more than ``max_events`` interrupts fire before the horizon.
 
         This is the simulator's hot loop: events move through the queue as
         raw field tuples (no per-event Message allocation) and the dispatch
-        is inlined with hoisted lookups.
+        is inlined with hoisted lookups.  Dispatch observers, when attached,
+        see each popped interrupt after its handler ran; on return every
+        advance observer is told the buffer is drained up to ``end_time``.
         """
         processed = 0
         queue = self._queue
@@ -341,6 +473,7 @@ class System:
         contexts = self._contexts
         crashed = self._crashed
         stats = self._stats
+        dispatch_sinks = self._dispatch_sinks
         while heap:
             next_time = heap[0][0]
             if next_time > end_time:
@@ -361,31 +494,42 @@ class System:
                     processes[pid].on_timer(contexts[pid], entry[6])
                 else:
                     processes[pid].on_start(contexts[pid])
+            if dispatch_sinks:
+                for sink in dispatch_sinks:
+                    sink(entry[3], entry[4], entry[5], entry[6], entry[7],
+                         entry[0])
             processed += 1
             if processed > max_events:
-                raise RuntimeError(
-                    f"exceeded {max_events} events before reaching t={end_time}; "
-                    "the configuration is probably divergent"
-                )
+                self._events_dispatched += processed
+                raise EventBudgetExceeded(
+                    processed=processed, max_events=max_events,
+                    current_time=self._current_time, end_time=end_time,
+                    pending=len(heap))
+        self._events_dispatched += processed
         self._current_time = max(self._current_time, end_time)
+        for sink in self._advance_sinks:
+            sink(self._current_time)
         return self.trace()
 
     def _dispatch(self, message: Message) -> None:
         """Deliver one message object (kept for tests and manual stepping)."""
         pid = message.recipient
-        if pid in self._crashed:
+        self._events_dispatched += 1
+        if pid not in self._crashed:
             # A crashed process receives nothing; the message is simply lost to it.
-            return
-        process = self._processes[pid]
-        ctx = self._contexts[pid]
-        if message.kind is MessageKind.START:
-            process.on_start(ctx)
-        elif message.kind is MessageKind.TIMER:
-            self._stats.timers_fired += 1
-            process.on_timer(ctx, message.payload)
-        else:
-            self._stats.delivered += 1
-            process.on_message(ctx, message.sender, message.payload)
+            process = self._processes[pid]
+            ctx = self._contexts[pid]
+            if message.kind is MessageKind.START:
+                process.on_start(ctx)
+            elif message.kind is MessageKind.TIMER:
+                self._stats.timers_fired += 1
+                process.on_timer(ctx, message.payload)
+            else:
+                self._stats.delivered += 1
+                process.on_message(ctx, message.sender, message.payload)
+        for sink in self._dispatch_sinks:
+            sink(message.kind, message.sender, message.recipient,
+                 message.payload, message.send_time, message.delivery_time)
 
     def trace(self) -> ExecutionTrace:
         """View of the run so far.
@@ -405,3 +549,60 @@ class System:
             end_time=self._current_time,
             copy=False,
         )
+
+    # ------------------------------------------------------------------ checkpointing
+    #: mutable per-run attributes captured by a snapshot; everything else on
+    #: the instance is either derived (contexts, router, sinks, _events alias)
+    #: or immutable configuration shared by reference.
+    _SNAPSHOT_FIELDS = (
+        "_processes", "_clocks", "_delay_model", "_rng", "_process_rngs",
+        "_record_trace", "_history_bound", "_histories", "_queue",
+        "_current_time", "_started", "_stats", "_crashed", "_faulty_cache",
+        "_events_dispatched", "_observers", "_recorder", "_topology",
+        "_link_schedule",
+    )
+
+    def snapshot(self) -> SystemSnapshot:
+        """Freeze the complete mid-run state into a picklable snapshot.
+
+        Captures the event buffer, every RNG state, the correction histories,
+        the process automata (their algorithm state included), the message
+        statistics, and the attached observers — everything
+        :meth:`run_until` reads or writes — in one pickle, so aliasing
+        between them (e.g. an observer holding the shared event list) is
+        preserved exactly.  Requires processes, payloads, the delay model and
+        the observers to be picklable, which every implementation in this
+        package is.
+        """
+        state = {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS}
+        return SystemSnapshot(
+            data=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+            time=self._current_time,
+            events_dispatched=self._events_dispatched,
+        )
+
+    def restore(self, snapshot: SystemSnapshot) -> "System":
+        """Reset this system to a snapshot's state; returns ``self``.
+
+        The snapshot's pickled state is materialized fresh, so restoring the
+        same snapshot repeatedly (or in another process) always yields the
+        same continuation: a run split at an arbitrary snapshot point
+        produces a trace bit-identical to an unsplit run.  Derived structures
+        (process contexts, the relay router, observer dispatch lists) are
+        rebuilt against the restored objects; traces handed out before the
+        restore keep viewing the old state.
+        """
+        state = pickle.loads(snapshot.data)
+        for name in self._SNAPSHOT_FIELDS:
+            setattr(self, name, state[name])
+        self._events = (self._recorder.events
+                        if self._recorder is not None else [])
+        self._contexts = {pid: ProcessContext(self, pid)
+                          for pid in self._processes}
+        if self._topology is None:
+            self._router = None
+        else:
+            from ..topology.routing import Router
+            self._router = Router(self._topology, self._link_schedule)
+        self._rebuild_sinks()
+        return self

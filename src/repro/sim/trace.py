@@ -11,6 +11,14 @@ deep-copying them (the copy made ``run_until`` O(events) per call).  The
 ``faulty_ids`` set is still snapshotted at trace-creation time.  Construct
 with ``copy=True`` (the default) to get the old isolated-snapshot behavior.
 
+Recording a trace is itself just the default observer of the streaming
+pipeline (:mod:`repro.sim.observers`).  A system built with
+``record_trace=False`` still hands out traces, but they are *lightweight*:
+the event log stays empty and the correction histories are bounded to their
+recent tail, so batch metrics over such a trace only see the trim horizon —
+use the online observers (:mod:`repro.analysis.online`) for metrics on
+no-trace runs.
+
 Reconstruction queries (``local_time``, ``skew_series``, ``max_skew``) run on
 a lazily built :class:`~repro.sim.traceindex.TraceIndex` — precomputed
 per-process breakpoint arrays evaluated in one merged sweep per grid, with an

@@ -17,7 +17,10 @@ class TestParser:
         assert args.command == "run"
         assert args.workload == "lan"
         assert args.n == 7 and args.f == 2
-        assert args.rounds == 10
+        # rounds defaults to the workload's preset (10 for lan) at runtime.
+        assert args.rounds is None
+        assert not args.no_trace and args.observe is None
+        assert args.checkpoint_every is None and args.horizon is None
 
     def test_sweep_requires_axis_and_values(self):
         with pytest.raises(SystemExit):
@@ -43,6 +46,41 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.jobs == 1
         assert args.replicate_seeds is None
+
+
+class TestStreamingRun:
+    def test_no_trace_run_audits_online_and_passes(self, capsys):
+        code = main(["run", "--no-trace", "--observe", "skew,validity",
+                     "--rounds", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streaming (no trace)" in out
+        assert "online agreement" in out and "online validity" in out
+
+    def test_no_trace_requires_auditing_observers(self, capsys):
+        code = main(["run", "--no-trace", "--observe", "network",
+                     "--rounds", "4"])
+        assert code == 2
+        assert "skew" in capsys.readouterr().err
+
+    def test_partition_heal_rejects_streaming_flags(self, capsys):
+        code = main(["run", "--workload", "partition-heal", "--no-trace",
+                     "--rounds", "8"])
+        assert code == 2
+        assert "streaming" in capsys.readouterr().err
+
+    def test_replicated_streaming_errors_exit_cleanly(self, capsys):
+        code = main(["run", "--workload", "partition-heal", "--no-trace",
+                     "--replicate-seeds", "1", "2"])
+        assert code == 2
+        assert "streaming" in capsys.readouterr().err
+
+    def test_checkpointed_run_reports_checkpoints(self, capsys):
+        code = main(["run", "--no-trace", "--rounds", "5", "--seed", "1",
+                     "--checkpoint-every", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "snapshot/restore round trips" in out
 
 
 class TestVersionFlag:
