@@ -16,6 +16,9 @@ The package is organised bottom-up:
   reintegration, the staggered/multi-exchange/mean variants, and the
   closed-form bounds of the analysis;
 * :mod:`repro.baselines` — the Section 10 comparison algorithms;
+* :mod:`repro.adversary` — the lower-bound engine: shifting transforms,
+  worst-case delay models, the ε(1 − 1/n) certifier and the cross-algorithm
+  conformance harness;
 * :mod:`repro.analysis` — metrics, scenario builders, and reporting;
 * :mod:`repro.runner` — declarative :class:`~repro.runner.RunSpec` run
   descriptions, the parallel :class:`~repro.runner.BatchRunner`, and
@@ -51,6 +54,8 @@ from .core import (
     WelchLynchProcess,
     agreement_bound,
     adjustment_bound,
+    lower_bound,
+    tightness_gap,
     validity_parameters,
 )
 
@@ -79,5 +84,7 @@ __all__ = [
     "WelchLynchProcess",
     "agreement_bound",
     "adjustment_bound",
+    "lower_bound",
+    "tightness_gap",
     "validity_parameters",
 ]

@@ -1,0 +1,81 @@
+"""The adversarial lower-bound engine.
+
+Everything needed to *run* the paper's impossibility half instead of merely
+citing it:
+
+* :mod:`repro.adversary.shifting` — shift an execution by a per-process
+  real-time offset vector, with mechanical admissibility and
+  indistinguishability checks (the proof's core transform);
+* :mod:`repro.adversary.delays` — worst-case delay models that stay inside
+  assumption A3 (per-pair biased, skew-maximizing, round-aware);
+* :mod:`repro.adversary.certifier` — build the chain of shifted executions
+  and emit a machine-checkable certificate that some admissible execution
+  has skew ≥ ε(1 − 1/n);
+* :mod:`repro.adversary.conformance` — the cross-algorithm conformance
+  harness (axioms A1–A3 plus per-algorithm bound compliance over an
+  algorithms × fault models × topologies matrix).
+"""
+
+from .certifier import (
+    LowerBoundCertificate,
+    ShiftEvidence,
+    certify_lower_bound,
+    certify_run,
+    verify_certificate,
+)
+from .conformance import (
+    ConformanceCase,
+    ConformanceOutcome,
+    ConformanceReport,
+    agreement_bound_for,
+    build_conformance_matrix,
+    check_conformance_run,
+    run_conformance,
+)
+from .delays import (
+    ADVERSARIAL_DELAY_KINDS,
+    PerPairBiasedDelayModel,
+    RoundAwareDelayModel,
+    SkewMaximizingDelayModel,
+    build_adversarial_delay_model,
+)
+from .shifting import (
+    IndistinguishabilityReport,
+    ShiftAdmissibility,
+    ShiftedClock,
+    ShiftedExecution,
+    check_shift_admissible,
+    indistinguishability_report,
+    shift_clock,
+    shift_execution,
+    shift_history,
+)
+
+__all__ = [
+    "LowerBoundCertificate",
+    "ShiftEvidence",
+    "certify_lower_bound",
+    "certify_run",
+    "verify_certificate",
+    "ConformanceCase",
+    "ConformanceOutcome",
+    "ConformanceReport",
+    "agreement_bound_for",
+    "build_conformance_matrix",
+    "check_conformance_run",
+    "run_conformance",
+    "ADVERSARIAL_DELAY_KINDS",
+    "PerPairBiasedDelayModel",
+    "RoundAwareDelayModel",
+    "SkewMaximizingDelayModel",
+    "build_adversarial_delay_model",
+    "IndistinguishabilityReport",
+    "ShiftAdmissibility",
+    "ShiftedClock",
+    "ShiftedExecution",
+    "check_shift_admissible",
+    "indistinguishability_report",
+    "shift_clock",
+    "shift_execution",
+    "shift_history",
+]

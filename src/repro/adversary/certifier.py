@@ -1,0 +1,356 @@
+"""The lower-bound certifier: a machine-checkable ε(1 − 1/n) certificate.
+
+The paper's impossibility half says no algorithm — the paper's own included —
+can guarantee clocks closer than ``ε(1 − 1/n)``: from any admissible
+execution, the shifting argument constructs another admissible execution,
+indistinguishable to every process, in which the clocks are at least that far
+apart.  This module *runs* that argument:
+
+1. execute one fault-free base run of the maintenance algorithm under the
+   all-δ delay assignment, with a :class:`~repro.sim.recording.NetworkRecorder`
+   capturing every message (:func:`certify_lower_bound` builds the run;
+   :func:`certify_run` certifies any suitable run you already have);
+2. order the processes by their local time at the witness time (the end of
+   the run) and build the proof's *chain* of ``n`` shifted executions
+   ``E_0 … E_{n−1}``, where ``E_k`` shifts the process of rank ``j`` by
+   ``unit · min(j, k)`` — consecutive executions differ by shifting one
+   suffix of the chain, and the largest spread is ``unit · (n−1) ≤ ε``;
+3. audit every ``E_k`` for admissibility (all retimed delays within
+   ``[δ−ε, δ+ε]``; the ``unit`` is pre-shrunk to the slack the recorded
+   delays actually leave) and check indistinguishability mechanically;
+4. measure the skew each ``E_k`` achieves at the witness time and emit a
+   :class:`LowerBoundCertificate`: shift vectors, per-execution admissibility
+   evidence, achieved skew, and the claimed bound, serializable to JSON and
+   re-checkable offline with :func:`verify_certificate`.
+
+Because the shifts subtract from the local time of the *slowest* processes
+(the chain is ordered by descending local time), the final execution's skew
+is the base skew *plus* ≈ ε — comfortably above ``ε(1 − 1/n)``, so the
+certificate demonstrates that an admissible execution with skew at least the
+lower bound actually exists, while Theorem 16's γ (also recorded) still
+bounds it from above.  The gap between the two is the paper's open tightness
+window; see :func:`repro.core.bounds.tightness_gap`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import agreement_bound, lower_bound
+from ..core.config import SyncParameters
+from ..runner.spec import RunSpec, execute
+from ..sim.recording import MessageRecord
+from .shifting import (
+    ShiftAdmissibility,
+    check_shift_admissible,
+    indistinguishability_report,
+    shift_execution,
+)
+
+__all__ = [
+    "ShiftEvidence",
+    "LowerBoundCertificate",
+    "certify_run",
+    "certify_lower_bound",
+    "verify_certificate",
+]
+
+#: JSON schema version stamped into serialized certificates.
+CERTIFICATE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ShiftEvidence:
+    """Everything recorded about one shifted execution of the chain."""
+
+    index: int
+    #: the shift vector, by process id 0 … n−1.
+    shift: Tuple[float, ...]
+    spread: float
+    admissible: bool
+    messages_checked: int
+    min_delay: float
+    max_delay: float
+    #: the skew of the shifted execution at the certificate's witness time.
+    skew: float
+
+
+@dataclass(frozen=True)
+class LowerBoundCertificate:
+    """A machine-checkable witness that skew ≥ ε(1 − 1/n) is admissible.
+
+    The certificate is self-contained: :func:`verify_certificate` re-checks
+    every internal claim (the bound formula, each execution's admissibility
+    extrema against the envelope, spread arithmetic, and the achieved-skew
+    aggregation) from the stored fields alone, with no re-simulation.
+    """
+
+    n: int
+    delta: float
+    epsilon: float
+    rho: float
+    #: the paper's lower bound ε(1 − 1/n) for these parameters.
+    bound: float
+    #: Theorem 16's γ for the same parameters (the upper half of the gap).
+    gamma: float
+    #: real time at which every execution's skew was measured.
+    witness_time: float
+    #: process ids ordered by descending base local time (the shift chain).
+    chain: Tuple[int, ...]
+    #: the chain's shift quantum; execution k shifts rank j by unit·min(j, k).
+    unit: float
+    #: skew of the (unshifted) base execution at the witness time.
+    base_skew: float
+    #: the base run's maximum observed skew: the online observer's envelope
+    #: for streaming runs, a 100-sample grid sweep of the trace otherwise.
+    base_max_skew: float
+    executions: Tuple[ShiftEvidence, ...]
+    #: the largest skew any execution of the family achieves.
+    achieved_skew: float
+    #: mechanical indistinguishability check of the most-shifted execution.
+    views_match: bool
+    #: True when every execution is admissible and local views are preserved.
+    verified: bool
+    #: provenance label (the base run's spec description).
+    source: str = ""
+
+    @property
+    def meets_lower_bound(self) -> bool:
+        """Whether the certified family actually reaches ε(1 − 1/n)."""
+        return self.achieved_skew >= self.bound
+
+    @property
+    def margin(self) -> float:
+        """``achieved / bound`` (∞ when the bound is zero)."""
+        if self.bound == 0.0:
+            return float("inf")
+        return self.achieved_skew / self.bound
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["schema"] = CERTIFICATE_SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LowerBoundCertificate":
+        data = dict(payload)
+        schema = data.pop("schema", CERTIFICATE_SCHEMA)
+        if schema != CERTIFICATE_SCHEMA:
+            raise ValueError(f"unsupported certificate schema {schema!r}")
+        data["chain"] = tuple(data["chain"])
+        data["executions"] = tuple(
+            ShiftEvidence(**{**evidence, "shift": tuple(evidence["shift"])})
+            for evidence in data["executions"])
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LowerBoundCertificate":
+        return cls.from_dict(json.loads(text))
+
+
+def _chain_shift(unit: float, ranks: Dict[int, int], k: int,
+                 pids: Sequence[int]) -> Dict[int, float]:
+    """Execution ``E_k``'s shift vector: rank j shifts by ``unit·min(j, k)``."""
+    return {pid: unit * min(ranks[pid], k) for pid in pids}
+
+
+def _feasible_unit(records: Sequence[MessageRecord], ranks: Dict[int, int],
+                   delta: float, epsilon: float, n: int) -> float:
+    """The largest chain quantum the recorded delays leave room for.
+
+    The binding execution is ``E_{n−1}`` (rank j shifts by ``unit·j``): a
+    message ``p → q`` retimes by ``unit·(rank_q − rank_p)``, so each delivered
+    record caps ``unit`` by its headroom to the envelope edge it moves
+    toward.  With the all-δ base assignment the cap works out to exactly
+    ``ε/(n−1)``; noisier base runs shrink it — the certificate degrades
+    gracefully instead of claiming an inadmissible execution.
+    """
+    if n < 2:
+        return 0.0
+    cap = epsilon / (n - 1)
+    low = delta - epsilon
+    high = delta + epsilon
+    for record in records:
+        if record.dropped:
+            continue
+        gap = ranks[record.recipient] - ranks[record.sender]
+        if gap > 0:
+            headroom = (high - record.delay) / gap
+        elif gap < 0:
+            headroom = (record.delay - low) / (-gap)
+        else:
+            continue
+        if headroom < cap:
+            cap = headroom
+    return max(0.0, cap)
+
+
+def certify_run(result, records: Optional[Sequence[MessageRecord]] = None,
+                tolerance: float = 1e-9) -> LowerBoundCertificate:
+    """Build the shifted-execution family from one finished run and certify it.
+
+    ``result`` is a :class:`~repro.analysis.experiments.ScenarioResult` of a
+    *fault-free, complete-graph* run with message records available — either
+    pass ``records`` explicitly or run with the ``"network"`` observer
+    attached (streaming ``record_trace=False`` runs work too: the certifier
+    reads local times from the bounded trace and the base skew envelope from
+    the online ``"skew"`` observer when present).
+    """
+    params: SyncParameters = result.params
+    n = params.n
+    if n < 2:
+        raise ValueError("the lower bound needs at least two processes")
+    trace = result.trace
+    if trace.faulty_ids:
+        raise ValueError("certify a fault-free run: the ε(1 − 1/n) argument "
+                         "shifts every process, faulty behaviour has no "
+                         "well-defined shift image")
+    spec = result.spec
+    if spec is not None and getattr(spec, "topology", None) is not None:
+        raise ValueError("the certifier works on the paper's complete graph "
+                         "(relayed delays have no single [δ−ε, δ+ε] envelope "
+                         "to retime against)")
+    if records is None:
+        recorder = result.online("network")
+        if recorder is None:
+            raise ValueError("no message records: attach the 'network' "
+                             "observer to the run or pass records explicitly")
+        records = recorder.records
+    witness = result.end_time
+    pids = trace.nonfaulty_ids
+    locals_at_witness = {pid: trace.local_time(pid, witness) for pid in pids}
+    # Descending local time: the shifts (which subtract from local time) land
+    # on the processes that are already behind, so spread *adds* to base skew.
+    chain = tuple(sorted(pids, key=lambda pid: -locals_at_witness[pid]))
+    ranks = {pid: rank for rank, pid in enumerate(chain)}
+    unit = _feasible_unit(records, ranks, params.delta, params.epsilon, n)
+    skew_obs = result.online("skew")
+    if skew_obs is not None:
+        base_max_skew = skew_obs.max_skew
+    else:
+        from ..analysis.metrics import sample_grid
+        base_max_skew = trace.max_skew(
+            sample_grid(result.tmax0, witness, 100))
+    evidence: List[ShiftEvidence] = []
+    achieved = 0.0
+    last_shifted = None
+    for k in range(n):
+        vector = _chain_shift(unit, ranks, k, pids)
+        audit: ShiftAdmissibility = check_shift_admissible(
+            records, vector, params.delta, params.epsilon, tolerance)
+        shifted = shift_execution(trace, vector)
+        skew = shifted.trace.skew(witness)
+        if skew > achieved:
+            achieved = skew
+        values = [vector[pid] for pid in pids]
+        evidence.append(ShiftEvidence(
+            index=k,
+            shift=tuple(vector.get(pid, 0.0) for pid in range(n)),
+            spread=max(values) - min(values),
+            admissible=audit.admissible,
+            messages_checked=audit.messages_checked,
+            min_delay=audit.min_delay,
+            max_delay=audit.max_delay,
+            skew=skew,
+        ))
+        last_shifted = shifted
+    views = indistinguishability_report(last_shifted)
+    verified = (all(item.admissible for item in evidence)
+                and views.indistinguishable)
+    return LowerBoundCertificate(
+        n=n, delta=params.delta, epsilon=params.epsilon, rho=params.rho,
+        bound=lower_bound(params), gamma=agreement_bound(params),
+        witness_time=witness, chain=chain, unit=unit,
+        base_skew=trace.skew(witness), base_max_skew=base_max_skew,
+        executions=tuple(evidence), achieved_skew=achieved,
+        views_match=views.indistinguishable, verified=verified,
+        source=spec.describe() if spec is not None else "direct",
+    )
+
+
+def certify_lower_bound(n: int = 5, params: Optional[SyncParameters] = None,
+                        rounds: int = 6, seed: int = 0,
+                        record_trace: bool = True) -> LowerBoundCertificate:
+    """Run the designated base scenario and certify the lower bound for it.
+
+    The base run is fault-free maintenance under the all-δ (``"fixed"``)
+    delay assignment — the execution the paper's proof starts from, and the
+    one that leaves the full ``±ε`` of per-link slack for the shifts.  With
+    ``record_trace=False`` the run streams (O(n) memory) and the certifier
+    consumes the online observers instead of a full trace.
+    """
+    if params is None:
+        from ..analysis.experiments import default_parameters
+        params = default_parameters(n=n, f=0)
+    observers = ("network",) if record_trace else ("skew", "validity",
+                                                   "network")
+    spec = RunSpec.maintenance(params, rounds=rounds, fault_kind=None,
+                               delay="fixed", seed=seed,
+                               record_trace=record_trace, observers=observers)
+    return certify_run(execute(spec))
+
+
+def verify_certificate(certificate: LowerBoundCertificate,
+                       tolerance: float = 1e-9) -> List[str]:
+    """Re-check a certificate's internal claims; returns the problems found.
+
+    An empty list means the certificate is internally consistent: the bound
+    matches the ε(1 − 1/n) formula, every execution's recorded delay extrema
+    lie inside the envelope (and its ``admissible`` flag agrees), the shift
+    spreads match their vectors and never exceed ε, the achieved skew is the
+    family maximum, and the ``verified`` flag is honest.  This is the check a
+    consumer with no simulator can run on a deserialized certificate.
+    """
+    problems: List[str] = []
+    expected_bound = (certificate.epsilon * (1.0 - 1.0 / certificate.n)
+                      if certificate.n >= 2 else 0.0)
+    if abs(certificate.bound - expected_bound) > tolerance:
+        problems.append(f"bound {certificate.bound} != ε(1 − 1/n) = "
+                        f"{expected_bound}")
+    if len(certificate.chain) != certificate.n:
+        problems.append(f"chain covers {len(certificate.chain)} of "
+                        f"{certificate.n} processes")
+    if sorted(certificate.chain) != list(range(certificate.n)):
+        problems.append("chain is not a permutation of the process ids")
+    if len(certificate.executions) != certificate.n:
+        problems.append(f"family has {len(certificate.executions)} executions "
+                        f"for n = {certificate.n}")
+    low = certificate.delta - certificate.epsilon
+    high = certificate.delta + certificate.epsilon
+    max_spread = certificate.epsilon + tolerance
+    for item in certificate.executions:
+        label = f"execution {item.index}"
+        spread = max(item.shift) - min(item.shift) if item.shift else 0.0
+        if abs(spread - item.spread) > tolerance:
+            problems.append(f"{label}: recorded spread {item.spread} != "
+                            f"shift-vector spread {spread}")
+        if item.spread > max_spread:
+            problems.append(f"{label}: spread {item.spread} exceeds ε = "
+                            f"{certificate.epsilon}")
+        extrema_ok = (low - tolerance <= item.min_delay
+                      and item.max_delay <= high + tolerance)
+        if item.admissible and not extrema_ok:
+            problems.append(f"{label}: marked admissible but delays "
+                            f"[{item.min_delay}, {item.max_delay}] leave "
+                            f"the envelope [{low}, {high}]")
+        if item.messages_checked > 0 and not item.admissible \
+                and extrema_ok:
+            problems.append(f"{label}: marked inadmissible but the recorded "
+                            f"extrema lie inside the envelope")
+    family_max = max((item.skew for item in certificate.executions),
+                     default=0.0)
+    if abs(family_max - certificate.achieved_skew) > tolerance:
+        problems.append(f"achieved skew {certificate.achieved_skew} != family "
+                        f"maximum {family_max}")
+    should_verify = (all(item.admissible for item in certificate.executions)
+                     and certificate.views_match)
+    if certificate.verified != should_verify:
+        problems.append(f"verified flag {certificate.verified} inconsistent "
+                        f"with the evidence ({should_verify})")
+    return problems

@@ -1,0 +1,196 @@
+"""Worst-case delay models: adversaries that stay inside assumption A3.
+
+Assumption A3 only bounds each delay to ``[δ−ε, δ+ε]``; *which* delay inside
+the envelope each message gets is the adversary's choice, and the ε terms in
+every bound of the paper exist precisely because of that freedom.  The models
+here are the executable adversaries the lower-bound machinery drives runs
+with — all deterministic (they never consume the RNG), all pickle-stable, and
+all provably inside the envelope, so every audited theorem must still hold
+over them:
+
+* :class:`PerPairBiasedDelayModel` — the "diagonal" pattern of the shifting
+  argument: messages from a lower id to a higher id ride the late edge
+  ``δ+ε``, the reverse direction rides the early edge ``δ−ε``.  Every process
+  consistently sees its higher-id peers as later than they are, which is the
+  delay assignment the lower-bound proof shifts against;
+* :class:`SkewMaximizingDelayModel` — a two-block bias: messages crossing
+  from the low block to the high block arrive late, crossing back arrives
+  early, within-block traffic takes δ.  Each block's estimates of the other
+  are biased by ``±ε``, dragging the averaging midpoints apart and driving
+  the achieved skew toward the ε-level floor;
+* :class:`RoundAwareDelayModel` — flips the diagonal bias every ``period``
+  rounds, making the adversary's pressure oscillate so corrections saw-tooth
+  at the largest admissible amplitude instead of settling.
+
+Unlike :class:`~repro.sim.network.AdversarialDelayModel` (which biases by
+*sender*), these bias by the (sender, recipient) pair and by time, which is
+what the shifting argument's constructions need.
+
+Build by name through
+:func:`~repro.analysis.experiments.make_delay_model` (``'per_pair'``,
+``'skew_max'``, ``'round_aware'``) or directly via
+:func:`build_adversarial_delay_model`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..core.config import SyncParameters
+from ..sim.network import ADVERSARIAL_DELAY_KINDS, DelayModel, _validate
+
+__all__ = [
+    "PerPairBiasedDelayModel",
+    "SkewMaximizingDelayModel",
+    "RoundAwareDelayModel",
+    "ADVERSARIAL_DELAY_KINDS",
+    "build_adversarial_delay_model",
+]
+
+
+def _validate_fraction(fraction: float) -> float:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    return float(fraction)
+
+
+class PerPairBiasedDelayModel(DelayModel):
+    """The shifting argument's "diagonal" delay assignment.
+
+    ``delay(p → q) = δ + fraction·ε`` when ``p < q``, ``δ − fraction·ε`` when
+    ``p > q``, and exactly δ for self-messages.  With ``fraction = 1`` (the
+    default) every cross-process delay sits on an envelope edge — the exact
+    execution family the lower-bound proof constructs its shifts against.
+    """
+
+    def __init__(self, delta: float, epsilon: float, fraction: float = 1.0):
+        _validate(delta, epsilon)
+        self.delta = float(delta)
+        self.epsilon = float(epsilon)
+        self.fraction = _validate_fraction(fraction)
+        self.bias = self.fraction * self.epsilon
+
+    def delay(self, sender: int, recipient: int, send_time: float,
+              rng: random.Random) -> Optional[float]:
+        if sender < recipient:
+            return self.delta + self.bias
+        if sender > recipient:
+            return self.delta - self.bias
+        return self.delta
+
+    def __repr__(self) -> str:
+        return (f"PerPairBiasedDelayModel(delta={self.delta!r}, "
+                f"epsilon={self.epsilon!r}, fraction={self.fraction!r})")
+
+
+class SkewMaximizingDelayModel(DelayModel):
+    """Two-block bias that drags the blocks' logical clocks apart.
+
+    Processes ``< pivot`` form the low block, the rest the high block.
+    Low → high messages take ``δ + fraction·ε`` (the high block believes the
+    low block is *earlier* than it is), high → low take ``δ − fraction·ε``,
+    within-block traffic takes δ.  Both blocks' averaged estimates of the
+    other are biased by the same amount with opposite signs, so the averaging
+    that normally pulls everyone together instead holds the blocks ~ε apart —
+    the adversary that pushes achieved skew toward the lower bound.
+    """
+
+    def __init__(self, delta: float, epsilon: float, pivot: int,
+                 fraction: float = 1.0):
+        _validate(delta, epsilon)
+        if pivot < 1:
+            raise ValueError(f"pivot must be >= 1 so both blocks are "
+                             f"non-empty, got {pivot}")
+        self.delta = float(delta)
+        self.epsilon = float(epsilon)
+        self.pivot = int(pivot)
+        self.fraction = _validate_fraction(fraction)
+        self.bias = self.fraction * self.epsilon
+
+    def delay(self, sender: int, recipient: int, send_time: float,
+              rng: random.Random) -> Optional[float]:
+        low_sender = sender < self.pivot
+        low_recipient = recipient < self.pivot
+        if low_sender and not low_recipient:
+            return self.delta + self.bias
+        if low_recipient and not low_sender:
+            return self.delta - self.bias
+        return self.delta
+
+    def __repr__(self) -> str:
+        return (f"SkewMaximizingDelayModel(delta={self.delta!r}, "
+                f"epsilon={self.epsilon!r}, pivot={self.pivot!r}, "
+                f"fraction={self.fraction!r})")
+
+
+class RoundAwareDelayModel(DelayModel):
+    """Oscillating diagonal bias: the adversary flips direction per round.
+
+    The round index is estimated from the send's real time against the
+    ``(T0, P)`` round grid (drift keeps real round boundaries within a few
+    ρP of the grid, so the flip lands at worst one message early or late —
+    irrelevant to admissibility, which holds pointwise).  For ``period = r``
+    the bias direction flips every ``r`` rounds, so corrections oscillate at
+    the largest amplitude assumption A3 permits instead of settling into a
+    fixed-point offset the averaging could learn.
+    """
+
+    def __init__(self, delta: float, epsilon: float, round_length: float,
+                 initial_round_time: float = 0.0, period: int = 1,
+                 fraction: float = 1.0):
+        _validate(delta, epsilon)
+        if round_length <= 0:
+            raise ValueError(f"round_length must be positive, got {round_length}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1 round, got {period}")
+        self.delta = float(delta)
+        self.epsilon = float(epsilon)
+        self.round_length = float(round_length)
+        self.initial_round_time = float(initial_round_time)
+        self.period = int(period)
+        self.fraction = _validate_fraction(fraction)
+        self.bias = self.fraction * self.epsilon
+
+    def _sign(self, send_time: float) -> float:
+        index = math.floor((send_time - self.initial_round_time)
+                           / self.round_length)
+        return 1.0 if (index // self.period) % 2 == 0 else -1.0
+
+    def delay(self, sender: int, recipient: int, send_time: float,
+              rng: random.Random) -> Optional[float]:
+        if sender == recipient:
+            return self.delta
+        bias = self._sign(send_time) * self.bias
+        if sender < recipient:
+            return self.delta + bias
+        return self.delta - bias
+
+    def __repr__(self) -> str:
+        return (f"RoundAwareDelayModel(delta={self.delta!r}, "
+                f"epsilon={self.epsilon!r}, "
+                f"round_length={self.round_length!r}, "
+                f"initial_round_time={self.initial_round_time!r}, "
+                f"period={self.period!r}, fraction={self.fraction!r})")
+
+
+def build_adversarial_delay_model(kind: str, params: SyncParameters,
+                                  **kwargs) -> DelayModel:
+    """Build one of the adversarial models from a parameter set.
+
+    Fills in the parameters the models need from ``params``: the envelope
+    constants always, the block pivot (``n // 2``) for ``skew_max``, and the
+    round grid for ``round_aware``.  Explicit keyword arguments win.
+    """
+    if kind == "per_pair":
+        return PerPairBiasedDelayModel(params.delta, params.epsilon, **kwargs)
+    if kind == "skew_max":
+        kwargs.setdefault("pivot", max(1, params.n // 2))
+        return SkewMaximizingDelayModel(params.delta, params.epsilon, **kwargs)
+    if kind == "round_aware":
+        kwargs.setdefault("round_length", params.round_length)
+        kwargs.setdefault("initial_round_time", params.initial_round_time)
+        return RoundAwareDelayModel(params.delta, params.epsilon, **kwargs)
+    raise ValueError(f"unknown adversarial delay kind {kind!r}; "
+                     f"choose from {', '.join(ADVERSARIAL_DELAY_KINDS)}")

@@ -172,7 +172,8 @@ def effective_parameters(params: SyncParameters,
 def make_delay_model(kind: Union[str, DelayModel], params: SyncParameters,
                      **kwargs) -> DelayModel:
     """Build a delay model by name ('uniform', 'fixed', 'gaussian', 'adversarial',
-    'contention') respecting the parameter set's δ and ε."""
+    'contention', plus the lower-bound engine's 'per_pair', 'skew_max' and
+    'round_aware' adversaries) respecting the parameter set's δ and ε."""
     if isinstance(kind, DelayModel):
         return kind
     delta, epsilon = params.delta, params.epsilon
@@ -186,6 +187,10 @@ def make_delay_model(kind: Union[str, DelayModel], params: SyncParameters,
         return AdversarialDelayModel(delta, epsilon, **kwargs)
     if kind == "contention":
         return ContentionDelayModel(delta, epsilon, **kwargs)
+    from ..adversary.delays import (ADVERSARIAL_DELAY_KINDS,
+                                    build_adversarial_delay_model)
+    if kind in ADVERSARIAL_DELAY_KINDS:
+        return build_adversarial_delay_model(kind, params, **kwargs)
     raise ValueError(f"unknown delay model {kind!r}")
 
 

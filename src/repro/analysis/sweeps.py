@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Union)
 
-from ..core.bounds import agreement_bound, steady_state_beta
+from ..core.bounds import agreement_bound, lower_bound, steady_state_beta
 from ..core.config import SyncParameters
 from ..runner.batch import BatchRunner
 from ..runner.spec import RunSpec
@@ -58,6 +58,7 @@ __all__ = [
     "sweep_system_size",
     "sweep_fault_count",
     "sweep_topology",
+    "sweep_tightness",
 ]
 
 #: called with a point's swept inputs before it is evaluated.
@@ -395,5 +396,45 @@ def sweep_topology(specs: Iterable[str], n: int = 7, f: int = 2,
         }
 
     return run_spec_sweep([SweepAxis("topology", list(specs))], build, measure,
+                          seeds=seeds, jobs=jobs, progress=progress,
+                          on_result=on_result)
+
+
+def sweep_tightness(sizes: Iterable[int], f: int = 0, rho: float = 1e-4,
+                    delta: float = 0.01, epsilon: float = 0.002,
+                    rounds: int = 8, delay: str = "skew_max", seed: int = 0,
+                    seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                    progress: Optional[Progress] = None,
+                    on_result: Optional[OnResult] = None) -> SweepResult:
+    """Achieved adversarial skew between the ε(1 − 1/n) floor and γ, per n.
+
+    Runs the fault-free maintenance algorithm under an in-envelope adversary
+    (default: the skew-maximizing two-block model) for each system size and
+    reports the measured agreement next to both theoretical brackets — the
+    impossibility floor ``lower_bound`` and the Theorem 16 guarantee
+    ``gamma`` — plus ``gamma_over_lower``, the provable window's looseness.
+    The companion certificate machinery
+    (:func:`repro.adversary.certifier.certify_lower_bound`) proves the floor
+    is reachable; this sweep shows where real adversarial runs land inside
+    the window as n grows.
+    """
+
+    def build(n: int) -> RunSpec:
+        params = SyncParameters.derive(n=n, f=f, rho=rho, delta=delta,
+                                       epsilon=epsilon)
+        return RunSpec.maintenance(params, rounds=rounds, fault_kind=None,
+                                   delay=delay, seed=seed)
+
+    def measure(result, n: int) -> Dict[str, float]:
+        gamma = agreement_bound(result.params)
+        floor = lower_bound(result.params)
+        return {
+            "lower_bound": floor,
+            "agreement": _agreement_after_settle(result),
+            "gamma": gamma,
+            "gamma_over_lower": gamma / floor if floor > 0 else float("inf"),
+        }
+
+    return run_spec_sweep([SweepAxis("n", list(sizes))], build, measure,
                           seeds=seeds, jobs=jobs, progress=progress,
                           on_result=on_result)

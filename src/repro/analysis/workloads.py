@@ -19,6 +19,11 @@ cares about:
   used by the staggered-broadcast experiments;
 * ``adversarial-delay`` — every message delivered at the extreme edge of the
   envelope allowed by assumption A3 (the worst case the analysis covers);
+* ``adversarial-lan`` — the lower-bound engine's skew-maximizing two-block
+  adversary on LAN constants (see :mod:`repro.adversary.delays`);
+* ``tightness-sweep`` — the shifting argument's per-pair "diagonal" delay
+  assignment, the base workload of
+  :func:`~repro.analysis.sweeps.sweep_tightness`;
 * ``quiet``        — no faults, no uncertainty: a control for tests.
 
 The topology-parameterized presets drop the complete-graph assumption:
@@ -40,17 +45,10 @@ from typing import Dict, Optional, Tuple, Union
 
 from ..core.config import SyncParameters
 from ..runner.spec import RunSpec, execute
-from ..sim.network import (
-    AdversarialDelayModel,
-    ContentionDelayModel,
-    DelayModel,
-    FixedDelayModel,
-    TruncatedGaussianDelayModel,
-    UniformDelayModel,
-)
+from ..sim.network import DelayModel
 from ..topology.base import Topology
 from ..topology.spec import build_topology
-from .experiments import ScenarioResult
+from .experiments import ScenarioResult, make_delay_model
 
 __all__ = ["Workload", "WORKLOADS", "workload_names", "get_workload",
            "build_parameters", "build_spec", "run_workload"]
@@ -97,20 +95,18 @@ class Workload:
         return build_topology(self.topology, n=n, seed=seed)
 
     def build_delay_model(self, params: SyncParameters) -> DelayModel:
-        """Instantiate this workload's delay model for a parameter set."""
-        options = dict(self.delay_options)
-        if self.delay_kind == "uniform":
-            return UniformDelayModel(params.delta, params.epsilon)
-        if self.delay_kind == "fixed":
-            return FixedDelayModel(params.delta)
-        if self.delay_kind == "gaussian":
-            return TruncatedGaussianDelayModel(params.delta, params.epsilon, **options)
-        if self.delay_kind == "adversarial":
-            return AdversarialDelayModel(params.delta, params.epsilon, **options)
-        if self.delay_kind == "contention":
-            return ContentionDelayModel(params.delta, params.epsilon, **options)
-        raise ValueError(f"workload {self.name!r} has unknown delay kind "
-                         f"{self.delay_kind!r}")
+        """Instantiate this workload's delay model for a parameter set.
+
+        Delegates to :func:`~repro.analysis.experiments.make_delay_model`
+        (the single delay-model registry, adversarial families included), so
+        a workload's ``delay_kind`` vocabulary can never drift from what a
+        :class:`~repro.runner.spec.RunSpec` executes.
+        """
+        try:
+            return make_delay_model(self.delay_kind, params,
+                                    **dict(self.delay_options))
+        except ValueError as error:
+            raise ValueError(f"workload {self.name!r}: {error}") from None
 
 
 WORKLOADS: Dict[str, Workload] = {
@@ -150,6 +146,24 @@ WORKLOADS: Dict[str, Workload] = {
                         "the worst case assumption A3 permits.",
             rho=1e-4, delta=0.01, epsilon=0.002,
             delay_kind="adversarial",
+        ),
+        Workload(
+            name="adversarial-lan",
+            description="LAN constants under the skew-maximizing two-block "
+                        "adversary: crossing messages ride the envelope "
+                        "edges, dragging the blocks ~epsilon apart while "
+                        "every theorem bound must still hold.",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            delay_kind="skew_max", fault_kind=None,
+        ),
+        Workload(
+            name="tightness-sweep",
+            description="LAN constants under the per-pair 'diagonal' "
+                        "adversary of the shifting argument; the base "
+                        "workload of sweep_tightness (achieved skew vs "
+                        "gamma vs the eps(1-1/n) lower bound).",
+            rho=1e-4, delta=0.01, epsilon=0.002,
+            delay_kind="per_pair", fault_kind=None,
         ),
         Workload(
             name="quiet",

@@ -17,7 +17,10 @@ the measuring stick.  It times the three layers the fast path targets
 * **streaming** — a long-horizon ``record_trace=False`` run (n = 100, 60
   rounds) through the observer pipeline with online skew/validity metrics,
   recording events/s, the tracemalloc allocation peak, and the process peak
-  RSS — the regime the batch path cannot reach without O(events) memory.
+  RSS — the regime the batch path cannot reach without O(events) memory;
+* **certifier** — one full lower-bound certification (base run, the chain of
+  n shifted executions, per-execution admissibility audit and skew
+  measurement), the cost of ``python -m repro certify``.
 
 Results are written to a ``BENCH_*.json`` trajectory file with two slots:
 ``baseline`` (recorded once, before a perf change lands — pass
@@ -65,6 +68,7 @@ __all__ = [
     "bench_metrics",
     "bench_end_to_end",
     "bench_streaming",
+    "bench_certifier",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
@@ -277,6 +281,36 @@ def bench_streaming(n: int = STREAMING_N, rounds: int = STREAMING_ROUNDS,
     }
 
 
+#: the certifier benchmark's fixed configuration — identical in quick and
+#: full mode so trajectory entries always compare.
+CERTIFIER_N = 10
+CERTIFIER_ROUNDS = 6
+
+
+def bench_certifier(n: int = CERTIFIER_N, rounds: int = CERTIFIER_ROUNDS,
+                    repeats: int = 1) -> Dict[str, object]:
+    """Time one full ε(1 − 1/n) certification at system size ``n``.
+
+    Covers the whole adversarial pipeline: the fault-free all-δ base run with
+    network recording, the construction of the n shifted executions, the
+    per-message admissibility audit of each, the indistinguishability check,
+    and the skew measurements — i.e. what ``python -m repro certify`` costs.
+    """
+    from .adversary.certifier import certify_lower_bound
+
+    def one() -> float:
+        start = time.perf_counter()
+        one.certificate = certify_lower_bound(n=n, rounds=rounds, seed=11)
+        return time.perf_counter() - start
+
+    seconds = _best_of(repeats, one)
+    certificate = one.certificate
+    return {"n": n, "rounds": rounds, "seconds": seconds,
+            "executions": len(certificate.executions),
+            "achieved_skew": certificate.achieved_skew,
+            "verified": certificate.verified}
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -338,6 +372,7 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     # Same n/rounds in both modes: the memory guard compares config-matched
     # entries, and CI runs --quick against a full-mode recording.
     results["streaming"] = bench_streaming(repeats=1)
+    results["certifier"] = bench_certifier(repeats=1)
     return results
 
 
@@ -352,7 +387,8 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "in_process_speedup", "events",
                                "events_per_second", "calls_per_second",
                                "peak_tracemalloc_bytes", "peak_rss_kb",
-                               "max_skew", "validity_violations"})
+                               "max_skew", "validity_violations",
+                               "achieved_skew", "verified", "executions"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -505,6 +541,13 @@ def format_results(results: Dict[str, object],
             f"(n={streaming['n']}, {streaming['rounds']} rounds, "
             f"{streaming['events']} events, peak alloc "
             f"{streaming['peak_tracemalloc_bytes']:,} B{rss})")
+    certifier = results.get("certifier")
+    if certifier:
+        lines.append(
+            f"certifier             {certifier['seconds']:>10.4f} s "
+            f"(n={certifier['n']}, {certifier['executions']} shifted "
+            f"executions, achieved {certifier['achieved_skew']:.6f}, "
+            f"{'verified' if certifier['verified'] else 'REJECTED'})")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))

@@ -11,12 +11,20 @@ Installed as the ``repro-clocksync`` console script (also reachable as
 * ``startup``    — run the Section 9.2 start-up algorithm and report the
   Lemma 20 convergence series;
 * ``compare``    — the Section 10 comparison table on one shared workload;
-* ``sweep``      — agreement/spread sweeps along the ε, P, n, fault-count or
-  topology axes (the data behind the paper's trade-off discussions);
+* ``sweep``      — agreement/spread sweeps along the ε, P, n, fault-count,
+  topology or tightness axes (the data behind the paper's trade-off
+  discussions);
+* ``certify``    — run the shifting-argument lower-bound certifier: build the
+  paper's family of shifted executions and emit a machine-checkable
+  certificate that some admissible execution has skew ≥ ε(1 − 1/n)
+  (see :mod:`repro.adversary.certifier`);
+* ``conformance`` — the cross-algorithm conformance matrix: every algorithm ×
+  fault model × topology audited against axioms A1–A3 and its own agreement
+  bound (see :mod:`repro.adversary.conformance`);
 * ``bench``      — the core performance benchmarks (event throughput, trace
-  reconstruction, metrics engine, end-to-end workloads); updates the
-  ``BENCH_*.json`` trajectory file and doubles as a CI regression guard
-  (see :mod:`repro.bench`).
+  reconstruction, metrics engine, end-to-end workloads, lower-bound
+  certifier); updates the ``BENCH_*.json`` trajectory file and doubles as a
+  CI regression guard (see :mod:`repro.bench`).
 
 ``run``, ``startup`` and ``compare`` accept ``--topology SPEC`` (e.g.
 ``ring``, ``grid:cols=3``, ``random_gnp:p=0.4``) to replace the paper's
@@ -61,6 +69,7 @@ from .analysis.sweeps import (
     sweep_fault_count,
     sweep_round_length,
     sweep_system_size,
+    sweep_tightness,
     sweep_topology,
 )
 from .analysis.verification import (
@@ -151,8 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep agreement/spread along one parameter axis")
     sweep_parser.add_argument("--axis", required=True,
                               choices=["epsilon", "round-length", "n",
-                                       "fault-count", "topology"],
-                              help="which parameter to sweep")
+                                       "fault-count", "topology",
+                                       "tightness"],
+                              help="which parameter to sweep (tightness: "
+                                   "adversarial skew vs gamma vs the "
+                                   "eps(1-1/n) lower bound, values are n)")
     sweep_parser.add_argument("--values", nargs="+", required=True,
                               help="the values to sweep over (topology axis: "
                                    "specs like ring grid random_gnp:p=0.4)")
@@ -161,6 +173,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_options(sweep_parser)
     sweep_parser.add_argument("--csv", metavar="PATH",
                               help="export the sweep table as CSV")
+
+    certify_parser = subparsers.add_parser(
+        "certify",
+        help="certify the eps(1-1/n) lower bound via the shifting argument")
+    certify_parser.add_argument("-n", type=int, default=5,
+                                help="number of processes (default 5)")
+    certify_parser.add_argument("--rounds", type=int, default=6,
+                                help="base-run resynchronization rounds "
+                                     "(default 6)")
+    certify_parser.add_argument("--seed", type=int, default=0)
+    certify_parser.add_argument("--no-trace", action="store_true",
+                                help="stream the base run (O(n) memory); the "
+                                     "certifier consumes the online "
+                                     "observers")
+    certify_parser.add_argument("--json", metavar="PATH",
+                                help="write the machine-checkable "
+                                     "certificate as JSON")
+
+    conformance_parser = subparsers.add_parser(
+        "conformance",
+        help="audit every algorithm x fault model x topology against "
+             "axioms A1-A3 and its own agreement bound")
+    conformance_parser.add_argument("-n", type=int, default=7)
+    conformance_parser.add_argument("-f", type=int, default=2)
+    conformance_parser.add_argument("--rounds", type=int, default=6)
+    conformance_parser.add_argument("--seed", type=int, default=0)
+    conformance_parser.add_argument("--algorithms", nargs="+",
+                                    choices=sorted(ALGORITHM_FACTORIES),
+                                    help="subset of algorithms "
+                                         "(default: all)")
+    conformance_parser.add_argument("--fault-kinds", nargs="+",
+                                    default=["none", "two_faced", "crash"],
+                                    metavar="KIND",
+                                    help="fault-model axis; 'none' = no "
+                                         "faults (bounds are enforced "
+                                         "there). Default: none two_faced "
+                                         "crash")
+    conformance_parser.add_argument("--topologies", nargs="+",
+                                    default=["complete"], metavar="SPEC",
+                                    help="topology axis; 'complete' = the "
+                                         "paper's complete graph")
+    conformance_parser.add_argument("--delay", default="uniform",
+                                    help="delay-model family for every cell "
+                                         "(default uniform)")
+    conformance_parser.add_argument("--jobs", type=int, default=1,
+                                    metavar="N",
+                                    help="worker processes (results are "
+                                         "bit-identical to serial)")
+    conformance_parser.add_argument("--json", metavar="PATH",
+                                    help="export the audited matrix as JSON")
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the core performance benchmarks and update the "
@@ -507,12 +569,96 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .adversary.certifier import certify_lower_bound
+    from .analysis.verification import check_certificate
+
+    certificate = certify_lower_bound(n=args.n, rounds=args.rounds,
+                                      seed=args.seed,
+                                      record_trace=not args.no_trace)
+    mode = "streamed base run" if args.no_trace else "recorded base run"
+    print(f"lower-bound certificate: n={certificate.n} "
+          f"delta={certificate.delta} epsilon={certificate.epsilon} — {mode}")
+    print(f"chain (by descending local time): "
+          f"{' > '.join(str(pid) for pid in certificate.chain)}; "
+          f"shift unit {certificate.unit:.6g}")
+    print(format_table(
+        ["execution", "spread", "messages", "delay range", "skew",
+         "admissible"],
+        [(item.index, item.spread, item.messages_checked,
+          f"[{item.min_delay:.6f}, {item.max_delay:.6f}]", item.skew,
+          "yes" if item.admissible else "NO")
+         for item in certificate.executions],
+        precision=6))
+    # The report already folds in the offline re-check (verify_certificate)
+    # and the achieved-vs-bound claims, so it is the single verdict source.
+    report = check_certificate(certificate)
+    print(format_report(report))
+    print(f"achieved skew {certificate.achieved_skew:.6f} vs lower bound "
+          f"{certificate.bound:.6f} (margin {certificate.margin:.2f}x) vs "
+          f"gamma {certificate.gamma:.6f}")
+    if args.json:
+        write_json(certificate.to_dict(), args.json)
+        print(f"wrote machine-checkable certificate to {args.json}")
+    ok = report.all_passed
+    print("certificate VERIFIED" if ok else "certificate REJECTED")
+    return 0 if ok else 1
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from .adversary.conformance import build_conformance_matrix, run_conformance
+
+    fault_kinds = [None if kind == "none" else kind
+                   for kind in args.fault_kinds]
+    topologies = [None if spec == "complete" else spec
+                  for spec in args.topologies]
+    try:
+        cases = build_conformance_matrix(
+            n=args.n, f=args.f, rounds=args.rounds, seed=args.seed,
+            algorithms=args.algorithms, fault_kinds=fault_kinds,
+            topologies=topologies, delay=args.delay)
+        report = run_conformance(cases, jobs=args.jobs)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"conformance matrix: {len(cases)} cells "
+          f"({len(set(c.algorithm for c in cases))} algorithms x "
+          f"{len(set(c.fault_kind for c in cases))} fault models x "
+          f"{len(set(c.topology for c in cases))} topologies), "
+          f"jobs={args.jobs}")
+    print(format_table(report.headers(), report.rows(), precision=6))
+    violations = report.violations()
+    if violations:
+        print(f"{len(violations)} enforced check(s) VIOLATED:")
+        for case, check in violations:
+            print(f"  {case.label}: {check.claim} measured "
+                  f"{check.measured:.6g} vs bound {check.bound:.6g}")
+    else:
+        print("axioms A1-A3 hold on every cell; all nonfaulty cells respect "
+              "their agreement bounds")
+    if args.json:
+        write_json([
+            {"algorithm": outcome.case.algorithm,
+             "fault_kind": outcome.case.fault_kind,
+             "topology": outcome.case.topology,
+             "nonfaulty": outcome.case.nonfaulty,
+             "passed": outcome.passed,
+             "checks": [{"claim": check.claim, "bound": check.bound,
+                         "measured": check.measured, "passed": check.passed,
+                         "detail": check.detail}
+                        for check in outcome.checks]}
+            for outcome in report.outcomes], args.json)
+        print(f"wrote conformance matrix JSON to {args.json}")
+    return 0 if report.passed else 1
+
+
 _SWEEPS = {
     "epsilon": (sweep_epsilon, float),
     "round-length": (sweep_round_length, float),
     "n": (sweep_system_size, int),
     "fault-count": (sweep_fault_count, int),
     "topology": (sweep_topology, str),
+    "tightness": (sweep_tightness, int),
 }
 
 
@@ -543,6 +689,8 @@ _COMMANDS = {
     "startup": _cmd_startup,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "certify": _cmd_certify,
+    "conformance": _cmd_conformance,
     "bench": _cmd_bench,
 }
 

@@ -90,6 +90,16 @@ class CorrectionHistory:
         return self._max_entries is not None
 
     @property
+    def max_entries(self) -> Optional[int]:
+        """The breakpoint retention bound (None = keep the full history).
+
+        Exposed so transforms that rebuild a history (e.g.
+        :func:`repro.adversary.shifting.shift_history`) can preserve the
+        streaming-mode memory contract of the original.
+        """
+        return self._max_entries
+
+    @property
     def events(self) -> Sequence[CorrectionEvent]:
         """All correction events including the synthetic initial one."""
         return tuple(self._events)

@@ -9,18 +9,21 @@ from .averaging import (
     convergence_rate,
 )
 from .bounds import (
+    TightnessGap,
     ValidityParameters,
     adjustment_bound,
     agreement_bound,
     k_exchange_beta,
     lemma9_compensation_error,
     lemma10_separation_bound,
+    lower_bound,
     mean_variant_rate,
     shortest_round_real_time,
     startup_convergence_series,
     startup_limit,
     startup_round_recurrence,
     steady_state_beta,
+    tightness_gap,
     validity_envelope,
     validity_holds,
     validity_parameters,
@@ -44,9 +47,12 @@ __all__ = [
     "FaultTolerantMean",
     "PlainMean",
     "convergence_rate",
+    "TightnessGap",
     "ValidityParameters",
     "adjustment_bound",
     "agreement_bound",
+    "lower_bound",
+    "tightness_gap",
     "k_exchange_beta",
     "lemma9_compensation_error",
     "lemma10_separation_bound",

@@ -14,7 +14,12 @@ Implemented bounds:
 * Section 5.2 / Section 7: steady-state β ≈ 4ε + 4ρP and its k-exchange
   generalisation ``β ≈ 4ε + 2ρP·2^k/(2^k−1)``;
 * Lemma 20 (start-up): ``B^{i+1} <= B^i/2 + 2ε + 2ρ(11δ + 39ε)`` and its fixed
-  point ``≈ 4ε + 4ρ(11δ + 39ε)``.
+  point ``≈ 4ε + 4ρ(11δ + 39ε)``;
+* the impossibility half: no algorithm can synchronize the clocks to better
+  than ``ε(1 − 1/n)`` (:func:`lower_bound`), with :func:`tightness_gap`
+  positioning a measured skew between that floor and the Theorem 16 γ — the
+  executable construction behind the bound lives in
+  :mod:`repro.adversary.certifier`.
 """
 
 from __future__ import annotations
@@ -40,6 +45,9 @@ __all__ = [
     "startup_convergence_series",
     "startup_limit",
     "mean_variant_rate",
+    "lower_bound",
+    "TightnessGap",
+    "tightness_gap",
 ]
 
 
@@ -173,3 +181,74 @@ def startup_limit(params: SyncParameters) -> float:
     """Lemma 20's fixed point: ``4ε + 4ρ(11δ + 39ε)`` — about 4ε in practice."""
     return 4 * params.epsilon + 4 * params.rho * (11 * params.delta
                                                   + 39 * params.epsilon)
+
+
+# ---------------------------------------------------------------------------
+# The impossibility half: the ε(1 − 1/n) lower bound
+# ---------------------------------------------------------------------------
+
+def lower_bound(params: SyncParameters) -> float:
+    """The shifting-argument floor: no algorithm beats ``ε(1 − 1/n)``.
+
+    The paper's second headline result, proved by indistinguishability: any
+    admissible execution can be retimed by per-process shifts spanning up to
+    ε without any process noticing, so in *some* admissible execution the
+    clocks are at least ``ε(1 − 1/n)`` apart no matter what the algorithm
+    does.  Monotone in n, approaching ε as n → ∞, and always below the
+    Theorem 16 γ (which exceeds β + ε > ε).  A single process (n = 1) is
+    trivially synchronized with itself, so the bound is zero there.
+
+    :func:`repro.adversary.certifier.certify_lower_bound` constructs the
+    witnessing execution family and certifies this value is actually reached.
+    """
+    if params.n < 2:
+        return 0.0
+    return params.epsilon * (1.0 - 1.0 / params.n)
+
+
+@dataclass(frozen=True)
+class TightnessGap:
+    """Where a measured skew sits between the lower bound and Theorem 16's γ.
+
+    The paper leaves a constant-factor gap between what any algorithm must
+    concede (``lower``) and what its algorithm guarantees (``gamma``); the
+    ratios here quantify that gap for a concrete run.
+    """
+
+    lower: float
+    gamma: float
+    achieved: float
+
+    @property
+    def gamma_over_lower(self) -> float:
+        """How loose the provable window is (∞ when the lower bound is 0)."""
+        return self.gamma / self.lower if self.lower > 0 else math.inf
+
+    @property
+    def achieved_over_lower(self) -> float:
+        """≥ 1 once an adversarial run actually reaches the floor."""
+        return self.achieved / self.lower if self.lower > 0 else math.inf
+
+    @property
+    def achieved_over_gamma(self) -> float:
+        """≤ 1 for any admissible run of the paper's algorithm."""
+        return self.achieved / self.gamma if self.gamma > 0 else math.inf
+
+    @property
+    def position(self) -> float:
+        """``(achieved − lower) / (gamma − lower)``, clamped to [0, 1]-ish.
+
+        0 means the run sat exactly on the impossibility floor, 1 exactly on
+        the γ guarantee; adversarial runs land in between.
+        """
+        width = self.gamma - self.lower
+        if width <= 0:
+            return 0.0
+        return (self.achieved - self.lower) / width
+
+
+def tightness_gap(params: SyncParameters, achieved: float) -> TightnessGap:
+    """Bundle a measured skew with its lower/upper theoretical brackets."""
+    return TightnessGap(lower=lower_bound(params),
+                        gamma=agreement_bound(params),
+                        achieved=achieved)

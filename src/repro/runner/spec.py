@@ -35,16 +35,23 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..core.config import SyncParameters
+from ..sim.network import DELAY_MODEL_KINDS
 from ..topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the cycle
     from ..analysis.experiments import ScenarioResult
 
-__all__ = ["RunSpec", "execute", "SCENARIO_KINDS"]
+__all__ = ["RunSpec", "execute", "SCENARIO_KINDS", "DELAY_KINDS"]
 
 #: the scenario kinds :func:`execute` can dispatch.
 SCENARIO_KINDS = ("maintenance", "algorithm", "startup", "reintegration",
                   "partition_heal")
+
+#: delay-model family names ``make_delay_model`` can build, from the single
+#: name registry in :mod:`repro.sim.network` (base models plus the
+#: :mod:`repro.adversary.delays` worst-case families).  Validated eagerly so
+#: a typo fails at spec construction instead of deep inside a worker.
+DELAY_KINDS = frozenset(DELAY_MODEL_KINDS)
 
 #: option keys each kind accepts in :attr:`RunSpec.options`.
 _ALLOWED_OPTIONS = {
@@ -164,6 +171,9 @@ class RunSpec:
             raise TypeError("delay must be a delay-model family name (a spec "
                             "stays declarative; build model objects at "
                             "execution time)")
+        if self.delay not in DELAY_KINDS:
+            raise ValueError(f"unknown delay model {self.delay!r}; "
+                             f"choose from {', '.join(sorted(DELAY_KINDS))}")
         if self.kind == "algorithm":
             if self.algorithm is None:
                 raise ValueError("kind='algorithm' needs an algorithm name")

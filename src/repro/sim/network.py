@@ -18,6 +18,12 @@ can show what happens when the assumption breaks.
 * :class:`AdversarialDelayModel` — delivers messages from selected senders at
   the extreme early/late edge of the envelope, the worst case the analysis
   allows.
+
+The *pair-* and *time-targeted* adversaries of the lower-bound engine (the
+``per_pair``, ``skew_max`` and ``round_aware`` families) live in
+:mod:`repro.adversary.delays`; they subclass :class:`DelayModel` and register
+with :func:`repro.analysis.experiments.make_delay_model` like the models
+here.
 """
 
 from __future__ import annotations
@@ -33,7 +39,22 @@ __all__ = [
     "PerLinkDelayModel",
     "ContentionDelayModel",
     "AdversarialDelayModel",
+    "BASE_DELAY_KINDS",
+    "ADVERSARIAL_DELAY_KINDS",
+    "DELAY_MODEL_KINDS",
 ]
+
+#: the canonical delay-family name vocabulary.  This module owns the single
+#: source of truth; the builders (``make_delay_model``,
+#: :func:`repro.adversary.delays.build_adversarial_delay_model`) and the
+#: eager :class:`~repro.runner.spec.RunSpec` validation all consume it, so
+#: the three layers cannot drift.
+BASE_DELAY_KINDS = ("uniform", "fixed", "gaussian", "adversarial",
+                    "contention")
+#: the worst-case families implemented in :mod:`repro.adversary.delays`.
+ADVERSARIAL_DELAY_KINDS = ("per_pair", "skew_max", "round_aware")
+#: every family name a declarative spec may carry.
+DELAY_MODEL_KINDS = BASE_DELAY_KINDS + ADVERSARIAL_DELAY_KINDS
 
 
 class DelayModel:
@@ -51,6 +72,16 @@ class DelayModel:
     def envelope(self) -> Tuple[float, float]:
         """The [δ-ε, δ+ε] envelope this model nominally respects."""
         return self.delta - self.epsilon, self.delta + self.epsilon
+
+    def contains(self, delay: float, tolerance: float = 1e-12) -> bool:
+        """Whether a delay lies inside this model's nominal envelope.
+
+        The single predicate the A3 audits and the adversarial-model
+        property suite share, so "inside the envelope" cannot drift between
+        checkers.
+        """
+        low, high = self.envelope()
+        return low - tolerance <= delay <= high + tolerance
 
 
 def _validate(delta: float, epsilon: float) -> None:

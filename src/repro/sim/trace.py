@@ -202,3 +202,17 @@ class ExecutionTrace:
         if not times:
             return 0.0
         return self.index().max_skew(self._nonfaulty_cached(), times)
+
+    # -- adversarial transforms ----------------------------------------------------
+    def shifted(self, shifts) -> "ExecutionTrace":
+        """This execution retimed by a per-process real-time shift vector.
+
+        The executable form of the paper's lower-bound argument: clocks,
+        correction histories and the event log all move by each process's
+        shift while local views stay indistinguishable.  ``shifts`` is a
+        pid → offset mapping (missing pids shift by 0) or a sequence with one
+        entry per process.  See :mod:`repro.adversary.shifting` for the
+        admissibility and indistinguishability checkers.
+        """
+        from ..adversary.shifting import shift_execution
+        return shift_execution(self, shifts).trace

@@ -1,0 +1,95 @@
+"""Hypothesis guards for the adversarial delay models.
+
+The contract every :mod:`repro.adversary.delays` model must keep for the
+lower-bound machinery (and the conformance matrix) to be sound:
+
+* **in-envelope** — every sample lies inside ``[δ−ε, δ+ε]`` and no message is
+  ever dropped (the adversary attacks timing, not liveness);
+* **deterministic** — the models never consume the RNG, so the same
+  (sender, recipient, send_time) always yields the same delay regardless of
+  the RNG handed in — this is what makes adversarial specs replayable;
+* **pickle-stable** — a model shipped to a :class:`BatchRunner` worker
+  produces bit-identical delays after the pickle round trip (the serial ==
+  parallel guarantee for adversarial workloads rides on it).
+"""
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.delays import (
+    PerPairBiasedDelayModel,
+    RoundAwareDelayModel,
+    SkewMaximizingDelayModel,
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def models(draw):
+    delta = draw(st.floats(min_value=1e-3, max_value=1.0, allow_nan=False))
+    epsilon = delta * draw(st.floats(min_value=0.0, max_value=0.9,
+                                     allow_nan=False))
+    kind = draw(st.sampled_from(["per_pair", "skew_max", "round_aware"]))
+    fraction = draw(fractions)
+    if kind == "per_pair":
+        return PerPairBiasedDelayModel(delta, epsilon, fraction=fraction)
+    if kind == "skew_max":
+        return SkewMaximizingDelayModel(delta, epsilon,
+                                        pivot=draw(st.integers(1, 6)),
+                                        fraction=fraction)
+    return RoundAwareDelayModel(
+        delta, epsilon,
+        round_length=draw(st.floats(min_value=0.01, max_value=10.0,
+                                    allow_nan=False)),
+        initial_round_time=draw(st.floats(min_value=0.0, max_value=5.0,
+                                          allow_nan=False)),
+        period=draw(st.integers(1, 3)), fraction=fraction)
+
+
+endpoints = st.integers(min_value=0, max_value=11)
+send_times = st.floats(min_value=-10.0, max_value=100.0, allow_nan=False)
+
+
+@given(model=models(), sender=endpoints, recipient=endpoints,
+       send_time=send_times, rng_seed=st.integers(0, 2 ** 16))
+@settings(max_examples=200, deadline=None)
+def test_samples_stay_inside_the_envelope_and_never_drop(
+        model, sender, recipient, send_time, rng_seed):
+    delay = model.delay(sender, recipient, send_time,
+                        random.Random(rng_seed))
+    assert delay is not None
+    assert delay > 0
+    assert model.contains(delay)
+
+
+@given(model=models(), sender=endpoints, recipient=endpoints,
+       send_time=send_times,
+       seed_a=st.integers(0, 2 ** 16), seed_b=st.integers(0, 2 ** 16))
+@settings(max_examples=100, deadline=None)
+def test_delays_are_deterministic_and_rng_independent(
+        model, sender, recipient, send_time, seed_a, seed_b):
+    rng_a, rng_b = random.Random(seed_a), random.Random(seed_b)
+    first = model.delay(sender, recipient, send_time, rng_a)
+    second = model.delay(sender, recipient, send_time, rng_b)
+    assert first == second
+    # The adversaries never consume entropy, so the RNG state is untouched —
+    # a system using them draws exactly the same stream as with no model.
+    assert rng_a.getstate() == random.Random(seed_a).getstate()
+
+
+@given(model=models(), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_pickle_round_trip_is_bitwise_stable(model, data):
+    clone = pickle.loads(pickle.dumps(model))
+    assert repr(clone) == repr(model)
+    rng = random.Random(0)
+    for _ in range(8):
+        sender = data.draw(endpoints)
+        recipient = data.draw(endpoints)
+        send_time = data.draw(send_times)
+        assert (model.delay(sender, recipient, send_time, rng)
+                == clone.delay(sender, recipient, send_time, rng))

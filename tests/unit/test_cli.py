@@ -284,3 +284,70 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "agreement_ci95" in out
+
+
+class TestCertifyCommand:
+    def test_certify_prints_chain_and_verifies(self, capsys, tmp_path):
+        json_path = tmp_path / "certificate.json"
+        exit_code = main(["certify", "-n", "3", "--rounds", "4",
+                          "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "certificate VERIFIED" in out
+        assert "lower_bound_achieved" in out
+        assert "shift unit" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["n"] == 3
+        assert payload["verified"] is True
+        assert len(payload["executions"]) == 3
+
+    def test_certify_streaming_base_run(self, capsys):
+        exit_code = main(["certify", "-n", "3", "--rounds", "4",
+                          "--no-trace"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "streamed base run" in out
+        assert "certificate VERIFIED" in out
+
+
+class TestConformanceCommand:
+    def test_small_matrix_passes(self, capsys, tmp_path):
+        json_path = tmp_path / "conformance.json"
+        exit_code = main(["conformance", "-n", "4", "-f", "1",
+                          "--rounds", "3",
+                          "--algorithms", "welch_lynch", "unsynchronized",
+                          "--fault-kinds", "none", "silent",
+                          "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "conformance matrix: 4 cells" in out
+        assert "axioms A1-A3 hold on every cell" in out
+        payload = json.loads(json_path.read_text())
+        assert len(payload) == 4
+        assert all(entry["passed"] for entry in payload)
+        claims = {check["claim"] for check in payload[0]["checks"]}
+        assert "axiom_a3_delay_envelope" in claims
+
+    def test_matrix_with_jobs_matches_serial_output(self, capsys):
+        argv = ["conformance", "-n", "4", "-f", "1", "--rounds", "3",
+                "--algorithms", "welch_lynch", "--fault-kinds", "none"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel.replace("jobs=2", "jobs=1") == serial
+
+    def test_unknown_algorithm_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conformance", "--algorithms",
+                                       "quantum_sync"])
+
+
+class TestTightnessSweep:
+    def test_tightness_axis_brackets_the_achieved_skew(self, capsys):
+        exit_code = main(["sweep", "--axis", "tightness",
+                          "--values", "3", "5", "--rounds", "4"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "lower_bound" in out and "gamma_over_lower" in out

@@ -1,0 +1,173 @@
+"""Unit tests for the ε(1 − 1/n) lower bound and its certificates."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.certifier import (
+    LowerBoundCertificate,
+    certify_lower_bound,
+    verify_certificate,
+)
+from repro.analysis.verification import check_certificate
+from repro.core import SyncParameters
+from repro.core.bounds import agreement_bound, lower_bound, tightness_gap
+
+
+def params_for(n: int, epsilon: float = 0.002) -> SyncParameters:
+    return SyncParameters.derive(n=n, f=0, rho=1e-4, delta=0.01,
+                                 epsilon=epsilon)
+
+
+class TestLowerBoundFormula:
+    def test_matches_the_paper_formula(self):
+        params = params_for(4)
+        assert lower_bound(params) == pytest.approx(0.002 * (1 - 1 / 4))
+
+    def test_single_process_is_trivially_synchronized(self):
+        assert lower_bound(params_for(1)) == 0.0
+
+    def test_strictly_monotone_in_n(self):
+        values = [lower_bound(params_for(n)) for n in (2, 3, 5, 10, 50, 500)]
+        assert values == sorted(values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_approaches_epsilon_as_n_grows(self):
+        epsilon = 0.002
+        bound = lower_bound(params_for(10 ** 6, epsilon))
+        assert bound < epsilon
+        assert epsilon - bound < 1e-8
+
+    def test_scales_linearly_with_epsilon(self):
+        assert lower_bound(params_for(5, 0.004)) \
+            == pytest.approx(2 * lower_bound(params_for(5, 0.002)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=60),
+           rho=st.floats(min_value=0.0, max_value=2e-3),
+           delta=st.floats(min_value=1e-3, max_value=0.1),
+           ratio=st.floats(min_value=0.01, max_value=0.9))
+    def test_always_below_the_agreement_bound(self, n, rho, delta, ratio):
+        """The provable window is never empty: ε(1 − 1/n) < γ."""
+        try:
+            params = SyncParameters.derive(n=n, f=0, rho=rho, delta=delta,
+                                           epsilon=delta * ratio)
+        except Exception:
+            assume(False)
+        assert lower_bound(params) < agreement_bound(params)
+
+
+class TestTightnessGap:
+    def test_brackets_and_ratios(self):
+        params = params_for(5)
+        gap = tightness_gap(params, achieved=0.002)
+        assert gap.lower == lower_bound(params)
+        assert gap.gamma == agreement_bound(params)
+        assert gap.achieved_over_lower == pytest.approx(0.002 / gap.lower)
+        assert gap.achieved_over_gamma == pytest.approx(0.002 / gap.gamma)
+        assert gap.gamma_over_lower > 1.0
+        assert 0.0 < gap.position < 1.0
+
+    def test_position_endpoints(self):
+        params = params_for(5)
+        assert tightness_gap(params, lower_bound(params)).position \
+            == pytest.approx(0.0)
+        assert tightness_gap(params, agreement_bound(params)).position \
+            == pytest.approx(1.0)
+
+    def test_degenerate_lower_bound_yields_infinite_ratios(self):
+        params = SyncParameters.derive(n=4, f=0, rho=1e-4, delta=0.01,
+                                       epsilon=0.0)
+        gap = tightness_gap(params, achieved=0.001)
+        assert gap.lower == 0.0
+        assert math.isinf(gap.gamma_over_lower)
+        assert math.isinf(gap.achieved_over_lower)
+
+
+@pytest.fixture(scope="module")
+def certificate() -> LowerBoundCertificate:
+    return certify_lower_bound(n=3, rounds=4, seed=2)
+
+
+class TestCertificate:
+    def test_certifies_the_bound(self, certificate):
+        assert certificate.verified
+        assert certificate.meets_lower_bound
+        assert certificate.margin >= 1.0
+        assert len(certificate.executions) == certificate.n
+        assert sorted(certificate.chain) == list(range(certificate.n))
+        # Execution 0 is the unshifted base run.
+        assert certificate.executions[0].spread == 0.0
+        assert certificate.executions[0].skew == certificate.base_skew
+        # Spreads grow along the chain, never past ε.
+        spreads = [item.spread for item in certificate.executions]
+        assert spreads == sorted(spreads)
+        assert spreads[-1] <= certificate.epsilon + 1e-12
+
+    def test_offline_verification_finds_no_problems(self, certificate):
+        assert verify_certificate(certificate) == []
+
+    def test_json_round_trip_is_lossless(self, certificate):
+        clone = LowerBoundCertificate.from_json(certificate.to_json())
+        assert clone == certificate
+        assert verify_certificate(clone) == []
+
+    def test_dict_round_trip_is_lossless(self, certificate):
+        payload = certificate.to_dict()
+        assert payload["schema"] == 1
+        assert LowerBoundCertificate.from_dict(payload) == certificate
+
+    def test_unknown_schema_rejected(self, certificate):
+        payload = certificate.to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            LowerBoundCertificate.from_dict(payload)
+
+    def test_tampered_bound_is_detected(self, certificate):
+        forged = dataclasses.replace(certificate,
+                                     bound=certificate.bound / 2)
+        assert any("1/n" in problem or "bound" in problem
+                   for problem in verify_certificate(forged))
+
+    def test_tampered_achieved_skew_is_detected(self, certificate):
+        forged = dataclasses.replace(certificate,
+                                     achieved_skew=certificate.achieved_skew
+                                     * 3)
+        assert any("family maximum" in problem
+                   for problem in verify_certificate(forged))
+
+    def test_inadmissible_evidence_is_detected(self, certificate):
+        bad = dataclasses.replace(certificate.executions[-1],
+                                  max_delay=certificate.delta
+                                  + 2 * certificate.epsilon)
+        forged = dataclasses.replace(
+            certificate, executions=certificate.executions[:-1] + (bad,))
+        assert any("envelope" in problem
+                   for problem in verify_certificate(forged))
+
+    def test_dishonest_verified_flag_is_detected(self, certificate):
+        bad = dataclasses.replace(certificate.executions[-1],
+                                  admissible=False)
+        forged = dataclasses.replace(
+            certificate, executions=certificate.executions[:-1] + (bad,))
+        assert any("verified flag" in problem or "inadmissible" in problem
+                   for problem in verify_certificate(forged))
+
+    def test_check_certificate_report(self, certificate):
+        report = check_certificate(certificate)
+        assert report.all_passed
+        achieved = report.check("lower_bound_achieved")
+        assert achieved.measured == certificate.achieved_skew
+        assert achieved.bound == certificate.bound
+        sanity = report.check("lower_bound_vs_gamma")
+        assert sanity.bound == certificate.gamma
+
+    def test_check_certificate_flags_forgeries(self, certificate):
+        forged = dataclasses.replace(certificate,
+                                     achieved_skew=certificate.bound / 2)
+        report = check_certificate(forged)
+        assert not report.all_passed
+        assert not report.check("lower_bound_achieved").passed
