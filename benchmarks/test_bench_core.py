@@ -5,7 +5,7 @@ indexed correction histories, merged-sweep metrics with an optional numpy
 backend) targets three layers; this module times each of them and prints the
 in-process speedup against the frozen seed implementations
 (:mod:`repro.analysis.slowpath`).  The recorded trajectory lives in
-``BENCH_4.json`` (regenerate with ``python -m repro bench``).
+``BENCH_6.json`` (regenerate with ``python -m repro bench``).
 """
 
 from __future__ import annotations

@@ -5,7 +5,7 @@ PR 4's streaming refactor decouples observation from storage: a
 per-process last-correction observer state) while the online skew/validity
 metrics match the batch engine bit for bit.  This module benchmarks the
 no-trace path at a test-sized horizon and checks the memory contract; the
-recorded full-size trajectory (n = 100, 60 rounds) lives in ``BENCH_4.json``
+recorded full-size trajectory (n = 100, 60 rounds) lives in ``BENCH_6.json``
 (regenerate with ``python -m repro bench``).
 """
 

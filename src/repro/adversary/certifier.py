@@ -42,6 +42,7 @@ from ..core.bounds import agreement_bound, lower_bound
 from ..core.config import SyncParameters
 from ..runner.spec import RunSpec, execute
 from ..sim.recording import MessageRecord
+from ..telemetry import span
 from .shifting import (
     ShiftAdmissibility,
     check_shift_admissible,
@@ -229,23 +230,25 @@ def certify_run(result, records: Optional[Sequence[MessageRecord]] = None,
     # on the processes that are already behind, so spread *adds* to base skew.
     chain = tuple(sorted(pids, key=lambda pid: -locals_at_witness[pid]))
     ranks = {pid: rank for rank, pid in enumerate(chain)}
-    unit = _feasible_unit(records, ranks, params.delta, params.epsilon, n)
-    skew_obs = result.online("skew")
-    if skew_obs is not None:
-        base_max_skew = skew_obs.max_skew
-    else:
-        from ..analysis.metrics import sample_grid
-        base_max_skew = trace.max_skew(
-            sample_grid(result.tmax0, witness, 100))
+    with span("certify.base_skew", n=n):
+        unit = _feasible_unit(records, ranks, params.delta, params.epsilon, n)
+        skew_obs = result.online("skew")
+        if skew_obs is not None:
+            base_max_skew = skew_obs.max_skew
+        else:
+            from ..analysis.metrics import sample_grid
+            base_max_skew = trace.max_skew(
+                sample_grid(result.tmax0, witness, 100))
     evidence: List[ShiftEvidence] = []
     achieved = 0.0
     last_shifted = None
     for k in range(n):
-        vector = _chain_shift(unit, ranks, k, pids)
-        audit: ShiftAdmissibility = check_shift_admissible(
-            records, vector, params.delta, params.epsilon, tolerance)
-        shifted = shift_execution(trace, vector)
-        skew = shifted.trace.skew(witness)
+        with span("certify.shift_audit", k=k):
+            vector = _chain_shift(unit, ranks, k, pids)
+            audit: ShiftAdmissibility = check_shift_admissible(
+                records, vector, params.delta, params.epsilon, tolerance)
+            shifted = shift_execution(trace, vector)
+            skew = shifted.trace.skew(witness)
         if skew > achieved:
             achieved = skew
         values = [vector[pid] for pid in pids]
@@ -293,7 +296,10 @@ def certify_lower_bound(n: int = 5, params: Optional[SyncParameters] = None,
     spec = RunSpec.maintenance(params, rounds=rounds, fault_kind=None,
                                delay="fixed", seed=seed,
                                record_trace=record_trace, observers=observers)
-    return certify_run(execute(spec))
+    with span("certify.base_run", n=params.n):
+        result = execute(spec)
+    with span("certify.chain", n=params.n):
+        return certify_run(result)
 
 
 def verify_certificate(certificate: LowerBoundCertificate,

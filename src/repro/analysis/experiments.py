@@ -273,11 +273,12 @@ def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
     * ``max_events`` — the total interrupt budget across all segments
       (:class:`~repro.sim.events.EventBudgetExceeded` carries the counts).
     """
+    from ..telemetry import get_active
     clocks = make_clock_ensemble(params.n, rho=params.rho, beta=params.beta,
                                  seed=seed, kind=clock_kind)
     system = System(processes, clocks, delay_model=delay_model, seed=seed,
                     topology=topology, link_schedule=link_schedule,
-                    record_trace=record_trace)
+                    record_trace=record_trace, telemetry=get_active())
     if start_scheduler is None:
         start_times = system.schedule_all_starts_at_logical(params.initial_round_time)
     else:
@@ -314,7 +315,7 @@ def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
         raise EventBudgetExceeded(
             processed=system.events_dispatched, max_events=max_events,
             current_time=err.current_time, end_time=end_time,
-            pending=err.pending) from None
+            pending=err.pending, metrics=err.metrics) from None
     system.finalize_observers()
     # Checkpointing restores *pickled copies* of the observers, so the
     # objects that saw the whole run are the system's, not the ones built

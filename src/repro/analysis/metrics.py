@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SyncParameters
 from ..sim.trace import ExecutionTrace
+from ..telemetry import span
 from . import fastmetrics
 
 __all__ = [
@@ -59,7 +60,8 @@ def sample_grid(start: float, end: float, count: int) -> List[float]:
 def measured_agreement(trace: ExecutionTrace, start: float, end: float,
                        samples: int = 200) -> float:
     """Maximum nonfaulty skew over an evenly sampled real-time window."""
-    return trace.max_skew(sample_grid(start, end, samples))
+    with span("metrics.agreement", samples=samples):
+        return trace.max_skew(sample_grid(start, end, samples))
 
 
 def skew_series(trace: ExecutionTrace, start: float, end: float,

@@ -43,6 +43,7 @@ from ..core.bounds import agreement_bound, lower_bound, steady_state_beta
 from ..core.config import SyncParameters
 from ..runner.batch import BatchRunner
 from ..runner.spec import RunSpec
+from ..telemetry import span
 from ..topology.spec import build_topology
 from .metrics import measured_agreement, steady_state_round_spread
 from .statistics import summarize
@@ -238,7 +239,11 @@ def run_spec_sweep(
     for inputs, specs in zip(points, spec_lists):
         if progress is not None:
             progress(dict(inputs))
-        per_seed = [dict(measure(next(results), **inputs)) for _ in specs]
+        # One span per sweep cell: with jobs=1 this times run + measurement
+        # of the cell; with a pool it still brackets when the cell's results
+        # became consumable — either way the slow cells stand out in a trace.
+        with span("sweep.cell", **inputs):
+            per_seed = [dict(measure(next(results), **inputs)) for _ in specs]
         outputs = per_seed[0] if len(per_seed) == 1 \
             else _replicated_outputs(per_seed)
         result.points.append(SweepPoint(inputs=dict(inputs), outputs=outputs))

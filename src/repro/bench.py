@@ -20,7 +20,13 @@ the measuring stick.  It times the three layers the fast path targets
   RSS — the regime the batch path cannot reach without O(events) memory;
 * **certifier** — one full lower-bound certification (base run, the chain of
   n shifted executions, per-execution admissibility audit and skew
-  measurement), the cost of ``python -m repro certify``.
+  measurement), the cost of ``python -m repro certify``;
+* **telemetry** — the same core hot-loop workload with the
+  :mod:`repro.telemetry` layer disabled (``telemetry=None``, the default)
+  and enabled, recording both throughputs and the enabled overhead.  The
+  paired ``check_telemetry_overhead`` guard fails when the disabled run
+  falls more than 5% below the core event-throughput slot measured in the
+  same process — the "observability is free when off" contract.
 
 Results are written to a ``BENCH_*.json`` trajectory file with two slots:
 ``baseline`` (recorded once, before a perf change lands — pass
@@ -69,17 +75,19 @@ __all__ = [
     "bench_end_to_end",
     "bench_streaming",
     "bench_certifier",
+    "bench_telemetry",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
     "check_event_throughput",
     "check_streaming_memory",
+    "check_telemetry_overhead",
     "format_results",
     "main",
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_4.json"
+DEFAULT_BENCH_PATH = "BENCH_6.json"
 
 #: the streaming benchmark's fixed configuration — identical in quick and
 #: full mode so the memory guard always compares like with like.
@@ -311,6 +319,52 @@ def bench_certifier(n: int = CERTIFIER_N, rounds: int = CERTIFIER_ROUNDS,
             "verified": certificate.verified}
 
 
+def bench_telemetry(n: int = 24, rounds: int = 8,
+                    repeats: int = 3) -> Dict[str, object]:
+    """Enabled-vs-disabled cost of the telemetry layer on the core hot loop.
+
+    Runs the event-throughput workload twice per repeat with identical
+    assembly: once with ``telemetry=None`` (the default — the path every
+    uninstrumented caller takes) and once with a full
+    :class:`~repro.telemetry.Telemetry` bundle attached to the
+    :class:`~repro.sim.system.System`.  Both runs produce bit-identical
+    traces; only the wall-clock differs.  ``enabled_overhead`` is the
+    fractional slowdown of turning telemetry on; the disabled number feeds
+    :func:`check_telemetry_overhead`.
+    """
+    from .telemetry import Telemetry
+
+    params = default_parameters(n=n, f=_legal_f(n))
+    end_time = (params.initial_round_time + rounds * params.round_length
+                + params.collection_window() + 10 * params.delta + params.beta)
+
+    def run_once(telemetry) -> float:
+        processes = [WelchLynchProcess(params, max_rounds=rounds)
+                     for _ in range(n)]
+        clocks = make_clock_ensemble(n, rho=params.rho, beta=params.beta,
+                                     seed=7, kind="constant")
+        system = System(processes, clocks,
+                        delay_model=UniformDelayModel(params.delta,
+                                                      params.epsilon),
+                        seed=7, telemetry=telemetry)
+        system.schedule_all_starts_at_logical(params.initial_round_time)
+        start = time.perf_counter()
+        trace = system.run_until(end_time)
+        run_once.events = trace.stats.delivered + trace.stats.timers_fired + n
+        return time.perf_counter() - start
+
+    disabled = _best_of(repeats, lambda: run_once(None))
+    enabled = _best_of(repeats, lambda: run_once(Telemetry()))
+    events = run_once.events
+    return {
+        "n": n, "rounds": rounds, "events": events,
+        "disabled_seconds": disabled, "enabled_seconds": enabled,
+        "disabled_events_per_second": events / disabled if disabled > 0 else 0.0,
+        "enabled_events_per_second": events / enabled if enabled > 0 else 0.0,
+        "enabled_overhead": (enabled / disabled - 1.0) if disabled > 0 else 0.0,
+    }
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -373,6 +427,10 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     # entries, and CI runs --quick against a full-mode recording.
     results["streaming"] = bench_streaming(repeats=1)
     results["certifier"] = bench_certifier(repeats=1)
+    # Same rounds as event_throughput so check_telemetry_overhead can
+    # compare the two slots within one process.
+    results["telemetry"] = bench_telemetry(rounds=4 if quick else 8,
+                                           repeats=repeats)
     return results
 
 
@@ -388,7 +446,11 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "events_per_second", "calls_per_second",
                                "peak_tracemalloc_bytes", "peak_rss_kb",
                                "max_skew", "validity_violations",
-                               "achieved_skew", "verified", "executions"})
+                               "achieved_skew", "verified", "executions",
+                               "disabled_seconds", "enabled_seconds",
+                               "disabled_events_per_second",
+                               "enabled_events_per_second",
+                               "enabled_overhead"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -512,6 +574,37 @@ def check_streaming_memory(results: Dict[str, object], baseline_path: str,
     return None
 
 
+def check_telemetry_overhead(results: Dict[str, object],
+                             tolerance: float = 0.05) -> Optional[str]:
+    """Disabled-telemetry overhead guard: None when healthy.
+
+    Compares the telemetry slot's ``telemetry=None`` throughput against the
+    core ``event_throughput`` slot *from the same run*.  Both numbers come
+    from one process on one machine, so no calibration is needed; the guard
+    fails only if merely having the telemetry layer present (disabled, the
+    default) costs more than ``tolerance`` of the core hot loop.  Returns
+    ``None`` when the two slots ran with different configurations.
+    """
+    core = results.get("event_throughput")
+    entry = results.get("telemetry")
+    if not isinstance(core, dict) or not isinstance(entry, dict):
+        return None
+    if (core.get("n"), core.get("rounds")) != (entry.get("n"),
+                                               entry.get("rounds")):
+        return None
+    core_rate = core.get("events_per_second")
+    disabled_rate = entry.get("disabled_events_per_second")
+    if not core_rate or not disabled_rate:
+        return None
+    floor = core_rate * (1.0 - tolerance)
+    if disabled_rate < floor:
+        return (f"disabled-telemetry throughput {disabled_rate:,.4g} ev/s "
+                f"fell more than {tolerance:.0%} below the core slot's "
+                f"{core_rate:,.4g} ev/s in the same process — the "
+                f"telemetry=None path is no longer free")
+    return None
+
+
 def format_results(results: Dict[str, object],
                    speedups: Optional[Dict[str, float]] = None) -> str:
     """Human-readable summary table of one benchmark run."""
@@ -548,6 +641,13 @@ def format_results(results: Dict[str, object],
             f"(n={certifier['n']}, {certifier['executions']} shifted "
             f"executions, achieved {certifier['achieved_skew']:.6f}, "
             f"{'verified' if certifier['verified'] else 'REJECTED'})")
+    telemetry = results.get("telemetry")
+    if telemetry:
+        lines.append(
+            f"telemetry             "
+            f"{telemetry['disabled_events_per_second']:>12,.0f} ev/s off, "
+            f"{telemetry['enabled_events_per_second']:,.0f} ev/s on "
+            f"({telemetry['enabled_overhead']:+.1%} enabled overhead)")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))
@@ -564,12 +664,15 @@ def main(args: argparse.Namespace) -> int:
         if failure is None:
             failure = check_streaming_memory(
                 results, args.check, tolerance=args.memory_tolerance)
+        if failure is None:
+            failure = check_telemetry_overhead(results)
         if failure:
             print(f"REGRESSION: {failure}")
             return 1
         print(f"regression guards passed (throughput tolerance "
               f"{args.tolerance:.0%}, memory tolerance "
-              f"{args.memory_tolerance:.0%})")
+              f"{args.memory_tolerance:.0%}, disabled-telemetry "
+              f"overhead 5%)")
     payload = merge_results(args.out, results, label=args.label,
                             record_baseline=args.record_baseline)
     speedups = payload.get("speedups") if isinstance(payload, dict) else None

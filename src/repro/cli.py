@@ -24,7 +24,18 @@ Installed as the ``repro-clocksync`` console script (also reachable as
 * ``bench``      — the core performance benchmarks (event throughput, trace
   reconstruction, metrics engine, end-to-end workloads, lower-bound
   certifier); updates the ``BENCH_*.json`` trajectory file and doubles as a
-  CI regression guard (see :mod:`repro.bench`).
+  CI regression guard (see :mod:`repro.bench`);
+* ``telemetry``  — render collected run manifests (``telemetry report``):
+  slowest runs, events/s distribution, drop rates (see
+  :mod:`repro.telemetry.report`).
+
+``run``, ``startup``, ``compare``, ``sweep``, ``certify`` and ``conformance``
+all accept ``--telemetry`` (collect metrics, spans and run manifests),
+``--trace-out FILE`` (write the spans as Chrome trace-event JSON, loadable in
+``chrome://tracing`` / Perfetto) and ``--manifest FILE`` (append one JSON
+line per executed spec); ``--track-memory`` adds tracemalloc peak-allocation
+numbers to each manifest.  All of it is off by default, and the disabled
+path costs one pointer check (see :mod:`repro.telemetry`).
 
 ``run``, ``startup`` and ``compare`` accept ``--topology SPEC`` (e.g.
 ``ring``, ``grid:cols=3``, ``random_gnp:p=0.4``) to replace the paper's
@@ -46,7 +57,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .analysis.comparison import run_comparison, run_replicated_comparison
 from .analysis.experiments import (
@@ -117,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run the maintenance algorithm and audit it against the paper")
     _add_common_options(run_parser)
     _add_runner_options(run_parser)
+    _add_telemetry_options(run_parser)
     run_parser.add_argument("--json", metavar="PATH",
                             help="export the full scenario (trace included) as JSON")
     run_parser.add_argument("--csv", metavar="PATH",
@@ -143,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     startup_parser = subparsers.add_parser(
         "startup", help="run the Section 9.2 start-up algorithm from arbitrary clocks")
     _add_common_options(startup_parser)
+    _add_telemetry_options(startup_parser)
     startup_parser.add_argument("--spread", type=float, default=1.0,
                                 help="initial clock spread in seconds (default 1.0)")
 
@@ -150,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="Section 10 comparison of all algorithms on one workload")
     _add_common_options(compare_parser)
     _add_runner_options(compare_parser)
+    _add_telemetry_options(compare_parser)
     compare_parser.add_argument("--algorithms", nargs="+",
                                 choices=sorted(ALGORITHM_FACTORIES),
                                 help="subset of algorithms (default: all)")
@@ -171,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--rounds", type=int, default=10)
     sweep_parser.add_argument("--seed", type=int, default=0)
     _add_runner_options(sweep_parser)
+    _add_telemetry_options(sweep_parser)
     sweep_parser.add_argument("--csv", metavar="PATH",
                               help="export the sweep table as CSV")
 
@@ -190,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.add_argument("--json", metavar="PATH",
                                 help="write the machine-checkable "
                                      "certificate as JSON")
+    _add_telemetry_options(certify_parser)
 
     conformance_parser = subparsers.add_parser(
         "conformance",
@@ -223,12 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
                                          "bit-identical to serial)")
     conformance_parser.add_argument("--json", metavar="PATH",
                                     help="export the audited matrix as JSON")
+    _add_telemetry_options(conformance_parser)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the core performance benchmarks and update the "
                       "BENCH_*.json trajectory")
     from .bench import add_bench_arguments
     add_bench_arguments(bench_parser)
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry", help="inspect collected telemetry (run manifests)")
+    telemetry_actions = telemetry_parser.add_subparsers(dest="action",
+                                                       required=True)
+    report_parser = telemetry_actions.add_parser(
+        "report", help="summarize a manifest JSONL file: slowest runs, "
+                       "events/s distribution, drop rates")
+    report_parser.add_argument("manifest", metavar="MANIFEST",
+                               help="manifest JSON-lines file written by "
+                                    "--manifest (or --telemetry runs)")
+    report_parser.add_argument("--slowest", type=int, default=10, metavar="N",
+                               help="how many slowest runs to list "
+                                    "(default 10)")
+    report_parser.add_argument("--json", metavar="PATH",
+                               help="export the summary as JSON")
 
     return parser
 
@@ -247,6 +280,25 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="network topology spec (e.g. ring, grid:cols=3, "
                              "random_gnp:p=0.4); default: the workload's own "
                              "graph, or the complete graph")
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect metrics, phase spans and run manifests "
+                             "for this invocation; prints a metric summary "
+                             "on exit")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the phase spans as Chrome trace-event "
+                             "JSON (chrome://tracing / Perfetto); implies "
+                             "--telemetry")
+    parser.add_argument("--manifest", metavar="FILE", default=None,
+                        help="append one JSON line per executed spec to FILE; "
+                             "implies --telemetry (render with 'telemetry "
+                             "report FILE')")
+    parser.add_argument("--track-memory", action="store_true",
+                        help="add tracemalloc peak-allocation numbers to "
+                             "each manifest (roughly 2x runtime); implies "
+                             "--telemetry")
 
 
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
@@ -428,12 +480,11 @@ def _cmd_run_streaming(args: argparse.Namespace) -> int:
               f"{report.max_rate:.6f}] [{'pass' if report.holds else 'FAIL'}]")
     network_obs = result.online("network")
     if network_obs is not None:
-        from .sim.recording import delay_statistics, drop_rate
-        stats = delay_statistics(network_obs.records)
-        print(f"online network: {len(network_obs.records)} sends, drop rate "
-              f"{drop_rate(network_obs.records):.4f}, delays "
-              f"[{stats['min']:.6f}, {stats['max']:.6f}] "
-              f"mean {stats['mean']:.6f}")
+        stats = network_obs.stats()
+        print(f"online network: {stats['sent']:.0f} sends, drop rate "
+              f"{stats['drop_rate']:.4f}, delays "
+              f"[{stats['delay_min']:.6f}, {stats['delay_max']:.6f}] "
+              f"mean {stats['delay_mean']:.6f}")
     if record_trace:
         # The full trace exists too: run the standard paper audit beside the
         # online numbers.
@@ -682,6 +733,76 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import read_manifests
+    from .telemetry.report import format_report as format_telemetry_report
+    from .telemetry.report import summarize
+
+    try:
+        records = read_manifests(args.manifest)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no manifest records in {args.manifest}",
+              file=sys.stderr)
+        return 2
+    summary = summarize(records, slowest=args.slowest)
+    print(format_telemetry_report(summary))
+    if args.json:
+        write_json(summary, args.json)
+        print(f"wrote telemetry summary JSON to {args.json}")
+    return 0
+
+
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    """Whether any of the telemetry flags asks for instrumentation."""
+    if args.command == "telemetry":
+        # The inspection command reads manifests, it doesn't collect them
+        # (its positional is also named `manifest`).
+        return False
+    return bool(getattr(args, "telemetry", False)
+                or getattr(args, "trace_out", None)
+                or getattr(args, "manifest", None)
+                or getattr(args, "track_memory", False))
+
+
+def _with_telemetry(args: argparse.Namespace,
+                    command: "Callable[[argparse.Namespace], int]") -> int:
+    """Run a sub-command with an active telemetry bundle, then report.
+
+    The bundle is installed process-locally (see
+    :func:`repro.telemetry.set_active`), which is how it reaches the System
+    hot loop, :func:`repro.runner.spec.execute` and pool-backed
+    :class:`~repro.runner.batch.BatchRunner` instances without every
+    intermediate layer growing a parameter.  On the way out: the Chrome
+    trace is written (``--trace-out``), and the metric registry plus span
+    tree are printed to stderr so they never pollute parseable stdout.
+    """
+    from .telemetry import Telemetry, activated
+
+    telemetry = Telemetry(manifest_path=getattr(args, "manifest", None),
+                          track_memory=getattr(args, "track_memory", False))
+    with telemetry.span(f"cli.{args.command}"):
+        with activated(telemetry):
+            status = command(args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        telemetry.tracer.write_chrome_trace(trace_out)
+        print(f"wrote Chrome trace JSON to {trace_out} "
+              f"({len(telemetry.tracer)} spans)", file=sys.stderr)
+    if getattr(args, "manifest", None):
+        print(f"appended {len(telemetry.manifests)} manifest line(s) to "
+              f"{args.manifest}", file=sys.stderr)
+    print("--- telemetry ---", file=sys.stderr)
+    print(telemetry.registry.format(), file=sys.stderr)
+    tree = telemetry.tracer.tree()
+    if tree:
+        print("--- spans ---", file=sys.stderr)
+        print(tree, file=sys.stderr)
+    return status
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "topologies": _cmd_topologies,
@@ -692,6 +813,7 @@ _COMMANDS = {
     "certify": _cmd_certify,
     "conformance": _cmd_conformance,
     "bench": _cmd_bench,
+    "telemetry": _cmd_telemetry,
 }
 
 
@@ -699,7 +821,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if _telemetry_requested(args):
+        return _with_telemetry(args, command)
+    return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

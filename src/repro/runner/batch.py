@@ -45,6 +45,22 @@ __all__ = ["BatchRunner", "execute_many", "available_parallelism"]
 OnResult = Callable[[RunSpec, "ScenarioResult"], None]
 
 
+def _execute_instrumented(spec: RunSpec):
+    """Pool-shippable instrumented execute: (result, metrics snapshot, manifests).
+
+    Builds a fresh, run-local :class:`~repro.telemetry.Telemetry` so workers
+    never contend on shared state, then returns its registry snapshot and
+    manifest records for the parent to merge.  Serial and pool execution use
+    this same wrapper when a batch runs with telemetry, which is what makes
+    merged worker totals equal a serial run's by construction.
+    """
+    from ..telemetry import Telemetry
+
+    local = Telemetry()
+    result = execute(spec, telemetry=local)
+    return result, local.registry.snapshot(), local.manifests
+
+
 def available_parallelism() -> int:
     """CPUs usable by this process (affinity-aware where the OS supports it)."""
     try:
@@ -59,12 +75,28 @@ class BatchRunner:
     ``jobs`` is the maximum number of worker processes (1 = run in-process;
     0 or negative = one per available CPU).  ``cache=True`` (the default)
     memoizes results by spec for the lifetime of the runner.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry`) instruments every
+    computed spec: each run executes against a fresh run-local bundle —
+    in-process or in a pool worker, identically — and its metrics snapshot
+    and manifest records are folded into ``telemetry`` as results arrive.
+    Counter totals after a ``jobs=2`` batch therefore equal a serial batch's
+    exactly.  Worker span records are not collected (each process has its own
+    wall-clock origin); spans around the batch belong to the caller.  Cached
+    results merge nothing — no run happened.  When no telemetry is passed the
+    runner adopts the process-local active one (see
+    :func:`repro.telemetry.set_active`), so ``--telemetry`` on the CLI
+    reaches pool workers without every intermediate layer threading the
+    argument through.
     """
 
-    def __init__(self, jobs: int = 1, cache: bool = True):
+    def __init__(self, jobs: int = 1, cache: bool = True, telemetry=None):
+        from ..telemetry import get_active
+
         if jobs < 1:
             jobs = available_parallelism()
         self.jobs = int(jobs)
+        self.telemetry = telemetry if telemetry is not None else get_active()
         self._cache: Optional[Dict[RunSpec, "ScenarioResult"]] = \
             {} if cache else None
 
@@ -146,18 +178,30 @@ class BatchRunner:
         if not pending:
             return
         workers = min(self.jobs, len(pending))
+        instrumented = self.telemetry is not None
+        worker_fn = _execute_instrumented if instrumented else execute
         if workers <= 1:
             for spec in pending:
-                yield spec, execute(spec)
+                yield spec, self._collect(worker_fn(spec))
             return
         # chunksize > 1 amortizes IPC for large batches of small runs while
         # keeping enough chunks (4 per worker) for the pool to load-balance.
         chunksize = max(1, len(pending) // (workers * 4))
         with multiprocessing.Pool(processes=workers) as pool:
-            for spec, result in zip(pending,
-                                    pool.imap(execute, pending,
-                                              chunksize=chunksize)):
-                yield spec, result
+            for spec, arrival in zip(pending,
+                                     pool.imap(worker_fn, pending,
+                                               chunksize=chunksize)):
+                yield spec, self._collect(arrival)
+
+    def _collect(self, arrival):
+        """Unpack one instrumented arrival, folding its telemetry in."""
+        if self.telemetry is None:
+            return arrival
+        result, snapshot, manifests = arrival
+        self.telemetry.registry.merge(snapshot)
+        for record in manifests:
+            self.telemetry.emit_manifest(record)
+        return result
 
 
 def execute_many(specs: Iterable[RunSpec], jobs: int = 1,

@@ -391,7 +391,7 @@ def _streaming_kwargs(spec: RunSpec) -> Dict[str, Any]:
     return kwargs
 
 
-def execute(spec: RunSpec) -> "ScenarioResult":
+def execute(spec: RunSpec, telemetry: Optional[Any] = None) -> "ScenarioResult":
     """Run the scenario a spec describes; pure and deterministic per spec.
 
     This is the single dispatcher every experiment entry point (sweeps,
@@ -403,16 +403,56 @@ def execute(spec: RunSpec) -> "ScenarioResult":
     re-raised with the offending spec attached (``err.spec``), so batch and
     replication callers can tell exactly which run blew its budget — the
     counts and the spec survive the multiprocessing round trip.
+
+    ``telemetry`` (explicit, or the process-local active bundle installed via
+    :func:`repro.telemetry.set_active`) turns on observability for the run:
+    an ``execute`` span, segment-level simulator metrics, optional peak-memory
+    probing, and one JSON manifest line per run — including a
+    ``budget_exceeded`` line when the interrupt budget trips, so aborted
+    sweep cells stay in the audit trail.  Telemetry reads wall clocks only;
+    the simulation itself (RNG draws, traces, results) is bit-identical with
+    or without it.
     """
     from ..analysis import experiments
     from ..sim.events import EventBudgetExceeded
     from ..topology.spec import build_topology
+    from ..telemetry import activated, build_manifest, get_active
 
-    try:
-        return _execute(spec, experiments, build_topology)
-    except EventBudgetExceeded as err:
-        err.spec = spec
-        raise
+    if telemetry is None:
+        telemetry = get_active()
+    if telemetry is None:
+        try:
+            return _execute(spec, experiments, build_topology)
+        except EventBudgetExceeded as err:
+            err.spec = spec
+            raise
+
+    from time import perf_counter
+    with activated(telemetry):
+        telemetry.registry.counter("runner.specs_executed").inc()
+        baseline = telemetry.registry.snapshot()
+        start = perf_counter()
+        try:
+            with telemetry.span("execute", spec=spec.describe(),
+                                kind=spec.kind, seed=spec.seed):
+                with telemetry.memory_probe() as probe:
+                    result = _execute(spec, experiments, build_topology)
+        except EventBudgetExceeded as err:
+            err.spec = spec
+            telemetry.registry.counter("runner.budget_exceeded").inc()
+            telemetry.emit_manifest(build_manifest(
+                spec, outcome="budget_exceeded",
+                wall_seconds=perf_counter() - start, error=str(err),
+                metrics=telemetry.registry.delta(baseline)))
+            raise
+        wall = perf_counter() - start
+        telemetry.registry.histogram(
+            "runner.spec_wall_seconds").observe(wall)
+        telemetry.emit_manifest(build_manifest(
+            spec, result, wall_seconds=wall,
+            peak_memory_bytes=probe["peak"],
+            metrics=telemetry.registry.delta(baseline)))
+    return result
 
 
 def _execute(spec: RunSpec, experiments, build_topology) -> "ScenarioResult":

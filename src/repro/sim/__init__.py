@@ -10,7 +10,7 @@ from .network import (
     TruncatedGaussianDelayModel,
     UniformDelayModel,
 )
-from .observers import Observer, TraceRecorder
+from .observers import Observer, ObserverError, TraceRecorder
 from .process import Process, ProcessContext
 from .recording import (
     MessageRecord,
@@ -30,6 +30,7 @@ __all__ = [
     "MessageRecord",
     "NetworkRecorder",
     "Observer",
+    "ObserverError",
     "TraceRecorder",
     "RecordingDelayModel",
     "delay_statistics",

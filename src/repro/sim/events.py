@@ -38,17 +38,23 @@ class EventBudgetExceeded(RuntimeError):
     * ``current_time`` / ``end_time`` — how far real time got vs the target;
     * ``pending`` — messages still in the buffer when the budget tripped;
     * ``spec`` — the :class:`~repro.runner.spec.RunSpec` being executed, when
-      the run came through :func:`repro.runner.execute` (else ``None``).
+      the run came through :func:`repro.runner.execute` (else ``None``);
+    * ``metrics`` — the telemetry metrics snapshot taken at abort time, when
+      the system ran with a :class:`~repro.telemetry.Telemetry` attached
+      (else ``None``) — so a budget-killed sweep cell stays diagnosable
+      post-mortem without re-running it.
     """
 
     def __init__(self, processed: int, max_events: int, current_time: float,
-                 end_time: float, pending: int = 0, spec: Any = None):
+                 end_time: float, pending: int = 0, spec: Any = None,
+                 metrics: Any = None):
         self.processed = int(processed)
         self.max_events = int(max_events)
         self.current_time = float(current_time)
         self.end_time = float(end_time)
         self.pending = int(pending)
         self.spec = spec
+        self.metrics = metrics
         super().__init__(str(self))
 
     def __str__(self) -> str:
@@ -63,7 +69,7 @@ class EventBudgetExceeded(RuntimeError):
         # reconstruct from the counts so the attributes survive the trip.
         return (type(self), (self.processed, self.max_events,
                              self.current_time, self.end_time, self.pending,
-                             self.spec))
+                             self.spec, self.metrics))
 
 
 class MessageKind(Enum):

@@ -83,6 +83,16 @@ class DelayModel:
         low, high = self.envelope()
         return low - tolerance <= delay <= high + tolerance
 
+    def stats(self) -> Dict[str, float]:
+        """Model-internal counters, for telemetry flushes (empty by default).
+
+        Stateful models override this to expose whatever they count — e.g.
+        :class:`ContentionDelayModel` reports its contention drops — so the
+        telemetry layer reads one uniform hook instead of poking at
+        per-model attributes.
+        """
+        return {}
+
 
 def _validate(delta: float, epsilon: float) -> None:
     if delta <= 0:
@@ -204,6 +214,10 @@ class ContentionDelayModel(DelayModel):
             return None
         extra = min(self.penalty * excess, self.epsilon)
         return min(base + extra, self.delta + self.epsilon)
+
+    def stats(self) -> Dict[str, float]:
+        return {"contention_dropped": self.dropped,
+                "contention_backlog": len(self._recent_sends)}
 
 
 class AdversarialDelayModel(DelayModel):

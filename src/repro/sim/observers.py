@@ -52,10 +52,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from .trace import TraceEvent
     from .events import MessageKind
 
-__all__ = ["Observer", "TraceRecorder", "HOOK_NAMES"]
+__all__ = ["Observer", "ObserverError", "TraceRecorder", "HOOK_NAMES"]
 
 #: every overridable notification hook, in dispatch-list order.
 HOOK_NAMES = ("on_dispatch", "on_send", "on_log", "on_correction", "on_advance")
+
+
+class ObserverError(RuntimeError):
+    """An observer hook raised mid-run.
+
+    Observers are pure taps — a broken one must not masquerade as a simulator
+    bug, so the system wraps every hook dispatch and re-raises failures as
+    this type, naming the hook and the offending observer (``err.hook``,
+    ``err.observer``).  The original exception rides along as
+    ``__cause__``.  The system's own state (event counts, message statistics,
+    the recorded trace so far) stays consistent: the interrupt that was being
+    reported had already been fully processed when the hook fired.
+    """
+
+    def __init__(self, hook: str, observer: Any, message: Optional[str] = None):
+        self.hook = hook
+        self.observer = observer
+        label = getattr(observer, "name", None) or type(observer).__name__
+        super().__init__(
+            message or f"observer {label!r} ({type(observer).__name__}) "
+                       f"raised in {hook}")
 
 
 class Observer:

@@ -92,6 +92,27 @@ class NetworkRecorder(Observer):
         """Records of messages that were actually delivered."""
         return [record for record in self.records if not record.dropped]
 
+    def stats(self) -> Dict[str, float]:
+        """One snapshot of everything the recorder counts.
+
+        The single network summary the CLI and the telemetry manifests
+        consume (instead of each re-deriving it from :attr:`records` with the
+        module helpers): send/delivery/drop totals, the drop rate, and the
+        delivered-delay min/max/mean.
+        """
+        records = self.records
+        summary = delay_statistics(records)
+        dropped = len(records) - summary["count"]
+        return {
+            "sent": len(records),
+            "delivered": summary["count"],
+            "dropped": dropped,
+            "drop_rate": dropped / len(records) if records else 0.0,
+            "delay_min": summary["min"],
+            "delay_max": summary["max"],
+            "delay_mean": summary["mean"],
+        }
+
     def clear(self) -> None:
         """Forget all records (e.g. between phases of a long experiment)."""
         self.records = []

@@ -36,7 +36,7 @@ from ..clocks.base import Clock
 from ..clocks.logical import CorrectionHistory
 from .events import EventBudgetExceeded, EventQueue, Message, MessageKind
 from .network import DelayModel, UniformDelayModel
-from .observers import HOOK_NAMES, Observer, TraceRecorder
+from .observers import HOOK_NAMES, Observer, ObserverError, TraceRecorder
 from .process import Process, ProcessContext
 from .trace import ExecutionTrace, MessageStats, TraceEvent
 
@@ -86,6 +86,7 @@ class System:
         link_schedule: Optional["LinkSchedule"] = None,
         observers: Optional[Sequence[Observer]] = None,
         record_trace: bool = True,
+        telemetry: Optional[Any] = None,
     ):
         if len(processes) != len(clocks):
             raise ValueError(
@@ -122,6 +123,13 @@ class System:
         self._crashed: set = set()
         self._faulty_cache: Optional[List[int]] = None
         self._events_dispatched = 0
+        # Observability bundle (repro.telemetry.Telemetry, duck-typed so the
+        # sim layer stays import-free).  None — the default — keeps every
+        # path bit-identical and unmetered; deliberately NOT a snapshot
+        # field, so checkpoint/restore never captures wall-clock state.
+        self._telemetry = telemetry
+        # Last-published totals per metric, so segment flushes emit deltas.
+        self._telemetry_cursor: Dict[str, float] = {}
         # Full-trace recording is the default observer; dropping it (plus the
         # bounded histories above) is what makes long horizons O(n) memory.
         self._observers: List[Observer] = []
@@ -220,11 +228,29 @@ class System:
         """Total interrupts dispatched over the system's lifetime."""
         return self._events_dispatched
 
+    @property
+    def telemetry(self):
+        """The attached observability bundle, or ``None`` (the default)."""
+        return self._telemetry
+
     def add_observer(self, observer: Observer) -> Observer:
         """Attach a streaming observer; returns it for chaining."""
         self._observers.append(observer)
         self._rebuild_sinks()
         observer.on_attach(self)
+        return observer
+
+    def remove_observer(self, observer: Observer) -> Observer:
+        """Detach an observer (e.g. one that raised); returns it.
+
+        Past notifications it recorded are untouched.  Removing the default
+        :class:`TraceRecorder` stops event recording from here on; the event
+        list recorded so far stays visible to traces already handed out.
+        """
+        self._observers.remove(observer)
+        if observer is self._recorder:
+            self._recorder = None
+        self._rebuild_sinks()
         return observer
 
     def finalize_observers(self) -> None:
@@ -235,7 +261,10 @@ class System:
         call more than once.
         """
         for observer in self._observers:
-            observer.on_finalize()
+            try:
+                observer.on_finalize()
+            except Exception as err:
+                raise ObserverError("on_finalize", observer) from err
 
     def _rebuild_sinks(self) -> None:
         """Recompute the per-hook dispatch lists from the observer list.
@@ -263,8 +292,11 @@ class System:
             )
         self._histories[pid] = CorrectionHistory(value,
                                                  max_entries=self._history_bound)
-        for sink in self._correction_sinks:
-            sink(pid, float("-inf"), 0.0, float(value), -1)
+        try:
+            for sink in self._correction_sinks:
+                sink(pid, float("-inf"), 0.0, float(value), -1)
+        except Exception as err:
+            raise ObserverError("on_correction", sink.__self__) from err
 
     def apply_correction(self, pid: int, adjustment: float,
                          round_index: int = -1) -> float:
@@ -276,8 +308,12 @@ class System:
         """
         new_corr = self._histories[pid].apply(self._current_time, adjustment,
                                               round_index)
-        for sink in self._correction_sinks:
-            sink(pid, self._current_time, adjustment, new_corr, round_index)
+        try:
+            for sink in self._correction_sinks:
+                sink(pid, self._current_time, adjustment, new_corr,
+                     round_index)
+        except Exception as err:
+            raise ObserverError("on_correction", sink.__self__) from err
         return new_corr
 
     def schedule_start(self, pid: int, real_time: float) -> None:
@@ -333,11 +369,17 @@ class System:
             delivery_time = self._relay_delivery_time(sender, recipient)
         if delivery_time is None:
             self._stats.dropped += 1
-            for sink in self._send_sinks:
-                sink(sender, recipient, self._current_time, None)
+            try:
+                for sink in self._send_sinks:
+                    sink(sender, recipient, self._current_time, None)
+            except Exception as err:
+                raise ObserverError("on_send", sink.__self__) from err
             return
-        for sink in self._send_sinks:
-            sink(sender, recipient, self._current_time, delivery_time)
+        try:
+            for sink in self._send_sinks:
+                sink(sender, recipient, self._current_time, delivery_time)
+        except Exception as err:
+            raise ObserverError("on_send", sink.__self__) from err
         self._queue.push_fields(MessageKind.ORDINARY, sender, recipient,
                                 payload, self._current_time, delivery_time)
 
@@ -446,8 +488,11 @@ class System:
             return
         event = TraceEvent(real_time=self._current_time, process_id=pid,
                            name=name, data=dict(data) if copy else data)
-        for sink in sinks:
-            sink(event)
+        try:
+            for sink in sinks:
+                sink(event)
+        except Exception as err:
+            raise ObserverError("on_log", sink.__self__) from err
 
     # ------------------------------------------------------------------ execution
     def run_until(self, end_time: float, max_events: int = 2_000_000) -> ExecutionTrace:
@@ -459,11 +504,34 @@ class System:
         :class:`~repro.sim.events.EventBudgetExceeded` (with the counts) when
         more than ``max_events`` interrupts fire before the horizon.
 
-        This is the simulator's hot loop: events move through the queue as
-        raw field tuples (no per-event Message allocation) and the dispatch
-        is inlined with hoisted lookups.  Dispatch observers, when attached,
-        see each popped interrupt after its handler ran; on return every
-        advance observer is told the buffer is drained up to ``end_time``.
+        With a telemetry bundle attached the segment is wrapped in a
+        ``sim.run_until`` span and the run counters (events, messages,
+        timers, queue depth, correction-history size) are flushed into the
+        metrics registry *at segment boundaries only* — never per event —
+        so the hot loop is identical either way and a budget abort carries
+        the metrics snapshot (``err.metrics``).
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._run_segment(end_time, max_events)
+        with telemetry.span("sim.run_until", end_time=end_time):
+            try:
+                trace = self._run_segment(end_time, max_events)
+            except EventBudgetExceeded as err:
+                self._flush_telemetry()
+                err.metrics = telemetry.registry.snapshot()
+                raise
+        self._flush_telemetry()
+        return trace
+
+    def _run_segment(self, end_time: float, max_events: int) -> ExecutionTrace:
+        """One uninstrumented delivery segment (the simulator's hot loop).
+
+        Events move through the queue as raw field tuples (no per-event
+        Message allocation) and the dispatch is inlined with hoisted lookups.
+        Dispatch observers, when attached, see each popped interrupt after
+        its handler ran; on return every advance observer is told the buffer
+        is drained up to ``end_time``.
         """
         processed = 0
         queue = self._queue
@@ -474,42 +542,102 @@ class System:
         crashed = self._crashed
         stats = self._stats
         dispatch_sinks = self._dispatch_sinks
-        while heap:
-            next_time = heap[0][0]
-            if next_time > end_time:
-                break
-            entry = pop_fields()
-            self._current_time = entry[0]
-            # Inline dispatch: (time, timer_last, seq, kind, sender,
-            # recipient, payload, send_time).
-            pid = entry[5]
-            if pid not in crashed:
-                # A crashed process receives nothing; otherwise deliver.
-                kind = entry[3]
-                if kind is MessageKind.ORDINARY:
-                    stats.delivered += 1
-                    processes[pid].on_message(contexts[pid], entry[4], entry[6])
-                elif kind is MessageKind.TIMER:
-                    stats.timers_fired += 1
-                    processes[pid].on_timer(contexts[pid], entry[6])
-                else:
-                    processes[pid].on_start(contexts[pid])
-            if dispatch_sinks:
-                for sink in dispatch_sinks:
-                    sink(entry[3], entry[4], entry[5], entry[6], entry[7],
-                         entry[0])
-            processed += 1
-            if processed > max_events:
-                self._events_dispatched += processed
-                raise EventBudgetExceeded(
-                    processed=processed, max_events=max_events,
-                    current_time=self._current_time, end_time=end_time,
-                    pending=len(heap))
+        try:
+            while heap:
+                next_time = heap[0][0]
+                if next_time > end_time:
+                    break
+                entry = pop_fields()
+                self._current_time = entry[0]
+                # Inline dispatch: (time, timer_last, seq, kind, sender,
+                # recipient, payload, send_time).
+                pid = entry[5]
+                if pid not in crashed:
+                    # A crashed process receives nothing; otherwise deliver.
+                    kind = entry[3]
+                    if kind is MessageKind.ORDINARY:
+                        stats.delivered += 1
+                        processes[pid].on_message(contexts[pid], entry[4], entry[6])
+                    elif kind is MessageKind.TIMER:
+                        stats.timers_fired += 1
+                        processes[pid].on_timer(contexts[pid], entry[6])
+                    else:
+                        processes[pid].on_start(contexts[pid])
+                processed += 1
+                if dispatch_sinks:
+                    try:
+                        for sink in dispatch_sinks:
+                            sink(entry[3], entry[4], entry[5], entry[6],
+                                 entry[7], entry[0])
+                    except Exception as err:
+                        if isinstance(err, ObserverError):
+                            raise
+                        raise ObserverError("on_dispatch",
+                                            sink.__self__) from err
+                if processed > max_events:
+                    self._events_dispatched += processed
+                    raise EventBudgetExceeded(
+                        processed=processed, max_events=max_events,
+                        current_time=self._current_time, end_time=end_time,
+                        pending=len(heap))
+        except ObserverError:
+            # The interrupt being reported was already fully processed (and
+            # counted), so the system — stats, trace, event totals — stays
+            # consistent; only the broken tap is surfaced.
+            self._events_dispatched += processed
+            raise
         self._events_dispatched += processed
         self._current_time = max(self._current_time, end_time)
-        for sink in self._advance_sinks:
-            sink(self._current_time)
+        try:
+            for sink in self._advance_sinks:
+                sink(self._current_time)
+        except Exception as err:
+            raise ObserverError("on_advance", sink.__self__) from err
         return self.trace()
+
+    #: (metric name, MessageStats attribute) pairs flushed each segment.
+    _STATS_METRICS = (
+        ("sim.messages_sent", "sent"),
+        ("sim.messages_delivered", "delivered"),
+        ("sim.messages_dropped", "dropped"),
+        ("sim.messages_relayed", "relayed"),
+        ("sim.messages_unroutable", "unroutable"),
+        ("sim.timers_set", "timers_set"),
+        ("sim.timers_fired", "timers_fired"),
+    )
+
+    def _flush_telemetry(self) -> None:
+        """Publish the run's counters into the attached metrics registry.
+
+        Called at ``run_until`` segment boundaries (including the budget
+        abort path), never per event.  Counters carry *deltas* since the last
+        flush — tracked against ``sim.*`` totals already published — so
+        repeated segments, checkpoint splits, and multiple systems sharing
+        one registry all add up correctly.
+        """
+        registry = self._telemetry.registry
+        registry.counter("sim.run_segments").inc()
+        stats = self._stats
+        cursor = self._telemetry_cursor
+        for metric_name, attr in self._STATS_METRICS:
+            value = getattr(stats, attr)
+            last = cursor.get(metric_name, 0)
+            if value > last:
+                registry.counter(metric_name).inc(value - last)
+            cursor[metric_name] = value
+        dispatched = self._events_dispatched
+        last = cursor.get("sim.events_dispatched", 0)
+        if dispatched > last:
+            registry.counter("sim.events_dispatched").inc(dispatched - last)
+        cursor["sim.events_dispatched"] = dispatched
+        registry.gauge("sim.event_queue_depth").set(len(self._queue))
+        registry.gauge("sim.correction_history_entries").set(
+            sum(len(history.times) for history in self._histories.values()))
+        registry.gauge("sim.sim_time").set(self._current_time)
+        for key, value in self._delay_model.stats().items():
+            # Model-internal stats mix cumulative and instantaneous values;
+            # a high-water gauge represents both faithfully.
+            registry.gauge(f"sim.delay_model.{key}").set(value)
 
     def _dispatch(self, message: Message) -> None:
         """Deliver one message object (kept for tests and manual stepping)."""

@@ -75,6 +75,13 @@ class MessageStats:
         self.sent += 1
         self.per_process_sent[sender] += 1
 
+    def as_dict(self) -> Dict[str, int]:
+        """The scalar counters as a plain dict (for manifests and telemetry)."""
+        return {"sent": self.sent, "delivered": self.delivered,
+                "dropped": self.dropped, "relayed": self.relayed,
+                "unroutable": self.unroutable, "timers_set": self.timers_set,
+                "timers_fired": self.timers_fired}
+
 
 class ExecutionTrace:
     """Immutable-ish view over the results of a simulation run."""

@@ -1,0 +1,154 @@
+"""``repro.telemetry`` — metrics, phase tracing, and run manifests.
+
+The observability layer has three pillars (see each module's docstring):
+
+* :mod:`~repro.telemetry.metrics` — Counter/Gauge/Histogram primitives and a
+  mergeable :class:`MetricsRegistry`;
+* :mod:`~repro.telemetry.tracing` — nested wall-clock spans with Chrome
+  trace-event export;
+* :mod:`~repro.telemetry.manifest` — one JSON line per executed spec.
+
+A :class:`Telemetry` object bundles one registry + one tracer + manifest
+settings.  Instrumented code never requires one: every hook in the simulator
+and runner takes ``telemetry=None`` and the disabled path is a single ``is
+None`` check, so default behaviour stays bit-identical to an uninstrumented
+build.
+
+To avoid threading a telemetry argument through every scenario builder, a
+*process-local active telemetry* can be installed (:func:`set_active`, or the
+:func:`activated` context manager).  Deep layers then use the module-level
+:func:`span` helper, which is a no-op when nothing is active::
+
+    from repro.telemetry import span
+
+    with span("certify:audit", chain=chain_id):
+        ...
+
+This mirrors the default-registry pattern of mainstream metrics libraries:
+explicit injection where it matters (System, execute, BatchRunner), ambient
+lookup for low-ceremony phase marks.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, Iterator, List, Optional
+
+from .manifest import (append_manifest, build_manifest, read_manifests,
+                       spec_hash)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import SpanRecord, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "SpanRecord",
+    "spec_hash",
+    "build_manifest",
+    "append_manifest",
+    "read_manifests",
+    "get_active",
+    "set_active",
+    "activated",
+    "span",
+]
+
+
+class Telemetry:
+    """One run's observability bundle: registry + tracer + manifest sink.
+
+    ``manifest_path`` (optional) is where :func:`repro.runner.spec.execute`
+    appends a JSON line per run; emitted records are also kept in
+    :attr:`manifests` so callers without a file still see them.
+    ``track_memory`` turns on :mod:`tracemalloc` around each executed spec —
+    accurate peak-allocation numbers at roughly 2x runtime, so it is opt-in.
+    """
+
+    def __init__(self, manifest_path: Optional[str] = None,
+                 track_memory: bool = False):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.manifest_path = manifest_path
+        self.track_memory = track_memory
+        self.manifests: List[Dict[str, Any]] = []
+
+    def span(self, name: str, **args: Any):
+        return self.tracer.span(name, **args)
+
+    def emit_manifest(self, record: Dict[str, Any]) -> None:
+        """Record (and, when configured, persist) one manifest line."""
+        self.manifests.append(record)
+        if self.manifest_path:
+            append_manifest(self.manifest_path, record)
+
+    @contextmanager
+    def memory_probe(self) -> Iterator[Dict[str, Optional[int]]]:
+        """Measure peak allocation across the block (no-op unless enabled).
+
+        Yields a dict whose ``"peak"`` entry is filled in on exit.  When an
+        outer caller already has tracemalloc running, the probe reads peaks
+        without stopping it.
+        """
+        probe: Dict[str, Optional[int]] = {"peak": None}
+        if not self.track_memory:
+            yield probe
+            return
+        owner = not tracemalloc.is_tracing()
+        if owner:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        try:
+            yield probe
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            probe["peak"] = peak
+            if owner:
+                tracemalloc.stop()
+
+    def absorb(self, other: "Telemetry") -> None:
+        """Fold another bundle in: merge metrics, append spans + manifests."""
+        self.registry.merge(other.registry.snapshot())
+        self.tracer.absorb(other.tracer)
+        for record in other.manifests:
+            self.emit_manifest(record)
+
+
+#: the process-local active telemetry (None = observability fully disabled).
+_ACTIVE: Optional[Telemetry] = None
+
+
+def get_active() -> Optional[Telemetry]:
+    """The currently installed process-local telemetry, if any."""
+    return _ACTIVE
+
+
+def set_active(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install (or clear, with None) the active telemetry; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    return previous
+
+
+@contextmanager
+def activated(telemetry: Optional[Telemetry]) -> Iterator[Optional[Telemetry]]:
+    """Scope an active telemetry to a block, restoring the previous one."""
+    previous = set_active(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_active(previous)
+
+
+def span(name: str, **args: Any):
+    """A span on the active telemetry, or a free no-op when none is active."""
+    active = _ACTIVE
+    if active is None:
+        return nullcontext()
+    return active.tracer.span(name, **args)

@@ -1,0 +1,289 @@
+"""Zero-dependency metric primitives and the process-local registry.
+
+Three primitive types, modeled on the Prometheus vocabulary but with no wire
+format and no external dependency:
+
+* :class:`Counter` — a monotonically increasing total (events dispatched,
+  messages sent/dropped, specs executed);
+* :class:`Gauge` — a point-in-time value with a retained high-water mark
+  (event-queue depth, correction-history growth);
+* :class:`Histogram` — fixed-bucket distribution with count/sum/min/max
+  (run-segment durations, per-spec wall times).
+
+A :class:`MetricsRegistry` is a named collection of metrics with two
+operations the layers above rely on:
+
+* :meth:`MetricsRegistry.snapshot` — a plain picklable dict of every metric's
+  state, cheap to ship across a :mod:`multiprocessing` boundary;
+* :meth:`MetricsRegistry.merge` — fold such a snapshot back in (counters add,
+  gauges keep the max, histograms merge bucket-wise), which is how
+  :class:`~repro.runner.batch.BatchRunner` combines per-worker registries
+  into parent totals equal to a serial run's.
+
+Everything here is wall-clock-free and RNG-free: recording a metric can never
+perturb a simulation, and a disabled telemetry path costs exactly one ``is
+None`` check at the instrumentation site.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds (seconds-flavored; an implicit +inf
+#: bucket always terminates the list).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def state(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+    def merge_state(self, state: Dict[str, float]) -> None:
+        self.value += state.get("value", 0.0)
+
+    def render(self) -> str:
+        value = self.value
+        return f"{int(value)}" if value == int(value) else f"{value:.6g}"
+
+
+class Gauge:
+    """A point-in-time value that also retains its high-water mark."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value", "high_water")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if value > self.high_water:
+            self.high_water = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def state(self) -> Dict[str, float]:
+        return {"value": self.value, "high_water": self.high_water}
+
+    def merge_state(self, state: Dict[str, float]) -> None:
+        # Gauges from independent runs do not add: the meaningful aggregate
+        # across workers is the worst (largest) value either side saw.
+        self.value = max(self.value, state.get("value", 0.0))
+        self.high_water = max(self.high_water, state.get("high_water", 0.0))
+
+    def render(self) -> str:
+        return f"{self.value:.6g} (peak {self.high_water:.6g})"
+
+
+class Histogram:
+    """A fixed-bucket distribution with count, sum and extrema."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        #: one slot per bound plus the terminal +inf bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def state(self) -> Dict[str, object]:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max}
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        if tuple(state.get("buckets", ())) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r} bucket mismatch: cannot merge "
+                f"{state.get('buckets')} into {list(self.buckets)}")
+        for index, count in enumerate(state.get("counts", ())):
+            self.counts[index] += count
+        self.count += state.get("count", 0)
+        self.sum += state.get("sum", 0.0)
+        self.min = min(self.min, state.get("min", float("inf")))
+        self.max = max(self.max, state.get("max", float("-inf")))
+
+    def render(self) -> str:
+        if not self.count:
+            return "0 observations"
+        return (f"n={self.count} mean={self.mean:.6g} "
+                f"min={self.min:.6g} max={self.max:.6g}")
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A named, ordered collection of metrics (one per process/run).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice for
+    the same name returns the same object, and asking for an existing name
+    with a different type is an error (a name means one thing).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """The scalar value of a counter/gauge (0 for absent metrics)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        return metric.value
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(f"metric {name!r} already registered as "
+                                f"{metric.kind}, not {cls.kind}")
+            return metric
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- snapshot / merge ----------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain, picklable image of every metric's current state."""
+        return {name: {"kind": metric.kind, "help": metric.help,
+                       **metric.state()}
+                for name, metric in self._metrics.items()}
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a snapshot (typically from a worker process) into this registry.
+
+        Counters add, gauges keep the maximum, histograms merge bucket-wise.
+        Metrics absent here are created from the snapshot, so a parent
+        registry accumulates whatever its workers measured.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("kind", "counter")
+            cls = _METRIC_TYPES.get(kind)
+            if cls is None:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            if cls is Histogram:
+                metric = self.histogram(name, state.get("help", ""),
+                                        buckets=state.get("buckets"))
+            else:
+                metric = self._get_or_create(cls, name, state.get("help", ""))
+            metric.merge_state(state)
+
+    def delta(self, baseline: Dict[str, Dict[str, object]]
+              ) -> Dict[str, Dict[str, object]]:
+        """Changes since a prior :meth:`snapshot` (the per-run metrics view).
+
+        Counters and histograms report the difference (dropping untouched
+        metrics); gauges report their current value and high-water mark,
+        which is what a point-in-time reading means for one run.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, state in self.snapshot().items():
+            prev = baseline.get(name)
+            kind = state["kind"]
+            if kind == "counter":
+                value = state["value"] - (prev["value"] if prev else 0.0)
+                if value:
+                    out[name] = {"kind": kind, "value": value}
+            elif kind == "gauge":
+                out[name] = {"kind": kind, "value": state["value"],
+                             "high_water": state["high_water"]}
+            else:
+                count = state["count"] - (prev["count"] if prev else 0)
+                if count:
+                    out[name] = {"kind": kind, "count": count,
+                                 "sum": state["sum"]
+                                 - (prev["sum"] if prev else 0.0)}
+        return out
+
+    # -- rendering -----------------------------------------------------------
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """(name, kind, rendered value) rows in registration order."""
+        return [(name, metric.kind, metric.render())
+                for name, metric in sorted(self._metrics.items())]
+
+    def format(self) -> str:
+        """A plain-text summary table of every metric."""
+        rows = self.rows()
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _, _ in rows)
+        kind_width = max(len(kind) for _, kind, _ in rows)
+        return "\n".join(f"{name:<{width}}  {kind:<{kind_width}}  {value}"
+                         for name, kind, value in rows)

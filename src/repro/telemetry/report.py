@@ -1,0 +1,125 @@
+"""Aggregate run-manifest lines into terminal-friendly reports.
+
+``python -m repro telemetry report manifest.jsonl`` funnels through
+:func:`summarize` + :func:`format_report`: outcome counts, wall-time totals,
+the slowest cells, the events/s distribution, and drop rates — the questions
+one actually asks of a finished (or half-finished) sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["summarize", "format_report", "format_table"]
+
+
+def _events_per_second(record: Dict[str, Any]) -> float:
+    wall = record.get("wall_seconds") or 0.0
+    events = record.get("events") or 0
+    return events / wall if wall > 0 and events else 0.0
+
+
+def _drop_rate(record: Dict[str, Any]) -> float:
+    messages = record.get("messages") or {}
+    sent = messages.get("sent", 0)
+    if not sent:
+        return 0.0
+    return (messages.get("dropped", 0) + messages.get("unroutable", 0)) / sent
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize(records: Sequence[Dict[str, Any]],
+              slowest: int = 10) -> Dict[str, Any]:
+    """Reduce manifest records to the aggregates the report renders."""
+    outcomes: Dict[str, int] = {}
+    for record in records:
+        outcome = record.get("outcome", "unknown")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+    walls = [record.get("wall_seconds") or 0.0 for record in records]
+    rates = sorted(rate for record in records
+                   if (rate := _events_per_second(record)) > 0)
+    drops = [_drop_rate(record) for record in records]
+    peaks = [record["peak_memory_bytes"] for record in records
+             if record.get("peak_memory_bytes")]
+
+    by_wall = sorted(records, key=lambda r: r.get("wall_seconds") or 0.0,
+                     reverse=True)
+    slowest_rows = [
+        {"spec": record.get("spec", "?"),
+         "spec_hash": record.get("spec_hash", ""),
+         "outcome": record.get("outcome", "?"),
+         "wall_seconds": record.get("wall_seconds") or 0.0,
+         "events_per_s": _events_per_second(record),
+         "drop_rate": _drop_rate(record)}
+        for record in by_wall[:slowest]
+    ]
+    return {
+        "runs": len(records),
+        "outcomes": outcomes,
+        "wall_total": sum(walls),
+        "wall_max": max(walls, default=0.0),
+        "events_total": sum(record.get("events") or 0 for record in records),
+        "events_per_s": {
+            "min": rates[0] if rates else 0.0,
+            "p50": _quantile(rates, 0.50),
+            "p90": _quantile(rates, 0.90),
+            "max": rates[-1] if rates else 0.0,
+        },
+        "drop_rate_mean": sum(drops) / len(drops) if drops else 0.0,
+        "drop_rate_max": max(drops, default=0.0),
+        "peak_memory_max": max(peaks, default=0),
+        "slowest": slowest_rows,
+    }
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """A minimal fixed-width table (no external dependency)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    out = [line(headers), line("-" * width for width in widths)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_report(summary: Dict[str, Any]) -> str:
+    """Render a summary dict as the `telemetry report` terminal output."""
+    lines: List[str] = []
+    outcomes = ", ".join(f"{name}={count}" for name, count
+                         in sorted(summary["outcomes"].items())) or "none"
+    lines.append(f"runs: {summary['runs']}  ({outcomes})")
+    lines.append(f"wall time: total {summary['wall_total']:.3f}s, "
+                 f"slowest cell {summary['wall_max']:.3f}s")
+    lines.append(f"events: {summary['events_total']}")
+    eps = summary["events_per_s"]
+    if eps["max"] > 0:
+        lines.append(f"events/s: min {eps['min']:,.0f}  p50 {eps['p50']:,.0f}  "
+                     f"p90 {eps['p90']:,.0f}  max {eps['max']:,.0f}")
+    lines.append(f"drop rate: mean {summary['drop_rate_mean']:.2%}, "
+                 f"max {summary['drop_rate_max']:.2%}")
+    if summary["peak_memory_max"]:
+        lines.append(f"peak traced memory: "
+                     f"{summary['peak_memory_max'] / 1e6:.1f} MB")
+    if summary["slowest"]:
+        lines.append("")
+        lines.append("slowest cells:")
+        rows = [[row["spec"], row["outcome"], f"{row['wall_seconds']:.3f}",
+                 f"{row['events_per_s']:,.0f}" if row["events_per_s"] else "-",
+                 f"{row['drop_rate']:.2%}", row["spec_hash"]]
+                for row in summary["slowest"]]
+        lines.append(format_table(
+            ["spec", "outcome", "wall_s", "events/s", "drops", "hash"], rows))
+    return "\n".join(lines)

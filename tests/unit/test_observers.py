@@ -27,6 +27,7 @@ from repro.sim import (
     EventBudgetExceeded,
     FixedDelayModel,
     Observer,
+    ObserverError,
     Process,
     System,
     TraceRecorder,
@@ -254,6 +255,94 @@ class TestBoundedMemory:
                    for pid in nonfaulty)
 
 
+def _exploding_observer(hook):
+    """An observer whose ``hook`` method raises; counts how often it fired.
+
+    Built as a real subclass with the hook as a method (the pipeline
+    dispatches bound methods, which is also how it attributes failures).
+    """
+
+    def boom(self, *_args, **_kwargs):
+        self.fired += 1
+        raise ValueError("observer bug")
+
+    cls = type("ExplodesObserver", (Observer,),
+               {"name": "exploding", hook: boom,
+                "__init__": lambda self: setattr(self, "fired", 0)})
+    return cls()
+
+
+class TestObserverFailure:
+    """A raising observer surfaces a clear error and leaves the System sane."""
+
+    @pytest.mark.parametrize("hook", ["on_dispatch", "on_send", "on_log",
+                                      "on_correction", "on_advance"])
+    def test_failure_names_hook_and_observer(self, hook):
+        bad = _exploding_observer(hook)
+        system = _small_system(observers=[bad])
+        with pytest.raises(ObserverError) as excinfo:
+            system.run_until(2.0)
+        err = excinfo.value
+        assert err.hook == hook
+        assert err.observer is bad
+        assert hook in str(err) and "ExplodesObserver" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_finalize_failure_names_hook(self):
+        bad = _exploding_observer("on_finalize")
+        system = _small_system(observers=[bad])
+        system.run_until(2.0)
+        with pytest.raises(ObserverError) as excinfo:
+            system.finalize_observers()
+        assert excinfo.value.hook == "on_finalize"
+        assert excinfo.value.observer is bad
+
+    def test_dispatch_failure_keeps_counters_consistent(self):
+        # The interrupt being reported was fully processed before the tap
+        # blew up, so the dispatch counter must include it.
+        good = CountingObserver()
+        bad = _exploding_observer("on_dispatch")
+        system = _small_system(observers=[good, bad])
+        with pytest.raises(ObserverError):
+            system.run_until(2.0)
+        assert bad.fired == 1
+        assert system.events_dispatched == len(good.dispatches)
+
+    def test_remove_observer_recovers_the_run(self):
+        bad = _exploding_observer("on_correction")
+        system = _small_system(observers=[bad])
+        with pytest.raises(ObserverError):
+            system.run_until(2.0)
+        system.remove_observer(bad)
+        trace = system.run_until(2.0)  # resumes from where it stopped
+        assert trace.stats.timers_fired == 3
+        history = system.correction_history(0)
+        assert history.current() != 0.0
+
+    def test_failed_run_matches_clean_prefix(self):
+        # Everything dispatched before the failure is identical to a clean
+        # run: the observer pipeline never half-applies an interrupt.
+        clean_system = _small_system()
+        clean = clean_system.run_until(2.0)
+        bad = _exploding_observer("on_advance")  # fires only at segment end
+        system = _small_system(observers=[bad])
+        with pytest.raises(ObserverError):
+            system.run_until(2.0)
+        assert system.events_dispatched == clean_system.events_dispatched
+        assert (system.trace().stats.sent, system.trace().stats.delivered) \
+            == (clean.stats.sent, clean.stats.delivered)
+
+    def test_remove_recorder_stops_recording(self):
+        system = _small_system()
+        recorder = next(obs for obs in system.observers
+                        if isinstance(obs, TraceRecorder))
+        system.remove_observer(recorder)
+        assert not system.record_trace
+        trace = system.run_until(2.0)
+        assert len(trace.events) == 0
+        assert trace.stats.sent > 0  # counters still tally
+
+
 class TestEventBudget:
     def test_budget_exceeded_carries_counts(self):
         system = _small_system()
@@ -276,6 +365,31 @@ class TestEventBudget:
         clone = pickle.loads(pickle.dumps(err))
         assert clone.processed == 11 and clone.max_events == 10
         assert clone.pending == 4 and clone.current_time == 1.5
+
+    def test_budget_metrics_survive_pickling(self):
+        snapshot = {"sim.events_dispatched": {"kind": "counter", "value": 11}}
+        err = EventBudgetExceeded(processed=11, max_events=10,
+                                  current_time=1.5, end_time=3.0, pending=4,
+                                  metrics=snapshot)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.metrics == snapshot
+
+    def test_budget_carries_metrics_snapshot_when_instrumented(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        processes = [Chatter() for _ in range(3)]
+        clocks = [PerfectClock(offset=0.0) for _ in range(3)]
+        system = System(processes, clocks,
+                        delay_model=UniformDelayModel(0.01, 0.002), seed=7,
+                        telemetry=telemetry)
+        for pid in range(3):
+            system.schedule_start(pid, 0.0)
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            system.run_until(2.0, max_events=4)
+        metrics = excinfo.value.metrics
+        assert metrics is not None
+        assert metrics["sim.events_dispatched"]["value"] == 5
 
 
 class TestSnapshotUnit:

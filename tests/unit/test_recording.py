@@ -186,6 +186,40 @@ class TestNetworkRecorder:
         recorder.clear()
         assert recorder.records == []
 
+    def test_stats_snapshot(self):
+        recorder = NetworkRecorder()
+        recorder.on_send(0, 1, 0.0, 0.010)
+        recorder.on_send(1, 2, 0.0, 0.020)
+        recorder.on_send(2, 0, 0.0, None)  # dropped
+        stats = recorder.stats()
+        assert stats["sent"] == 3
+        assert stats["delivered"] == 2
+        assert stats["dropped"] == 1
+        assert stats["drop_rate"] == pytest.approx(1 / 3)
+        assert stats["delay_min"] == pytest.approx(0.010)
+        assert stats["delay_max"] == pytest.approx(0.020)
+        assert stats["delay_mean"] == pytest.approx(0.015)
+
+    def test_stats_empty_recorder(self):
+        stats = NetworkRecorder().stats()
+        assert stats["sent"] == 0
+        assert stats["drop_rate"] == 0.0
+
+    def test_stats_agrees_with_module_helpers(self, medium_params):
+        # stats() is the single snapshot the CLI and the telemetry manifests
+        # consume; it must agree with the per-record module helpers.
+        recorder = NetworkRecorder()
+        run_maintenance_scenario(
+            medium_params, rounds=3, fault_kind=None, seed=5,
+            topology=self._ring(medium_params.n, drop=0.2),
+            observers=[recorder])
+        stats = recorder.stats()
+        assert stats["sent"] == len(recorder.records)
+        assert stats["drop_rate"] == pytest.approx(drop_rate(recorder.records))
+        summary = delay_statistics(recorder.records)
+        assert stats["delay_mean"] == pytest.approx(summary["mean"])
+        assert stats["delivered"] == summary["count"]
+
 
 class TestEndToEndAudit:
     def test_full_run_respects_assumption_a3(self, medium_params):
