@@ -52,6 +52,7 @@ __all__ = [
     "PartitionHealResult",
     "default_parameters",
     "effective_parameters",
+    "maintenance_end_time",
     "make_delay_model",
     "make_fault_process",
     "run_maintenance_scenario",
@@ -242,6 +243,21 @@ ObserverFactory = Callable[[System, Dict[int, float], float, SyncParameters],
                            Sequence["object"]]
 
 
+def maintenance_end_time(params: SyncParameters, rounds: int,
+                         extra_time: float = 0.0) -> float:
+    """Real-time end of a ``rounds``-round maintenance run.
+
+    The slack after the last round (one collection window, ten δ, one β)
+    lets every in-flight message land and every observer grid finish.  Both
+    the serial :func:`_run` and the vectorized batch engine
+    (:mod:`repro.sim.vectorized`) use this exact expression, so their
+    horizons — and therefore their observer grids — agree bit for bit.
+    """
+    return (params.initial_round_time + rounds * params.round_length
+            + params.collection_window() + 10 * params.delta
+            + params.beta + extra_time)
+
+
 def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
          clock_kind: str, delay_model: DelayModel, seed: int,
          extra_time: float = 0.0,
@@ -283,9 +299,7 @@ def _run(params: SyncParameters, processes: Sequence[Process], rounds: int,
         start_times = system.schedule_all_starts_at_logical(params.initial_round_time)
     else:
         start_times = start_scheduler(system)
-    end_time = (params.initial_round_time + rounds * params.round_length
-                + params.collection_window() + 10 * params.delta
-                + params.beta + extra_time)
+    end_time = maintenance_end_time(params, rounds, extra_time)
     if horizon is not None:
         end_time = max(end_time, float(horizon))
     built = (list(observers(system, start_times, end_time, params))

@@ -53,6 +53,7 @@ __all__ = [
     "OnlineValidity",
     "OnlineDivergence",
     "ONLINE_OBSERVER_NAMES",
+    "audit_window",
     "build_observers",
 ]
 
@@ -124,6 +125,19 @@ class _GridObserver(Observer):
             cursor += 1
         self._cursor = cursor
 
+    def _restore_clock_state(self, clocks: Dict[int, object],
+                             corr: Dict[int, float]) -> None:
+        """Install final clock/correction state without a system attach.
+
+        Used by the ``from_batch`` constructors: the batch engine already
+        knows every process' clock and final correction, so the observer can
+        be brought to its end-of-run state without replaying the run.
+        """
+        for pid, clock in clocks.items():
+            self._clocks[pid] = clock
+            self._linear[pid] = _linear_form(clock)
+            self._corr[pid] = float(corr[pid])
+
     # -- evaluation ----------------------------------------------------------
     def _local_time(self, pid: int, t: float) -> float:
         """``L_p(t)`` via the TraceIndex fast form (bit-identical to batch)."""
@@ -184,6 +198,24 @@ class OnlineSkew(_GridObserver):
     def result(self) -> Dict[str, float]:
         """Summary dict for reporting/export."""
         return {"max_skew": self.max_skew, "samples": self.samples}
+
+    @classmethod
+    def from_batch(cls, grid: Sequence[float], pids: Sequence[int],
+                   clocks: Dict[int, object], corr: Dict[int, float],
+                   max_skew: float, samples: int) -> "OnlineSkew":
+        """A finalized observer restored from batch-engine state.
+
+        The vectorized executor (:mod:`repro.sim.vectorized`) evaluates the
+        whole grid as array expressions and rebuilds the observer object the
+        serial run would have finished with: cursor exhausted, per-process
+        corrections at their final values, ``max_skew``/``samples`` filled.
+        """
+        observer = cls(grid, pids=pids, keep_series=False)
+        observer._restore_clock_state(clocks, corr)
+        observer.max_skew = float(max_skew)
+        observer.samples = int(samples)
+        observer._cursor = len(observer._points)
+        return observer
 
 
 class OnlineValidity(_GridObserver):
@@ -255,6 +287,27 @@ class OnlineValidity(_GridObserver):
                 "min_rate": report.min_rate, "max_rate": report.max_rate,
                 "holds": report.holds}
 
+    @classmethod
+    def from_batch(cls, params: SyncParameters, tmin0: float, tmax0: float,
+                   grid: Sequence[float], start: float, end: float,
+                   pids: Sequence[int], clocks: Dict[int, object],
+                   corr: Dict[int, float], violations: int, samples: int,
+                   captures: Dict[float, Dict[int, float]]) -> "OnlineValidity":
+        """A finalized observer restored from batch-engine state.
+
+        ``captures`` holds the rate-estimate samples keyed by capture time
+        (``start`` and ``end``), exactly as :meth:`_emit` would have stored
+        them, so :meth:`report` works unchanged.
+        """
+        observer = cls(params, tmin0, tmax0, grid, start, end, pids=pids)
+        observer._restore_clock_state(clocks, corr)
+        observer.violations = int(violations)
+        observer.samples = int(samples)
+        observer._captures = {float(t): dict(values)
+                              for t, values in captures.items()}
+        observer._cursor = len(observer._points)
+        return observer
+
 
 class OnlineDivergence(_GridObserver):
     """Streaming cross-group centroid divergence (partition experiments).
@@ -305,6 +358,23 @@ class OnlineDivergence(_GridObserver):
                 "groups": len(self._groups)}
 
 
+def audit_window(params: SyncParameters, start_times: Dict[int, float],
+                 faulty) -> Tuple[float, float, float]:
+    """``(tmin0, tmax0, start)`` of the standard observation window.
+
+    ``tmin0``/``tmax0`` are the earliest/latest nonfaulty START times (0.0
+    with no nonfaulty process) and ``start`` — one round after ``tmax0`` —
+    is where the audit grids begin.  Shared by :func:`build_observers` and
+    the vectorized batch engine so both derive identical grids.
+    """
+    faulty = set(faulty)
+    nonfaulty_starts = [t for pid, t in start_times.items()
+                        if pid not in faulty]
+    tmin0 = min(nonfaulty_starts) if nonfaulty_starts else 0.0
+    tmax0 = max(nonfaulty_starts) if nonfaulty_starts else 0.0
+    return tmin0, tmax0, tmax0 + params.round_length
+
+
 def build_observers(names: Sequence[str], system: "System",
                     params: SyncParameters, start_times: Dict[int, float],
                     end_time: float, samples: int = 200,
@@ -316,12 +386,8 @@ def build_observers(names: Sequence[str], system: "System",
     agreement grid, ``max(50, samples // 2)``-sample validity grid — so the
     streaming numbers are directly comparable to the batch audits.
     """
-    faulty = set(system.faulty_ids())
-    nonfaulty_starts = [t for pid, t in start_times.items()
-                        if pid not in faulty]
-    tmin0 = min(nonfaulty_starts) if nonfaulty_starts else 0.0
-    tmax0 = max(nonfaulty_starts) if nonfaulty_starts else 0.0
-    start = tmax0 + params.round_length
+    tmin0, tmax0, start = audit_window(params, start_times,
+                                       system.faulty_ids())
     built: List[Observer] = []
     for name in names:
         if name == "skew":

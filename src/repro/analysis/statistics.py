@@ -95,6 +95,10 @@ def summarize(values: Sequence[float]) -> SummaryStats:
     if count > 1:
         half_width = _t_critical(count - 1) * std / math.sqrt(count)
     else:
+        # One observation carries no dispersion estimate: the t-interval is
+        # undefined (dof = 0, critical value inf, inf * 0 std = NaN).  Return
+        # the degenerate point-estimate interval instead, so single-seed
+        # replicate() calls report ci95_low == ci95_high == mean, never NaN.
         half_width = 0.0
     return SummaryStats(count=count, mean=mean, std=std,
                         minimum=ordered[0], maximum=ordered[-1], median=median,

@@ -76,18 +76,23 @@ __all__ = [
     "bench_streaming",
     "bench_certifier",
     "bench_telemetry",
+    "bench_vectorized_replication",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
     "check_event_throughput",
     "check_streaming_memory",
     "check_telemetry_overhead",
+    "check_vectorized_throughput",
+    "latest_bench_path",
+    "collect_history",
+    "format_history",
     "format_results",
     "main",
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_6.json"
+DEFAULT_BENCH_PATH = "BENCH_7.json"
 
 #: the streaming benchmark's fixed configuration — identical in quick and
 #: full mode so the memory guard always compares like with like.
@@ -365,6 +370,80 @@ def bench_telemetry(n: int = 24, rounds: int = 8,
     }
 
 
+#: the vectorized-replication benchmark's fixed configuration — identical in
+#: quick and full mode so the BENCH_7 regression guard always compares
+#: config-matched entries (like the streaming slot).
+VECTORIZED_N = 24
+VECTORIZED_ROUNDS = 12
+VECTORIZED_BATCH = 64
+
+
+def bench_vectorized_replication(n: int = VECTORIZED_N,
+                                 rounds: int = VECTORIZED_ROUNDS,
+                                 batch: int = VECTORIZED_BATCH,
+                                 serial_runs: int = 8,
+                                 fault_kind: str = "two_faced"
+                                 ) -> Dict[str, object]:
+    """Serial vs lockstep-batch throughput on a replicated maintenance study.
+
+    Runs the same ``record_trace=False`` spec under ``serial_runs`` seeds
+    through the per-spec :func:`~repro.runner.spec.execute` path and under
+    ``batch`` seeds through :func:`~repro.sim.vectorized.execute_batch`, and
+    reports replicated event throughput (deliveries + fired timers + STARTs
+    per second) for both, plus their ratio — the headline number of the
+    struct-of-arrays executor.  Uses the maximum Byzantine budget
+    ``f = (n − 1)//3`` with two-faced attackers, the heaviest supported
+    skeleton.  When numpy is missing or the engine is disabled the slot
+    records ``available: false`` and no measurements.
+    """
+    from .runner.spec import RunSpec, execute
+    from .sim import vectorized
+
+    entry: Dict[str, object] = {
+        "n": n, "rounds": rounds, "batch": batch, "serial_runs": serial_runs,
+        "fault_kind": fault_kind,
+        "available": vectorized.vectorized_available(),
+    }
+    if not entry["available"]:
+        return entry
+    params = default_parameters(n=n, f=(n - 1) // 3)
+    spec = RunSpec.maintenance(params, rounds=rounds, fault_kind=fault_kind,
+                               record_trace=False,
+                               observers=("skew", "validity"))
+
+    def events_of(result) -> int:
+        stats = result.trace.stats
+        return stats.delivered + stats.timers_fired + n
+
+    # Warm-up outside the timed region (lazy imports, allocator, RNG tables).
+    vectorized.execute_batch([spec.with_seed(s) for s in range(2)])
+    start = time.perf_counter()
+    serial_results = [execute(spec.with_seed(s)) for s in range(serial_runs)]
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_results = vectorized.execute_batch(
+        [spec.with_seed(s) for s in range(batch)])
+    seconds = time.perf_counter() - start
+    for serial_result, batch_result in zip(serial_results, batch_results):
+        if serial_result.trace.stats != batch_result.trace.stats:
+            raise AssertionError(
+                "vectorized results diverged from the serial reference")
+    serial_events = sum(events_of(r) for r in serial_results)
+    events = sum(events_of(r) for r in batch_results)
+    serial_rate = serial_events / serial_seconds if serial_seconds > 0 else 0.0
+    rate = events / seconds if seconds > 0 else 0.0
+    entry.update({
+        "serial_seconds": serial_seconds,
+        "serial_events": serial_events,
+        "serial_events_per_second": serial_rate,
+        "seconds": seconds,
+        "events": events,
+        "events_per_second": rate,
+        "speedup": rate / serial_rate if serial_rate else 0.0,
+    })
+    return entry
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -431,6 +510,9 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     # compare the two slots within one process.
     results["telemetry"] = bench_telemetry(rounds=4 if quick else 8,
                                            repeats=repeats)
+    # Same config in both modes: the vectorized-throughput guard compares
+    # config-matched entries, and CI runs --quick against a full recording.
+    results["vectorized_replication"] = bench_vectorized_replication()
     return results
 
 
@@ -450,7 +532,9 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "disabled_seconds", "enabled_seconds",
                                "disabled_events_per_second",
                                "enabled_events_per_second",
-                               "enabled_overhead"})
+                               "enabled_overhead",
+                               "serial_seconds", "serial_events",
+                               "serial_events_per_second", "speedup"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -574,6 +658,58 @@ def check_streaming_memory(results: Dict[str, object], baseline_path: str,
     return None
 
 
+def check_vectorized_throughput(results: Dict[str, object],
+                                baseline_path: str,
+                                tolerance: float = 0.30) -> Optional[str]:
+    """Vectorized-path regression guard: None when healthy.
+
+    Compares the ``vectorized_replication`` slot's batch event throughput
+    against the recorded trajectory (preferring ``baseline``, falling back to
+    ``current`` — older trajectory files predate the slot, in which case the
+    guard passes vacuously).  Machine-normalized by the ``calibration`` slot
+    like :func:`check_event_throughput`.  Skips silently when either side ran
+    without numpy (``available: false``) or with a different configuration.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    reference_entry = None
+    reference_cal = None
+    for slot_name in ("baseline", "current"):
+        slot = recorded.get(slot_name) or {}
+        slot_results = slot.get("results") or {}
+        entry = slot_results.get("vectorized_replication")
+        if isinstance(entry, dict) and entry.get("events_per_second"):
+            reference_entry = entry
+            reference_cal = (slot_results.get("calibration", {})
+                             .get("ops_per_second"))
+            break
+    if reference_entry is None:
+        return None
+    measured_entry = results.get("vectorized_replication")
+    if not isinstance(measured_entry, dict) \
+            or not measured_entry.get("events_per_second"):
+        return None
+    config_keys = ((set(reference_entry) | set(measured_entry))
+                   - _MEASUREMENT_KEYS)
+    if any(reference_entry.get(key) != measured_entry.get(key)
+           for key in config_keys):
+        return None
+    reference = reference_entry["events_per_second"]
+    measured = measured_entry["events_per_second"]
+    this_cal = results.get("calibration", {}).get("ops_per_second")
+    normalized = ""
+    if reference_cal and this_cal:
+        reference = reference / reference_cal
+        measured = measured / this_cal
+        normalized = " (machine-normalized)"
+    floor = reference * (1.0 - tolerance)
+    if measured < floor:
+        return (f"vectorized replication throughput {measured:,.4g} dropped "
+                f"more than {tolerance:.0%} below the recorded baseline "
+                f"{reference:,.4g}{normalized}")
+    return None
+
+
 def check_telemetry_overhead(results: Dict[str, object],
                              tolerance: float = 0.05) -> Optional[str]:
     """Disabled-telemetry overhead guard: None when healthy.
@@ -603,6 +739,107 @@ def check_telemetry_overhead(results: Dict[str, object],
                 f"{core_rate:,.4g} ev/s in the same process — the "
                 f"telemetry=None path is no longer free")
     return None
+
+
+def _bench_suffix(path: str) -> Optional[int]:
+    """The numeric N of a ``BENCH_N.json`` basename, or None."""
+    name = os.path.basename(path)
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        return None
+    stem = name[len("BENCH_"):-len(".json")]
+    return int(stem) if stem.isdigit() else None
+
+
+def latest_bench_path(directory: str = ".") -> Optional[str]:
+    """The newest ``BENCH_N.json`` trajectory file (highest N), or None."""
+    best: Optional[str] = None
+    best_n = -1
+    for name in os.listdir(directory):
+        suffix = _bench_suffix(name)
+        if suffix is not None and suffix > best_n:
+            best_n = suffix
+            best = os.path.join(directory, name)
+    return best
+
+
+def collect_history(directory: str = ".") -> List[Dict[str, object]]:
+    """One summary row per ``BENCH_N.json`` file, in trajectory order.
+
+    Each row carries the file's preferred slot (``current`` — the state the
+    PR left the code in — falling back to ``baseline`` for files that only
+    recorded one) reduced to the headline rates, plus the ``calibration``
+    measurement used to normalize cross-machine comparisons.
+    """
+    paths = sorted((path for path in os.listdir(directory)
+                    if _bench_suffix(path) is not None), key=_bench_suffix)
+    rows: List[Dict[str, object]] = []
+    for name in paths:
+        with open(os.path.join(directory, name), "r",
+                  encoding="utf-8") as handle:
+            payload = json.load(handle)
+        slot = payload.get("current") or payload.get("baseline") or {}
+        results = slot.get("results") or {}
+        vectorized = results.get("vectorized_replication") or {}
+        rows.append({
+            "path": name,
+            "label": slot.get("label", "?"),
+            "calibration": (results.get("calibration") or {})
+            .get("ops_per_second"),
+            "event_rate": (results.get("event_throughput") or {})
+            .get("events_per_second"),
+            "streaming_rate": (results.get("streaming") or {})
+            .get("events_per_second"),
+            "vector_rate": vectorized.get("events_per_second"),
+            "vector_speedup": vectorized.get("speedup"),
+        })
+    return rows
+
+
+def format_history(rows: Sequence[Dict[str, object]]) -> str:
+    """The speedup-vs-seed table for ``python -m repro bench --history``.
+
+    Rates are divided by each file's ``calibration`` measurement before the
+    ×seed ratio is formed, so recordings from different machines compare the
+    code rather than the hardware.  The seed reference per column is the
+    earliest trajectory file that measured it.
+    """
+    if not rows:
+        return "no BENCH_*.json trajectory files found"
+
+    def normalized(row: Dict[str, object], key: str) -> Optional[float]:
+        rate = row.get(key)
+        if not rate:
+            return None
+        calibration = row.get("calibration")
+        return rate / calibration if calibration else rate
+
+    seeds: Dict[str, Optional[float]] = {}
+    for key in ("event_rate", "streaming_rate", "vector_rate"):
+        seeds[key] = next((normalized(row, key) for row in rows
+                           if normalized(row, key)), None)
+
+    def cell(row: Dict[str, object], key: str) -> str:
+        rate = row.get(key)
+        if not rate:
+            return f"{'—':>12} {'':>7}"
+        ratio = ""
+        norm = normalized(row, key)
+        if norm and seeds[key]:
+            ratio = f"{norm / seeds[key]:.2f}x"
+        return f"{rate:>12,.0f} {ratio:>7}"
+
+    header = (f"{'file':<14} {'label':<28} {'events/s':>12} {'vs seed':>7} "
+              f"{'stream/s':>12} {'vs seed':>7} {'vector/s':>12} {'vs seed':>7}"
+              f" {'S-spdup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        speedup = row.get("vector_speedup")
+        lines.append(
+            f"{row['path']:<14} {str(row['label'])[:28]:<28} "
+            f"{cell(row, 'event_rate')} {cell(row, 'streaming_rate')} "
+            f"{cell(row, 'vector_rate')} "
+            f"{(f'{speedup:.1f}x' if speedup else '—'):>8}")
+    return "\n".join(lines)
 
 
 def format_results(results: Dict[str, object],
@@ -648,6 +885,17 @@ def format_results(results: Dict[str, object],
             f"{telemetry['disabled_events_per_second']:>12,.0f} ev/s off, "
             f"{telemetry['enabled_events_per_second']:,.0f} ev/s on "
             f"({telemetry['enabled_overhead']:+.1%} enabled overhead)")
+    vectorized = results.get("vectorized_replication")
+    if vectorized:
+        if vectorized.get("available"):
+            lines.append(
+                f"vectorized replicate  "
+                f"{vectorized['events_per_second']:>12,.0f} ev/s "
+                f"(n={vectorized['n']}, batch={vectorized['batch']}, "
+                f"{vectorized['speedup']:.1f}x over serial "
+                f"{vectorized['serial_events_per_second']:,.0f} ev/s)")
+        else:
+            lines.append("vectorized replicate  (numpy unavailable — skipped)")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))
@@ -657,13 +905,26 @@ def format_results(results: Dict[str, object],
 
 def main(args: argparse.Namespace) -> int:
     """Entry point for the ``bench`` CLI subcommand."""
+    if getattr(args, "history", False):
+        print(format_history(collect_history()))
+        return 0
+    check_path = args.check
+    if check_path == "auto":
+        check_path = latest_bench_path()
+        if check_path is None:
+            print("no BENCH_*.json found for --check; skipping guards")
+        else:
+            print(f"--check auto-discovered {check_path}")
     results = run_benchmarks(quick=args.quick)
-    if args.check:
-        failure = check_event_throughput(results, args.check,
+    if check_path:
+        failure = check_event_throughput(results, check_path,
                                          tolerance=args.tolerance)
         if failure is None:
             failure = check_streaming_memory(
-                results, args.check, tolerance=args.memory_tolerance)
+                results, check_path, tolerance=args.memory_tolerance)
+        if failure is None:
+            failure = check_vectorized_throughput(results, check_path,
+                                                  tolerance=args.tolerance)
         if failure is None:
             failure = check_telemetry_overhead(results)
         if failure:
@@ -697,10 +958,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--record-baseline", action="store_true",
                         help="write results into the 'baseline' slot instead "
                              "of 'current'")
-    parser.add_argument("--check", metavar="PATH", default=None,
-                        help="regression guard: fail if event throughput "
-                             "drops more than --tolerance below PATH's "
-                             "recorded baseline")
+    parser.add_argument("--check", metavar="PATH", nargs="?", default=None,
+                        const="auto",
+                        help="regression guard: fail if event or vectorized "
+                             "throughput drops more than --tolerance below "
+                             "PATH's recorded baseline (with no PATH, uses "
+                             "the newest BENCH_*.json)")
+    parser.add_argument("--history", action="store_true",
+                        help="print a one-table speedup-vs-seed summary "
+                             "across every BENCH_*.json and exit")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional throughput drop for --check "
                              "(default 0.30)")

@@ -46,7 +46,11 @@ multi-hop and every audit uses the topology-effective (δ', ε') constants.
 ``--jobs N`` fans independent simulations out over N worker processes (with
 results bit-identical to serial execution), and ``--replicate-seeds S1 S2 …``
 replicates the experiment across seeds, reporting mean/min/max and 95%
-confidence intervals instead of single-draw numbers.
+confidence intervals instead of single-draw numbers.  Vectorizable replicated
+groups (complete graph, uniform/fixed delays, streaming mode) are executed by
+the struct-of-arrays batch engine (:mod:`repro.sim.vectorized`) — results
+stay bit-identical to the serial loop; ``--vectorize`` forces the batch path
+and ``--no-vectorize`` disables it.
 
 Every sub-command prints plain-text tables (see
 :mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
@@ -56,6 +60,7 @@ claim it audits is violated, so the CLI can be dropped into CI.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, List, Optional, Sequence
 
@@ -310,6 +315,17 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         metavar="SEED",
                         help="replicate the experiment across these seeds and "
                              "report mean/min/max and 95%% CIs")
+    vector = parser.add_mutually_exclusive_group()
+    vector.add_argument("--vectorize", dest="vectorize", action="store_true",
+                        default=None,
+                        help="force the struct-of-arrays batch engine for "
+                             "replicated runs (default: auto-selected for "
+                             "vectorizable streaming specs; results are "
+                             "bit-identical to serial)")
+    vector.add_argument("--no-vectorize", dest="vectorize",
+                        action="store_false",
+                        help="disable the batch engine and run every replica "
+                             "through the serial event loop")
 
 
 # ---------------------------------------------------------------------------
@@ -366,6 +382,8 @@ def _cmd_run_replicated(args: argparse.Namespace) -> int:
                           seed=args.seed,
                           topology=args.topology or workload.topology,
                           **overrides)
+        if args.vectorize is not None:
+            spec = dataclasses.replace(spec, vectorize=args.vectorize)
         rep = replicate(spec, args.replicate_seeds, jobs=args.jobs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -821,6 +839,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if getattr(args, "vectorize", None) is False:
+        # Kill switch for the batch engine: sweeps and comparisons build
+        # their specs internally, so the global toggle is the one lever that
+        # reaches every replica regardless of which layer constructs it.
+        from .sim.vectorized import use_vectorized
+        use_vectorized(False)
     command = _COMMANDS[args.command]
     if _telemetry_requested(args):
         return _with_telemetry(args, command)

@@ -177,6 +177,46 @@ class BatchRunner:
         """Yield (spec, result) pairs in ``pending`` order."""
         if not pending:
             return
+        vectorized = self._execute_vector_groups(pending)
+        serial = [spec for spec in pending if spec not in vectorized]
+        arrivals = self._execute_serial(serial)
+        for spec in pending:
+            if spec in vectorized:
+                yield spec, vectorized.pop(spec)
+            else:
+                yield next(arrivals)
+
+    def _execute_vector_groups(self,
+                               pending: Sequence[RunSpec]) -> Dict[RunSpec, "ScenarioResult"]:
+        """Run seed-replica groups through the batch engine; return results.
+
+        Specs that are identical modulo seed and qualify for the vectorized
+        executor (see :func:`repro.sim.vectorized.should_vectorize`) run as
+        one lockstep batch when the group has at least two members — or even
+        alone when the spec opts in with ``vectorize=True``.  Everything else
+        (and everything on a forced-serial or unsupported spec) stays on the
+        per-spec path, whose results are bit-identical by construction.
+        """
+        from ..sim.vectorized import execute_batch, should_vectorize
+
+        groups: Dict[RunSpec, List[RunSpec]] = {}
+        for spec in pending:
+            if should_vectorize(spec):
+                groups.setdefault(spec.with_seed(0), []).append(spec)
+        results: Dict[RunSpec, "ScenarioResult"] = {}
+        for members in groups.values():
+            if len(members) < 2 and members[0].vectorize is not True:
+                continue
+            for spec, result in zip(members,
+                                    execute_batch(members,
+                                                  telemetry=self.telemetry)):
+                results[spec] = result
+        return results
+
+    def _execute_serial(self, pending: Sequence[RunSpec]):
+        """The per-spec path: in-process loop or multiprocessing pool."""
+        if not pending:
+            return
         workers = min(self.jobs, len(pending))
         instrumented = self.telemetry is not None
         worker_fn = _execute_instrumented if instrumented else execute

@@ -153,6 +153,11 @@ class RunSpec:
     #: default of 200 agreement / 100 validity samples); only meaningful
     #: together with ``observers``.
     samples: Optional[int] = None
+    #: batch-execution policy: ``None`` = auto (replication/batch layers use
+    #: the vectorized engine when the spec qualifies), ``True`` = prefer it
+    #: even for small batches, ``False`` = always take the serial path.  An
+    #: execution *strategy* knob — results are bit-identical either way.
+    vectorize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SCENARIO_KINDS:
@@ -224,6 +229,9 @@ class RunSpec:
             raise ValueError(f"max_events must be >= 1, got {self.max_events}")
         if self.samples is not None and self.samples < 2:
             raise ValueError(f"samples must be >= 2, got {self.samples}")
+        if self.vectorize is not None and not isinstance(self.vectorize, bool):
+            raise TypeError(f"vectorize must be None or a bool, "
+                            f"got {self.vectorize!r}")
 
     # -- convenience ---------------------------------------------------------
     def options_dict(self) -> Dict[str, Any]:
@@ -273,6 +281,7 @@ class RunSpec:
                     checkpoint_every: Optional[float] = None,
                     max_events: Optional[int] = None,
                     samples: Optional[int] = None,
+                    vectorize: Optional[bool] = None,
                     **options: Any) -> "RunSpec":
         """The Welch-Lynch maintenance algorithm under a chosen fault load."""
         return cls(kind="maintenance", params=params, rounds=rounds,
@@ -283,7 +292,8 @@ class RunSpec:
                    options=_freeze_options(options, "options"),
                    record_trace=record_trace, observers=tuple(observers),
                    horizon=horizon, checkpoint_every=checkpoint_every,
-                   max_events=max_events, samples=samples)
+                   max_events=max_events, samples=samples,
+                   vectorize=vectorize)
 
     @classmethod
     def algorithm_run(cls, algorithm: str, params: SyncParameters,

@@ -44,7 +44,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from ..topology.base import Topology
     from ..topology.schedule import LinkSchedule
 
-__all__ = ["System", "SystemSnapshot"]
+__all__ = ["System", "SystemSnapshot", "draw_broadcast_delays"]
+
+
+def draw_broadcast_delays(delay_model, sender: int, n: int, now: float, rng):
+    """Yield one broadcast's ``(recipient, delay)`` pairs in ledger order.
+
+    This is the canonical RNG ledger for a complete-graph broadcast: one
+    delay-model draw per recipient, in ascending recipient id order, on the
+    system RNG.  :meth:`System.broadcast_from` consumes it directly, and the
+    vectorized batch engine (:mod:`repro.sim.vectorized`) replays exactly
+    this sequence from mirrored generator streams — sharing the kernel is
+    what keeps the two paths' draw order provably identical.  ``delay`` is
+    ``None`` when the model drops the message.
+    """
+    delay_of = delay_model.delay
+    for recipient in range(n):
+        delay = delay_of(sender, recipient, now, rng)
+        if delay is not None and delay <= 0:
+            raise ValueError(
+                f"delay model produced a non-positive delay {delay}")
+        yield recipient, delay
 
 #: correction breakpoints kept per process when ``record_trace=False`` (the
 #: current value plus a small tail for in-flight queries; O(1) per process).
@@ -401,20 +421,16 @@ class System:
         stats = self._stats
         per_process_sent = stats.per_process_sent
         push_fields = self._queue.push_fields
-        delay_of = self._delay_model.delay
-        rng = self._rng
         now = self._current_time
         ordinary = MessageKind.ORDINARY
-        for recipient in range(len(self._processes)):
+        for recipient, delay in draw_broadcast_delays(
+                self._delay_model, sender, len(self._processes), now,
+                self._rng):
             stats.sent += 1
             per_process_sent[sender] += 1
-            delay = delay_of(sender, recipient, now, rng)
             if delay is None:
                 stats.dropped += 1
                 continue
-            if delay <= 0:
-                raise ValueError(
-                    f"delay model produced a non-positive delay {delay}")
             push_fields(ordinary, sender, recipient, payload, now, now + delay)
 
     def _direct_delivery_time(self, sender: int, recipient: int) -> Optional[float]:

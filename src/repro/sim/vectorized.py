@@ -1,0 +1,1033 @@
+"""Struct-of-arrays batch execution of replicated maintenance runs.
+
+:func:`execute_batch` advances a batch of S replicas — the *same*
+:class:`~repro.runner.spec.RunSpec` under S different seeds — in lockstep,
+holding per-process clock state (offsets, drift rates), correction amounts,
+timer deadlines and pending-message arrival times as ``(S, n)``-shaped numpy
+arrays.  Because Welch–Lynch rounds are globally synchronized by the sync
+interval ``P``, every replica walks the *same event skeleton*: per round, each
+live process broadcasts once, collects arrivals for one window, and applies
+one fault-tolerant-midpoint correction.  The per-event Python dispatch of
+:class:`~repro.sim.system.System` therefore collapses into a handful of array
+operations per round: a broadcast → arrival-time matrix, boolean fault masks,
+and a per-row sort for ``mid(reduce(ARR))``.
+
+**Bit-identity contract.**  The serial loop stays the reference; this module
+reproduces it float for float:
+
+* every arithmetic expression keeps the serial operation order
+  (``(T - CORR - offset) / rate`` for timer targets,
+  ``(offset + rate*t) + CORR`` for local times,
+  ``(sorted[f] + sorted[n-1-f]) / 2`` for the midpoint,
+  ``(T + δ) - avg`` for the adjustment);
+* delay draws come from per-replica ``numpy.random.RandomState`` streams
+  seeded by transplanting ``random.Random(seed)``'s Mersenne-Twister state,
+  so ``random_sample(k)`` replays exactly the ``k`` ``rng.random()`` calls
+  the serial :class:`~repro.sim.system.System` would make — in the same
+  global send order, which the engine reconstructs by sorting each round's
+  send events by real time (see :func:`repro.sim.system.draw_broadcast_delays`
+  for the serial ledger being mirrored);
+* the clock ensembles are not mirrored at all: the engine calls
+  :func:`~repro.clocks.drift.make_clock_ensemble` per replica and reads the
+  offsets/rates off the real clock objects (which the synthesized results
+  then share).
+
+Whenever a replica strays off the common skeleton — a tied send time, a
+missed round, a pending-arrival conflict, an event past the horizon — that
+replica transparently falls back to the serial
+:func:`~repro.runner.spec.execute`, which also defines the behaviour for
+every spec :func:`supports_spec` rejects.  The hypothesis parity suite
+(``tests/property/test_vectorized_parity.py``) enforces the contract on both
+TraceIndex backends; ``REPRO_NO_VECTORIZE=1`` (or :func:`use_vectorized`)
+disables the engine outright.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import random
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..clocks.drift import make_clock_ensemble
+from ..clocks.logical import CorrectionHistory
+from .trace import ExecutionTrace, MessageStats
+from .traceindex import numpy_enabled
+
+try:  # pragma: no cover - exercised via the parity suite on both backends
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy genuinely absent
+    _np = None
+
+__all__ = [
+    "supports_spec",
+    "vectorized_available",
+    "use_vectorized",
+    "should_vectorize",
+    "execute_batch",
+    "VECTOR_FAULT_KINDS",
+    "DEFAULT_EVENT_BUDGET",
+]
+
+#: fault behaviours whose event skeletons the lockstep kernel reproduces.
+#: ``random_noise`` (per-process rng) and ``omission`` (per-message coin
+#: flips) diverge per replica and always take the serial path.
+VECTOR_FAULT_KINDS = frozenset(
+    {"silent", "crash", "two_faced", "skew_early", "skew_late"})
+
+#: the simulator's default interrupt budget (``max_events`` of ``_run``);
+#: replicas that would exceed it fall back so the serial path can raise
+#: :class:`~repro.sim.events.EventBudgetExceeded` exactly as before.
+DEFAULT_EVENT_BUDGET = 2_000_000
+
+_vectorize_disabled = bool(os.environ.get("REPRO_NO_VECTORIZE"))
+
+
+def vectorized_available() -> bool:
+    """True when the batch engine can run (numpy present and not disabled)."""
+    return _np is not None and numpy_enabled() and not _vectorize_disabled
+
+
+def use_vectorized(enabled: bool) -> None:
+    """Globally enable/disable the batch engine (tests and benchmarks)."""
+    global _vectorize_disabled
+    _vectorize_disabled = not enabled
+
+
+def supports_spec(spec: Any) -> bool:
+    """Structurally vectorizable: complete graph, supported models, streaming.
+
+    Purely a property of the spec (independent of numpy availability or the
+    kill switches); :func:`should_vectorize` adds the runtime gates.
+    """
+    try:
+        if spec.kind != "maintenance":
+            return False
+        if spec.topology is not None or spec.record_trace:
+            return False
+        if spec.delay not in ("uniform", "fixed") or spec.delay_options:
+            return False
+        if spec.clock_kind not in ("constant", "perfect"):
+            return False
+        if spec.options or spec.checkpoint_every is not None:
+            return False
+        if spec.max_events is not None:
+            return False
+        if not set(spec.observers) <= {"skew", "validity"}:
+            return False
+        if spec.fault_kind is not None and \
+                spec.fault_kind not in VECTOR_FAULT_KINDS:
+            return False
+        params = spec.params
+        if params.n < 2:
+            return False
+        fault_count = _fault_count(spec)
+        if not 0 <= fault_count < params.n:
+            return False
+        return True
+    except AttributeError:
+        return False
+
+
+def should_vectorize(spec: Any) -> bool:
+    """Whether the runner should route this spec through the batch engine."""
+    if getattr(spec, "vectorize", None) is False:
+        return False
+    return vectorized_available() and supports_spec(spec)
+
+
+def _fault_count(spec: Any) -> int:
+    if spec.fault_kind is None:
+        return 0
+    if spec.fault_count is not None:
+        return int(spec.fault_count)
+    return int(spec.params.f)
+
+
+def _mirror_rng(seed: int) -> "Any":
+    """A numpy RandomState replaying ``random.Random(seed)``'s draw stream.
+
+    Both generators are Mersenne-Twister; transplanting the 625-word state
+    makes ``random_sample(k)`` bit-identical to ``k`` successive
+    ``rng.random()`` calls on the serial system RNG.
+    """
+    state = random.Random(seed).getstate()
+    keys, pos = state[1][:-1], state[1][-1]
+    mirrored = _np.random.RandomState()
+    mirrored.set_state(("MT19937", _np.array(keys, dtype=_np.uint32), pos))
+    return mirrored
+
+
+class _Fallback(Exception):
+    """Internal: this replica left the common skeleton; run it serially."""
+
+
+class _AttackerSchedule:
+    """Deterministic send/timer schedule of one Byzantine attacker.
+
+    Attackers never adjust CORR, so their entire event timeline is a pure
+    function of their clock and the public parameters — computed here in
+    plain Python with the serial arithmetic, then merged into the lockstep
+    rounds purely for delay-draw ordering.  ``slots`` is chronological *per
+    attacker*; global ordering happens in the round blocks.
+    """
+
+    __slots__ = ("slots", "timers_set", "timers_fired", "dispatched")
+
+    def __init__(self) -> None:
+        self.slots: List[Tuple[float, Tuple[int, ...]]] = []
+        self.timers_set = 0
+        self.timers_fired = 0
+        self.dispatched = 0
+
+
+def _attacker_schedule(kind: str, params: Any, rounds: int, n: int,
+                       offset: float, rate: float, start_real: float,
+                       end_time: float) -> _AttackerSchedule:
+    """Replay one attacker's serial control flow (wake loop + late timers)."""
+    sched = _AttackerSchedule()
+    if start_real > end_time:
+        return sched
+    max_rounds = rounds + 2
+    if kind == "two_faced":
+        lead = params.beta
+        evens = tuple(q for q in range(n) if q % 2 == 0)
+        odds = tuple(q for q in range(n) if q % 2 == 1)
+    else:
+        direction = -1 if kind == "skew_early" else +1
+        magnitude = params.beta + params.epsilon
+        everyone = tuple(range(n))
+
+    def wake_real(index: int) -> float:
+        if kind == "two_faced":
+            logical = params.round_time(index) - lead
+        else:
+            logical = params.round_time(index) + direction * magnitude
+        physical = logical - 0.0  # set_timer: logical − CORR, CORR = 0
+        return (physical - offset) / rate
+
+    heap: List[Tuple[float, int, int]] = []  # (real, tag, round); tag 0=wake
+
+    def attack(now: float, index: int) -> None:
+        if kind == "two_faced":
+            sched.slots.append((now, evens))
+            local = (offset + rate * now) + 0.0  # local_time() with CORR = 0
+            target = local + 2 * lead
+            physical = target - 0.0
+            late_real = (physical - offset) / rate
+            if late_real > now:
+                sched.timers_set += 1
+                heapq.heappush(heap, (late_real, 1, index))
+        else:
+            sched.slots.append((now, everyone))
+
+    def arm(now: float, index: int) -> None:
+        # _arm_round_timer: slots already in the past attack immediately.
+        while index < max_rounds:
+            wake = wake_real(index)
+            if wake > now:
+                sched.timers_set += 1
+                heapq.heappush(heap, (wake, 0, index))
+                return
+            attack(now, index)
+            index += 1
+
+    arm(start_real, 0)
+    while heap:
+        when, tag, index = heapq.heappop(heap)
+        if when > end_time:
+            continue  # armed but never fires within the run
+        sched.timers_fired += 1
+        sched.dispatched += 1
+        if tag == 0:
+            attack(when, index)
+            arm(when, index + 1)
+        else:
+            sched.slots.append((when, odds))
+    return sched
+
+
+class VectorSystem:
+    """Lockstep executor for S replicas of one vectorizable maintenance spec.
+
+    Builds the per-replica clock ensembles and RNG mirrors, then advances all
+    replicas round by round over shared ``(S, n)`` arrays.  :meth:`run`
+    returns per-replica payload dicts (histories, stats, start times,
+    observer state) for the replicas that stayed on the common skeleton and
+    flags the rest for serial fallback.
+    """
+
+    def __init__(self, spec: Any, seeds: Sequence[int]):
+        if _np is None:  # pragma: no cover - callers gate on availability
+            raise RuntimeError("numpy is required for vectorized execution")
+        np = _np
+        self.spec = spec
+        self.seeds = [int(seed) for seed in seeds]
+        self.params = params = spec.params
+        self.n = n = params.n
+        self.S = S = len(self.seeds)
+        self.rounds = spec.rounds
+        self.fault_count = fc = _fault_count(spec)
+        self.n_correct = n - fc
+        self.fault_kind = spec.fault_kind if fc else None
+
+        # Real clock ensembles, per replica — the draws and the objects both
+        # come from the serial constructor, so there is nothing to mirror.
+        self.clocks = [make_clock_ensemble(n, rho=params.rho, beta=params.beta,
+                                           seed=seed, kind=spec.clock_kind)
+                       for seed in self.seeds]
+        self.off = np.array([[c.offset for c in ensemble]
+                             for ensemble in self.clocks])
+        if spec.clock_kind == "perfect":
+            self.rt = np.ones((S, n))
+        else:
+            self.rt = np.array([[c.rate for c in ensemble]
+                                for ensemble in self.clocks])
+
+        # End of run: the serial formula from experiments._run.
+        from ..analysis.experiments import maintenance_end_time
+        end = maintenance_end_time(params, self.rounds)
+        if spec.horizon is not None:
+            end = max(end, float(spec.horizon))
+        self.end_time = end
+
+        # START delivery: real_time_at(T0 − CORR) with CORR = 0.
+        t0 = params.initial_round_time
+        self.start_t = ((t0 - 0.0) - self.off) / self.rt
+
+        self.bad = np.zeros(S, dtype=bool)
+        self.bad_reason: Dict[int, str] = {}
+
+        # Crash faults run the correct algorithm until a fixed real time.
+        if self.fault_kind == "crash":
+            crash_time = (params.initial_round_time
+                          + (self.rounds / 2.0) * params.round_length)
+            self.crash_t = np.where(np.arange(n) < self.n_correct,
+                                    np.inf, crash_time)
+            self.is_upd = np.ones(n, dtype=bool)
+        else:
+            self.crash_t = np.full(n, np.inf)
+            self.is_upd = np.arange(n) < self.n_correct
+
+        # Byzantine schedules (python, per replica × attacker).
+        self.schedules: Dict[int, List[_AttackerSchedule]] = {}
+        if self.fault_kind in ("two_faced", "skew_early", "skew_late"):
+            for pid in range(self.n_correct, n):
+                self.schedules[pid] = [
+                    _attacker_schedule(self.fault_kind, params, self.rounds,
+                                       n, float(self.off[s, pid]),
+                                       float(self.rt[s, pid]),
+                                       float(self.start_t[s, pid]),
+                                       self.end_time)
+                    for s in range(S)]
+
+        # Delay model constants (bounds exactly as UniformDelayModel.delay).
+        self.uniform = spec.delay == "uniform"
+        self.delay_lo = params.delta - params.epsilon
+        self.delay_span = ((params.delta + params.epsilon)
+                           - (params.delta - params.epsilon))
+        self.rngs = [_mirror_rng(seed) for seed in self.seeds] \
+            if self.uniform else None
+
+        # Mutable lockstep state.
+        self.corr = np.zeros((S, n))
+        self.last_u = np.full((S, n), -np.inf)
+        self.arr_val = np.zeros((S, n, n))   # [replica, receiver, sender]
+        self.arr_has = np.zeros((S, n, n), dtype=bool)
+        self.arr_t = np.full((S, n, n), -np.inf)  # arrival time of the value
+        self.pend_t = np.zeros((S, n, n))
+        self.pend_phys = np.zeros((S, n, n))
+        self.pend_has = np.zeros((S, n, n), dtype=bool)
+        self.prev_block_max = np.full(S, -np.inf)
+
+        # Correction trajectories for histories and observers.
+        R = self.rounds
+        self.u_hist = np.full((S, n, R), np.inf)
+        self.adj_hist = np.zeros((S, n, R))
+        self.corr_hist = np.zeros((S, n, R + 1))
+        self.did_update = np.zeros((S, n, R), dtype=bool)
+
+        # Per-replica MessageStats counters.
+        self.sent = np.zeros(S, dtype=np.int64)
+        self.delivered = np.zeros(S, dtype=np.int64)
+        self.timers_set = np.zeros(S, dtype=np.int64)
+        self.timers_fired = np.zeros(S, dtype=np.int64)
+        self.dispatched = np.zeros(S, dtype=np.int64)
+        self.pps = np.zeros((S, n), dtype=np.int64)
+
+        # Slot consumption state for the attacker schedules, flattened into
+        # arrays: per attacker, a (S, K) chronological send-time matrix (inf
+        # padded), a parallel recipient-group id matrix, and the group table.
+        self.slot_cursor = {pid: np.zeros(S, dtype=np.int64)
+                            for pid in self.schedules}
+        self.slot_data: Dict[int, Tuple[Any, Any, List[Tuple[int, ...]]]] = {}
+        for pid, schedules in self.schedules.items():
+            K = max(max((len(sc.slots) for sc in schedules), default=0), 1)
+            slot_t = np.full((S, K), np.inf)
+            slot_g = np.zeros((S, K), dtype=np.int64)
+            groups: List[Tuple[int, ...]] = []
+            gidx: Dict[Tuple[int, ...], int] = {}
+            for s, sc in enumerate(schedules):
+                for k, (when, targets) in enumerate(sc.slots):
+                    g = gidx.get(targets)
+                    if g is None:
+                        g = gidx[targets] = len(groups)
+                        groups.append(targets)
+                    slot_t[s, k] = when
+                    slot_g[s, k] = g
+            self.slot_data[pid] = (slot_t, slot_g, groups)
+        self._rows = np.arange(S)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _mark_bad(self, mask: Any, reason: str) -> None:
+        np = _np
+        fresh = mask & ~self.bad
+        if np.any(fresh):
+            self.bad |= mask
+            for s in np.nonzero(fresh)[0]:
+                self.bad_reason[int(s)] = reason
+
+    # -- round machinery -----------------------------------------------------
+    def _pending_slots(self, boundary: Any) -> List[Dict[str, Any]]:
+        """Attacker slots due in this block (send time ≤ per-replica boundary).
+
+        Slot sequences need not align across replicas (a two-faced attacker's
+        late send can land before or after its next wake depending on the
+        clock draws), so each pass takes every replica's *next* due slot and
+        groups the takes by recipient set — one event per distinct set.  Per
+        replica the slots stay in serial send order; global draw order is
+        restored by the per-replica time sort in :meth:`_assign_draws`.
+        """
+        np = _np
+        events: List[Dict[str, Any]] = []
+        rows = self._rows
+        for pid, (slot_t, slot_g, groups) in self.slot_data.items():
+            cursor = self.slot_cursor[pid]
+            # Slots are chronological per replica, so the number due is a
+            # simple count against the per-replica boundary.
+            due = (slot_t <= boundary[:, None]).sum(axis=1)
+            new = int((due - cursor).max()) if self.S else 0
+            if new <= 0:
+                continue
+            K = slot_t.shape[1]
+            for j in range(new):
+                k = cursor + j
+                active = (k < due) & ~self.bad
+                if not active.any():
+                    continue
+                kc = np.minimum(k, K - 1)
+                times = slot_t[rows, kc]
+                gids = slot_g[rows, kc]
+                for g in np.unique(gids[active]):
+                    mask = active & (gids == g)
+                    events.append({"sender": pid,
+                                   "time": np.where(mask, times, np.inf),
+                                   "exists": mask,
+                                   "recips": groups[int(g)]})
+            self.slot_cursor[pid] = np.maximum(cursor, due)
+        return events
+
+    def _assign_draws(self, btimes: Any, bexists: Any,
+                      slot_events: List[Dict[str, Any]]) -> Tuple[Any, List[Any]]:
+        """Sort each replica's send events by time; draw and place delays.
+
+        ``btimes``/``bexists`` are the ``(S, B)`` send times and liveness of
+        the round's broadcast events (one per sender column); ``slot_events``
+        are the attacker slots.  Returns ``(DEL_b, slot_DEL)`` — a
+        ``(S, B, n)`` broadcast delay tensor and one ``(S, c)`` delay matrix
+        per slot event, NaN where the message does not exist — with the
+        uniform draws consumed in global send-time order, mirroring the
+        serial queue exactly.
+        """
+        np = _np
+        S, n = self.S, self.n
+        B = btimes.shape[1]
+        E = B + len(slot_events)
+        if E == 0:
+            return np.full((S, 0, n), np.nan), []
+        if slot_events:
+            times = np.concatenate(
+                [btimes] + [ev["time"][:, None] for ev in slot_events], axis=1)
+            exists = np.concatenate(
+                [bexists] + [ev["exists"][:, None] for ev in slot_events],
+                axis=1)
+        else:
+            times, exists = btimes, bexists
+        counts = np.array([n] * B + [len(ev["recips"])
+                                     for ev in slot_events])
+
+        # Per-replica chronological order over the existing events (absent
+        # events sort to the end as +inf and contribute zero draws).
+        masked = np.where(exists, times, np.inf)
+        order = np.argsort(masked, axis=1, kind="stable")
+        sorted_t = np.take_along_axis(masked, order, axis=1)
+        if E > 1:
+            tie = ((sorted_t[:, 1:] == sorted_t[:, :-1])
+                   & np.isfinite(sorted_t[:, 1:])).any(axis=1)
+            if tie.any():
+                self._mark_bad(tie, "tied send times")
+        any_ex = exists.any(axis=1)
+        inverted = any_ex & (sorted_t[:, 0] <= self.prev_block_max)
+        if inverted.any():
+            self._mark_bad(inverted, "send-order inversion across rounds")
+        self.prev_block_max = np.where(
+            any_ex, np.where(exists, times, -np.inf).max(axis=1),
+            self.prev_block_max)
+
+        # Draw-stream positions: event at sort-rank k starts at the exclusive
+        # cumsum of the ordered recipient counts; scatter back to event axis.
+        counts_ord = np.where(np.isfinite(sorted_t), counts[order], 0)
+        cum = np.cumsum(counts_ord, axis=1)
+        starts = cum - counts_ord
+        pos = np.empty_like(starts)
+        np.put_along_axis(pos, order, starts, axis=1)
+        tot = cum[:, -1]
+        lo, span = self.delay_lo, self.delay_span
+
+        if self.uniform:
+            maxtot = int(tot.max())
+            flat = np.zeros((S, max(maxtot, 1)))
+            for s in range(S):
+                k = int(tot[s])
+                if k:
+                    flat[s, :k] = self.rngs[s].random_sample(k)
+            limit = flat.shape[1] - 1
+            if B:
+                idx = np.minimum(pos[:, :B, None] + np.arange(n), limit)
+                draws = np.take_along_axis(flat[:, None, :], idx, axis=2)
+                DEL_b = np.where(bexists[:, :, None], lo + span * draws,
+                                 np.nan)
+            else:
+                DEL_b = np.full((S, 0, n), np.nan)
+            slot_DEL = []
+            for i, ev in enumerate(slot_events):
+                c = len(ev["recips"])
+                idx = np.minimum(pos[:, B + i, None] + np.arange(c), limit)
+                draws = np.take_along_axis(flat, idx, axis=1)
+                slot_DEL.append(np.where(ev["exists"][:, None],
+                                         lo + span * draws, np.nan))
+        else:
+            delta = self.params.delta
+            DEL_b = np.where(np.broadcast_to(bexists[:, :, None], (S, B, n)),
+                             delta, np.nan)
+            slot_DEL = [
+                np.where(np.broadcast_to(ev["exists"][:, None],
+                                         (S, len(ev["recips"]))),
+                         delta, np.nan)
+                for ev in slot_events]
+
+        if (self.uniform and lo <= 0) or (not self.uniform
+                                          and self.params.delta <= 0):
+            npos = (DEL_b <= 0).any(axis=(1, 2))
+            for DEL_e in slot_DEL:
+                npos |= (DEL_e <= 0).any(axis=1)
+            if npos.any():
+                self._mark_bad(npos, "non-positive delay")
+        return DEL_b, slot_DEL
+
+    def _write_cells(self, cells: Any, mask: Any, at: Any,
+                     value: Any) -> None:
+        """Write ARR cells, later arrival winning (``discard_stale=False``).
+
+        Serial semantics: every delivery overwrites ``ARR[sender]``, so the
+        value read at the update is the one with the *latest* arrival time.
+        Equal arrival times would make the winner depend on queue sequence
+        numbers the lockstep engine does not track — those replicas bail.
+        ``cells`` selects the (receiver, sender) slice being written: ``None``
+        for the full planes (pending application), otherwise a trailing-axes
+        index (a sender column, or a (recipients, sender) fancy pair).
+        """
+        np = _np
+        if cells is None:
+            arr_t = self.arr_t
+        else:
+            arr_t = self.arr_t[(slice(None),) + cells]
+        tie = mask & (at == arr_t)
+        if np.any(tie):
+            # A bad replica's arrays are junk from here on — it re-runs
+            # serially and nothing synthesized reads them, so no masking.
+            axes = tuple(range(1, tie.ndim))
+            self._mark_bad(np.any(tie, axis=axes), "tied ARR arrivals")
+        newer = mask & (at > arr_t)
+        if cells is None:
+            self.arr_val = np.where(newer, value, self.arr_val)
+            self.arr_t = np.where(newer, at, self.arr_t)
+            self.arr_has |= mask
+        else:
+            sel = (slice(None),) + cells
+            self.arr_val[sel] = np.where(newer, value, self.arr_val[sel])
+            self.arr_t[sel] = np.where(newer, at, arr_t)
+            self.arr_has[sel] |= mask
+
+    def _stash_pending(self, cells: Tuple, late: Any, at: Any,
+                       phys: Any) -> None:
+        """Stash post-window arrivals for a later round, later arrival wins.
+
+        A slot may already hold an undelivered message from the same sender —
+        both would apply under the same correction, so comparing arrival
+        times is exact; equal times bail like ARR ties.
+        """
+        np = _np
+        sel = (slice(None),) + cells
+        col = self.pend_has[sel]
+        pt = self.pend_t[sel]
+        tie = late & col & (at == pt)
+        if np.any(tie):
+            axes = tuple(range(1, tie.ndim))
+            self._mark_bad(np.any(tie, axis=axes), "tied ARR arrivals")
+        keep = late & (~col | (at > pt))
+        self.pend_t[sel] = np.where(keep, at, pt)
+        self.pend_phys[sel] = np.where(keep, phys, self.pend_phys[sel])
+        self.pend_has[sel] = col | late
+
+    def _deliver_broadcasts(self, bsenders: Any, btimes: Any, DEL_b: Any,
+                            u: Any, armed_w: Any) -> None:
+        """Count and apply the round's broadcasts as one (S, B, n) tensor op.
+
+        Each broadcast sender writes a distinct ARR column, so the whole
+        round's broadcast deliveries commute — one fused pass replaces the
+        per-event loop.  Axis order: ``DEL_b``/``AT`` are (replica, sender,
+        receiver); ARR planes are (replica, receiver, sender), hence the
+        transposes.
+        """
+        np = _np
+        if not bsenders.size:
+            return
+        AT = btimes[:, :, None] + DEL_b                 # now + delay
+        live = ~np.isnan(DEL_b)
+        arrived = live & (AT <= self.end_time)
+        acnt = arrived.sum(axis=(1, 2))
+        self.delivered += acnt
+        self.dispatched += acnt
+        per_sender = live.sum(axis=2)
+        self.sent += per_sender.sum(axis=1)
+        self.pps[:, bsenders] += per_sender
+        # ARR writes: only updaters that still have an update coming can
+        # ever read these cells again.
+        ATr = AT.transpose(0, 2, 1)                     # (S, recv, sender)
+        recv = (arrived.transpose(0, 2, 1) & self.is_upd[None, :, None]
+                & armed_w[:, :, None] & (ATr < self.crash_t[None, :, None]))
+        if not np.any(recv):
+            return
+        stale = recv & (ATr <= self.last_u[:, :, None])
+        if np.any(stale):
+            self._mark_bad(np.any(stale, axis=(1, 2)),
+                           "arrival before previous update")
+            recv &= ~self.bad[:, None, None]
+        imm = recv & (ATr <= u[:, :, None])
+        late = recv & (ATr > u[:, :, None])
+        cells = (slice(None), bsenders)
+        if np.any(imm):
+            value = ((self.off[:, :, None] + self.rt[:, :, None] * ATr)
+                     + self.corr[:, :, None])
+            self._write_cells(cells, imm, ATr, value)
+        if np.any(late):
+            phys = self.off[:, :, None] + self.rt[:, :, None] * ATr
+            self._stash_pending(cells, late, ATr, phys)
+
+    def _deliver_slot(self, ev: Dict[str, Any], DEL_e: Any,
+                      u: Any, armed_w: Any, write: bool) -> None:
+        """Count and apply one attacker slot event ((S, c) recipient slice)."""
+        np = _np
+        sender = ev["sender"]
+        recips = np.asarray(ev["recips"])
+        at = ev["time"][:, None] + DEL_e
+        live = ~np.isnan(DEL_e)
+        arrived = live & (at <= self.end_time)
+        acnt = arrived.sum(axis=1)
+        self.delivered += acnt
+        self.dispatched += acnt
+        lcnt = live.sum(axis=1)
+        self.sent += lcnt
+        self.pps[:, sender] += lcnt
+        if not write:
+            return
+        recv = (arrived & self.is_upd[recips][None, :] & armed_w[:, recips]
+                & (at < self.crash_t[recips][None, :]))
+        if not np.any(recv):
+            return
+        stale = recv & (at <= self.last_u[:, recips])
+        if np.any(stale):
+            self._mark_bad(np.any(stale, axis=1),
+                           "arrival before previous update")
+            recv &= ~self.bad[:, None]
+        imm = recv & (at <= u[:, recips])
+        late = recv & (at > u[:, recips])
+        cells = (recips, sender)
+        if np.any(imm):
+            value = ((self.off[:, recips] + self.rt[:, recips] * at)
+                     + self.corr[:, recips])
+            self._write_cells(cells, imm, at, value)
+        if np.any(late):
+            phys = self.off[:, recips] + self.rt[:, recips] * at
+            self._stash_pending(cells, late, at, phys)
+
+    def _apply_pending(self, u: Any, armed_w: Any) -> None:
+        """Fold stashed arrivals (beyond the stash round's window) into ARR."""
+        np = _np
+        has = self.pend_has
+        if not np.any(has):
+            return
+        live = armed_w[:, :, None] & ~self.bad[:, None, None]
+        apply = has & live & (self.pend_t <= u[:, :, None])
+        drop = has & ~live
+        if np.any(apply):
+            value = self.pend_phys + self.corr[:, :, None]
+            self._write_cells(None, apply, self.pend_t, value)
+        self.pend_has &= ~(apply | drop)
+
+    def run(self) -> None:
+        """Advance every replica through all rounds plus the attacker tail."""
+        np = _np
+        S, n = self.S, self.n
+        params = self.params
+        window = params.collection_window()
+        delta = params.delta
+        P = params.round_length
+
+        # STARTs: one dispatched event per process whose START is in range.
+        self.dispatched += (self.start_t <= self.end_time).sum(axis=1)
+        # Attacker timers (armed/fired counts come from the schedules).
+        for pid, schedules in self.schedules.items():
+            self.timers_set += np.array([sc.timers_set for sc in schedules])
+            self.timers_fired += np.array([sc.timers_fired
+                                           for sc in schedules])
+            self.dispatched += np.array([sc.dispatched for sc in schedules])
+
+        T = params.initial_round_time
+        armed_b = np.broadcast_to(self.is_upd, (S, n)).copy()
+        for r in range(self.rounds):
+            # Broadcast phase: the round-r timer (START for round 0) fires.
+            b = ((T - self.corr) - self.off) / self.rt
+            fire_b = armed_b & (b <= self.end_time)
+            if r > 0:
+                self.timers_fired += fire_b.sum(axis=1)
+                self.dispatched += fire_b.sum(axis=1)
+            act_b = fire_b & (b < self.crash_t[None, :])
+
+            # Collection-window timer: T + (1+ρ)(β+δ+ε), on the same CORR.
+            window_end = T + (window + (n - 1) * 0.0)
+            u = ((window_end - self.corr) - self.off) / self.rt
+            armed_w = act_b & (u > b)
+            self._mark_bad(np.any(act_b & ~armed_w, axis=1),
+                           "collection window not in the future")
+            armed_w &= ~self.bad[:, None]
+            self.timers_set += armed_w.sum(axis=1)
+
+            # Pending arrivals stashed in earlier rounds resolve against this
+            # round's window, before any new sends land.
+            self._apply_pending(u, armed_w)
+
+            # This round's send events: live broadcasts plus any attacker
+            # slots sent before the round's last update fires — those must
+            # deliver against *this* round's windows, and their draws precede
+            # the next round's broadcasts in the serial ledger either way.
+            max_b = np.where(np.any(act_b, axis=1),
+                             np.where(act_b, b, -np.inf).max(axis=1), -np.inf)
+            max_u = np.where(np.any(armed_w, axis=1),
+                             np.where(armed_w, u, -np.inf).max(axis=1),
+                             -np.inf)
+            bsenders = np.nonzero(act_b.any(axis=0))[0]
+            slot_events = self._pending_slots(np.maximum(max_b, max_u))
+            DEL_b, slot_DEL = self._assign_draws(
+                b[:, bsenders], act_b[:, bsenders] & ~self.bad[:, None],
+                slot_events)
+            self._deliver_broadcasts(bsenders, b[:, bsenders], DEL_b,
+                                     u, armed_w)
+            for ev, DEL_e in zip(slot_events, slot_DEL):
+                self._deliver_slot(ev, DEL_e, u, armed_w, write=True)
+
+            # Update phase: mid(reduce(ARR)), ADJ = (T + δ) − AV.
+            fire_w = armed_w & (u <= self.end_time)
+            self.timers_fired += fire_w.sum(axis=1)
+            self.dispatched += fire_w.sum(axis=1)
+            act_u = fire_w & (u < self.crash_t[None, :]) & ~self.bad[:, None]
+            if np.any(act_u):
+                fallback = (self.off + self.rt * u) + self.corr
+                values = np.where(self.arr_has, self.arr_val,
+                                  fallback[:, :, None])
+                ordered = np.sort(values, axis=2)
+                average = (ordered[:, :, params.f]
+                           + ordered[:, :, n - 1 - params.f]) / 2.0
+                adjustment = (T + delta) - average
+                new_corr = self.corr + adjustment
+                self.u_hist[:, :, r] = np.where(act_u, u, self.u_hist[:, :, r])
+                self.adj_hist[:, :, r] = np.where(act_u, adjustment, 0.0)
+                self.corr = np.where(act_u, new_corr, self.corr)
+                self.did_update[:, :, r] = act_u
+                self.last_u = np.where(act_u, u, self.last_u)
+            self.corr_hist[:, :, r + 1] = self.corr
+
+            # Next round's broadcast timer, on the new logical clock.
+            T_next = T + P
+            if r + 1 < self.rounds:
+                b_next = ((T_next - self.corr) - self.off) / self.rt
+                armed_b = act_u & (b_next > u)
+                self._mark_bad(np.any(act_u & ~armed_b, axis=1),
+                               "missed round (P below the Section 5.2 bound)")
+                armed_b &= ~self.bad[:, None]
+                self.timers_set += armed_b.sum(axis=1)
+            else:
+                armed_b = np.zeros((S, n), dtype=bool)
+            T = T_next
+
+        # Attacker tail: slots after the last correct broadcast still consume
+        # draws and deliver messages (nobody updates from them anymore).
+        tail = self._pending_slots(np.full(S, np.inf))
+        _, slot_DEL = self._assign_draws(np.zeros((S, 0)),
+                                         np.zeros((S, 0), dtype=bool), tail)
+        for ev, DEL_e in zip(tail, slot_DEL):
+            self._deliver_slot(ev, DEL_e, u=None, armed_w=None, write=False)
+
+        self._mark_bad(self.dispatched > DEFAULT_EVENT_BUDGET,
+                       "event budget exceeded")
+
+
+# ---------------------------------------------------------------------------
+# Observer reconstruction and result synthesis.
+# ---------------------------------------------------------------------------
+
+def _observer_batch(vs: VectorSystem) -> Dict[str, Any]:
+    """Batch the observer math for every replica at once.
+
+    Every per-grid-point computation of the serial observers — sample grids,
+    CORR lookup, local times, spreads, envelope checks, captures — is an
+    elementwise float expression, so evaluating it over ``(S, nc, G)`` tensors
+    produces the same bits as S independent python loops.  The per-replica
+    :func:`_build_observers` then just slices this state into the restored
+    observer objects.
+    """
+    np = _np
+    spec = vs.spec
+    params = vs.params
+    nc = vs.n_correct
+    samples = spec.samples if spec.samples is not None else 200
+    # audit_window, vectorized: extrema of the non-faulty START times.
+    starts_nf = vs.start_t[:, :nc]
+    tmin0 = starts_nf.min(axis=1)
+    tmax0 = starts_nf.max(axis=1)
+    start = tmax0 + params.round_length
+    u = vs.u_hist[:, :nc, :]
+    csteps = vs.corr_hist[:, :nc, :]
+    off = vs.off[:, :nc]
+    rt = vs.rt[:, :nc]
+    batch: Dict[str, Any] = {}
+    for name in spec.observers:
+        # sample_grid(start, end, count): start + i*(end − start)/(count − 1).
+        count = samples if name == "skew" else max(50, samples // 2)
+        step = (vs.end_time - start) / (count - 1)
+        grid = start[:, None] + np.arange(count)[None, :] * step[:, None]
+        # CORR in force at each grid time: the last update at or before it.
+        idx = (u[:, :, :, None] <= grid[:, None, None, :]).sum(axis=2)
+        corr_g = np.take_along_axis(csteps, idx, axis=2)
+        L = (off[:, :, None] + rt[:, :, None] * grid[:, None, :]) + corr_g
+        if name == "skew":
+            if nc < 2:
+                peak = np.zeros(vs.S)
+            else:
+                spreads = L.max(axis=1) - L.min(axis=1)
+                peak = spreads.max(axis=1)
+            batch["skew"] = (grid.tolist(), peak.tolist())
+        elif name == "validity":
+            from ..core.bounds import validity_parameters
+            vp = validity_parameters(params)
+            lower = vp.alpha1 * (grid - tmax0[:, None]) - vp.alpha3
+            upper = vp.alpha2 * (grid - tmin0[:, None]) + vp.alpha3
+            low = lower - 1e-9
+            high = upper + 1e-9
+            elapsed = L - params.initial_round_time
+            ok = (low[:, None, :] <= elapsed) & (elapsed <= high[:, None, :])
+            violations = (~ok).sum(axis=(1, 2))
+            captures = []
+            for tcol in (start, np.full(vs.S, vs.end_time)):
+                idx_t = (u <= tcol[:, None, None]).sum(axis=2)
+                corr_t = np.take_along_axis(csteps, idx_t[:, :, None],
+                                            axis=2)[:, :, 0]
+                captures.append(((off + rt * tcol[:, None]) + corr_t).tolist())
+            batch["validity"] = (grid.tolist(), violations.tolist(),
+                                 nc * count, captures)
+        else:  # pragma: no cover - supports_spec rejects other names
+            raise AssertionError(name)
+    batch["tmin0"] = tmin0.tolist()
+    batch["tmax0"] = tmax0.tolist()
+    batch["start"] = start.tolist()
+    # Scalar state, converted to python natives once for the whole batch —
+    # per-element numpy indexing in the per-replica synthesis loop is the
+    # single biggest cost at large S.
+    batch["corr"] = vs.corr.tolist()
+    batch["start_t"] = vs.start_t.tolist()
+    batch["u"] = vs.u_hist.tolist()
+    batch["adj"] = vs.adj_hist.tolist()
+    batch["did"] = vs.did_update.tolist()
+    batch["sent"] = vs.sent.tolist()
+    batch["delivered"] = vs.delivered.tolist()
+    batch["timers_set"] = vs.timers_set.tolist()
+    batch["timers_fired"] = vs.timers_fired.tolist()
+    batch["pps"] = vs.pps.tolist()
+    return batch
+
+
+def _build_observers(vs: VectorSystem, s: int, batch: Dict[str, Any],
+                     pids: List[int]) -> Dict[str, object]:
+    """Finalized online observers for replica ``s`` from the batched state."""
+    from ..analysis.online import OnlineSkew, OnlineValidity
+    spec = vs.spec
+    if not spec.observers:
+        return {}
+    clocks = dict(enumerate(vs.clocks[s]))
+    corr_final = dict(enumerate(batch["corr"][s]))
+    tmin0 = batch["tmin0"][s]
+    tmax0 = batch["tmax0"][s]
+    start = batch["start"][s]
+    observers: Dict[str, object] = {}
+    for name in spec.observers:
+        if name == "skew":
+            grid, peak = batch["skew"]
+            top = peak[s]
+            obs = OnlineSkew.from_batch(
+                grid=grid[s], pids=pids, clocks=clocks,
+                corr=corr_final, max_skew=top if top > 0.0 else 0.0,
+                samples=len(grid[s]))
+        else:
+            grid, violations, samples, caps = batch["validity"]
+            captures = {
+                t: dict(zip(pids, cap[s]))
+                for t, cap in zip((start, vs.end_time), caps)}
+            obs = OnlineValidity.from_batch(
+                params=vs.params, tmin0=tmin0, tmax0=tmax0,
+                grid=grid[s], start=start, end=vs.end_time,
+                pids=pids, clocks=clocks, corr=corr_final,
+                violations=violations[s], samples=samples,
+                captures=captures)
+        observers[obs.name] = obs
+    return observers
+
+
+def _synthesize_result(vs: VectorSystem, s: int, spec: Any,
+                       batch: Dict[str, Any]) -> Any:
+    """One serial-shaped ScenarioResult from replica ``s``'s final arrays."""
+    from ..analysis.experiments import ScenarioResult
+    from ..clocks.logical import CorrectionEvent
+    n = vs.n
+    faulty = frozenset(range(vs.n_correct, n))
+    pids = list(range(vs.n_correct))
+    did_rows = batch["did"][s]
+    u_rows = batch["u"][s]
+    adj_rows = batch["adj"][s]
+    histories = {}
+    for pid in range(n):
+        history = CorrectionHistory(0.0, max_entries=8)
+        did = did_rows[pid]
+        if True in did:
+            # Fill the history's internal lists directly — identical to a
+            # sequence of apply() calls (the -inf sentinel event is never
+            # rebuilt by trimming; only _corrections[0] inherits).
+            times = history._times
+            corrections = history._corrections
+            events = history._events
+            u_row = u_rows[pid]
+            adj_row = adj_rows[pid]
+            corr = 0.0
+            for r, updated in enumerate(did):
+                if not updated:
+                    continue
+                ut = u_row[r]
+                adj = adj_row[r]
+                corr = corr + adj
+                events.append(CorrectionEvent(real_time=ut, adjustment=adj,
+                                              new_correction=corr,
+                                              round_index=r))
+                times.append(ut)
+                corrections.append(corr)
+            if len(times) > 8:
+                excess = len(times) - 8
+                corrections[0] = corrections[excess]
+                del times[1:1 + excess]
+                del corrections[1:1 + excess]
+                del events[1:1 + excess]
+        histories[pid] = history
+    pps = batch["pps"][s]
+    stats = MessageStats(
+        sent=batch["sent"][s], delivered=batch["delivered"][s],
+        timers_set=batch["timers_set"][s],
+        timers_fired=batch["timers_fired"][s],
+        per_process_sent=Counter({pid: count
+                                  for pid, count in enumerate(pps) if count}))
+    clocks = dict(enumerate(vs.clocks[s]))
+    trace = ExecutionTrace(clocks=clocks, histories=histories,
+                           faulty_ids=sorted(faulty), events=[], stats=stats,
+                           end_time=vs.end_time, copy=False)
+    result = ScenarioResult(
+        params=vs.params, trace=trace,
+        start_times=dict(enumerate(batch["start_t"][s])),
+        rounds=vs.rounds, end_time=vs.end_time,
+        observers=_build_observers(vs, s, batch, pids), checkpoints=0)
+    result.spec = spec
+    return result
+
+
+def execute_batch(specs: Sequence[Any],
+                  telemetry: Optional[Any] = None) -> List[Any]:
+    """Execute S replicas of one spec (identical modulo seed) in lockstep.
+
+    Returns results aligned with ``specs``.  Replicas whose event skeleton
+    diverges from the lockstep assumptions — and every replica, when the spec
+    is unsupported or the engine is disabled — transparently fall back to the
+    serial :func:`~repro.runner.spec.execute`, so the output is always the
+    serial output.
+    """
+    from ..runner.spec import execute
+    from time import perf_counter
+
+    specs = list(specs)
+    if not specs:
+        return []
+    base = specs[0]
+    for spec in specs[1:]:
+        if spec.with_seed(base.seed) != base:
+            raise ValueError("execute_batch needs specs identical modulo "
+                             "seed; got a differing spec")
+    if telemetry is None:
+        from ..telemetry import get_active
+        telemetry = get_active()
+    if not (vectorized_available() and supports_spec(base)):
+        return [execute(spec, telemetry=telemetry) for spec in specs]
+
+    # Deduplicate (BatchRunner already does; direct callers may not).
+    unique: List[Any] = []
+    index: Dict[Any, int] = {}
+    for spec in specs:
+        if spec not in index:
+            index[spec] = len(unique)
+            unique.append(spec)
+
+    start = perf_counter()
+    vs = VectorSystem(base, [spec.seed for spec in unique])
+    vs.run()
+    batch = _observer_batch(vs) if not vs.bad.all() else {}
+    results: Dict[Any, Any] = {}
+    vector_specs = []
+    for i, spec in enumerate(unique):
+        if vs.bad[i]:
+            results[spec] = execute(spec, telemetry=telemetry)
+        else:
+            results[spec] = _synthesize_result(vs, i, spec, batch)
+            vector_specs.append(spec)
+    wall = perf_counter() - start
+
+    if telemetry is not None and vector_specs:
+        from ..telemetry import build_manifest
+        registry = telemetry.registry
+        registry.counter("runner.specs_executed").inc(len(vector_specs))
+        registry.counter("runner.vectorized_batches").inc()
+        registry.counter("runner.vectorized_replicas").inc(len(vector_specs))
+        registry.counter("runner.vectorized_fallbacks").inc(
+            len(unique) - len(vector_specs))
+        registry.gauge("runner.vector_batch_size").set(len(unique))
+        share = wall / len(vector_specs)
+        for spec in vector_specs:
+            registry.histogram("runner.spec_wall_seconds").observe(share)
+            telemetry.emit_manifest(build_manifest(spec, results[spec],
+                                                   wall_seconds=share))
+    return [results[spec] for spec in specs]
