@@ -41,7 +41,8 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
 
 from ..core.bounds import agreement_bound, lower_bound, steady_state_beta
 from ..core.config import SyncParameters
-from ..runner.batch import BatchRunner
+from ..runner.batch import BatchRunner, SpecFailure
+from ..runner.resilient import QuarantinedResult
 from ..runner.spec import RunSpec
 from ..telemetry import span
 from ..topology.spec import build_topology
@@ -209,6 +210,14 @@ def run_spec_sweep(
     fully lazy, so ``progress`` fires before the point runs, exactly like
     :func:`run_sweep`; with a pool, later points keep computing in the
     background while earlier points are measured and reported).
+
+    ``runner`` substitutes any :class:`BatchRunner`-compatible executor — in
+    particular a :class:`~repro.runner.resilient.ResilientRunner`, which
+    makes the sweep durable and resumable.  Failures such a runner returns
+    as data (:class:`~repro.runner.batch.SpecFailure`,
+    :class:`~repro.runner.resilient.QuarantinedResult`) do not abort the
+    sweep: the affected cell keeps its surviving replicas and gains a
+    ``failed_runs`` output column counting the casualties.
     """
     axes = list(axes)
     if not axes:
@@ -243,9 +252,26 @@ def run_spec_sweep(
         # of the cell; with a pool it still brackets when the cell's results
         # became consumable — either way the slow cells stand out in a trace.
         with span("sweep.cell", **inputs):
-            per_seed = [dict(measure(next(results), **inputs)) for _ in specs]
-        outputs = per_seed[0] if len(per_seed) == 1 \
-            else _replicated_outputs(per_seed)
+            per_seed = []
+            failed = 0
+            for _ in specs:
+                outcome = next(results)
+                # A tolerant or resilient runner hands failures back as data
+                # (SpecFailure / QuarantinedResult): the cell keeps whatever
+                # replicas survived and reports the casualty count instead of
+                # aborting the sweep.
+                if isinstance(outcome, (SpecFailure, QuarantinedResult)):
+                    failed += 1
+                    continue
+                per_seed.append(dict(measure(outcome, **inputs)))
+        if not per_seed:
+            outputs: Dict[str, float] = {}
+        elif len(per_seed) == 1:
+            outputs = per_seed[0]
+        else:
+            outputs = _replicated_outputs(per_seed)
+        if failed:
+            outputs["failed_runs"] = float(failed)
         result.points.append(SweepPoint(inputs=dict(inputs), outputs=outputs))
         if on_result is not None:
             on_result(dict(inputs), dict(outputs))
@@ -267,6 +293,7 @@ def sweep_epsilon(epsilons: Iterable[float], n: int = 7, f: int = 2,
                   rho: float = 1e-4, delta: float = 0.01, rounds: int = 10,
                   fault_kind: Optional[str] = "two_faced", seed: int = 0,
                   seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                  runner: Optional[BatchRunner] = None,
                   progress: Optional[Progress] = None,
                   on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement and its Theorem 16 bound as the delay uncertainty ε varies."""
@@ -284,15 +311,16 @@ def sweep_epsilon(epsilons: Iterable[float], n: int = 7, f: int = 2,
         }
 
     return run_spec_sweep([SweepAxis("epsilon", list(epsilons))], build,
-                          measure, seeds=seeds, jobs=jobs, progress=progress,
-                          on_result=on_result)
+                          measure, seeds=seeds, jobs=jobs, runner=runner,
+                          progress=progress, on_result=on_result)
 
 
 def sweep_round_length(round_lengths: Iterable[float], n: int = 7, f: int = 2,
                        rho: float = 2e-3, delta: float = 0.01,
                        epsilon: float = 0.002, rounds: int = 14,
                        seed: int = 0, seeds: Optional[Sequence[int]] = None,
-                       jobs: int = 1, progress: Optional[Progress] = None,
+                       jobs: int = 1, runner: Optional[BatchRunner] = None,
+                       progress: Optional[Progress] = None,
                        on_result: Optional[OnResult] = None) -> SweepResult:
     """Steady-state round spread and the 4ε + 4ρP estimate as P varies (E7)."""
 
@@ -311,14 +339,16 @@ def sweep_round_length(round_lengths: Iterable[float], n: int = 7, f: int = 2,
 
     return run_spec_sweep([SweepAxis("round_length", list(round_lengths))],
                           build, measure, seeds=seeds, jobs=jobs,
-                          progress=progress, on_result=on_result)
+                          runner=runner, progress=progress,
+                          on_result=on_result)
 
 
 def sweep_system_size(sizes: Iterable[int], f: int = 2, rho: float = 1e-4,
                       delta: float = 0.01, epsilon: float = 0.002,
                       rounds: int = 10, fault_kind: Optional[str] = "two_faced",
                       seed: int = 0, seeds: Optional[Sequence[int]] = None,
-                      jobs: int = 1, progress: Optional[Progress] = None,
+                      jobs: int = 1, runner: Optional[BatchRunner] = None,
+                      progress: Optional[Progress] = None,
                       on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement as n grows at fixed f (the paper: flat; LM: grows)."""
 
@@ -335,8 +365,8 @@ def sweep_system_size(sizes: Iterable[int], f: int = 2, rho: float = 1e-4,
         }
 
     return run_spec_sweep([SweepAxis("n", list(sizes))], build, measure,
-                          seeds=seeds, jobs=jobs, progress=progress,
-                          on_result=on_result)
+                          seeds=seeds, jobs=jobs, runner=runner,
+                          progress=progress, on_result=on_result)
 
 
 def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
@@ -344,6 +374,7 @@ def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
                       epsilon: float = 0.002, rounds: int = 10,
                       fault_kind: str = "two_faced", seed: int = 0,
                       seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                      runner: Optional[BatchRunner] = None,
                       progress: Optional[Progress] = None,
                       on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement as the number of *actual* attackers varies (the A2 threshold).
@@ -364,8 +395,8 @@ def sweep_fault_count(counts: Iterable[int], n: int = 7, f: int = 2,
         }
 
     return run_spec_sweep([SweepAxis("fault_count", list(counts))], build,
-                          measure, seeds=seeds, jobs=jobs, progress=progress,
-                          on_result=on_result)
+                          measure, seeds=seeds, jobs=jobs, runner=runner,
+                          progress=progress, on_result=on_result)
 
 
 def sweep_topology(specs: Iterable[str], n: int = 7, f: int = 2,
@@ -373,6 +404,7 @@ def sweep_topology(specs: Iterable[str], n: int = 7, f: int = 2,
                    epsilon: float = 0.002, rounds: int = 10,
                    fault_kind: Optional[str] = None, seed: int = 0,
                    seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                   runner: Optional[BatchRunner] = None,
                    progress: Optional[Progress] = None,
                    on_result: Optional[OnResult] = None) -> SweepResult:
     """Agreement across network shapes (complete vs ring vs G(n, p) vs ...).
@@ -401,14 +433,15 @@ def sweep_topology(specs: Iterable[str], n: int = 7, f: int = 2,
         }
 
     return run_spec_sweep([SweepAxis("topology", list(specs))], build, measure,
-                          seeds=seeds, jobs=jobs, progress=progress,
-                          on_result=on_result)
+                          seeds=seeds, jobs=jobs, runner=runner,
+                          progress=progress, on_result=on_result)
 
 
 def sweep_tightness(sizes: Iterable[int], f: int = 0, rho: float = 1e-4,
                     delta: float = 0.01, epsilon: float = 0.002,
                     rounds: int = 8, delay: str = "skew_max", seed: int = 0,
                     seeds: Optional[Sequence[int]] = None, jobs: int = 1,
+                    runner: Optional[BatchRunner] = None,
                     progress: Optional[Progress] = None,
                     on_result: Optional[OnResult] = None) -> SweepResult:
     """Achieved adversarial skew between the ε(1 − 1/n) floor and γ, per n.
@@ -441,5 +474,5 @@ def sweep_tightness(sizes: Iterable[int], f: int = 0, rho: float = 1e-4,
         }
 
     return run_spec_sweep([SweepAxis("n", list(sizes))], build, measure,
-                          seeds=seeds, jobs=jobs, progress=progress,
-                          on_result=on_result)
+                          seeds=seeds, jobs=jobs, runner=runner,
+                          progress=progress, on_result=on_result)

@@ -21,6 +21,11 @@ the measuring stick.  It times the three layers the fast path targets
 * **certifier** — one full lower-bound certification (base run, the chain of
   n shifted executions, per-execution admissibility audit and skew
   measurement), the cost of ``python -m repro certify``;
+* **resilient store** — durable-result round-trips: ``put``/``get``
+  throughput of the content-addressed sqlite store under WAL, plus the
+  supervision overhead of running a batch through the crash-safe
+  :class:`~repro.runner.resilient.SupervisedPool` instead of the in-process
+  serial path — the price of resumability;
 * **telemetry** — the same core hot-loop workload with the
   :mod:`repro.telemetry` layer disabled (``telemetry=None``, the default)
   and enabled, recording both throughputs and the enabled overhead.  The
@@ -76,6 +81,7 @@ __all__ = [
     "bench_streaming",
     "bench_certifier",
     "bench_telemetry",
+    "bench_resilient_store",
     "bench_vectorized_replication",
     "run_benchmarks",
     "merge_results",
@@ -92,7 +98,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_7.json"
+DEFAULT_BENCH_PATH = "BENCH_8.json"
 
 #: the streaming benchmark's fixed configuration — identical in quick and
 #: full mode so the memory guard always compares like with like.
@@ -370,6 +376,88 @@ def bench_telemetry(n: int = 24, rounds: int = 8,
     }
 
 
+#: the resilient-store benchmark's fixed configuration — identical in quick
+#: and full mode so trajectory entries always compare.
+STORE_PAYLOADS = 64
+STORE_SPECS = 8
+
+
+def bench_resilient_store(payloads: int = STORE_PAYLOADS,
+                          specs_count: int = STORE_SPECS,
+                          repeats: int = 3) -> Dict[str, object]:
+    """Durable-store round-trips and the supervision overhead of resilience.
+
+    Times ``payloads`` content-addressed ``put`` commits (each its own WAL
+    transaction — the crash-safety unit) and the matching ``get`` round of
+    bit-identical deserializations against a fresh on-disk sqlite store, then
+    runs the same ``specs_count``-spec batch through the plain in-process
+    serial path and through a single-worker :class:`SupervisedPool` (spawn,
+    pipe transport, respawn bookkeeping included) for the resilience
+    overhead — what one spec pays to become crash-safe and resumable.
+    """
+    import shutil
+    import tempfile
+
+    from .runner import BatchRunner, ResilientRunner, ResultStore
+    from .runner.spec import RunSpec, execute
+
+    params = default_parameters(n=4, f=1)
+    spec = RunSpec.maintenance(params, rounds=2, seed=0)
+    result = execute(spec)
+    specs = [spec.with_seed(seed) for seed in range(specs_count)]
+    scratch = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        def put_round() -> float:
+            path = os.path.join(scratch, "puts.sqlite")
+            if os.path.exists(path):
+                os.remove(path)
+            with ResultStore(path) as store:
+                start = time.perf_counter()
+                for seed in range(payloads):
+                    store.put(spec.with_seed(seed), result)
+                return time.perf_counter() - start
+
+        put_seconds = _best_of(repeats, put_round)
+
+        with ResultStore(os.path.join(scratch, "gets.sqlite")) as store:
+            for seed in range(payloads):
+                store.put(spec.with_seed(seed), result)
+
+            def get_round() -> float:
+                start = time.perf_counter()
+                for seed in range(payloads):
+                    store.get(spec.with_seed(seed))
+                return time.perf_counter() - start
+
+            get_seconds = _best_of(repeats, get_round)
+
+        def serial_round() -> float:
+            start = time.perf_counter()
+            BatchRunner(cache=False).run(specs)
+            return time.perf_counter() - start
+
+        def supervised_round() -> float:
+            runner = ResilientRunner(jobs=1, cache=False, backoff_base=0.01)
+            start = time.perf_counter()
+            runner.run(specs)
+            return time.perf_counter() - start
+
+        serial_seconds = _best_of(repeats, serial_round)
+        supervised_seconds = _best_of(repeats, supervised_round)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "payloads": payloads, "specs": specs_count,
+        "put_seconds": put_seconds, "get_seconds": get_seconds,
+        "puts_per_second": payloads / put_seconds if put_seconds > 0 else 0.0,
+        "gets_per_second": payloads / get_seconds if get_seconds > 0 else 0.0,
+        "serial_seconds": serial_seconds,
+        "supervised_seconds": supervised_seconds,
+        "supervision_overhead": (supervised_seconds / serial_seconds - 1.0
+                                 if serial_seconds > 0 else 0.0),
+    }
+
+
 #: the vectorized-replication benchmark's fixed configuration — identical in
 #: quick and full mode so the BENCH_7 regression guard always compares
 #: config-matched entries (like the streaming slot).
@@ -510,6 +598,8 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     # compare the two slots within one process.
     results["telemetry"] = bench_telemetry(rounds=4 if quick else 8,
                                            repeats=repeats)
+    # Same payload/spec counts in both modes: trajectory entries compare.
+    results["resilient_store"] = bench_resilient_store(repeats=repeats)
     # Same config in both modes: the vectorized-throughput guard compares
     # config-matched entries, and CI runs --quick against a full recording.
     results["vectorized_replication"] = bench_vectorized_replication()
@@ -534,7 +624,11 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "enabled_events_per_second",
                                "enabled_overhead",
                                "serial_seconds", "serial_events",
-                               "serial_events_per_second", "speedup"})
+                               "serial_events_per_second", "speedup",
+                               "put_seconds", "get_seconds",
+                               "puts_per_second", "gets_per_second",
+                               "supervised_seconds",
+                               "supervision_overhead"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -885,6 +979,12 @@ def format_results(results: Dict[str, object],
             f"{telemetry['disabled_events_per_second']:>12,.0f} ev/s off, "
             f"{telemetry['enabled_events_per_second']:,.0f} ev/s on "
             f"({telemetry['enabled_overhead']:+.1%} enabled overhead)")
+    store = results.get("resilient_store")
+    if store:
+        lines.append(
+            f"resilient store       {store['puts_per_second']:>12,.0f} put/s, "
+            f"{store['gets_per_second']:,.0f} get/s "
+            f"({store['supervision_overhead']:+.1%} supervised overhead)")
     vectorized = results.get("vectorized_replication")
     if vectorized:
         if vectorized.get("available"):

@@ -13,7 +13,13 @@ Installed as the ``repro-clocksync`` console script (also reachable as
 * ``compare``    — the Section 10 comparison table on one shared workload;
 * ``sweep``      — agreement/spread sweeps along the ε, P, n, fault-count,
   topology or tightness axes (the data behind the paper's trade-off
-  discussions);
+  discussions); ``--store PATH`` commits every completed spec to a durable
+  sqlite store as it finishes, ``--resume`` serves already-stored specs
+  bit-identically, and ``--retries``/``--spec-timeout`` enable the
+  supervised pool (crash respawn, retry with backoff, quarantine) — an
+  interrupted sweep exits 130 and continues where it left off;
+* ``store``      — inspect (``store status``) or prune (``store gc``) a
+  durable sweep result store;
 * ``certify``    — run the shifting-argument lower-bound certifier: build the
   paper's family of shifted executions and emit a machine-checkable
   certificate that some admissible execution has skew ≥ ε(1 − 1/n)
@@ -193,6 +199,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_options(sweep_parser)
     sweep_parser.add_argument("--csv", metavar="PATH",
                               help="export the sweep table as CSV")
+    sweep_parser.add_argument("--store", metavar="PATH", default=None,
+                              help="durable sqlite result store: every "
+                                   "completed spec is committed as it "
+                                   "finishes, so an interrupted sweep keeps "
+                                   "its work (inspect with 'store status')")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="serve specs already in --store without "
+                                   "re-running them (bit-identical); "
+                                   "quarantined specs are re-attempted")
+    sweep_parser.add_argument("--retries", type=int, default=2, metavar="N",
+                              help="supervised retries per failing spec "
+                                   "before quarantine (default 2; only "
+                                   "active with --store/--resume/"
+                                   "--spec-timeout)")
+    sweep_parser.add_argument("--spec-timeout", type=float, default=None,
+                              metavar="T",
+                              help="per-spec wall-clock timeout in seconds; "
+                                   "a worker past it is killed and the spec "
+                                   "retried (enables the supervised pool)")
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect or prune a durable sweep result store")
+    store_actions = store_parser.add_subparsers(dest="action", required=True)
+    status_parser = store_actions.add_parser(
+        "status", help="summarize a result store: counts, kinds, size, "
+                       "quarantine")
+    status_parser.add_argument("store", metavar="PATH",
+                               help="sqlite store written by sweep --store")
+    status_parser.add_argument("--json", metavar="PATH",
+                               help="export the summary as JSON")
+    gc_parser = store_actions.add_parser(
+        "gc", help="prune a result store (by age and/or quarantine) and "
+                   "compact the file")
+    gc_parser.add_argument("store", metavar="PATH",
+                           help="sqlite store written by sweep --store")
+    gc_parser.add_argument("--older-than", type=float, default=None,
+                           metavar="SECONDS",
+                           help="remove results committed more than this "
+                                "many seconds ago")
+    gc_parser.add_argument("--clear-quarantine", action="store_true",
+                           help="drop the quarantine ledger")
+    gc_parser.add_argument("--no-vacuum", action="store_true",
+                           help="skip the VACUUM compaction pass")
 
     certify_parser = subparsers.add_parser(
         "certify",
@@ -413,6 +462,12 @@ def _cmd_run_replicated(args: argparse.Namespace) -> int:
     print(format_table(
         ["seed", "agreement", "validity violations", "audit"],
         [tuple(row.values()) for row in seed_rows], precision=6))
+    if rep.failures:
+        # Partial replication: the summaries below cover the survivors only.
+        print(f"failed seeds ({len(rep.failures)} of "
+              f"{len(rep.failures) + len(rep.seeds)}):", file=sys.stderr)
+        for failure in rep.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
     stats = rep.agreement
     print(f"agreement: mean={stats.mean:.6f} min={stats.minimum:.6f} "
           f"max={stats.maximum:.6f} ci95=[{stats.ci95_low:.6f}, "
@@ -731,18 +786,92 @@ _SWEEPS = {
 }
 
 
-def _run_sweep(args: argparse.Namespace) -> SweepResult:
+def _sweep_runner(args: argparse.Namespace):
+    """The ResilientRunner for a sweep, or None for the plain path.
+
+    Any of ``--store`` / ``--resume`` / ``--spec-timeout`` opts the sweep
+    into the resilient engine (durable commits, supervised workers,
+    quarantine); without them the sweep runs exactly as before.
+    """
+    if not (args.store or args.resume or args.spec_timeout is not None):
+        return None
+    from .runner import ResilientRunner
+
+    if args.resume and not args.store:
+        raise SystemExit("error: --resume requires --store PATH")
+    return ResilientRunner(jobs=args.jobs, cache=False, store=args.store,
+                           resume=args.resume, max_retries=args.retries,
+                           spec_timeout=args.spec_timeout)
+
+
+def _run_sweep(args: argparse.Namespace,
+               runner=None) -> SweepResult:
     sweep, cast = _SWEEPS[args.axis]
     return sweep([cast(v) for v in args.values], rounds=args.rounds,
-                 seed=args.seed, seeds=args.replicate_seeds, jobs=args.jobs)
+                 seed=args.seed, seeds=args.replicate_seeds, jobs=args.jobs,
+                 runner=runner)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    result = _run_sweep(args)
+    from .runner import SweepInterrupted
+
+    runner = _sweep_runner(args)
+    try:
+        result = _run_sweep(args, runner=runner)
+    except SweepInterrupted as interrupt:
+        # Completed results are already durably committed (--store); tell
+        # the operator how to pick the sweep back up and exit like an
+        # interrupted process should.
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        if runner is not None and runner.store is not None:
+            print(f"store {runner.store.path} holds "
+                  f"{len(runner.store)} result(s); rerun with --resume to "
+                  f"continue", file=sys.stderr)
+        return 130
     print(format_table(result.headers(), result.rows()))
     if args.csv:
         write_csv(sweep_to_dicts(result), args.csv)
         print(f"wrote sweep CSV to {args.csv}")
+    if runner is not None and runner.store is not None:
+        status = runner.store.status()
+        print(f"store {status['path']}: {status['results']} result(s), "
+              f"{status['quarantined']} quarantined", file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .runner import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.store, create=False)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with store:
+        if args.action == "status":
+            status = store.status()
+            rows = [[key, value] for key, value in status.items()
+                    if key != "by_kind"]
+            rows += [[f"kind:{kind}", count]
+                     for kind, count in status["by_kind"].items()]
+            print(format_table(["field", "value"], rows))
+            quarantined = store.quarantined()
+            if quarantined:
+                print(format_table(
+                    ["spec_hash", "failures", "last_error"],
+                    [[q["spec_hash"][:16], q["failures"], q["last_error"]]
+                     for q in quarantined]))
+            if args.json:
+                write_json(status, args.json)
+                print(f"wrote store status JSON to {args.json}")
+            return 0
+        # gc
+        removed = store.gc(older_than=args.older_than,
+                           clear_quarantine=args.clear_quarantine,
+                           vacuum=not args.no_vacuum)
+        print(f"removed {removed['removed_results']} result(s), "
+              f"{removed['removed_quarantine']} quarantine record(s); "
+              f"{len(store)} result(s) remain")
     return 0
 
 
@@ -828,6 +957,7 @@ _COMMANDS = {
     "startup": _cmd_startup,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "store": _cmd_store,
     "certify": _cmd_certify,
     "conformance": _cmd_conformance,
     "bench": _cmd_bench,

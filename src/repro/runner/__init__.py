@@ -11,7 +11,13 @@ The execution layer every experiment entry point funnels through:
   ``multiprocessing`` pool with result caching and ordered collection, with a
   bit-identical-to-serial guarantee;
 * :func:`~repro.runner.replication.replicate` — multi-seed replication with
-  mean/min/max/CI summaries of the agreement and validity metrics.
+  mean/min/max/CI summaries of the agreement and validity metrics;
+* :class:`~repro.runner.resilient.ResilientRunner` — the crash-safe variant:
+  durable content-addressed :class:`~repro.runner.store.ResultStore`
+  (sqlite), supervised workers (per-spec timeouts, retry with backoff,
+  crash respawn, quarantine) and ``resume`` that serves already-stored specs
+  bit-identically, all testable under deterministic fault injection
+  (:class:`~repro.runner.chaos.ChaosSchedule`).
 
 Quick start::
 
@@ -25,16 +31,41 @@ Quick start::
 """
 
 from .spec import RunSpec, SCENARIO_KINDS, execute
-from .batch import BatchRunner, available_parallelism, execute_many
-from .replication import ReplicatedResult, replicate
+from .batch import BatchRunner, SpecFailure, available_parallelism, \
+    execute_many
+from .replication import ReplicatedResult, ReplicationError, SeedFailure, \
+    replicate
+from .chaos import CHAOS_ACTIONS, ChaosFault, ChaosInjectedError, \
+    ChaosSchedule
+from .store import ResultStore, SCHEMA_VERSION, StoreError, \
+    StoreVersionError, store_key
+from .resilient import FailureRecord, QuarantinedResult, ResilientRunner, \
+    SupervisedPool, SweepInterrupted
 
 __all__ = [
     "RunSpec",
     "SCENARIO_KINDS",
     "execute",
     "BatchRunner",
+    "SpecFailure",
     "available_parallelism",
     "execute_many",
     "ReplicatedResult",
+    "ReplicationError",
+    "SeedFailure",
     "replicate",
+    "CHAOS_ACTIONS",
+    "ChaosFault",
+    "ChaosInjectedError",
+    "ChaosSchedule",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "StoreVersionError",
+    "store_key",
+    "FailureRecord",
+    "QuarantinedResult",
+    "ResilientRunner",
+    "SupervisedPool",
+    "SweepInterrupted",
 ]

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from .spec import RunSpec, execute
@@ -39,10 +41,51 @@ from .spec import RunSpec, execute
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the cycle
     from ..analysis.experiments import ScenarioResult
 
-__all__ = ["BatchRunner", "execute_many", "available_parallelism"]
+__all__ = ["BatchRunner", "SpecFailure", "execute_many",
+           "available_parallelism"]
 
 #: callback signature: invoked once per *computed* spec, as results stream in.
 OnResult = Callable[[RunSpec, "ScenarioResult"], None]
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec's failure, captured instead of raised (tolerant batches).
+
+    With ``tolerate_failures=True`` a failing spec produces one of these in
+    its result slot instead of aborting the whole batch: the spec, a
+    one-line ``error`` (``TypeName: message``) and the full traceback text.
+    Everything is plain data, so failures survive the multiprocessing
+    round trip no matter how unpicklable the original exception was.
+    """
+
+    spec: RunSpec
+    error: str
+    traceback: str = ""
+
+    def describe(self) -> str:
+        return f"{self.spec.describe()} failed: {self.error}"
+
+
+def _capture_failure(spec: RunSpec, err: BaseException) -> SpecFailure:
+    return SpecFailure(spec=spec, error=f"{type(err).__name__}: {err}",
+                       traceback=traceback.format_exc())
+
+
+def _execute_tolerant(spec: RunSpec):
+    """Pool-shippable execute that returns failures instead of raising."""
+    try:
+        return "ok", execute(spec)
+    except Exception as err:
+        return "fail", _capture_failure(spec, err)
+
+
+def _execute_tolerant_instrumented(spec: RunSpec):
+    """Tolerant variant of :func:`_execute_instrumented`."""
+    try:
+        return "ok", _execute_instrumented(spec)
+    except Exception as err:
+        return "fail", _capture_failure(spec, err)
 
 
 def _execute_instrumented(spec: RunSpec):
@@ -113,18 +156,27 @@ class BatchRunner:
 
     # -- execution -----------------------------------------------------------
     def run(self, specs: Iterable[RunSpec],
-            on_result: Optional[OnResult] = None) -> List["ScenarioResult"]:
+            on_result: Optional[OnResult] = None,
+            tolerate_failures: bool = False) -> List["ScenarioResult"]:
         """Execute every spec and return results in input order.
 
         Duplicate specs (and specs already in the cache) are executed once;
         ``on_result(spec, result)`` fires once per spec actually computed, in
         first-occurrence order, as soon as its result is available — the
         observability hook for long batches.
+
+        ``tolerate_failures=True`` turns per-spec exceptions into
+        :class:`SpecFailure` records in the corresponding result slots
+        instead of aborting the batch — one poison spec no longer discards
+        every completed sibling (failures are cached like results, so a
+        cached runner will not silently re-run a known-bad spec).
         """
-        return list(self.run_iter(specs, on_result=on_result))
+        return list(self.run_iter(specs, on_result=on_result,
+                                  tolerate_failures=tolerate_failures))
 
     def run_iter(self, specs: Iterable[RunSpec],
-                 on_result: Optional[OnResult] = None):
+                 on_result: Optional[OnResult] = None,
+                 tolerate_failures: bool = False):
         """Like :meth:`run`, but yield each result as soon as it is ready.
 
         Results are yielded in input order.  With ``jobs=1`` execution is
@@ -148,7 +200,8 @@ class BatchRunner:
             if self._cache is not None and spec in self._cache:
                 continue
             pending.append(spec)
-        arrivals = self._execute_pending(pending)
+        arrivals = self._execute_pending(pending,
+                                         tolerant=tolerate_failures)
         # computed doubles as the lookup when caching is off; with caching on,
         # every arrival lands in the cache, which also holds prior batches.
         lookup = self._cache if self._cache is not None else computed
@@ -173,21 +226,22 @@ class BatchRunner:
         """Execute (or fetch from cache) a single spec."""
         return self.run([spec])[0]
 
-    def _execute_pending(self, pending: Sequence[RunSpec]):
+    def _execute_pending(self, pending: Sequence[RunSpec],
+                         tolerant: bool = False):
         """Yield (spec, result) pairs in ``pending`` order."""
         if not pending:
             return
-        vectorized = self._execute_vector_groups(pending)
+        vectorized = self._execute_vector_groups(pending, tolerant=tolerant)
         serial = [spec for spec in pending if spec not in vectorized]
-        arrivals = self._execute_serial(serial)
+        arrivals = self._execute_serial(serial, tolerant=tolerant)
         for spec in pending:
             if spec in vectorized:
                 yield spec, vectorized.pop(spec)
             else:
                 yield next(arrivals)
 
-    def _execute_vector_groups(self,
-                               pending: Sequence[RunSpec]) -> Dict[RunSpec, "ScenarioResult"]:
+    def _execute_vector_groups(self, pending: Sequence[RunSpec],
+                               tolerant: bool = False) -> Dict[RunSpec, "ScenarioResult"]:
         """Run seed-replica groups through the batch engine; return results.
 
         Specs that are identical modulo seed and qualify for the vectorized
@@ -207,34 +261,64 @@ class BatchRunner:
         for members in groups.values():
             if len(members) < 2 and members[0].vectorize is not True:
                 continue
-            for spec, result in zip(members,
-                                    execute_batch(members,
-                                                  telemetry=self.telemetry)):
+            try:
+                batch_results = execute_batch(members,
+                                              telemetry=self.telemetry)
+            except Exception:
+                if not tolerant:
+                    raise
+                # One bad replica poisons the whole lockstep batch; in
+                # tolerant mode, leave the group to the per-spec serial path
+                # so siblings complete (bit-identical by contract) and only
+                # the offender becomes a SpecFailure.
+                continue
+            for spec, result in zip(members, batch_results):
                 results[spec] = result
         return results
 
-    def _execute_serial(self, pending: Sequence[RunSpec]):
+    def _execute_serial(self, pending: Sequence[RunSpec],
+                        tolerant: bool = False):
         """The per-spec path: in-process loop or multiprocessing pool."""
         if not pending:
             return
         workers = min(self.jobs, len(pending))
         instrumented = self.telemetry is not None
-        worker_fn = _execute_instrumented if instrumented else execute
+        if tolerant:
+            worker_fn = (_execute_tolerant_instrumented if instrumented
+                         else _execute_tolerant)
+        else:
+            worker_fn = _execute_instrumented if instrumented else execute
         if workers <= 1:
             for spec in pending:
-                yield spec, self._collect(worker_fn(spec))
+                yield spec, self._collect(worker_fn(spec), tolerant=tolerant)
             return
         # chunksize > 1 amortizes IPC for large batches of small runs while
         # keeping enough chunks (4 per worker) for the pool to load-balance.
         chunksize = max(1, len(pending) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
+        pool = multiprocessing.Pool(processes=workers)
+        try:
             for spec, arrival in zip(pending,
                                      pool.imap(worker_fn, pending,
                                                chunksize=chunksize)):
-                yield spec, self._collect(arrival)
+                yield spec, self._collect(arrival, tolerant=tolerant)
+            pool.close()
+        except BaseException:
+            # KeyboardInterrupt (and generator close): stop the children
+            # promptly instead of letting them finish a doomed batch — the
+            # join in `finally` then guarantees no process outlives the
+            # runner, and the interrupt re-raises to the caller intact.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
 
-    def _collect(self, arrival):
+    def _collect(self, arrival, tolerant: bool = False):
         """Unpack one instrumented arrival, folding its telemetry in."""
+        if tolerant:
+            tag, payload = arrival
+            if tag == "fail":
+                return payload  # a SpecFailure: nothing ran, nothing to merge
+            arrival = payload
         if self.telemetry is None:
             return arrival
         result, snapshot, manifests = arrival

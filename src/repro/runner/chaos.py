@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+The supervised pool (:mod:`repro.runner.resilient`) promises to survive
+crashed workers, hung specs, poison inputs and failing store writes.  Those
+promises are only testable if the failures themselves are *reproducible*: a
+flaky test that SIGKILLs a worker "sometimes" proves nothing.  A
+:class:`ChaosSchedule` is a frozen, picklable description of exactly which
+faults fire where:
+
+* ``raise``     — the worker raises :class:`ChaosInjectedError` instead of
+  executing the spec (a poison spec / transient bug stand-in);
+* ``hang``      — the worker sleeps ``hang_seconds`` (a stuck simulation;
+  only the supervisor's per-spec wall-clock timeout can reclaim it);
+* ``kill``      — the worker SIGKILLs *itself* (a hard crash: OOM-killer,
+  segfault, operator ``kill -9``);
+* ``interrupt`` — the *parent* aborts the sweep right before dispatching the
+  spec (a simulated operator SIGTERM mid-sweep, driving the resume path);
+* store disk-full — :meth:`ResultStore.put <repro.runner.store.ResultStore.put>`
+  raises ``OSError(ENOSPC)`` for the scheduled write indices.
+
+Faults are keyed by the spec's **dispatch index** (0-based order in which the
+supervisor first hands specs to workers — input order for a fresh run) and an
+**attempt window**: a fault with ``attempts=2`` fires on the first two
+attempts of its spec and then stops, which is how "retry-then-success" paths
+are exercised deterministically.  Schedules pickle cheaply, so the same
+object drives the parent (interrupt/disk-full) and every worker
+(raise/hang/kill).
+
+:meth:`ChaosSchedule.seeded` draws a schedule from a seed, so property-style
+tests can sweep whole families of failure patterns reproducibly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosFault",
+    "ChaosInjectedError",
+    "ChaosSchedule",
+]
+
+#: every fault action a schedule may carry.
+CHAOS_ACTIONS = ("raise", "hang", "kill", "interrupt")
+
+#: actions applied inside a worker process, right before executing the spec.
+_WORKER_ACTIONS = frozenset({"raise", "hang", "kill"})
+
+
+class ChaosInjectedError(RuntimeError):
+    """The exception an injected ``raise`` fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled fault: which spec, what happens, for how many attempts.
+
+    ``index`` is the spec's dispatch index within the supervised batch;
+    ``attempts`` is the number of *leading* attempts the fault fires on
+    (``attempts=1`` = first attempt only, so the first retry succeeds).
+    """
+
+    index: int
+    action: str
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(f"unknown chaos action {self.action!r}; "
+                             f"choose from {', '.join(CHAOS_ACTIONS)}")
+        if self.index < 0:
+            raise ValueError(f"fault index must be >= 0, got {self.index}")
+        if self.attempts < 1:
+            raise ValueError(f"fault attempts must be >= 1, "
+                             f"got {self.attempts}")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A frozen, picklable schedule of deterministic runner faults.
+
+    ``faults`` drive the supervised pool; ``store_full_writes`` are the
+    0-based write indices at which the result store simulates a full disk
+    (counted across :meth:`~repro.runner.store.ResultStore.put` calls);
+    ``hang_seconds`` is how long a ``hang`` fault sleeps — far longer than
+    any sane per-spec timeout, so a hang without a timeout configured is a
+    test bug, not a mystery.
+    """
+
+    faults: Tuple[ChaosFault, ...] = ()
+    store_full_writes: frozenset = field(default_factory=frozenset)
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "store_full_writes",
+                           frozenset(self.store_full_writes))
+        for fault in self.faults:
+            if not isinstance(fault, ChaosFault):
+                raise TypeError(f"faults must be ChaosFault instances, "
+                                f"got {type(fault).__name__}")
+        if self.hang_seconds <= 0:
+            raise ValueError(f"hang_seconds must be positive, "
+                             f"got {self.hang_seconds}")
+
+    # -- lookups -------------------------------------------------------------
+    def fault_for(self, index: int, attempt: int) -> Optional[str]:
+        """The action scheduled for (dispatch index, 0-based attempt), if any."""
+        for fault in self.faults:
+            if fault.index == index and attempt < fault.attempts:
+                return fault.action
+        return None
+
+    def worker_action(self, index: int, attempt: int) -> Optional[str]:
+        """The worker-side action for this (index, attempt), if any."""
+        action = self.fault_for(index, attempt)
+        return action if action in _WORKER_ACTIONS else None
+
+    def parent_action(self, index: int, attempt: int) -> Optional[str]:
+        """The parent-side action (``interrupt``) for this dispatch, if any."""
+        action = self.fault_for(index, attempt)
+        return action if action == "interrupt" else None
+
+    def disk_full(self, write_index: int) -> bool:
+        """Whether the Nth store write should fail with a full disk."""
+        return write_index in self.store_full_writes
+
+    # -- worker-side application ---------------------------------------------
+    def inject(self, index: int, attempt: int) -> None:
+        """Apply the scheduled worker fault, if any (runs in the worker).
+
+        ``raise`` throws :class:`ChaosInjectedError`; ``hang`` sleeps
+        ``hang_seconds`` (the supervisor's timeout must reclaim the worker);
+        ``kill`` SIGKILLs the worker process outright — exactly the failure a
+        real crash presents to the parent.
+        """
+        action = self.worker_action(index, attempt)
+        if action is None:
+            return
+        if action == "raise":
+            raise ChaosInjectedError(
+                f"chaos: injected failure at spec {index} attempt {attempt}")
+        if action == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        # "kill": die the way a crashed worker dies — no cleanup, no goodbye.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, n_specs: int, kill_rate: float = 0.0,
+               raise_rate: float = 0.0, hang_rate: float = 0.0,
+               disk_full_rate: float = 0.0, attempts: int = 1,
+               hang_seconds: float = 3600.0) -> "ChaosSchedule":
+        """Draw a reproducible schedule: same seed, same failure pattern.
+
+        Each spec index independently draws at most one fault (kill, then
+        raise, then hang precedence); each of the first ``n_specs`` store
+        writes independently draws a disk-full.  Rates are probabilities in
+        ``[0, 1]``.
+        """
+        for name, rate in (("kill_rate", kill_rate), ("raise_rate", raise_rate),
+                           ("hang_rate", hang_rate),
+                           ("disk_full_rate", disk_full_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        rng = random.Random(seed)
+        faults = []
+        for index in range(n_specs):
+            draw = rng.random()
+            if draw < kill_rate:
+                faults.append(ChaosFault(index, "kill", attempts))
+            elif draw < kill_rate + raise_rate:
+                faults.append(ChaosFault(index, "raise", attempts))
+            elif draw < kill_rate + raise_rate + hang_rate:
+                faults.append(ChaosFault(index, "hang", attempts))
+        full_writes = frozenset(index for index in range(n_specs)
+                                if rng.random() < disk_full_rate)
+        return cls(faults=tuple(faults), store_full_writes=full_writes,
+                   hang_seconds=hang_seconds)
+
+    @classmethod
+    def single(cls, index: int, action: str, attempts: int = 1,
+               hang_seconds: float = 3600.0) -> "ChaosSchedule":
+        """Convenience: a schedule with exactly one fault."""
+        return cls(faults=(ChaosFault(index, action, attempts),),
+                   hang_seconds=hang_seconds)
+
+    def describe(self) -> str:
+        """A short human-readable summary (for logs and reports)."""
+        bits = [f"{fault.action}@{fault.index}"
+                + (f"x{fault.attempts}" if fault.attempts > 1 else "")
+                for fault in self.faults]
+        if self.store_full_writes:
+            bits.append(f"disk_full@{sorted(self.store_full_writes)}")
+        return "chaos[" + ", ".join(bits) + "]" if bits else "chaos[none]"

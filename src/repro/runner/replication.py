@@ -13,16 +13,40 @@ mean/min/max and a Student-t 95% confidence interval (via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from .batch import BatchRunner
+from .batch import BatchRunner, SpecFailure
 from .spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid the cycle
     from ..analysis.experiments import ScenarioResult
     from ..analysis.statistics import SummaryStats
 
-__all__ = ["ReplicatedResult", "replicate"]
+__all__ = ["ReplicatedResult", "ReplicationError", "SeedFailure", "replicate"]
+
+
+@dataclass(frozen=True)
+class SeedFailure:
+    """One seed's failure inside a replication: which seed, what happened."""
+
+    seed: int
+    error: str
+    traceback: str = ""
+
+    def describe(self) -> str:
+        return f"seed {self.seed} failed: {self.error}"
+
+
+class ReplicationError(RuntimeError):
+    """Every seed of a replication failed — there is nothing to summarize.
+
+    ``failures`` carries the per-seed :class:`SeedFailure` records, so the
+    caller still sees exactly what went wrong where.
+    """
+
+    def __init__(self, message: str, failures: Tuple[SeedFailure, ...] = ()):
+        super().__init__(message)
+        self.failures = failures
 
 
 @dataclass(frozen=True)
@@ -34,6 +58,11 @@ class ReplicatedResult:
     time samples outside the Theorem 19 envelope (0.0 everywhere the paper's
     claims hold).  ``results`` keeps the per-seed scenario results, in seed
     order, for callers that want to audit or export individual runs.
+
+    A replication may be **partial**: ``seeds`` / ``*_values`` / ``results``
+    cover only the seeds that completed, and ``failures`` records the ones
+    that did not (empty in the common all-seeds-succeeded case).  Summary
+    statistics are computed over the completed seeds only.
     """
 
     spec: RunSpec
@@ -43,6 +72,17 @@ class ReplicatedResult:
     agreement_values: Tuple[float, ...]
     validity_values: Tuple[float, ...]
     results: Tuple["ScenarioResult", ...]
+    failures: Tuple[SeedFailure, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested seed produced a result."""
+        return not self.failures
+
+    @property
+    def failed_seeds(self) -> Tuple[int, ...]:
+        """The seeds that failed, in request order."""
+        return tuple(failure.seed for failure in self.failures)
 
     @property
     def worst_agreement(self) -> float:
@@ -58,6 +98,7 @@ class ReplicatedResult:
         """A flat dict of the summary numbers (for tables and CSV export)."""
         return {
             "seeds": float(len(self.seeds)),
+            "failed_seeds": float(len(self.failures)),
             "agreement_mean": self.agreement.mean,
             "agreement_min": self.agreement.minimum,
             "agreement_max": self.agreement.maximum,
@@ -70,7 +111,8 @@ class ReplicatedResult:
 
 def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
               runner: Optional[BatchRunner] = None, settle_rounds: int = 1,
-              samples: int = 150) -> ReplicatedResult:
+              samples: int = 150,
+              tolerate_failures: bool = False) -> ReplicatedResult:
     """Run ``spec`` once per seed and summarize agreement and validity.
 
     Agreement is measured from ``settle_rounds`` rounds after the last
@@ -78,6 +120,14 @@ def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
     steady-state behaviour) to the end of each run.  ``runner`` lets callers
     share one :class:`BatchRunner` (and its cache) across replications;
     otherwise a fresh ``BatchRunner(jobs=jobs)`` is used.
+
+    ``tolerate_failures=True`` makes the replication **partial-on-failure**
+    instead of all-or-nothing: a failing seed becomes a :class:`SeedFailure`
+    in ``result.failures`` while every completed seed keeps its result and
+    the summaries cover the survivors.  (Quarantined specs from a
+    :class:`~repro.runner.resilient.ResilientRunner` are folded the same way
+    regardless of the flag — supervision already chose not to raise.)  Only
+    when *every* seed fails is :class:`ReplicationError` raised.
 
     Streaming specs (``record_trace=False``) carry no usable trace, so their
     per-seed metrics come from the online observers instead — the spec must
@@ -97,8 +147,28 @@ def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
         raise ValueError(
             "replicating a record_trace=False spec needs online metrics: "
             "construct it with observers=('skew', 'validity')")
+    from .resilient import QuarantinedResult
+
     batch = runner if runner is not None else BatchRunner(jobs=jobs)
-    results = batch.run([spec.with_seed(seed) for seed in seeds])
+    raw = batch.run([spec.with_seed(seed) for seed in seeds],
+                    tolerate_failures=tolerate_failures)
+    failures: List[SeedFailure] = []
+    kept_seeds: List[int] = []
+    results: List["ScenarioResult"] = []
+    for seed, outcome in zip(seeds, raw):
+        if isinstance(outcome, SpecFailure):
+            failures.append(SeedFailure(seed=seed, error=outcome.error,
+                                        traceback=outcome.traceback))
+        elif isinstance(outcome, QuarantinedResult):
+            failures.append(SeedFailure(seed=seed, error=outcome.last_error,
+                                        traceback=outcome.last_traceback))
+        else:
+            kept_seeds.append(seed)
+            results.append(outcome)
+    if failures and not results:
+        raise ReplicationError(
+            f"all {len(seeds)} seeds failed; first: {failures[0].describe()}",
+            failures=tuple(failures))
     agreements = []
     violation_rates = []
     for result in results:
@@ -114,10 +184,11 @@ def replicate(spec: RunSpec, seeds: Sequence[int], jobs: int = 1,
                                  result.tmax0, start, result.end_time)
         violation_rates.append(report.violations / max(1, report.samples))
     return ReplicatedResult(
-        spec=spec, seeds=seeds,
+        spec=spec, seeds=tuple(kept_seeds),
         agreement=summarize(agreements),
         validity_violation_rate=summarize(violation_rates),
         agreement_values=tuple(agreements),
         validity_values=tuple(violation_rates),
         results=tuple(results),
+        failures=tuple(failures),
     )

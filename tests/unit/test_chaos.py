@@ -1,0 +1,124 @@
+"""Unit tests for the deterministic fault-injection schedules."""
+
+import pickle
+
+import pytest
+
+from repro.runner import ChaosFault, ChaosInjectedError, ChaosSchedule
+from repro.runner.chaos import CHAOS_ACTIONS
+
+
+class TestChaosFaultValidation:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosFault(0, "explode")
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="index must be >= 0"):
+            ChaosFault(-1, "raise")
+
+    def test_rejects_non_positive_attempts(self):
+        with pytest.raises(ValueError, match="attempts must be >= 1"):
+            ChaosFault(0, "raise", attempts=0)
+
+    def test_all_documented_actions_construct(self):
+        for action in CHAOS_ACTIONS:
+            assert ChaosFault(0, action).action == action
+
+
+class TestChaosScheduleLookups:
+    def test_fault_for_matches_index_and_attempt_window(self):
+        schedule = ChaosSchedule.single(2, "raise", attempts=2)
+        assert schedule.fault_for(2, 0) == "raise"
+        assert schedule.fault_for(2, 1) == "raise"
+        assert schedule.fault_for(2, 2) is None  # window exhausted
+        assert schedule.fault_for(1, 0) is None  # different spec
+
+    def test_worker_vs_parent_action_split(self):
+        schedule = ChaosSchedule(faults=(ChaosFault(0, "kill"),
+                                         ChaosFault(1, "interrupt")))
+        assert schedule.worker_action(0, 0) == "kill"
+        assert schedule.parent_action(0, 0) is None
+        assert schedule.worker_action(1, 0) is None
+        assert schedule.parent_action(1, 0) == "interrupt"
+
+    def test_disk_full_keyed_by_write_index(self):
+        schedule = ChaosSchedule(store_full_writes={1, 3})
+        assert not schedule.disk_full(0)
+        assert schedule.disk_full(1)
+        assert not schedule.disk_full(2)
+        assert schedule.disk_full(3)
+
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(TypeError, match="ChaosFault"):
+            ChaosSchedule(faults=(("raise", 0),))
+
+    def test_rejects_non_positive_hang(self):
+        with pytest.raises(ValueError, match="hang_seconds"):
+            ChaosSchedule(hang_seconds=0.0)
+
+
+class TestInjection:
+    def test_raise_action_raises(self):
+        schedule = ChaosSchedule.single(0, "raise")
+        with pytest.raises(ChaosInjectedError, match="spec 0 attempt 0"):
+            schedule.inject(0, 0)
+
+    def test_no_fault_is_a_no_op(self):
+        ChaosSchedule.single(0, "raise").inject(1, 0)
+        ChaosSchedule().inject(0, 0)
+
+    def test_retry_after_window_is_clean(self):
+        schedule = ChaosSchedule.single(0, "raise", attempts=1)
+        with pytest.raises(ChaosInjectedError):
+            schedule.inject(0, 0)
+        schedule.inject(0, 1)  # second attempt: fault expired
+
+
+class TestSeededSchedules:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.seeded(7, 50, kill_rate=0.2, raise_rate=0.2,
+                                 disk_full_rate=0.1)
+        b = ChaosSchedule.seeded(7, 50, kill_rate=0.2, raise_rate=0.2,
+                                 disk_full_rate=0.1)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = ChaosSchedule.seeded(1, 100, kill_rate=0.5)
+        b = ChaosSchedule.seeded(2, 100, kill_rate=0.5)
+        assert a != b
+
+    def test_zero_rates_empty_schedule(self):
+        schedule = ChaosSchedule.seeded(0, 100)
+        assert schedule.faults == ()
+        assert schedule.store_full_writes == frozenset()
+
+    def test_rate_one_faults_every_spec(self):
+        schedule = ChaosSchedule.seeded(0, 10, kill_rate=1.0)
+        assert len(schedule.faults) == 10
+        assert all(f.action == "kill" for f in schedule.faults)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError, match="kill_rate"):
+            ChaosSchedule.seeded(0, 10, kill_rate=1.5)
+        with pytest.raises(ValueError, match="hang_rate"):
+            ChaosSchedule.seeded(0, 10, hang_rate=-0.1)
+
+
+class TestScheduleTransport:
+    def test_schedules_pickle_roundtrip(self):
+        schedule = ChaosSchedule.seeded(3, 20, kill_rate=0.3, raise_rate=0.3,
+                                        disk_full_rate=0.2, attempts=2)
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+        assert clone.fault_for == clone.fault_for  # methods usable
+
+    def test_describe_lists_faults(self):
+        schedule = ChaosSchedule(faults=(ChaosFault(0, "kill"),
+                                         ChaosFault(2, "raise", attempts=3)),
+                                 store_full_writes={1})
+        text = schedule.describe()
+        assert "kill@0" in text
+        assert "raise@2x3" in text
+        assert "disk_full@[1]" in text
+        assert ChaosSchedule().describe() == "chaos[none]"

@@ -1,0 +1,206 @@
+"""Unit tests for the durable content-addressed result store."""
+
+import errno
+import sqlite3
+import time
+
+import pytest
+
+from repro.analysis import default_parameters
+from repro.runner import (
+    ChaosSchedule,
+    ResultStore,
+    RunSpec,
+    StoreError,
+    StoreVersionError,
+    execute,
+    store_key,
+)
+from repro.telemetry import spec_hash
+
+
+@pytest.fixture(scope="module")
+def params():
+    return default_parameters(n=4, f=1)
+
+
+@pytest.fixture(scope="module")
+def spec(params):
+    return RunSpec.maintenance(params, rounds=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return execute(spec)
+
+
+def make_store(tmp_path, **kwargs):
+    return ResultStore(str(tmp_path / "results.sqlite"), **kwargs)
+
+
+class TestContentAddressing:
+    def test_key_is_stable_and_spec_determined(self, spec):
+        assert store_key(spec) == store_key(spec)
+        assert store_key(spec) != store_key(spec.with_seed(1))
+
+    def test_key_extends_manifest_hash(self, spec):
+        # Manifest lines carry the truncated digest; store rows the full
+        # one — they must cross-reference by prefix.
+        assert store_key(spec).startswith(spec_hash(spec))
+
+
+class TestPutGet:
+    def test_roundtrip_is_bit_identical(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            loaded = store.get(spec)
+        assert loaded.trace.events == result.trace.events
+
+    def test_miss_returns_none(self, tmp_path, spec):
+        with make_store(tmp_path) as store:
+            assert store.get(spec) is None
+            assert spec not in store
+
+    def test_contains_and_len_and_keys(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            assert len(store) == 0
+            store.put(spec, result)
+            assert spec in store
+            assert store.contains(spec)
+            assert len(store) == 1
+            assert store.keys() == [store_key(spec)]
+
+    def test_put_overwrites_same_spec(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            store.put(spec, result)
+            assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path, spec, result):
+        path = str(tmp_path / "durable.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        with ResultStore(path) as store:
+            assert store.get(spec).trace.events == result.trace.events
+
+    def test_corrupt_payload_reads_as_miss(self, tmp_path, spec, result):
+        path = str(tmp_path / "corrupt.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE results SET payload = ?",
+                         (sqlite3.Binary(b"torn bytes"),))
+        conn.close()
+        with ResultStore(path) as store:
+            assert store.get(spec) is None  # the spec simply re-runs
+
+
+class TestSchemaVersioning:
+    def test_create_false_requires_existing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="no result store"):
+            ResultStore(str(tmp_path / "absent.sqlite"), create=False)
+
+    def test_newer_schema_refused(self, tmp_path, spec, result):
+        path = str(tmp_path / "future.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE meta SET value = '999' "
+                         "WHERE key = 'schema_version'")
+        conn.close()
+        with pytest.raises(StoreVersionError, match="v999"):
+            ResultStore(path)
+
+    def test_schema_version_property(self, tmp_path):
+        with make_store(tmp_path) as store:
+            assert store.schema_version == 1
+
+
+class TestQuarantineLedger:
+    def test_quarantine_recorded_most_recent_first(self, tmp_path, spec):
+        other = spec.with_seed(9)
+        with make_store(tmp_path) as store:
+            store.quarantine(spec, failures=3, last_error="boom",
+                             traceback_text="tb")
+            store.quarantine(other, failures=1, last_error="later")
+            records = store.quarantined()
+        assert [r["last_error"] for r in records] == ["later", "boom"]
+        assert records[1]["failures"] == 3
+        assert records[1]["traceback"] == "tb"
+        assert records[1]["spec_hash"] == store_key(spec)
+
+    def test_successful_put_clears_quarantine(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.quarantine(spec, failures=2, last_error="flaky")
+            store.put(spec, result)
+            assert store.quarantined() == []
+
+    def test_quarantine_upserts(self, tmp_path, spec):
+        with make_store(tmp_path) as store:
+            store.quarantine(spec, failures=1, last_error="first")
+            store.quarantine(spec, failures=2, last_error="second")
+            records = store.quarantined()
+        assert len(records) == 1
+        assert records[0]["failures"] == 2
+
+
+class TestStatusAndGc:
+    def test_status_summary(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            store.put(spec.with_seed(1), execute(spec.with_seed(1)))
+            store.quarantine(spec.with_seed(2), failures=3, last_error="x")
+            status = store.status()
+        assert status["results"] == 2
+        assert status["quarantined"] == 1
+        assert status["by_kind"] == {"maintenance": 2}
+        assert status["schema_version"] == 1
+        assert status["size_bytes"] > 0
+        assert status["oldest_created_at"] <= status["newest_created_at"]
+
+    def test_gc_by_age(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            # Backdate the row so the age cutoff can catch it.
+            with store._conn:
+                store._conn.execute("UPDATE results SET created_at = ?",
+                                    (time.time() - 1000,))
+            removed = store.gc(older_than=100)
+            assert removed["removed_results"] == 1
+            assert len(store) == 0
+
+    def test_gc_clear_quarantine(self, tmp_path, spec):
+        with make_store(tmp_path) as store:
+            store.quarantine(spec, failures=1, last_error="x")
+            removed = store.gc(clear_quarantine=True, vacuum=False)
+            assert removed["removed_quarantine"] == 1
+            assert store.quarantined() == []
+
+    def test_gc_rejects_negative_age(self, tmp_path):
+        with make_store(tmp_path) as store:
+            with pytest.raises(ValueError, match="older_than"):
+                store.gc(older_than=-1)
+
+    def test_gc_noop_removes_nothing(self, tmp_path, spec, result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            removed = store.gc()
+            assert removed == {"removed_results": 0,
+                               "removed_quarantine": 0}
+            assert len(store) == 1
+
+
+class TestChaosDiskFull:
+    def test_scheduled_write_raises_enospc(self, tmp_path, spec, result):
+        chaos = ChaosSchedule(store_full_writes={1})
+        with make_store(tmp_path, chaos=chaos) as store:
+            store.put(spec, result)  # write 0: fine
+            with pytest.raises(OSError) as excinfo:
+                store.put(spec.with_seed(1), result)  # write 1: full disk
+            assert excinfo.value.errno == errno.ENOSPC
+            # The failed write committed nothing; the store stays usable.
+            assert len(store) == 1
+            store.put(spec.with_seed(2), result)  # write 2: fine again
+            assert len(store) == 2

@@ -288,3 +288,157 @@ class TestReplicate:
         replicate(spec, seeds=[0, 1], runner=runner)
         replicate(spec, seeds=[0, 1, 2], runner=runner)
         assert len(calls) == 3  # seeds 0 and 1 came from the cache
+
+
+class TestTolerateFailures:
+    def test_poison_spec_becomes_specfailure_slot(self, params, monkeypatch):
+        from repro.runner import SpecFailure
+
+        def flaky(spec):
+            if spec.seed == 2:
+                raise ValueError("poison seed")
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", flaky)
+        specs = [RunSpec.maintenance(params, rounds=3, seed=s)
+                 for s in range(4)]
+        results = BatchRunner().run(specs, tolerate_failures=True)
+        failure = results[2]
+        assert isinstance(failure, SpecFailure)
+        assert failure.spec == specs[2]
+        assert failure.error == "ValueError: poison seed"
+        assert "poison seed" in failure.traceback
+        assert "failed: ValueError" in failure.describe()
+        # Completed siblings are intact.
+        for i in (0, 1, 3):
+            assert results[i].trace.events == execute(specs[i]).trace.events
+
+    def test_default_still_raises(self, params, monkeypatch):
+        def always(spec):
+            raise ValueError("poison")
+
+        monkeypatch.setattr(batch_module, "execute", always)
+        spec = RunSpec.maintenance(params, rounds=3)
+        with pytest.raises(ValueError, match="poison"):
+            BatchRunner().run([spec])
+
+    def test_failures_are_cached_like_results(self, params, monkeypatch):
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec)
+            raise ValueError("poison")
+
+        monkeypatch.setattr(batch_module, "execute", flaky)
+        runner = BatchRunner()
+        spec = RunSpec.maintenance(params, rounds=3)
+        runner.run([spec], tolerate_failures=True)
+        runner.run([spec], tolerate_failures=True)
+        assert len(calls) == 1  # the known-bad spec did not re-run
+
+    def test_pool_path_ships_failures_home(self, params):
+        from repro.runner import SpecFailure
+        from repro.sim.events import EventBudgetExceeded
+
+        good = [RunSpec.maintenance(params, rounds=3, seed=s)
+                for s in range(3)]
+        # A genuinely failing spec that reproduces inside pool workers: an
+        # interrupt budget far below what the run needs.
+        bad = RunSpec.maintenance(params, rounds=3, seed=9, max_events=3)
+        results = BatchRunner(jobs=2).run(good + [bad],
+                                          tolerate_failures=True)
+        assert isinstance(results[3], SpecFailure)
+        assert EventBudgetExceeded.__name__ in results[3].error
+        serial = BatchRunner().run(good)
+        for got, expected in zip(results, serial):
+            assert got.trace.events == expected.trace.events
+
+
+class TestReplicatePartial:
+    def test_failing_seed_yields_partial_result(self, params, monkeypatch):
+        def flaky(spec):
+            if spec.seed == 2:
+                raise ValueError("poison seed")
+            return execute(spec)
+
+        monkeypatch.setattr(batch_module, "execute", flaky)
+        spec = RunSpec.maintenance(params, rounds=3)
+        rep = replicate(spec, seeds=[0, 1, 2, 3], tolerate_failures=True)
+        assert rep.seeds == (0, 1, 3)
+        assert rep.failed_seeds == (2,)
+        assert not rep.complete
+        assert len(rep.results) == 3
+        assert rep.agreement.count == 3
+        failure = rep.failures[0]
+        assert failure.seed == 2
+        assert failure.error == "ValueError: poison seed"
+        assert "seed 2 failed" in failure.describe()
+        assert rep.metrics()["seeds"] == 3.0
+        assert rep.metrics()["failed_seeds"] == 1.0
+
+    def test_all_seeds_failing_raises_replication_error(self, params,
+                                                        monkeypatch):
+        from repro.runner import ReplicationError
+
+        def always(spec):
+            raise ValueError("dead")
+
+        monkeypatch.setattr(batch_module, "execute", always)
+        spec = RunSpec.maintenance(params, rounds=3)
+        with pytest.raises(ReplicationError, match="all 2 seeds failed"):
+            replicate(spec, seeds=[0, 1], tolerate_failures=True)
+        try:
+            replicate(spec, seeds=[0, 1], tolerate_failures=True)
+        except ReplicationError as error:
+            assert len(error.failures) == 2
+            assert error.failures[0].seed == 0
+
+    def test_complete_replication_reports_no_failures(self, params):
+        rep = replicate(RunSpec.maintenance(params, rounds=3), seeds=[0, 1])
+        assert rep.complete
+        assert rep.failures == ()
+        assert rep.failed_seeds == ()
+
+    def test_default_replication_still_raises(self, params, monkeypatch):
+        def always(spec):
+            raise ValueError("dead")
+
+        monkeypatch.setattr(batch_module, "execute", always)
+        spec = RunSpec.maintenance(params, rounds=3)
+        with pytest.raises(ValueError, match="dead"):
+            replicate(spec, seeds=[0, 1])
+
+
+class TestInterruptCleanup:
+    """A KeyboardInterrupt mid-batch must not leak pool workers."""
+
+    @staticmethod
+    def _await_no_children(timeout=10.0):
+        import multiprocessing
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                return True
+            time.sleep(0.05)
+        return not multiprocessing.active_children()
+
+    def test_keyboard_interrupt_reraises_and_reaps_workers(self, params):
+        specs = [RunSpec.maintenance(params, rounds=4, seed=s)
+                 for s in range(8)]
+
+        def interrupt_after_first(spec, result):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            BatchRunner(jobs=2).run(specs, on_result=interrupt_after_first)
+        assert self._await_no_children()
+
+    def test_abandoned_iterator_reaps_workers(self, params):
+        specs = [RunSpec.maintenance(params, rounds=4, seed=s)
+                 for s in range(8)]
+        iterator = BatchRunner(jobs=2).run_iter(specs)
+        next(iterator)  # start the pool, consume one result
+        iterator.close()  # generator close must terminate + join the pool
+        assert self._await_no_children()
