@@ -83,6 +83,7 @@ __all__ = [
     "bench_telemetry",
     "bench_resilient_store",
     "bench_vectorized_replication",
+    "bench_large_n",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
@@ -90,6 +91,7 @@ __all__ = [
     "check_streaming_memory",
     "check_telemetry_overhead",
     "check_vectorized_throughput",
+    "check_large_n_throughput",
     "latest_bench_path",
     "collect_history",
     "format_history",
@@ -98,7 +100,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_8.json"
+DEFAULT_BENCH_PATH = "BENCH_9.json"
 
 #: the streaming benchmark's fixed configuration — identical in quick and
 #: full mode so the memory guard always compares like with like.
@@ -532,6 +534,109 @@ def bench_vectorized_replication(n: int = VECTORIZED_N,
     return entry
 
 
+#: the large-n benchmark's engine-side configuration — identical in quick
+#: and full mode so the BENCH_9 regression guard always compares the
+#: round-engine headline on matched configs.  Only the serial reference and
+#: sparse sizes shrink under --quick (a same-size serial run at n=2000 costs
+#: minutes, which CI cannot pay every push).
+LARGE_N_N = 2000
+LARGE_N_ROUNDS = 2
+LARGE_N_PARITY_N = 200
+LARGE_N_SERIAL_N = 2000
+LARGE_N_SERIAL_N_QUICK = 400
+LARGE_N_SPARSE_N = 20000
+LARGE_N_SPARSE_N_QUICK = 5000
+
+
+def bench_large_n(n: int = LARGE_N_N, rounds: int = LARGE_N_ROUNDS,
+                  serial_n: int = LARGE_N_SERIAL_N,
+                  sparse_n: int = LARGE_N_SPARSE_N,
+                  parity_n: int = LARGE_N_PARITY_N) -> Dict[str, object]:
+    """Single-replica large-n throughput: per-round engine vs serial loop.
+
+    Three measurements on fault-free streaming maintenance specs:
+
+    * a bit-parity spot check at ``parity_n`` — the round engine and the
+      serial event loop run the same spec and must agree on the online skew
+      envelope and message stats to the last bit (raises on divergence);
+    * the headline: event throughput (deliveries + fired timers + STARTs per
+      second) of a serial run at ``serial_n`` vs the round engine at ``n``
+      on the complete graph, and their ratio;
+    * a sparse-topology run at ``sparse_n`` on a star, round engine only —
+      the configuration whose serial cost is prohibitive — timed to show
+      large sparse populations stay tractable.
+
+    The event budget scales as ``2·n²·rounds`` because the algorithm is
+    all-to-all per round regardless of the graph.  When numpy is missing the
+    slot records ``available: false`` and no measurements.
+    """
+    from .runner.spec import RunSpec, execute
+    from .sim import roundengine
+
+    entry: Dict[str, object] = {
+        "n": n, "rounds": rounds, "serial_n": serial_n,
+        "sparse_n": sparse_n, "sparse_topology": "star",
+        "parity_n": parity_n,
+        "available": roundengine.roundengine_available(),
+    }
+    if not entry["available"]:
+        return entry
+
+    def spec_for(size: int, engine: bool, topology=None) -> "RunSpec":
+        params = default_parameters(n=size, f=_legal_f(size))
+        return RunSpec.maintenance(
+            params, rounds=rounds, fault_kind=None, record_trace=False,
+            observers=("skew", "validity"), topology=topology,
+            max_events=4 * size * size * rounds + 10_000,
+            round_engine=engine, vectorize=False if not engine else None)
+
+    def events_of(result, size: int) -> int:
+        stats = result.trace.stats
+        return stats.delivered + stats.timers_fired + size
+
+    # Bit-parity spot check (doubles as warm-up for both paths).
+    serial_small = execute(spec_for(parity_n, engine=False))
+    engine_small = execute(spec_for(parity_n, engine=True))
+    if (serial_small.trace.stats != engine_small.trace.stats
+            or serial_small.online("skew").max_skew
+            != engine_small.online("skew").max_skew):
+        raise AssertionError(
+            "round-engine results diverged from the serial reference")
+    entry["parity_ok"] = True
+
+    start = time.perf_counter()
+    serial_result = execute(spec_for(serial_n, engine=False))
+    serial_seconds = time.perf_counter() - start
+    serial_events = events_of(serial_result, serial_n)
+
+    start = time.perf_counter()
+    engine_result = execute(spec_for(n, engine=True))
+    seconds = time.perf_counter() - start
+    events = events_of(engine_result, n)
+
+    start = time.perf_counter()
+    sparse_result = execute(spec_for(sparse_n, engine=True, topology="star"))
+    sparse_seconds = time.perf_counter() - start
+    sparse_events = events_of(sparse_result, sparse_n)
+
+    serial_rate = serial_events / serial_seconds if serial_seconds > 0 else 0.0
+    rate = events / seconds if seconds > 0 else 0.0
+    entry.update({
+        "serial_seconds": serial_seconds,
+        "serial_events": serial_events,
+        "serial_events_per_second": serial_rate,
+        "seconds": seconds,
+        "events": events,
+        "events_per_second": rate,
+        "speedup": rate / serial_rate if serial_rate else 0.0,
+        "sparse_seconds": sparse_seconds,
+        "sparse_events": sparse_events,
+        "sparse_events_per_second":
+            sparse_events / sparse_seconds if sparse_seconds > 0 else 0.0,
+    })
+    return entry
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -603,6 +708,12 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     # Same config in both modes: the vectorized-throughput guard compares
     # config-matched entries, and CI runs --quick against a full recording.
     results["vectorized_replication"] = bench_vectorized_replication()
+    # The engine-side config (n/rounds/parity) is identical in both modes so
+    # the large-n guard compares matched headlines; only the serial reference
+    # and the sparse population shrink under --quick.
+    results["large_n"] = bench_large_n(
+        serial_n=LARGE_N_SERIAL_N_QUICK if quick else LARGE_N_SERIAL_N,
+        sparse_n=LARGE_N_SPARSE_N_QUICK if quick else LARGE_N_SPARSE_N)
     return results
 
 
@@ -628,7 +739,9 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "put_seconds", "get_seconds",
                                "puts_per_second", "gets_per_second",
                                "supervised_seconds",
-                               "supervision_overhead"})
+                               "supervision_overhead",
+                               "sparse_seconds", "sparse_events",
+                               "sparse_events_per_second", "parity_ok"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -804,6 +917,58 @@ def check_vectorized_throughput(results: Dict[str, object],
     return None
 
 
+def check_large_n_throughput(results: Dict[str, object],
+                             baseline_path: str,
+                             tolerance: float = 0.30) -> Optional[str]:
+    """Round-engine regression guard: None when healthy.
+
+    Compares the ``large_n`` slot's round-engine headline throughput against
+    the recorded trajectory (preferring ``baseline``, falling back to
+    ``current``; older files predate the slot, in which case the guard passes
+    vacuously), machine-normalized by the ``calibration`` slot.  Only the
+    engine-side configuration (``n``/``rounds``) has to match — the serial
+    reference and sparse sizes legitimately differ between ``--quick`` CI
+    runs and full recordings.  The engine silently falling back to the serial
+    loop shows up here as an order-of-magnitude throughput drop.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    reference_entry = None
+    reference_cal = None
+    for slot_name in ("baseline", "current"):
+        slot = recorded.get(slot_name) or {}
+        slot_results = slot.get("results") or {}
+        entry = slot_results.get("large_n")
+        if isinstance(entry, dict) and entry.get("events_per_second"):
+            reference_entry = entry
+            reference_cal = (slot_results.get("calibration", {})
+                             .get("ops_per_second"))
+            break
+    if reference_entry is None:
+        return None
+    measured_entry = results.get("large_n")
+    if not isinstance(measured_entry, dict) \
+            or not measured_entry.get("events_per_second"):
+        return None
+    if any(reference_entry.get(key) != measured_entry.get(key)
+           for key in ("n", "rounds")):
+        return None
+    reference = reference_entry["events_per_second"]
+    measured = measured_entry["events_per_second"]
+    this_cal = results.get("calibration", {}).get("ops_per_second")
+    normalized = ""
+    if reference_cal and this_cal:
+        reference = reference / reference_cal
+        measured = measured / this_cal
+        normalized = " (machine-normalized)"
+    floor = reference * (1.0 - tolerance)
+    if measured < floor:
+        return (f"round-engine large-n throughput {measured:,.4g} dropped "
+                f"more than {tolerance:.0%} below the recorded baseline "
+                f"{reference:,.4g}{normalized}")
+    return None
+
+
 def check_telemetry_overhead(results: Dict[str, object],
                              tolerance: float = 0.05) -> Optional[str]:
     """Disabled-telemetry overhead guard: None when healthy.
@@ -874,6 +1039,7 @@ def collect_history(directory: str = ".") -> List[Dict[str, object]]:
         slot = payload.get("current") or payload.get("baseline") or {}
         results = slot.get("results") or {}
         vectorized = results.get("vectorized_replication") or {}
+        large = results.get("large_n") or {}
         rows.append({
             "path": name,
             "label": slot.get("label", "?"),
@@ -885,6 +1051,8 @@ def collect_history(directory: str = ".") -> List[Dict[str, object]]:
             .get("events_per_second"),
             "vector_rate": vectorized.get("events_per_second"),
             "vector_speedup": vectorized.get("speedup"),
+            "large_rate": large.get("events_per_second"),
+            "large_speedup": large.get("speedup"),
         })
     return rows
 
@@ -908,11 +1076,13 @@ def format_history(rows: Sequence[Dict[str, object]]) -> str:
         return rate / calibration if calibration else rate
 
     seeds: Dict[str, Optional[float]] = {}
-    for key in ("event_rate", "streaming_rate", "vector_rate"):
+    for key in ("event_rate", "streaming_rate", "vector_rate", "large_rate"):
         seeds[key] = next((normalized(row, key) for row in rows
                            if normalized(row, key)), None)
 
     def cell(row: Dict[str, object], key: str) -> str:
+        # Trajectory files predating a slot simply lack its keys — render a
+        # dash so the table stays aligned across the whole history.
         rate = row.get(key)
         if not rate:
             return f"{'—':>12} {'':>7}"
@@ -922,17 +1092,20 @@ def format_history(rows: Sequence[Dict[str, object]]) -> str:
             ratio = f"{norm / seeds[key]:.2f}x"
         return f"{rate:>12,.0f} {ratio:>7}"
 
+    def speedup_cell(row: Dict[str, object], key: str) -> str:
+        speedup = row.get(key)
+        return f"{(f'{speedup:.1f}x' if speedup else '—'):>8}"
+
     header = (f"{'file':<14} {'label':<28} {'events/s':>12} {'vs seed':>7} "
               f"{'stream/s':>12} {'vs seed':>7} {'vector/s':>12} {'vs seed':>7}"
-              f" {'S-spdup':>8}")
+              f" {'S-spdup':>8} {'large-n/s':>12} {'vs seed':>7} {'L-spdup':>8}")
     lines = [header, "-" * len(header)]
     for row in rows:
-        speedup = row.get("vector_speedup")
         lines.append(
             f"{row['path']:<14} {str(row['label'])[:28]:<28} "
             f"{cell(row, 'event_rate')} {cell(row, 'streaming_rate')} "
-            f"{cell(row, 'vector_rate')} "
-            f"{(f'{speedup:.1f}x' if speedup else '—'):>8}")
+            f"{cell(row, 'vector_rate')} {speedup_cell(row, 'vector_speedup')} "
+            f"{cell(row, 'large_rate')} {speedup_cell(row, 'large_speedup')}")
     return "\n".join(lines)
 
 
@@ -996,6 +1169,20 @@ def format_results(results: Dict[str, object],
                 f"{vectorized['serial_events_per_second']:,.0f} ev/s)")
         else:
             lines.append("vectorized replicate  (numpy unavailable — skipped)")
+    large = results.get("large_n")
+    if large:
+        if large.get("available"):
+            lines.append(
+                f"large-n round engine  "
+                f"{large['events_per_second']:>12,.0f} ev/s "
+                f"(n={large['n']}, {large['speedup']:.1f}x over serial "
+                f"n={large['serial_n']} at "
+                f"{large['serial_events_per_second']:,.0f} ev/s; sparse "
+                f"{large['sparse_topology']} n={large['sparse_n']} in "
+                f"{large['sparse_seconds']:.1f}s at "
+                f"{large['sparse_events_per_second']:,.0f} ev/s)")
+        else:
+            lines.append("large-n round engine  (numpy unavailable — skipped)")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))
@@ -1025,6 +1212,9 @@ def main(args: argparse.Namespace) -> int:
         if failure is None:
             failure = check_vectorized_throughput(results, check_path,
                                                   tolerance=args.tolerance)
+        if failure is None:
+            failure = check_large_n_throughput(results, check_path,
+                                               tolerance=args.tolerance)
         if failure is None:
             failure = check_telemetry_overhead(results)
         if failure:

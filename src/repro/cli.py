@@ -56,7 +56,12 @@ confidence intervals instead of single-draw numbers.  Vectorizable replicated
 groups (complete graph, uniform/fixed delays, streaming mode) are executed by
 the struct-of-arrays batch engine (:mod:`repro.sim.vectorized`) — results
 stay bit-identical to the serial loop; ``--vectorize`` forces the batch path
-and ``--no-vectorize`` disables it.
+and ``--no-vectorize`` disables it.  Large single runs (streaming, n in the
+thousands) auto-engage the per-round engine (:mod:`repro.sim.roundengine`),
+which advances whole rounds over flat arrays instead of per-message events;
+``--round-engine`` forces it, ``--no-round-engine`` disables it everywhere
+(including pool workers), and ``--max-events`` raises the event budget that
+large-n runs would otherwise exhaust.
 
 Every sub-command prints plain-text tables (see
 :mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
@@ -375,6 +380,21 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         action="store_false",
                         help="disable the batch engine and run every replica "
                              "through the serial event loop")
+    engine = parser.add_mutually_exclusive_group()
+    engine.add_argument("--round-engine", dest="round_engine",
+                        action="store_true", default=None,
+                        help="force the per-round large-n engine for "
+                             "supported maintenance runs (default: "
+                             "auto-selected for streaming specs with n >= "
+                             "512; results are bit-identical to serial)")
+    engine.add_argument("--no-round-engine", dest="round_engine",
+                        action="store_false",
+                        help="disable the per-round engine everywhere, "
+                             "including sweep/replication pool workers")
+    parser.add_argument("--max-events", type=int, default=None, metavar="N",
+                        help="override the per-run event budget (default "
+                             "2,000,000); large-n runs dispatch ~n^2 "
+                             "deliveries per round and need a bigger cap")
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +417,15 @@ def _audit(result, samples: int = 200):
     if result.is_partition_heal:
         return check_partition_heal_run(result)
     return check_maintenance_run(result, samples=samples)
+
+
+def _apply_engine_options(spec, args: argparse.Namespace):
+    """Thread --round-engine/--max-events into a built spec."""
+    if getattr(args, "round_engine", None) is not None:
+        spec = dataclasses.replace(spec, round_engine=args.round_engine)
+    if getattr(args, "max_events", None) is not None:
+        spec = dataclasses.replace(spec, max_events=args.max_events)
+    return spec
 
 
 def _streaming_requested(args: argparse.Namespace, workload) -> bool:
@@ -433,6 +462,7 @@ def _cmd_run_replicated(args: argparse.Namespace) -> int:
                           **overrides)
         if args.vectorize is not None:
             spec = dataclasses.replace(spec, vectorize=args.vectorize)
+        spec = _apply_engine_options(spec, args)
         rep = replicate(spec, args.replicate_seeds, jobs=args.jobs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -521,6 +551,7 @@ def _cmd_run_streaming(args: argparse.Namespace) -> int:
                           horizon=args.horizon,
                           checkpoint_every=args.checkpoint_every,
                           samples=args.samples)
+        spec = _apply_engine_options(spec, args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -975,6 +1006,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # reaches every replica regardless of which layer constructs it.
         from .sim.vectorized import use_vectorized
         use_vectorized(False)
+    if getattr(args, "round_engine", None) is False:
+        # Same lever for the per-round engine — plus the environment flag,
+        # which (unlike the module toggle) is inherited by --jobs pool
+        # workers, so the kill switch holds across process boundaries.
+        import os
+
+        from .sim.roundengine import use_round_engine
+        os.environ["REPRO_NO_ROUNDENGINE"] = "1"
+        use_round_engine(False)
     command = _COMMANDS[args.command]
     if _telemetry_requested(args):
         return _with_telemetry(args, command)

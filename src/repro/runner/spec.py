@@ -158,6 +158,12 @@ class RunSpec:
     #: even for small batches, ``False`` = always take the serial path.  An
     #: execution *strategy* knob — results are bit-identical either way.
     vectorize: Optional[bool] = None
+    #: large-n round-engine policy: ``None`` = auto (:func:`execute` routes
+    #: qualifying streaming maintenance specs with n ≥
+    #: :data:`repro.sim.roundengine.AUTO_MIN_N` through the round engine),
+    #: ``True`` = use it at any n, ``False`` = always serial.  Like
+    #: ``vectorize``, a strategy knob — results are bit-identical either way.
+    round_engine: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SCENARIO_KINDS:
@@ -232,6 +238,10 @@ class RunSpec:
         if self.vectorize is not None and not isinstance(self.vectorize, bool):
             raise TypeError(f"vectorize must be None or a bool, "
                             f"got {self.vectorize!r}")
+        if self.round_engine is not None and \
+                not isinstance(self.round_engine, bool):
+            raise TypeError(f"round_engine must be None or a bool, "
+                            f"got {self.round_engine!r}")
 
     # -- convenience ---------------------------------------------------------
     def options_dict(self) -> Dict[str, Any]:
@@ -282,6 +292,7 @@ class RunSpec:
                     max_events: Optional[int] = None,
                     samples: Optional[int] = None,
                     vectorize: Optional[bool] = None,
+                    round_engine: Optional[bool] = None,
                     **options: Any) -> "RunSpec":
         """The Welch-Lynch maintenance algorithm under a chosen fault load."""
         return cls(kind="maintenance", params=params, rounds=rounds,
@@ -293,7 +304,7 @@ class RunSpec:
                    record_trace=record_trace, observers=tuple(observers),
                    horizon=horizon, checkpoint_every=checkpoint_every,
                    max_events=max_events, samples=samples,
-                   vectorize=vectorize)
+                   vectorize=vectorize, round_engine=round_engine)
 
     @classmethod
     def algorithm_run(cls, algorithm: str, params: SyncParameters,
@@ -472,11 +483,19 @@ def _execute(spec: RunSpec, experiments, build_topology) -> "ScenarioResult":
                                                **spec.delay_options_dict())
     options = spec.options_dict()
     if spec.kind == "maintenance":
-        result = experiments.run_maintenance_scenario(
-            params, rounds=spec.rounds, fault_kind=spec.fault_kind,
-            fault_count=spec.fault_count, clock_kind=spec.clock_kind,
-            delay=delay_model, seed=spec.seed, topology=topology,
-            **_streaming_kwargs(spec), **options)
+        result = None
+        from ..sim import roundengine
+        if roundengine.should_use(spec):
+            # The large-n round engine; None means it declined (out-of-scope
+            # topology or a mid-run clean-path exit) and the serial loop —
+            # the bit-identical reference — runs instead.
+            result = roundengine.try_execute(spec, topology)
+        if result is None:
+            result = experiments.run_maintenance_scenario(
+                params, rounds=spec.rounds, fault_kind=spec.fault_kind,
+                fault_count=spec.fault_count, clock_kind=spec.clock_kind,
+                delay=delay_model, seed=spec.seed, topology=topology,
+                **_streaming_kwargs(spec), **options)
     elif spec.kind == "algorithm":
         result = experiments.run_algorithm_scenario(
             spec.algorithm, params, rounds=spec.rounds,

@@ -1,0 +1,670 @@
+"""Single-replica, large-n round engine: intra-replica vectorized rounds.
+
+:mod:`repro.sim.vectorized` (PR 7) batches S replicas of one *small*-n spec;
+this module is the symmetric perf axis: **one** replica whose n is large
+enough (thousands to ~10^5) that executing each of the O(n·edges)-per-round
+messages as an individual heap event dominates wall clock.  Because every
+nonfaulty Welch–Lynch process broadcasts once per round, collects arrivals
+for one window and applies one fault-tolerant-midpoint correction, a whole
+round collapses into flat-array kernels over ``(chunk, n)`` blocks:
+
+* per round, the active senders are sorted by real send time and their delay
+  draws replayed from one mirrored Mersenne-Twister stream in exactly the
+  serial global send order (the PR 7 argsort/cumsum transplant, here with
+  per-*hop* draw positions so multi-hop relays accumulate
+  ``time += delay`` in the serial order);
+* arrivals scatter into running bottom-(f+1)/top-(f+1) buffers per receiver
+  — the midpoint ``(sorted[f] + sorted[n-1-f]) / 2`` only needs the f+1
+  extreme values from the correct senders plus the (dense, small) fault
+  columns, so per-round memory is O(n·f) instead of O(n²);
+* sparse topologies go through :class:`~repro.topology.index.TopologyIndex`
+  (CSR adjacency, chunked multi-source BFS), so per-round work is
+  O(edges)-proportional and leaf-heavy graphs at n≈5·10^4 stay tractable
+  under streaming (``record_trace=False``) with the online observers.
+
+**Bit-identity contract.**  Same as the batch engine: the serial loop is the
+reference and this module reproduces it float for float — every arithmetic
+expression keeps the serial operation order, and the delay draws replay the
+serial RNG ledger.  The engine only handles executions on the *clean path*,
+where every arrival a process will read lands inside the collection window
+it is read in (``last_update < arrival ≤ window_end``) — which is exactly
+the regime the Lundelius–Lynch window derivation guarantees for nonfaulty
+executions.  Anything else — tied send times, late or stale arrivals, a
+missed round, a non-positive delay, the event budget — raises an internal
+fallback and the caller transparently re-runs the spec through the serial
+:func:`~repro.analysis.experiments.run_maintenance_scenario`.
+
+``REPRO_NO_ROUNDENGINE=1`` (or :func:`use_round_engine`) disables the engine
+outright; ``RunSpec.round_engine`` forces it on (any n) or off per spec.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from ..clocks.drift import make_clock_ensemble
+from ..clocks.logical import CorrectionHistory
+from .trace import ExecutionTrace, MessageStats
+from .traceindex import numpy_enabled
+from .vectorized import DEFAULT_EVENT_BUDGET, _fault_count, _mirror_rng
+
+try:  # pragma: no cover - exercised via the parity suite on both backends
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy genuinely absent
+    _np = None
+
+__all__ = [
+    "supports_spec",
+    "roundengine_available",
+    "use_round_engine",
+    "should_use",
+    "try_execute",
+    "ROUND_FAULT_KINDS",
+    "AUTO_MIN_N",
+]
+
+#: fault behaviours with clean-path round skeletons.  The Byzantine kinds
+#: need per-attacker python schedules (cheap at PR 7's n≤~100, not at 10^4)
+#: and always take the serial path here.
+ROUND_FAULT_KINDS = frozenset({"silent", "crash"})
+
+#: below this n the per-event serial loop (or the batch engine, when
+#: replicating) wins; the engine only auto-engages at or above it.  An
+#: explicit ``RunSpec.round_engine=True`` overrides.
+AUTO_MIN_N = 512
+
+#: dense per-receiver fault columns; above this many cells the crash/silent
+#: bookkeeping would dominate memory, so the spec runs serially.
+_MAX_FAULT_CELLS = 1 << 22
+
+#: sender-chunk sizing: aim for ~4M (chunk × n) cells per kernel.
+_CHUNK_CELLS = 1 << 22
+
+_roundengine_disabled = bool(os.environ.get("REPRO_NO_ROUNDENGINE"))
+
+
+def roundengine_available() -> bool:
+    """True when the round engine can run (numpy present and not disabled)."""
+    return _np is not None and numpy_enabled() and not _roundengine_disabled
+
+
+def use_round_engine(enabled: bool) -> None:
+    """Globally enable/disable the round engine (tests and benchmarks)."""
+    global _roundengine_disabled
+    _roundengine_disabled = not enabled
+
+
+def supports_spec(spec: Any) -> bool:
+    """Structurally round-executable: streaming maintenance, supported models.
+
+    Purely a property of the spec; :func:`should_use` adds the runtime gates
+    and :func:`try_execute` checks the *built* topology (connectivity, extra
+    delays, drops).  Unlike the batch engine, sparse topologies and explicit
+    ``max_events`` budgets are in scope.
+    """
+    try:
+        if spec.kind != "maintenance":
+            return False
+        if spec.record_trace:
+            return False
+        if spec.delay not in ("uniform", "fixed") or spec.delay_options:
+            return False
+        if spec.clock_kind not in ("constant", "perfect"):
+            return False
+        if spec.options or spec.checkpoint_every is not None:
+            return False
+        if not set(spec.observers) <= {"skew", "validity"}:
+            return False
+        if spec.fault_kind is not None and \
+                spec.fault_kind not in ROUND_FAULT_KINDS:
+            return False
+        params = spec.params
+        if params.n < 2:
+            return False
+        fault_count = _fault_count(spec)
+        if not 0 <= fault_count < params.n:
+            return False
+        return True
+    except AttributeError:
+        return False
+
+
+def should_use(spec: Any) -> bool:
+    """Whether the runner should route this spec through the round engine."""
+    forced = getattr(spec, "round_engine", None)
+    if forced is False:
+        return False
+    if not (roundengine_available() and supports_spec(spec)):
+        return False
+    return forced is True or spec.params.n >= AUTO_MIN_N
+
+
+class _Fallback(Exception):
+    """Internal: this execution left the clean path; run it serially."""
+
+
+class RoundSystem:
+    """Round-at-a-time executor for one large-n maintenance spec.
+
+    Holds per-process clock state, corrections, timer deadlines and the
+    per-round extreme-value buffers as ``(n,)``-shaped arrays; broadcasts are
+    processed in sender chunks of ``(chunk, n)`` arrival matrices.  The
+    caller supplies the *base* spec params (for the delay model, which the
+    serial path builds before topology correction) and the already-built
+    topology; effective parameters are derived here exactly as
+    :func:`~repro.analysis.experiments.run_maintenance_scenario` does.
+    """
+
+    def __init__(self, spec: Any, topology: Optional[Any]):
+        if _np is None:  # pragma: no cover - callers gate on availability
+            raise RuntimeError("numpy is required for round execution")
+        np = _np
+        from ..analysis.experiments import (effective_parameters,
+                                            maintenance_end_time)
+        self.spec = spec
+        self.topology = topology
+        base = spec.params
+        self.params = params = effective_parameters(base, topology)
+        self.n = n = params.n
+        self.rounds = spec.rounds
+        self.fault_count = fc = _fault_count(spec)
+        self.n_correct = n - fc
+        self.fault_kind = spec.fault_kind if fc else None
+
+        # Graph view: ``None`` index means the complete-graph fast path
+        # (topology omitted entirely); a complete Topology object routes
+        # every pair over the one-hop route, which draws and accumulates
+        # identically, so it shares the dist≡1 kernels.
+        if topology is None:
+            self.index = None
+            self.complete = True
+            self.edge_count = n * (n - 1) // 2
+        else:
+            from ..topology.index import topology_index
+            self.index = topology_index(topology)
+            self.complete = self.index.is_complete
+            self.edge_count = self.index.edge_count
+
+        # Real clock ensemble from the serial constructor (effective params).
+        self.clocks = make_clock_ensemble(n, rho=params.rho, beta=params.beta,
+                                          seed=spec.seed,
+                                          kind=spec.clock_kind)
+        self.off = np.array([c.offset for c in self.clocks])
+        if spec.clock_kind == "perfect":
+            self.rt = np.ones(n)
+        else:
+            self.rt = np.array([c.rate for c in self.clocks])
+
+        end = maintenance_end_time(params, self.rounds)
+        if spec.horizon is not None:
+            end = max(end, float(spec.horizon))
+        self.end_time = end
+
+        # START delivery: real_time_at(T0 − CORR) with CORR = 0.
+        t0 = params.initial_round_time
+        self.start_t = ((t0 - 0.0) - self.off) / self.rt
+
+        # Crash faults run the correct algorithm until a fixed real time.
+        if self.fault_kind == "crash":
+            crash_time = (params.initial_round_time
+                          + (self.rounds / 2.0) * params.round_length)
+            self.crash_t = np.where(np.arange(n) < self.n_correct,
+                                    np.inf, crash_time)
+            self.is_upd = np.ones(n, dtype=bool)
+        else:
+            self.crash_t = np.full(n, np.inf)
+            self.is_upd = np.arange(n) < self.n_correct
+
+        # Delay model constants from the *base* params (the serial path
+        # builds the model before the topology-corrected derivation).
+        self.uniform = spec.delay == "uniform"
+        self.delay_lo = base.delta - base.epsilon
+        self.delay_span = ((base.delta + base.epsilon)
+                           - (base.delta - base.epsilon))
+        self.delay_fixed = base.delta
+        self.rng = _mirror_rng(spec.seed) if self.uniform else None
+
+        # Mutable per-process state.
+        self.corr = np.zeros(n)
+        self.last_u = np.full(n, -np.inf)
+        self.prev_block_max = -np.inf
+
+        # Dense fault columns: [receiver, fault_index] value-in-force and its
+        # arrival time (later arrival wins, like the serial overwrite).
+        if self.fault_kind == "crash":
+            self.fa_val = np.zeros((n, fc))
+            self.fa_t = np.full((n, fc), -np.inf)
+            self.fa_has = np.zeros((n, fc), dtype=bool)
+
+        # Correction trajectories for histories and observers.
+        R = self.rounds
+        self.u_hist = np.full((n, R), np.inf)
+        self.adj_hist = np.zeros((n, R))
+        self.corr_hist = np.zeros((n, R + 1))
+        self.did_update = np.zeros((n, R), dtype=bool)
+
+        # MessageStats counters (python ints: they reach 10^9 at n≈2·10^4).
+        self.sent = 0
+        self.delivered = 0
+        self.relayed = 0
+        self.timers_set = 0
+        self.timers_fired = 0
+        self.dispatched = 0
+        self.pps = np.zeros(n, dtype=np.int64)
+        self.budget = (spec.max_events if spec.max_events is not None
+                       else DEFAULT_EVENT_BUDGET)
+        self.chunk = max(1, _CHUNK_CELLS // n)
+
+    def _dist_rows(self, pids: Any) -> Any:
+        """Effective hop distances for the chunk: diagonal lifted to 1 draw."""
+        np = _np
+        if self.complete:
+            return np.ones((len(pids), self.n), dtype=np.int16)
+        dist = self.index.dist_rows(pids)
+        return np.where(dist == 0, np.int16(1), dist)
+
+    def _deliver_round(self, b: Any, act_b: Any, u: Any, act_u: Any) -> Any:
+        """One round's broadcasts: draws, arrivals, stats, value buffers.
+
+        Returns ``(low_buf, high_buf)`` — the running f+1 smallest/largest
+        clock values each updating receiver collected from *correct* senders
+        — or ``(None, None)`` when nobody updates this round.  Arrivals from
+        crash-fault senders go to the persistent dense columns instead.
+        """
+        np = _np
+        n = self.n
+        senders = np.nonzero(act_b)[0]
+        need_values = bool(act_u.any())
+        if need_values:
+            act_idx = np.nonzero(act_u)[0]
+            width = min(self.params.f + 1, self.n_correct)
+            low_buf = np.full((len(act_idx), width), np.inf)
+            high_buf = np.full((len(act_idx), width), -np.inf)
+        else:
+            low_buf = high_buf = None
+        if not senders.size:
+            return low_buf, high_buf
+
+        # Global send order within the round block; ties and cross-round
+        # inversions would reorder the serial draw ledger.
+        bs = b[senders]
+        order = np.argsort(bs, kind="stable")
+        ssort = senders[order]
+        bsort = bs[order]
+        if len(bsort) > 1 and (bsort[1:] == bsort[:-1]).any():
+            raise _Fallback("tied send times")
+        if bsort[0] <= self.prev_block_max:
+            raise _Fallback("send-order inversion across rounds")
+        self.prev_block_max = float(bsort[-1])
+
+        if not self.uniform and self.delay_fixed <= 0:
+            raise _Fallback("non-positive delay")
+
+        for c0 in range(0, len(ssort), self.chunk):
+            pids = ssort[c0:c0 + self.chunk]
+            C = len(pids)
+            dist = self._dist_rows(pids)
+            if (dist < 0).any():  # pragma: no cover - gated on connectivity
+                raise _Fallback("unroutable pair")
+            counts = dist.astype(np.int64)
+            cum = np.cumsum(counts, axis=1)
+            pos = cum - counts                      # per-message draw start
+            AT = np.repeat(bsort[c0:c0 + C, None], n, axis=1)
+            if self.uniform:
+                # One contiguous slice of the serial draw stream; splitting
+                # random_sample per chunk is exact (same MT state walk).
+                delays = (self.delay_lo
+                          + self.delay_span * self.rng.random_sample(
+                              int(cum[:, -1].sum())))
+                if (delays <= 0).any():
+                    raise _Fallback("non-positive delay")
+                row_base = np.concatenate(
+                    [np.zeros(1, dtype=np.int64),
+                     np.cumsum(cum[:, -1])])[:C, None]
+                idx = row_base + pos
+                # Multi-hop relays accumulate serially: time += delay, hop
+                # by hop, preserving the serial float order.
+                for h in range(int(dist.max())):
+                    sel = dist > h
+                    AT[sel] += delays[idx[sel] + h]
+            else:
+                for h in range(int(dist.max())):
+                    sel = dist > h
+                    AT[sel] += self.delay_fixed
+
+            arrived = AT <= self.end_time
+            arrived_count = int(arrived.sum())
+            self.delivered += arrived_count
+            self.dispatched += arrived_count
+            self.sent += C * n
+            self.pps[pids] += n
+            if not self.complete:
+                self.relayed += int((dist >= 2).sum())
+            if not need_values:
+                continue
+
+            correct_rows = pids < self.n_correct
+            if correct_rows.any():
+                ATc = AT[correct_rows][:, act_idx]
+                # Clean path: every value an updater reads landed inside the
+                # window it is read in.  Anything else means the serial loop
+                # reads a stale cell or a pending stash — run it serially.
+                if not ((ATc > self.last_u[act_idx])
+                        & (ATc <= u[act_idx])).all():
+                    raise _Fallback("arrival outside the collection window")
+                vals = ((self.off[act_idx] + self.rt[act_idx] * ATc)
+                        + self.corr[act_idx])
+                low_buf = np.partition(
+                    np.concatenate([low_buf, vals.T], axis=1),
+                    low_buf.shape[1] - 1, axis=1)[:, :low_buf.shape[1]]
+                keep = high_buf.shape[1]
+                merged = np.concatenate([high_buf, vals.T], axis=1)
+                high_buf = np.partition(
+                    merged, merged.shape[1] - keep, axis=1)[:, -keep:]
+
+            fault_rows = pids >= self.n_correct
+            if fault_rows.any() and self.fault_kind == "crash":
+                cols = pids[fault_rows] - self.n_correct
+                ATf = AT[fault_rows].T              # (receiver, fault sender)
+                recv = (arrived[fault_rows].T & self.is_upd[:, None]
+                        & self.armed_w[:, None]
+                        & (ATf < self.crash_t[:, None]))
+                if (recv & (ATf <= self.last_u[:, None])).any():
+                    raise _Fallback("arrival before previous update")
+                if (recv & (ATf > u[:, None])).any():
+                    raise _Fallback("arrival outside the collection window")
+                old_t = self.fa_t[:, cols]
+                if (recv & (ATf == old_t)).any():
+                    raise _Fallback("tied ARR arrivals")
+                newer = recv & (ATf > old_t)
+                value = (self.off[:, None] + self.rt[:, None] * ATf) \
+                    + self.corr[:, None]
+                self.fa_val[:, cols] = np.where(newer, value,
+                                                self.fa_val[:, cols])
+                self.fa_t[:, cols] = np.where(newer, ATf, old_t)
+                self.fa_has[:, cols] |= recv
+        return low_buf, high_buf
+
+    def run(self) -> None:
+        """Advance through all rounds; raises :class:`_Fallback` off-path."""
+        np = _np
+        n = self.n
+        params = self.params
+        window = params.collection_window()
+        delta = params.delta
+        P = params.round_length
+        f = params.f
+
+        self.dispatched += int((self.start_t <= self.end_time).sum())
+
+        T = params.initial_round_time
+        armed_b = self.is_upd.copy()
+        for r in range(self.rounds):
+            # Broadcast phase: the round-r timer (START for round 0) fires.
+            b = ((T - self.corr) - self.off) / self.rt
+            fire_b = armed_b & (b <= self.end_time)
+            if r > 0:
+                fired = int(fire_b.sum())
+                self.timers_fired += fired
+                self.dispatched += fired
+            act_b = fire_b & (b < self.crash_t)
+
+            # Collection-window timer: T + (1+ρ)(β+δ+ε), on the same CORR.
+            window_end = T + (window + (n - 1) * 0.0)
+            u = ((window_end - self.corr) - self.off) / self.rt
+            armed_w = act_b & (u > b)
+            if (act_b & ~armed_w).any():
+                raise _Fallback("collection window not in the future")
+            self.armed_w = armed_w
+            self.timers_set += int(armed_w.sum())
+
+            fire_w = armed_w & (u <= self.end_time)
+            act_u = fire_w & (u < self.crash_t)
+            # Clean path needs the full value matrix: every correct process
+            # must still be broadcasting while anyone updates.
+            if act_u.any() and not act_b[:self.n_correct].all():
+                raise _Fallback("correct sender missing from round")
+
+            low_buf, high_buf = self._deliver_round(b, act_b, u, act_u)
+
+            # Update phase: mid(reduce(ARR)), ADJ = (T + δ) − AV.
+            fired = int(fire_w.sum())
+            self.timers_fired += fired
+            self.dispatched += fired
+            if act_u.any():
+                act_idx = np.nonzero(act_u)[0]
+                fallback = ((self.off[act_idx] + self.rt[act_idx] * u[act_idx])
+                            + self.corr[act_idx])
+                if self.fault_count:
+                    if self.fault_kind == "crash":
+                        fault_vals = np.where(self.fa_has[act_idx],
+                                              self.fa_val[act_idx],
+                                              fallback[:, None])
+                    else:  # silent: nothing ever arrives from them
+                        fault_vals = np.broadcast_to(
+                            fallback[:, None],
+                            (len(act_idx), self.fault_count))
+                    cand_low = np.concatenate([low_buf, fault_vals], axis=1)
+                    cand_high = np.concatenate([high_buf, fault_vals], axis=1)
+                else:
+                    cand_low, cand_high = low_buf, high_buf
+                # The f-th smallest / f-th largest of all n values live in
+                # the buffered extremes ∪ fault columns by construction.
+                low = np.partition(cand_low, f, axis=1)[:, f]
+                m = cand_high.shape[1]
+                high = np.partition(cand_high, m - 1 - f, axis=1)[:, m - 1 - f]
+                average = (low + high) / 2.0
+                adjustment = (T + delta) - average
+                self.u_hist[act_idx, r] = u[act_idx]
+                self.adj_hist[act_idx, r] = adjustment
+                self.corr[act_idx] = self.corr[act_idx] + adjustment
+                self.did_update[:, r] = act_u
+                self.last_u[act_idx] = u[act_idx]
+            self.corr_hist[:, r + 1] = self.corr
+
+            # Next round's broadcast timer, on the new logical clock.
+            T_next = T + P
+            if r + 1 < self.rounds:
+                b_next = ((T_next - self.corr) - self.off) / self.rt
+                armed_b = act_u & (b_next > u)
+                if (act_u & ~armed_b).any():
+                    raise _Fallback("missed round")
+                self.timers_set += int(armed_b.sum())
+            else:
+                armed_b = np.zeros(n, dtype=bool)
+            T = T_next
+
+        if self.dispatched > self.budget:
+            raise _Fallback("event budget exceeded")
+
+
+# ---------------------------------------------------------------------------
+# Observer reconstruction and result synthesis.
+# ---------------------------------------------------------------------------
+
+#: receiver rows per observer-grid kernel (rows × rounds × grid cells).
+_OBS_CHUNK_ROWS = 4096
+
+
+def _build_observers(rs: RoundSystem) -> Dict[str, object]:
+    """Finalized online observers, bit-identical to the serial pipeline.
+
+    Same elementwise math as :func:`repro.sim.vectorized._observer_batch`
+    with the replica axis dropped and the receiver axis chunked, so the
+    ``(nc, rounds, grid)`` lookup tensor never materializes at n≈10^5.
+    """
+    np = _np
+    from ..analysis.online import OnlineSkew, OnlineValidity
+    spec = rs.spec
+    params = rs.params
+    nc = rs.n_correct
+    if not spec.observers:
+        return {}
+    samples = spec.samples if spec.samples is not None else 200
+    starts_nf = rs.start_t[:nc]
+    tmin0 = float(starts_nf.min())
+    tmax0 = float(starts_nf.max())
+    start = tmax0 + params.round_length
+    u = rs.u_hist[:nc]
+    csteps = rs.corr_hist[:nc]
+    off = rs.off[:nc]
+    rt = rs.rt[:nc]
+    clocks = dict(enumerate(rs.clocks))
+    corr_final = dict(enumerate(rs.corr.tolist()))
+    pids = list(range(nc))
+    observers: Dict[str, object] = {}
+    for name in spec.observers:
+        # sample_grid(start, end, count): start + i*(end − start)/(count − 1).
+        count = samples if name == "skew" else max(50, samples // 2)
+        step = (rs.end_time - start) / (count - 1)
+        grid = start + np.arange(count) * step
+        if name == "skew":
+            lmax = np.full(count, -np.inf)
+            lmin = np.full(count, np.inf)
+        else:
+            from ..core.bounds import validity_parameters
+            vp = validity_parameters(params)
+            low = (vp.alpha1 * (grid - tmax0) - vp.alpha3) - 1e-9
+            high = (vp.alpha2 * (grid - tmin0) + vp.alpha3) + 1e-9
+            violations = 0
+        for r0 in range(0, nc, _OBS_CHUNK_ROWS):
+            r1 = min(r0 + _OBS_CHUNK_ROWS, nc)
+            # CORR in force at each grid time: the last update at or before.
+            idx = (u[r0:r1, :, None] <= grid[None, None, :]).sum(axis=1)
+            corr_g = np.take_along_axis(csteps[r0:r1], idx, axis=1)
+            L = (off[r0:r1, None] + rt[r0:r1, None] * grid[None, :]) + corr_g
+            if name == "skew":
+                lmax = np.maximum(lmax, L.max(axis=0))
+                lmin = np.minimum(lmin, L.min(axis=0))
+            else:
+                elapsed = L - params.initial_round_time
+                ok = (low[None, :] <= elapsed) & (elapsed <= high[None, :])
+                violations += int((~ok).sum())
+        if name == "skew":
+            top = float((lmax - lmin).max()) if nc >= 2 else 0.0
+            obs = OnlineSkew.from_batch(
+                grid=grid.tolist(), pids=pids, clocks=clocks,
+                corr=corr_final, max_skew=top if top > 0.0 else 0.0,
+                samples=count)
+        else:
+            captures = {}
+            for t in (start, rs.end_time):
+                idx_t = (u <= t).sum(axis=1)
+                corr_t = np.take_along_axis(csteps, idx_t[:, None],
+                                            axis=1)[:, 0]
+                captures[t] = dict(zip(pids, ((off + rt * t)
+                                              + corr_t).tolist()))
+            obs = OnlineValidity.from_batch(
+                params=params, tmin0=tmin0, tmax0=tmax0,
+                grid=grid.tolist(), start=start, end=rs.end_time,
+                pids=pids, clocks=clocks, corr=corr_final,
+                violations=violations, samples=nc * count,
+                captures=captures)
+        observers[obs.name] = obs
+    return observers
+
+
+def _synthesize_result(rs: RoundSystem, spec: Any) -> Any:
+    """One serial-shaped ScenarioResult from the engine's final arrays."""
+    from ..analysis.experiments import ScenarioResult
+    from ..clocks.logical import CorrectionEvent
+    n = rs.n
+    did_rows = rs.did_update.tolist()
+    u_rows = rs.u_hist.tolist()
+    adj_rows = rs.adj_hist.tolist()
+    histories = {}
+    for pid in range(n):
+        history = CorrectionHistory(0.0, max_entries=8)
+        did = did_rows[pid]
+        if True in did:
+            # Fill the history's internal lists directly — identical to a
+            # sequence of apply() calls (see vectorized._synthesize_result).
+            times = history._times
+            corrections = history._corrections
+            events = history._events
+            u_row = u_rows[pid]
+            adj_row = adj_rows[pid]
+            corr = 0.0
+            for r, updated in enumerate(did):
+                if not updated:
+                    continue
+                ut = u_row[r]
+                adj = adj_row[r]
+                corr = corr + adj
+                events.append(CorrectionEvent(real_time=ut, adjustment=adj,
+                                              new_correction=corr,
+                                              round_index=r))
+                times.append(ut)
+                corrections.append(corr)
+            if len(times) > 8:
+                excess = len(times) - 8
+                corrections[0] = corrections[excess]
+                del times[1:1 + excess]
+                del corrections[1:1 + excess]
+                del events[1:1 + excess]
+        histories[pid] = history
+    stats = MessageStats(
+        sent=rs.sent, delivered=rs.delivered, relayed=rs.relayed,
+        timers_set=rs.timers_set, timers_fired=rs.timers_fired,
+        per_process_sent=Counter(
+            {pid: count for pid, count in enumerate(rs.pps.tolist())
+             if count}))
+    trace = ExecutionTrace(clocks=dict(enumerate(rs.clocks)),
+                           histories=histories,
+                           faulty_ids=sorted(range(rs.n_correct, n)),
+                           events=[], stats=stats,
+                           end_time=rs.end_time, copy=False)
+    result = ScenarioResult(
+        params=rs.params, trace=trace,
+        start_times=dict(enumerate(rs.start_t.tolist())),
+        rounds=rs.rounds, end_time=rs.end_time,
+        observers=_build_observers(rs), checkpoints=0)
+    result.spec = spec
+    return result
+
+
+def try_execute(spec: Any, topology: Optional[Any],
+                telemetry: Optional[Any] = None) -> Optional[Any]:
+    """Run the spec through the round engine, or return None to go serial.
+
+    ``topology`` is the already-built object (None for the complete-graph
+    default).  Falls back — returning None and counting
+    ``roundengine.fallbacks`` — whenever the built topology is out of scope
+    (disconnected, extra delays, drops) or the execution leaves the clean
+    path mid-run.  On success the result carries the serial bit pattern and
+    ``roundengine.rounds`` / ``roundengine.edges`` telemetry.
+    """
+    if telemetry is None:
+        from ..telemetry import get_active
+        telemetry = get_active()
+
+    def fallback() -> None:
+        if telemetry is not None:
+            telemetry.registry.counter("roundengine.fallbacks").inc()
+
+    if topology is not None:
+        if topology.has_extra_delays or topology.has_lossy_links:
+            fallback()
+            return None
+        from ..topology.index import topology_index
+        if not topology_index(topology).connected:
+            fallback()
+            return None
+    fc = _fault_count(spec)
+    if fc and fc * spec.params.n > _MAX_FAULT_CELLS:
+        fallback()
+        return None
+    try:
+        engine = RoundSystem(spec, topology)
+        engine.run()
+        result = _synthesize_result(engine, spec)
+    except _Fallback:
+        fallback()
+        return None
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.counter("roundengine.rounds").inc(engine.rounds)
+        registry.gauge("roundengine.edges").set(engine.edge_count)
+    return result

@@ -134,7 +134,17 @@ def should_vectorize(spec: Any) -> bool:
     """Whether the runner should route this spec through the batch engine."""
     if getattr(spec, "vectorize", None) is False:
         return False
-    return vectorized_available() and supports_spec(spec)
+    if not (vectorized_available() and supports_spec(spec)):
+        return False
+    if getattr(spec, "vectorize", None) is not True:
+        # At large n the O(S·n²) ARR planes of the lockstep batch dominate
+        # memory; each replica is better served by the per-replica round
+        # engine (which the serial execute() it falls back to engages).
+        from . import roundengine
+        if roundengine.should_use(spec) \
+                and spec.params.n >= roundengine.AUTO_MIN_N:
+            return False
+    return True
 
 
 def _fault_count(spec: Any) -> int:

@@ -125,6 +125,10 @@ class Topology:
     def has_lossy_links(self) -> bool:
         return any(p > 0.0 for p in self._drop.values())
 
+    @property
+    def has_extra_delays(self) -> bool:
+        return any(d > 0.0 for d in self._extra_delay.values())
+
     # -- connectivity ----------------------------------------------------------------
     def components(self, link_up: Optional[LinkPredicate] = None) -> List[List[int]]:
         """Connected components (each sorted; the list ordered by smallest member).
@@ -177,6 +181,10 @@ class Topology:
 
     def diameter(self) -> int:
         """Longest shortest path (in hops) between any two connected nodes."""
+        from .index import maybe_index
+        index = maybe_index(self)
+        if index is not None:
+            return index.diameter
         worst = 0
         for source in range(self.n):
             distances = self.hop_distances(source)
@@ -191,6 +199,13 @@ class Topology:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Topology({self.describe()})"
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The memoized TopologyIndex (repro.topology.index) holds large numpy
+        # arrays; pool workers rebuild it cheaply, so keep pickles lean.
+        state = self.__dict__.copy()
+        state.pop("_topology_index", None)
+        return state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Topology):

@@ -14,7 +14,9 @@ scenario matrix cares about:
 * ``random_gnp`` — an Erdős–Rényi G(n, p) draw, optionally augmented to be
   connected so maintenance runs terminate;
 * ``clustered``  — dense clusters joined by a few bridge links, the "clouds
-  connected by thin pipes" shape that partition experiments cut along.
+  connected by thin pipes" shape that partition experiments cut along;
+* ``hierarchy``  — star-of-stars (core, mid-tier hubs, leaves), the
+  NTP-stratum shape for large-n round-engine runs.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ __all__ = [
     "grid",
     "random_gnp",
     "clustered",
+    "hierarchy",
     "TOPOLOGY_GENERATORS",
     "topology_names",
     "make_topology",
@@ -128,6 +131,28 @@ def clustered(n: int, clusters: int = 2, bridges: int = 1,
     return Topology(n, edges, name="clustered")
 
 
+def hierarchy(n: int, hubs: int = 0, seed: int = 0) -> Topology:
+    """A star-of-stars: one core, a ring of mid-tier hubs, leaf fan-out.
+
+    Node 0 is the core; nodes ``1..hubs`` are mid-tier hubs linked to the
+    core; every remaining node is a leaf attached round-robin to one mid-tier
+    hub.  This is the NTP-style stratum shape ROADMAP item 3 names — a small
+    sync core serving a huge leaf population — with diameter 4
+    (leaf→hub→core→hub→leaf) regardless of n, so the relay-corrected
+    ``(δ', ε')`` envelope stays bounded while n scales to 10^4–10^5.
+    ``hubs`` defaults to ⌈√n⌉, balancing hub degree against leaf fan-out.
+    """
+    if n < 2:
+        raise ValueError(f"a hierarchy needs at least 2 nodes, got n={n}")
+    if hubs <= 0:
+        hubs = max(1, int(math.ceil(math.sqrt(n))))
+    hubs = min(hubs, n - 1)
+    edges: List[Tuple[int, int]] = [(0, hub) for hub in range(1, hubs + 1)]
+    for leaf in range(hubs + 1, n):
+        edges.append((1 + (leaf - hubs - 1) % hubs, leaf))
+    return Topology(n, edges, name="hierarchy")
+
+
 def cluster_groups(n: int, clusters: int) -> List[List[int]]:
     """The contiguous node groups used by :func:`clustered` (largest first)."""
     base, remainder = divmod(n, clusters)
@@ -150,6 +175,8 @@ TOPOLOGY_GENERATORS: Dict[str, Tuple[Callable[..., Topology], str]] = {
                                "connect=<0|1>); seed-deterministic"),
     "clustered": (clustered, "dense clusters over thin bridges (options "
                              "clusters=<k>, bridges=<k>)"),
+    "hierarchy": (hierarchy, "star-of-stars: core, mid-tier hubs, leaf "
+                             "fan-out (option hubs=<k>); diameter 4"),
 }
 
 

@@ -74,6 +74,19 @@ def delay_envelope(topology: Topology, delta: float,
     pairs never deliver, so they do not constrain the envelope.
     """
     lo, hi = delta - epsilon, delta + epsilon  # the loopback / 1-hop case
+    if not topology.has_extra_delays:
+        # With no per-link extras the per-route bounds are monotone in the
+        # hop count, so only the extreme hop counts matter — which the
+        # vectorized index computes without the O(n²) python route walk.
+        # The arithmetic below matches the loop exactly (``extra`` is 0.0).
+        from .index import maybe_index
+        index = maybe_index(topology)
+        if index is not None:
+            for hops in {index.min_pair_hops, index.max_pair_hops}:
+                if hops >= 1:
+                    lo = min(lo, hops * (delta - epsilon) + 0.0)
+                    hi = max(hi, hops * (delta + epsilon) + 0.0)
+            return lo, hi
     for source, routes in all_pairs_routes(topology).items():
         for destination, route in routes.items():
             if destination == source:

@@ -1,0 +1,265 @@
+"""Hypothesis parity suite: the per-round large-n engine vs the serial loop.
+
+The round engine (:mod:`repro.sim.roundengine`) promises *bit identity* with
+the serial event loop — not statistical agreement.  For random supported
+configurations (system size, topology, fault mix, clock/delay family, seed)
+these properties compare every observable surface of the results:
+
+* message statistics and per-process send counts;
+* start times, end time, faulty sets;
+* the full per-process correction histories (times, corrections, events);
+* the online skew and validity observers, down to their internal sample
+  points and capture tables.
+
+Each engine-side run is telemetry-instrumented so the properties assert the
+engine actually *ran* (``roundengine.rounds`` advanced, zero fallbacks) —
+a silent serial fallback would make parity trivially true and test nothing.
+
+The suite runs on both TraceIndex backends (the ``REPRO_NO_NUMPY`` toggle):
+under the pure-python backend the engine reports itself unavailable and
+``execute`` must degrade to the serial loop, so parity is trivially exact
+there too — the property then guards the fallback wiring.  The same file
+also pins the topology-index satellites: the memoized index cache (hits
+counted in telemetry) and the ``delay_envelope`` fast path's equality with
+the python route walk.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import default_parameters
+from repro.runner.spec import RunSpec, execute
+from repro.sim import roundengine, traceindex
+from repro.telemetry import Telemetry
+from repro.topology.generators import make_topology
+from repro.topology.routing import delay_envelope
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.function_scoped_fixture])
+
+TOPOLOGIES = (None, "star", "grid", "complete", "hierarchy")
+
+
+@pytest.fixture(params=["numpy", "python"])
+def backend(request):
+    """Run each property on both TraceIndex backends."""
+    if request.param == "numpy" and not traceindex.numpy_available():
+        pytest.skip("numpy not installed")
+    previous = traceindex.numpy_enabled()
+    traceindex.use_numpy(request.param == "numpy")
+    yield request.param
+    traceindex.use_numpy(previous)
+
+
+@st.composite
+def engine_specs(draw):
+    """A random spec the round engine claims to support."""
+    f = draw(st.integers(min_value=0, max_value=2))
+    tolerated = max(1, f)
+    n = draw(st.integers(min_value=3 * tolerated + 1,
+                         max_value=3 * tolerated + 3))
+    params = default_parameters(n=n, f=tolerated)
+    fault_kind = draw(st.sampled_from(
+        sorted(roundengine.ROUND_FAULT_KINDS))) if f else None
+    spec = RunSpec.maintenance(
+        params,
+        rounds=draw(st.integers(min_value=1, max_value=4)),
+        fault_kind=fault_kind,
+        fault_count=f if f else None,
+        clock_kind=draw(st.sampled_from(["constant", "perfect"])),
+        delay=draw(st.sampled_from(["uniform", "fixed"])),
+        topology=draw(st.sampled_from(TOPOLOGIES)),
+        seed=draw(st.integers(min_value=0, max_value=2 ** 16)),
+        record_trace=False,
+        observers=draw(st.sampled_from(
+            [("skew", "validity"), ("skew",), ()])),
+        round_engine=True,
+    )
+    return spec
+
+
+def _history_key(history):
+    return (tuple(history.times), tuple(history.corrections),
+            tuple((e.real_time, e.adjustment, e.new_correction, e.round_index)
+                  for e in history.events))
+
+
+def _assert_identical(spec, a, b):
+    sa, sb = a.trace.stats, b.trace.stats
+    assert (sa.sent, sa.delivered, sa.dropped, sa.relayed, sa.timers_set,
+            sa.timers_fired) == (sb.sent, sb.delivered, sb.dropped,
+                                 sb.relayed, sb.timers_set, sb.timers_fired)
+    assert dict(sa.per_process_sent) == dict(sb.per_process_sent)
+    assert a.start_times == b.start_times
+    assert a.end_time == b.end_time
+    assert a.trace.faulty_ids == b.trace.faulty_ids
+    for pid in range(spec.params.n):
+        assert _history_key(a.trace.correction_history(pid)) == \
+            _history_key(b.trace.correction_history(pid))
+    skew_a, skew_b = a.online("skew"), b.online("skew")
+    assert (skew_a is None) == (skew_b is None)
+    if skew_a is not None:
+        assert skew_a.max_skew == skew_b.max_skew
+        assert skew_a.samples == skew_b.samples
+        assert skew_a._points == skew_b._points
+    val_a, val_b = a.online("validity"), b.online("validity")
+    assert (val_a is None) == (val_b is None)
+    if val_a is not None:
+        assert val_a.violations == val_b.violations
+        assert val_a.samples == val_b.samples
+        ra, rb = val_a.report(), val_b.report()
+        assert (ra.min_rate, ra.max_rate, ra.samples, ra.violations) == \
+            (rb.min_rate, rb.max_rate, rb.samples, rb.violations)
+        assert val_a._captures == val_b._captures
+
+
+def _run_engine(spec, expect_engine):
+    """Execute with telemetry; assert the round engine did (not) run.
+
+    ``expect_engine`` is tri-state: ``True`` — the engine must complete every
+    round with no fallback; ``False`` — it must never run; ``None`` — either
+    a clean engine run or a counted whole-run fallback is acceptable (clock
+    configurations that align logical clocks exactly, e.g. perfect rates
+    over fixed delays, legitimately trip the tied-send-time guard).
+    """
+    telemetry = Telemetry()
+    result = execute(spec, telemetry=telemetry)
+    snapshot = telemetry.registry.snapshot()
+    rounds = snapshot.get("roundengine.rounds", {}).get("value", 0.0)
+    fallbacks = snapshot.get("roundengine.fallbacks", {}).get("value", 0.0)
+    if expect_engine:
+        assert rounds == spec.rounds and fallbacks == 0.0
+    elif expect_engine is False:
+        assert rounds == 0.0
+    else:
+        assert (rounds == spec.rounds and fallbacks == 0.0) \
+            or (rounds == 0.0 and fallbacks >= 1.0)
+    return result
+
+
+class TestRoundEngineParity:
+    @SLOW
+    @given(spec=engine_specs())
+    def test_engine_is_bit_identical_to_serial(self, backend, spec):
+        """Engine run == serial run on every observable surface."""
+        assert roundengine.supports_spec(spec)
+        serial_spec = dataclasses.replace(spec, round_engine=False,
+                                          vectorize=False)
+        serial = execute(serial_spec)
+        # Constant clocks (distinct random rates) must take the clean path;
+        # perfect clocks can align logical clocks exactly after a correction
+        # and legitimately trip the tied-send-time fallback — parity must
+        # hold either way.
+        if backend != "numpy":
+            expect = False
+        elif spec.clock_kind == "perfect":
+            expect = None
+        else:
+            expect = True
+        engine = _run_engine(spec, expect_engine=expect)
+        _assert_identical(spec, serial, engine)
+
+    @SLOW
+    @given(spec=engine_specs())
+    def test_engine_availability_tracks_backend(self, backend, spec):
+        """The engine is live exactly when the numpy backend is active."""
+        assert roundengine.roundengine_available() == (backend == "numpy")
+
+    def test_kill_switch_falls_back_to_serial(self, backend):
+        """use_round_engine(False) degrades to the serial loop, identically."""
+        params = default_parameters(n=7, f=2)
+        spec = RunSpec.maintenance(params, rounds=3, fault_kind="crash",
+                                   fault_count=2, topology="star",
+                                   record_trace=False,
+                                   observers=("skew", "validity"),
+                                   round_engine=True)
+        reference = _run_engine(spec, expect_engine=(backend == "numpy"))
+        roundengine.use_round_engine(False)
+        try:
+            assert not roundengine.should_use(spec)
+            disabled = _run_engine(spec, expect_engine=False)
+        finally:
+            roundengine.use_round_engine(True)
+        _assert_identical(spec, reference, disabled)
+
+    def test_larger_run_smoke(self, backend):
+        """One deterministic n=40 hierarchy case beyond hypothesis' sizes."""
+        params = default_parameters(n=40, f=3)
+        spec = RunSpec.maintenance(params, rounds=6, fault_kind="silent",
+                                   fault_count=3, topology="hierarchy",
+                                   record_trace=False,
+                                   observers=("skew", "validity"),
+                                   round_engine=True)
+        serial = execute(dataclasses.replace(spec, round_engine=False,
+                                             vectorize=False))
+        engine = _run_engine(spec, expect_engine=(backend == "numpy"))
+        _assert_identical(spec, serial, engine)
+
+
+class TestTopologyIndex:
+    def test_index_memoized_with_telemetry_counter(self, backend):
+        """Repeat access returns the same index and counts a cache hit."""
+        from repro.telemetry import activated
+        from repro.topology.index import maybe_index
+
+        topology = make_topology("grid", 12)
+        if backend == "python":
+            assert maybe_index(topology) is None
+            return
+        telemetry = Telemetry()
+        with activated(telemetry):
+            first = maybe_index(topology)
+            second = maybe_index(topology)
+        assert first is not None and first is second
+        hits = telemetry.registry.snapshot().get(
+            "topology.index_cache_hits", {}).get("value", 0.0)
+        assert hits >= 1.0
+
+    def test_equal_topologies_share_index(self, backend):
+        """The equality-keyed LRU serves rebuilt-but-equal topologies."""
+        from repro.topology.index import maybe_index
+
+        if backend == "python":
+            pytest.skip("index needs the numpy backend")
+        first = maybe_index(make_topology("star", 9))
+        second = maybe_index(make_topology("star", 9))
+        assert first is not None and first is second
+
+    @pytest.mark.parametrize("kind,n", [("complete", 8), ("star", 9),
+                                        ("grid", 12), ("ring", 7),
+                                        ("hierarchy", 23),
+                                        ("clustered", 10)])
+    def test_delay_envelope_fast_path_matches_walk(self, backend, kind, n):
+        """The index fast path equals the python route walk bit for bit."""
+        topology = make_topology(kind, n)
+        envelope = delay_envelope(topology, delta=0.01, epsilon=0.002)
+        previous = traceindex.numpy_enabled()
+        traceindex.use_numpy(False)  # forces the python route walk
+        try:
+            reference = delay_envelope(topology, delta=0.01, epsilon=0.002)
+        finally:
+            traceindex.use_numpy(previous)
+        assert envelope == reference
+
+    def test_delay_envelope_extra_delays_use_walk(self, backend):
+        """Per-link extras disable the fast path and stay exact."""
+        from repro.topology.base import Topology
+
+        ring = make_topology("ring", 6)
+        topology = Topology(6, ring.links(), name="ring",
+                            extra_delay={(0, 1): 0.005})
+        envelope = delay_envelope(topology, delta=0.01, epsilon=0.002)
+        assert envelope[1] >= 3 * 0.012  # the 3-hop route through the extra
+
+    def test_hierarchy_shape(self):
+        """The new generator: connected star-of-stars with diameter 4."""
+        topology = make_topology("hierarchy", 50)
+        assert topology.n == 50
+        assert topology.is_connected()
+        assert topology.diameter() == 4
+        hubs = make_topology("hierarchy", 50, hubs=3)
+        assert len(hubs.neighbors(0)) == 3

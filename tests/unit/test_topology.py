@@ -129,7 +129,8 @@ class TestGenerators:
         with pytest.raises(KeyError):
             make_topology("moebius", 5)
         assert set(topology_names()) == {"complete", "ring", "star", "grid",
-                                         "random_gnp", "clustered"}
+                                         "random_gnp", "clustered",
+                                         "hierarchy"}
 
 
 class TestSpecs:
