@@ -261,9 +261,9 @@ class RoundSystem:
         """Effective hop distances for the chunk: diagonal lifted to 1 draw."""
         np = _np
         if self.complete:
-            return np.ones((len(pids), self.n), dtype=np.int16)
+            return np.ones((len(pids), self.n), dtype=np.int32)
         dist = self.index.dist_rows(pids)
-        return np.where(dist == 0, np.int16(1), dist)
+        return np.where(dist == 0, np.int32(1), dist)
 
     def _deliver_round(self, b: Any, act_b: Any, u: Any, act_u: Any) -> Any:
         """One round's broadcasts: draws, arrivals, stats, value buffers.
@@ -633,23 +633,33 @@ def try_execute(spec: Any, topology: Optional[Any],
     default).  Falls back — returning None and counting
     ``roundengine.fallbacks`` — whenever the built topology is out of scope
     (disconnected, extra delays, drops) or the execution leaves the clean
-    path mid-run.  On success the result carries the serial bit pattern and
+    path mid-run.  Unexpected errors from the index build or the engine are
+    also absorbed (counted separately as ``roundengine.errors``) so the
+    caller always gets the serial reference path instead of a crash.  On
+    success the result carries the serial bit pattern and
     ``roundengine.rounds`` / ``roundengine.edges`` telemetry.
     """
     if telemetry is None:
         from ..telemetry import get_active
         telemetry = get_active()
 
-    def fallback() -> None:
+    def fallback(error: bool = False) -> None:
         if telemetry is not None:
             telemetry.registry.counter("roundengine.fallbacks").inc()
+            if error:
+                telemetry.registry.counter("roundengine.errors").inc()
 
     if topology is not None:
         if topology.has_extra_delays or topology.has_lossy_links:
             fallback()
             return None
         from ..topology.index import topology_index
-        if not topology_index(topology).connected:
+        try:
+            connected = topology_index(topology).connected
+        except Exception:
+            fallback(error=True)
+            return None
+        if not connected:
             fallback()
             return None
     fc = _fault_count(spec)
@@ -662,6 +672,9 @@ def try_execute(spec: Any, topology: Optional[Any],
         result = _synthesize_result(engine, spec)
     except _Fallback:
         fallback()
+        return None
+    except Exception:
+        fallback(error=True)
         return None
     if telemetry is not None:
         registry = telemetry.registry

@@ -41,7 +41,7 @@ except ImportError:  # pragma: no cover - numpy genuinely absent
 
 __all__ = ["TopologyIndex", "topology_index", "maybe_index"]
 
-#: keep the full (n, n) distance matrix when it stays under ~32 MB.
+#: keep the full (n, n) distance matrix when it stays under ~64 MB.
 _DENSE_DIST_MAX_N = 4096
 
 #: BFS frontier work per chunk, in (row × gathered-edge) cells.
@@ -103,6 +103,11 @@ class TopologyIndex:
         self.indptr = np.concatenate([np.zeros(1, dtype=np.int64),
                                       np.cumsum(degrees)])
         self._isolated = degrees == 0
+        # Trailing isolated nodes make indptr[:-1] contain len(indices),
+        # which reduceat rejects; _bfs pads one False column so that offset
+        # stays in range (clipping instead would truncate the previous
+        # node's segment).
+        self._pad_bfs = bool(n and degrees[n - 1] == 0)
         self._dist: Optional[Any] = None
         if self.is_complete:
             # dist is 1 everywhere off-diagonal; skip the sweep entirely.
@@ -115,7 +120,7 @@ class TopologyIndex:
         self.draw_totals = np.zeros(n, dtype=np.int64)
         dense = n <= _DENSE_DIST_MAX_N
         if dense:
-            self._dist = np.empty((n, n), dtype=np.int16)
+            self._dist = np.empty((n, n), dtype=np.int32)
         connected = True
         worst = 0
         min_pair = 0
@@ -143,7 +148,7 @@ class TopologyIndex:
         """Multi-source BFS hop distances; ``-1`` marks unreachable nodes."""
         np = _np
         C, n = len(sources), self.n
-        dist = np.full((C, n), -1, dtype=np.int16)
+        dist = np.full((C, n), -1, dtype=np.int32)
         rows = np.arange(C)
         frontier = np.zeros((C, n), dtype=bool)
         frontier[rows, sources] = True
@@ -152,7 +157,14 @@ class TopologyIndex:
         while True:
             if not len(self.indices):
                 break
-            gathered = frontier[:, self.indices]
+            if self._pad_bfs:
+                # One always-False column keeps offsets == len(indices)
+                # (trailing isolated nodes) in range; False is the OR
+                # identity, so real segments are unaffected.
+                gathered = np.zeros((C, len(self.indices) + 1), dtype=bool)
+                gathered[:, :-1] = frontier[:, self.indices]
+            else:
+                gathered = frontier[:, self.indices]
             nxt = np.bitwise_or.reduceat(gathered, self.indptr[:-1], axis=1)
             # reduceat mis-reports empty segments (degree-0 nodes); they have
             # no in-edges, so force them off.
@@ -162,12 +174,12 @@ class TopologyIndex:
             if not nxt.any():
                 break
             level += 1
-            dist[nxt] = np.int16(level)
+            dist[nxt] = np.int32(level)
             frontier = nxt
         return dist
 
     def dist_rows(self, pids: Any) -> Any:
-        """Hop-distance rows for the given source ids ((len(pids), n) int16).
+        """Hop-distance rows for the given source ids ((len(pids), n) int32).
 
         ``0`` on the diagonal, ``-1`` for unreachable pairs.  Served from the
         dense cache when the matrix fits, recomputed (chunked BFS) otherwise.
@@ -175,7 +187,7 @@ class TopologyIndex:
         np = _np
         pids = np.asarray(pids, dtype=np.int64)
         if self.is_complete:
-            dist = np.ones((len(pids), self.n), dtype=np.int16)
+            dist = np.ones((len(pids), self.n), dtype=np.int32)
             dist[np.arange(len(pids)), pids] = 0
             return dist
         if self._dist is not None:

@@ -186,6 +186,37 @@ class TestRoundEngineParity:
             roundengine.use_round_engine(True)
         _assert_identical(spec, reference, disabled)
 
+    def test_unexpected_error_degrades_to_serial(self, backend, monkeypatch):
+        """A non-_Fallback engine crash takes the serial path, counted.
+
+        The docstring contract is that try_execute never escapes: unexpected
+        numpy errors from the index build or the engine are absorbed into
+        ``roundengine.errors`` (plus the usual fallback count) and the serial
+        reference result comes back unchanged.
+        """
+        if backend == "python":
+            pytest.skip("engine needs the numpy backend")
+        params = default_parameters(n=7, f=2)
+        spec = RunSpec.maintenance(params, rounds=3, fault_kind="crash",
+                                   fault_count=2, topology="star",
+                                   record_trace=False,
+                                   observers=("skew", "validity"),
+                                   round_engine=True)
+        serial = execute(dataclasses.replace(spec, round_engine=False,
+                                             vectorize=False))
+
+        def boom(self):
+            raise RuntimeError("injected engine failure")
+
+        monkeypatch.setattr(roundengine.RoundSystem, "run", boom)
+        telemetry = Telemetry()
+        result = execute(spec, telemetry=telemetry)
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["roundengine.errors"]["value"] == 1.0
+        assert snapshot["roundengine.fallbacks"]["value"] == 1.0
+        assert snapshot.get("roundengine.rounds", {}).get("value", 0.0) == 0.0
+        _assert_identical(spec, serial, result)
+
     def test_larger_run_smoke(self, backend):
         """One deterministic n=40 hierarchy case beyond hypothesis' sizes."""
         params = default_parameters(n=40, f=3)
@@ -254,6 +285,47 @@ class TestTopologyIndex:
                             extra_delay={(0, 1): 0.005})
         envelope = delay_envelope(topology, delta=0.01, epsilon=0.002)
         assert envelope[1] >= 3 * 0.012  # the 3-hop route through the extra
+
+    def test_trailing_isolated_node_matches_python_walk(self, backend):
+        """Regression: an isolated highest-numbered node crashed the BFS.
+
+        Such nodes leave ``len(indices)`` in the reduceat offsets; the index
+        must pad rather than clip (clipping truncates the previous node's
+        neighbor segment), staying exactly equal to the python walk.
+        """
+        from repro.topology.generators import random_gnp
+        from repro.topology.index import maybe_index
+
+        for seed in range(8):
+            topology = random_gnp(6, p=0.2, seed=seed, connect=False)
+            reference = 0
+            for source in range(topology.n):
+                distances = topology.hop_distances(source)
+                reference = max(reference, max(distances.values()))
+            assert topology.diameter() == reference
+            index = maybe_index(topology)
+            if backend == "python":
+                assert index is None
+                continue
+            rows = index.dist_rows(list(range(topology.n)))
+            for source in range(topology.n):
+                distances = topology.hop_distances(source)
+                for node in range(topology.n):
+                    assert rows[source][node] == distances.get(node, -1)
+
+    def test_distance_arrays_are_int32(self, backend):
+        """Regression: int16 hop levels overflow (OverflowError on numpy 2.x)
+        once a diameter exceeds 32767 — inside the module's 10^4–10^5 target
+        scale for line/ring shapes."""
+        from repro.topology.index import maybe_index
+
+        if backend == "python":
+            pytest.skip("index needs the numpy backend")
+        index = maybe_index(make_topology("ring", 9))
+        assert index._dist.dtype.name == "int32"
+        assert index.dist_rows([0, 4]).dtype.name == "int32"
+        complete = maybe_index(make_topology("complete", 5))
+        assert complete.dist_rows([1]).dtype.name == "int32"
 
     def test_hierarchy_shape(self):
         """The new generator: connected star-of-stars with diameter 4."""
