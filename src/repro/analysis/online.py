@@ -138,6 +138,18 @@ class _GridObserver(Observer):
             self._linear[pid] = _linear_form(clock)
             self._corr[pid] = float(corr[pid])
 
+    def bind_clocks(self, clocks: Dict[int, object],
+                    corr: Dict[int, float]) -> None:
+        """Attach to a live run that has no :class:`~repro.sim.system.System`.
+
+        The real-socket backend (:mod:`repro.net`) drives observers directly:
+        it knows every peer's clock and initial correction up front and then
+        feeds :meth:`on_correction` in nondecreasing real-time order (one
+        event loop, one monotonic axis), which is exactly the contract
+        :meth:`on_attach` + the simulator normally provide.
+        """
+        self._restore_clock_state(clocks, corr)
+
     # -- evaluation ----------------------------------------------------------
     def _local_time(self, pid: int, t: float) -> float:
         """``L_p(t)`` via the TraceIndex fast form (bit-identical to batch)."""

@@ -26,6 +26,14 @@ the measuring stick.  It times the three layers the fast path targets
   supervision overhead of running a batch through the crash-safe
   :class:`~repro.runner.resilient.SupervisedPool` instead of the in-process
   serial path — the price of resumability;
+* **net loopback** — one single-process real-socket cluster
+  (:func:`repro.net.run_loopback_cluster`): n asyncio peers over TCP on
+  loopback, envelope measurement, synchronized rounds and the full audit,
+  recording frames/s, the measured (δ, ε), the online max skew against the
+  derived Theorem 16 bound, and whether every audit passed.  Its elapsed
+  time is real network wall-clock, recorded as ``wall_seconds`` rather than
+  ``seconds`` so the cross-run speedup table never forms a ratio out of
+  socket latencies;
 * **telemetry** — the same core hot-loop workload with the
   :mod:`repro.telemetry` layer disabled (``telemetry=None``, the default)
   and enabled, recording both throughputs and the enabled overhead.  The
@@ -84,6 +92,7 @@ __all__ = [
     "bench_resilient_store",
     "bench_vectorized_replication",
     "bench_large_n",
+    "bench_net_loopback",
     "run_benchmarks",
     "merge_results",
     "compute_speedups",
@@ -100,7 +109,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = 1
-DEFAULT_BENCH_PATH = "BENCH_9.json"
+DEFAULT_BENCH_PATH = "BENCH_10.json"
 
 #: the streaming benchmark's fixed configuration — identical in quick and
 #: full mode so the memory guard always compares like with like.
@@ -637,6 +646,42 @@ def bench_large_n(n: int = LARGE_N_N, rounds: int = LARGE_N_ROUNDS,
     return entry
 
 
+#: the net-loopback benchmark's fixed configuration — identical in quick and
+#: full mode so trajectory entries always compare.
+NET_N = 4
+NET_ROUNDS = 4
+
+
+def bench_net_loopback(n: int = NET_N,
+                       rounds: int = NET_ROUNDS) -> Dict[str, object]:
+    """One real-socket loopback cluster: measured envelope, synced rounds.
+
+    Runs ``n`` asyncio peers over TCP on loopback
+    (:func:`repro.net.run_loopback_cluster`), including the ping-based
+    envelope measurement, ``rounds`` synchronized BCAST/UPDATE rounds under
+    the online observers, and the A1–A3 + Theorem 16/19 audits against the
+    *measured* (δ, ε).  The headline is frames per wall second; the audit
+    verdict rides along so a trajectory entry also records whether the
+    deployment met its own derived bound.  Real-network wall time is stored
+    as ``wall_seconds`` (not ``seconds``): socket latency is not code speed,
+    so the cross-run speedup table must never form a ratio from it.
+    """
+    from .net import run_loopback_cluster
+
+    result = run_loopback_cluster(n=n, rounds=rounds, seed=9)
+    return {
+        "n": n, "rounds": rounds,
+        "messages_sent": result.messages_sent,
+        "msgs_per_second": result.msgs_per_second,
+        "wall_seconds": result.wall_seconds,
+        "delta_measured": result.params.delta,
+        "epsilon_measured": result.params.epsilon,
+        "max_skew": result.max_skew,
+        "skew_bound": result.skew_bound,
+        "audits_passed": result.passed,
+    }
+
+
 def bench_end_to_end(rounds: int = 10, samples: int = 200,
                      repeats: int = 2) -> Dict[str, object]:
     """Build + run + audit across the default workload suite (CLI shape)."""
@@ -714,6 +759,9 @@ def run_benchmarks(quick: bool = False) -> Dict[str, object]:
     results["large_n"] = bench_large_n(
         serial_n=LARGE_N_SERIAL_N_QUICK if quick else LARGE_N_SERIAL_N,
         sparse_n=LARGE_N_SPARSE_N_QUICK if quick else LARGE_N_SPARSE_N)
+    # Same config in both modes; its duration is real rounds on real sockets
+    # (~rounds x P of wall time), identical under --quick by construction.
+    results["net_loopback"] = bench_net_loopback()
     return results
 
 
@@ -741,7 +789,11 @@ _MEASUREMENT_KEYS = frozenset({"seconds", "reference_seconds",
                                "supervised_seconds",
                                "supervision_overhead",
                                "sparse_seconds", "sparse_events",
-                               "sparse_events_per_second", "parity_ok"})
+                               "sparse_events_per_second", "parity_ok",
+                               "wall_seconds", "messages_sent",
+                               "msgs_per_second", "delta_measured",
+                               "epsilon_measured", "skew_bound",
+                               "audits_passed"})
 
 
 def compute_speedups(baseline: Dict[str, object],
@@ -1183,6 +1235,16 @@ def format_results(results: Dict[str, object],
                 f"{large['sparse_events_per_second']:,.0f} ev/s)")
         else:
             lines.append("large-n round engine  (numpy unavailable — skipped)")
+    net = results.get("net_loopback")
+    if net:
+        lines.append(
+            f"net loopback          {net['msgs_per_second']:>12,.0f} msg/s "
+            f"(n={net['n']}, {net['rounds']} rounds on real sockets in "
+            f"{net['wall_seconds']:.1f}s wall; measured delta "
+            f"{net['delta_measured'] * 1e3:.2f}ms, max skew "
+            f"{net['max_skew'] * 1e6:.0f}us vs bound "
+            f"{net['skew_bound'] * 1e3:.1f}ms, audits "
+            f"{'passed' if net['audits_passed'] else 'FAILED'})")
     if speedups:
         pairs = ", ".join(f"{name}={value:.1f}x"
                           for name, value in sorted(speedups.items()))

@@ -61,7 +61,11 @@ thousands) auto-engage the per-round engine (:mod:`repro.sim.roundengine`),
 which advances whole rounds over flat arrays instead of per-message events;
 ``--round-engine`` forces it, ``--no-round-engine`` disables it everywhere
 (including pool workers), and ``--max-events`` raises the event budget that
-large-n runs would otherwise exhaust.
+large-n runs would otherwise exhaust.  Both kill switches set their
+environment flags (``REPRO_NO_VECTORIZE`` / ``REPRO_NO_ROUNDENGINE``) so the
+disable reaches spawn-context pool workers, and both are scoped to the
+invocation: a later programmatic :func:`main` call in the same process starts
+with the engines re-enabled.
 
 Every sub-command prints plain-text tables (see
 :mod:`repro.analysis.reporting`) and exits with a non-zero status if a paper
@@ -71,9 +75,11 @@ claim it audits is violated, so the CLI can be dropped into CI.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
+import os
 import sys
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from .analysis.comparison import run_comparison, run_replicated_comparison
 from .analysis.experiments import (
@@ -305,6 +311,59 @@ def build_parser() -> argparse.ArgumentParser:
                       "BENCH_*.json trajectory")
     from .bench import add_bench_arguments
     add_bench_arguments(bench_parser)
+
+    net_parser = subparsers.add_parser(
+        "net", help="run the algorithm over real TCP sockets, with delta/"
+                    "epsilon measured instead of modeled")
+    net_actions = net_parser.add_subparsers(dest="action", required=True)
+    net_run = net_actions.add_parser(
+        "run", help="single-process loopback cluster: n asyncio peers over "
+                    "real TCP, audited (A1-A3, Theorem 16/19) against the "
+                    "measured delay envelope")
+    net_run.add_argument("--n", "-n", type=int, default=4,
+                         help="number of peers (default 4)")
+    net_run.add_argument("-f", type=int, default=None,
+                         help="tolerated faults (default: (n-1)//3)")
+    net_run.add_argument("--duration", type=float, default=5.0, metavar="T",
+                         help="wall seconds of synchronized rounds "
+                              "(default 5.0)")
+    net_run.add_argument("--rounds", type=int, default=None,
+                         help="exact round count; overrides --duration "
+                              "(deterministic tests)")
+    net_run.add_argument("--seed", type=int, default=0,
+                         help="seed for the drift-clock ensemble")
+    net_run.add_argument("--rho", type=float, default=1e-5,
+                         help="modeled drift bound (default 1e-5)")
+    net_run.add_argument("--pings", type=int, default=5, metavar="K",
+                         help="measurement ping volleys per peer (default 5)")
+    net_run.add_argument("--jitter-margin", type=float, default=0.025,
+                         metavar="S",
+                         help="upper-edge padding of the measured envelope, "
+                              "seconds (default 0.025); smaller = tighter "
+                              "bound, higher A3-violation odds")
+    net_run.add_argument("--samples", type=int, default=200,
+                         help="agreement-grid samples (default 200)")
+    net_run.add_argument("--json", metavar="PATH",
+                         help="export the run report as JSON")
+    _add_telemetry_options(net_run)
+    net_serve = net_actions.add_parser(
+        "serve", help="one OS process per peer (peer 0 leads: merges "
+                      "envelopes, broadcasts parameters, probes final skew)")
+    net_serve.add_argument("--id", type=int, required=True,
+                           help="this peer's index into --hosts")
+    net_serve.add_argument("--hosts", nargs="+", required=True,
+                           metavar="HOST:PORT",
+                           help="every peer's listen address, in pid order")
+    net_serve.add_argument("--duration", type=float, default=5.0, metavar="T",
+                           help="wall seconds of synchronized rounds "
+                                "(default 5.0)")
+    net_serve.add_argument("--rounds", type=int, default=None,
+                           help="exact round count; overrides --duration")
+    net_serve.add_argument("--seed", type=int, default=0)
+    net_serve.add_argument("--rho", type=float, default=1e-5)
+    net_serve.add_argument("--pings", type=int, default=5, metavar="K")
+    net_serve.add_argument("--jitter-margin", type=float, default=0.025,
+                           metavar="S")
 
     telemetry_parser = subparsers.add_parser(
         "telemetry", help="inspect collected telemetry (run manifests)")
@@ -911,6 +970,89 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def _parse_host_port(text: str) -> "tuple":
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"--hosts entries must be HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    if args.action == "serve":
+        from .net import ServeConfig, serve_peer
+
+        try:
+            config = ServeConfig(
+                pid=args.id,
+                hosts=[_parse_host_port(entry) for entry in args.hosts],
+                seed=args.seed, rho=args.rho, duration=args.duration,
+                rounds=args.rounds, pings=args.pings,
+                jitter_margin=args.jitter_margin)
+            return serve_peer(config)
+        except (ValueError, RuntimeError, TimeoutError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    # net run: build the (non-pure) net spec and route it through the
+    # standard dispatcher, so telemetry spans/manifests apply unchanged.
+    from .core.bounds import validity_parameters
+    from .runner import RunSpec, execute
+
+    try:
+        spec = RunSpec.net(
+            n=args.n, f=args.f, rho=args.rho,
+            duration=None if args.rounds is not None else args.duration,
+            rounds=args.rounds if args.rounds is not None else 6,
+            seed=args.seed, pings=args.pings,
+            jitter_margin=args.jitter_margin, samples=args.samples)
+        result = execute(spec)
+    except (ValueError, RuntimeError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    params = result.params
+    envelope = result.envelope
+    print(f"net loopback: n={result.n} f={result.f} seed={result.seed} "
+          f"rounds={result.rounds} (P={params.round_length * 1e3:.0f}ms, "
+          f"wall {result.wall_seconds:.2f}s)")
+    print(f"measured envelope: {envelope.samples} delays observed in "
+          f"[{envelope.observed_min * 1e6:.0f}, "
+          f"{envelope.observed_max * 1e6:.0f}]us -> "
+          f"delta={params.delta * 1e3:.3f}ms "
+          f"epsilon={params.epsilon * 1e3:.3f}ms "
+          f"(jitter margin {envelope.jitter_margin * 1e3:.0f}ms)")
+    audits = result.audits
+    audit_rows = [
+        ["A1 rho-bounded rates", _verdict(audits["a1_rho_bounded"])],
+        ["A2 n >= 3f+1", _verdict(audits["a2_quorum"])],
+        [f"A3 delay envelope ({audits['a3_records']} messages)",
+         _verdict(audits["a3_envelope"])],
+        [f"agreement: max skew {result.max_skew * 1e6:.1f}us <= "
+         f"gamma {result.skew_bound * 1e3:.3f}ms",
+         _verdict(result.agreement_holds)],
+    ]
+    if result.validity is not None:
+        validity = result.validity
+        vp = validity_parameters(params)
+        audit_rows.append(
+            [f"validity: rates in [{validity['min_rate']:.6f}, "
+             f"{validity['max_rate']:.6f}] vs (a1={vp.alpha1:.6f}, "
+             f"a2={vp.alpha2:.6f}), "
+             f"{validity['violations']} violation(s)",
+             _verdict(validity["holds"])])
+    print(format_table(["check (measured parameters)", "verdict"],
+                       audit_rows))
+    print(f"throughput: {result.messages_sent} frames, "
+          f"{result.msgs_per_second:.0f} msgs/s")
+    if args.json:
+        write_json(result.as_dict(), args.json)
+        print(f"wrote net run report JSON to {args.json}")
+    return 0 if result.passed else 1
+
+
+def _verdict(passed: bool) -> str:
+    return "pass" if passed else "FAIL"
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .telemetry import read_manifests
     from .telemetry.report import format_report as format_telemetry_report
@@ -992,33 +1134,56 @@ _COMMANDS = {
     "certify": _cmd_certify,
     "conformance": _cmd_conformance,
     "bench": _cmd_bench,
+    "net": _cmd_net,
     "telemetry": _cmd_telemetry,
 }
+
+
+@contextlib.contextmanager
+def _engine_kill_switches(args: argparse.Namespace) -> Iterator[None]:
+    """Scope ``--no-vectorize`` / ``--no-round-engine`` to one command.
+
+    Both levers are process-global: the module toggle (which reaches every
+    spec regardless of which layer constructs it) and the environment flag
+    (which — unlike the toggle — survives a spawn start method, where
+    ``--jobs`` pool workers re-import the engine modules instead of
+    inheriting mutated globals).  Everything is snapshotted on entry and
+    restored on exit, so a later programmatic ``main([...])`` call in the
+    same process (tests, notebooks) starts with both engines enabled again.
+    """
+    from .sim import roundengine, vectorized
+
+    saved_toggles = (vectorized._vectorize_disabled,
+                     roundengine._roundengine_disabled)
+    saved_env = {name: os.environ.get(name)
+                 for name in ("REPRO_NO_VECTORIZE", "REPRO_NO_ROUNDENGINE")}
+    try:
+        if getattr(args, "vectorize", None) is False:
+            os.environ["REPRO_NO_VECTORIZE"] = "1"
+            vectorized.use_vectorized(False)
+        if getattr(args, "round_engine", None) is False:
+            os.environ["REPRO_NO_ROUNDENGINE"] = "1"
+            roundengine.use_round_engine(False)
+        yield
+    finally:
+        vectorized._vectorize_disabled = saved_toggles[0]
+        roundengine._roundengine_disabled = saved_toggles[1]
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if getattr(args, "vectorize", None) is False:
-        # Kill switch for the batch engine: sweeps and comparisons build
-        # their specs internally, so the global toggle is the one lever that
-        # reaches every replica regardless of which layer constructs it.
-        from .sim.vectorized import use_vectorized
-        use_vectorized(False)
-    if getattr(args, "round_engine", None) is False:
-        # Same lever for the per-round engine — plus the environment flag,
-        # which (unlike the module toggle) is inherited by --jobs pool
-        # workers, so the kill switch holds across process boundaries.
-        import os
-
-        from .sim.roundengine import use_round_engine
-        os.environ["REPRO_NO_ROUNDENGINE"] = "1"
-        use_round_engine(False)
     command = _COMMANDS[args.command]
-    if _telemetry_requested(args):
-        return _with_telemetry(args, command)
-    return command(args)
+    with _engine_kill_switches(args):
+        if _telemetry_requested(args):
+            return _with_telemetry(args, command)
+        return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -1,0 +1,181 @@
+"""Measured delay envelopes: deriving (δ, ε) from observed delays.
+
+The simulator *chooses* its delay model, so δ and ε are inputs; a real
+network only ever shows us samples.  :class:`MeasuredEnvelope` collects
+observed one-way delays (exact, when sender and receiver share a monotonic
+axis — the in-process loopback cluster; or RTT/2 estimates across process or
+host boundaries, where no shared clock exists) and derives the (δ, ε) pair
+the paper's machinery needs, so the A1–A3 audits, the Section 5.2 parameter
+constraints and the Theorem 16 agreement bound γ all re-run against
+*measured* rather than modeled delays.
+
+Derivation.  Observed delays span ``[d_min, d_max]``.  The modeled envelope
+``[δ−ε, δ+ε]`` must contain every delay the *sync phase* will see, not just
+the calibration samples, so the observed span is padded:
+
+* the upper edge by ``jitter_margin`` — scheduler wakeup latency, GC pauses
+  and event-loop contention land on top of network delay in a real process,
+  and a send that leaves late is indistinguishable from a slow network;
+* the lower edge is *shrunk multiplicatively* (never below a positive
+  floor): assumption A3 requires ``0 ≤ ε < δ``, which is exactly the
+  statement that the envelope's lower edge ``δ − ε`` stays positive.
+
+The derived ε is therefore honest but deliberately loose: the agreement
+bound computed from it is a bound the deployment can actually be audited
+against, at the price of being wider than the hardware's true uncertainty.
+Tightening ``jitter_margin`` tightens the bound and raises the odds that one
+late wakeup lands a delay outside the envelope (an A3 violation the audit
+will then report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import SyncParameters
+from ..sim.recording import MessageRecord
+
+__all__ = ["DelayEnvelope", "MeasuredEnvelope"]
+
+#: lower-edge multiplier, keeping δ − ε strictly positive as A3 requires.
+#: The measurement volley systematically *overestimates* the floor — every
+#: peer is sending at once, so even the fastest observed ping transits a
+#: busy event loop — while mid-run deliveries can hit an idle loop, so the
+#: envelope needs real headroom below the observed minimum.
+_LOWER_SHRINK = 0.25
+
+#: absolute floor for the envelope's lower edge (seconds); guards against a
+#: degenerate 0-delay sample on a fast loopback.
+_MIN_LOWER = 1e-7
+
+
+@dataclass(frozen=True)
+class DelayEnvelope:
+    """A derived (δ, ε) pair plus the evidence it came from."""
+
+    delta: float
+    epsilon: float
+    samples: int
+    observed_min: float
+    observed_max: float
+    jitter_margin: float
+
+    @property
+    def lower(self) -> float:
+        """``δ − ε`` — the modeled minimum delay."""
+        return self.delta - self.epsilon
+
+    @property
+    def upper(self) -> float:
+        """``δ + ε`` — the modeled maximum delay."""
+        return self.delta + self.epsilon
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "delta": self.delta,
+            "epsilon": self.epsilon,
+            "samples": self.samples,
+            "observed_min": self.observed_min,
+            "observed_max": self.observed_max,
+            "jitter_margin": self.jitter_margin,
+        }
+
+
+class MeasuredEnvelope:
+    """Accumulates observed delays and derives the modeled (δ, ε) envelope.
+
+    ``add`` records one delay observation (seconds); ``record`` the richer
+    :class:`~repro.sim.recording.MessageRecord` form, so the stored evidence
+    plugs straight into :func:`~repro.sim.recording.envelope_violations` for
+    the A3 audit.  ``derive`` produces the padded envelope described in the
+    module docstring.
+    """
+
+    def __init__(self, jitter_margin: float = 0.025):
+        if jitter_margin < 0:
+            raise ValueError(f"jitter_margin must be >= 0, "
+                             f"got {jitter_margin}")
+        self.jitter_margin = float(jitter_margin)
+        self._records: List[MessageRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, sender: int, recipient: int, send_time: float,
+            delay: float) -> None:
+        """Record one observed one-way delay (or RTT/2 estimate)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay} from {sender} to "
+                             f"{recipient}; clocks are not a shared axis")
+        self._records.append(MessageRecord(
+            sender=sender, recipient=recipient,
+            send_time=float(send_time), delay=float(delay)))
+
+    def record(self, record: MessageRecord) -> None:
+        """Record a pre-built (delivered) message record."""
+        if record.dropped:
+            raise ValueError("a dropped message has no delay to measure")
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[MessageRecord]:
+        """The evidence, in arrival order (for the A3 audit)."""
+        return list(self._records)
+
+    def observed_span(self) -> Tuple[float, float]:
+        """``(min, max)`` of the raw observations."""
+        delays = [record.delay for record in self._records]
+        if not delays:
+            raise ValueError("no delay observations recorded")
+        return min(delays), max(delays)
+
+    def merge(self, other: "MeasuredEnvelope") -> None:
+        """Fold another recorder's evidence in (leader-side aggregation)."""
+        self._records.extend(other._records)
+
+    def derive(self) -> DelayEnvelope:
+        """The padded (δ, ε) envelope covering every observation.
+
+        ``lower = max(d_min·0.5, 1e-7)``, ``upper = d_max + jitter_margin``;
+        then ``δ = (lower+upper)/2``, ``ε = (upper−lower)/2``.  Positive
+        ``lower`` < ``upper`` guarantees ``0 ≤ ε < δ`` (assumption A3's
+        shape) by construction.
+        """
+        observed_min, observed_max = self.observed_span()
+        # Quarter, not half: sync-phase deliveries on an idle loop have been
+        # observed ~0.4x the volley minimum (the volley keeps the loop busy).
+        lower = max(observed_min * _LOWER_SHRINK, _MIN_LOWER)
+        upper = observed_max + self.jitter_margin
+        if upper <= lower:
+            # jitter_margin=0 with a single repeated sample can collapse the
+            # span; open it symmetrically so δ > ε still holds.
+            upper = lower * 3.0
+        return DelayEnvelope(
+            delta=(lower + upper) / 2.0,
+            epsilon=(upper - lower) / 2.0,
+            samples=len(self._records),
+            observed_min=observed_min,
+            observed_max=observed_max,
+            jitter_margin=self.jitter_margin,
+        )
+
+    def derive_parameters(self, n: int, f: int, rho: float,
+                          round_length_factor: float = 1.25,
+                          initial_round_time: float = 0.0
+                          ) -> Tuple[SyncParameters, DelayEnvelope]:
+        """Feasible :class:`SyncParameters` for the measured envelope.
+
+        β comes from :meth:`SyncParameters.derive` (1.5× its Section 5.2
+        lower bound); P is pinned to ``round_length_factor`` × its lower
+        bound rather than derive()'s default 10×, because on a real network
+        the round cadence is wall-clock time — a 10× round length would turn
+        a 5-second run into a single round.
+        """
+        envelope = self.derive()
+        probe = SyncParameters.derive(
+            n=n, f=f, rho=rho, delta=envelope.delta,
+            epsilon=envelope.epsilon, initial_round_time=initial_round_time)
+        round_length = probe.p_lower_bound() * float(round_length_factor)
+        params = probe.with_round_length(round_length).require_feasible()
+        return params, envelope

@@ -11,8 +11,8 @@ when, where, or in which process it is evaluated.  That purity is what lets
 :class:`~repro.runner.batch.BatchRunner` fan specs out over a worker pool (and
 cache results by spec) without changing any observable behaviour.
 
-The five scenario kinds mirror the builders in
-:mod:`repro.analysis.experiments`:
+The scenario kinds mirror the builders in
+:mod:`repro.analysis.experiments` (plus the real-socket backend):
 
 ========================  ====================================================
 kind                      underlying builder
@@ -22,7 +22,15 @@ kind                      underlying builder
 ``startup``               :func:`~repro.analysis.experiments.run_startup_scenario`
 ``reintegration``         :func:`~repro.analysis.experiments.run_reintegration_scenario`
 ``partition_heal``        :func:`~repro.analysis.experiments.run_partition_heal_scenario`
+``net``                   :func:`~repro.net.cluster.execute_net_spec`
 ========================  ====================================================
+
+One deliberate exception to the purity contract: ``kind='net'`` runs the
+algorithm over real TCP sockets with real clocks, so its results depend on
+the machine and the moment — a net spec's ``params`` carry only the inputs
+(n, f, ρ) and δ/ε are re-derived from *measured* delays at execution time.
+Batch/replication layers must never cache or fan out net specs (the CLI
+routes them directly), and both pool engines decline them by kind.
 
 Imports from :mod:`repro.analysis` are deferred into the functions so that
 ``repro.runner`` can be imported by the analysis layer (sweeps, comparison,
@@ -45,7 +53,7 @@ __all__ = ["RunSpec", "execute", "SCENARIO_KINDS", "DELAY_KINDS"]
 
 #: the scenario kinds :func:`execute` can dispatch.
 SCENARIO_KINDS = ("maintenance", "algorithm", "startup", "reintegration",
-                  "partition_heal")
+                  "partition_heal", "net")
 
 #: delay-model family names ``make_delay_model`` can build, from the single
 #: name registry in :mod:`repro.sim.network` (base models plus the
@@ -62,10 +70,11 @@ _ALLOWED_OPTIONS = {
                                 "recovered_clock_offset"}),
     "partition_heal": frozenset({"partition_round", "heal_round",
                                  "post_heal_rounds", "groups"}),
+    "net": frozenset({"duration", "pings", "jitter_margin", "samples"}),
 }
 
 #: kinds whose builders take no fault injection arguments.
-_NO_FAULT_KINDS = frozenset({"reintegration", "partition_heal"})
+_NO_FAULT_KINDS = frozenset({"reintegration", "partition_heal", "net"})
 
 #: kinds whose builders accept the streaming pipeline knobs
 #: (observers / record_trace / horizon / checkpoint_every / max_events).
@@ -205,6 +214,9 @@ class RunSpec:
         if self.kind == "reintegration" and self.topology is not None:
             raise ValueError("the reintegration scenario runs on the complete "
                              "graph only")
+        if self.kind == "net" and self.topology is not None:
+            raise ValueError("the net backend opens a full TCP mesh; "
+                             "topologies apply to simulated runs only")
         allowed = _ALLOWED_OPTIONS[self.kind]
         unknown = [key for key, _ in self.options if key not in allowed]
         if unknown:
@@ -386,6 +398,33 @@ class RunSpec:
                    topology=topology, seed=seed,
                    options=_freeze_options(options, "options"))
 
+    @classmethod
+    def net(cls, n: int, f: Optional[int] = None, rho: float = 1e-5,
+            duration: Optional[float] = None, rounds: int = 6,
+            seed: int = 0, pings: int = 5, jitter_margin: float = 0.025,
+            samples: Optional[int] = None) -> "RunSpec":
+        """The real-socket loopback backend (:mod:`repro.net`).
+
+        Only (n, f, ρ) from ``params`` are honored; δ, ε, β and P are
+        re-derived from the measured delay envelope when the spec executes,
+        so the placeholder values below never reach the algorithm.  A
+        ``duration`` (wall seconds) overrides ``rounds``.  Not pure: real
+        sockets do not replay — never cache results keyed by a net spec.
+        """
+        if f is None:
+            f = (n - 1) // 3
+        placeholder = SyncParameters.derive(n=n, f=f, rho=rho, delta=1e-3,
+                                            epsilon=5e-4)
+        options: Dict[str, Any] = {"pings": int(pings),
+                                   "jitter_margin": float(jitter_margin)}
+        if duration is not None:
+            options["duration"] = float(duration)
+        if samples is not None:
+            options["samples"] = int(samples)
+        return cls(kind="net", params=placeholder, rounds=rounds,
+                   fault_kind=None, seed=seed,
+                   options=_freeze_options(options, "options"))
+
 
 def _streaming_kwargs(spec: RunSpec) -> Dict[str, Any]:
     """Translate a spec's streaming fields into scenario-builder kwargs."""
@@ -477,6 +516,12 @@ def execute(spec: RunSpec, telemetry: Optional[Any] = None) -> "ScenarioResult":
 
 
 def _execute(spec: RunSpec, experiments, build_topology) -> "ScenarioResult":
+    if spec.kind == "net":
+        # Real sockets, real clocks: explicitly NOT a pure function of the
+        # spec (see the module docstring).  execute_net_spec attaches the
+        # spec to the result itself.
+        from ..net.cluster import execute_net_spec
+        return execute_net_spec(spec)
     params = spec.params
     topology = build_topology(spec.topology, n=params.n, seed=spec.seed)
     delay_model = experiments.make_delay_model(spec.delay, params,

@@ -31,7 +31,11 @@ Design points:
 Payloads are pickled :class:`~repro.analysis.experiments.ScenarioResult`
 objects — the same bytes that already travel across the multiprocessing
 boundary, so anything a pool can run, the store can hold.  A corrupt payload
-(torn disk, partial copy) reads as a *miss*: the spec simply re-runs.
+(torn disk, partial copy) reads as a *miss* — the spec simply re-runs — but
+never a silent one: each is counted on :attr:`ResultStore.corrupt_reads` and
+the ``resilient.store.corrupt`` telemetry counter, and ``store status``
+reports the store-wide total (:meth:`ResultStore.scan_corrupt`), so rot is
+distinguishable from a cold cache.
 
 Chaos: a :class:`~repro.runner.chaos.ChaosSchedule` with scheduled
 ``store_full_writes`` makes :meth:`put` raise ``OSError(ENOSPC)`` on exactly
@@ -94,6 +98,7 @@ class ResultStore:
         self.path = str(path)
         self.chaos = chaos
         self._writes = 0
+        self.corrupt_reads = 0
         if not create and self.path != ":memory:" \
                 and not os.path.exists(self.path):
             raise StoreError(f"no result store at {self.path}")
@@ -192,7 +197,13 @@ class ResultStore:
 
     def get(self, spec: "RunSpec") -> Optional[Any]:
         """The stored result for this spec, or ``None`` (misses include
-        corrupt payloads — those specs simply re-run)."""
+        corrupt payloads — those specs simply re-run).
+
+        A corrupt payload is still a miss, but a *counted* one: it bumps
+        :attr:`corrupt_reads` and the ``resilient.store.corrupt`` telemetry
+        counter, so a store rotting on disk is distinguishable from a cold
+        one (which would otherwise look identical — all misses).
+        """
         row = self._conn.execute(
             "SELECT payload FROM results WHERE spec_hash = ?",
             (store_key(spec),)).fetchone()
@@ -201,6 +212,11 @@ class ResultStore:
         try:
             return pickle.loads(row[0])
         except Exception:
+            self.corrupt_reads += 1
+            from ..telemetry import get_active
+            telemetry = get_active()
+            if telemetry is not None:
+                telemetry.registry.counter("resilient.store.corrupt").inc()
             return None
 
     def contains(self, spec: "RunSpec") -> bool:
@@ -243,6 +259,21 @@ class ResultStore:
                 for r in rows]
 
     # -- introspection and maintenance ---------------------------------------
+    def scan_corrupt(self) -> int:
+        """Decode every stored payload; the number that fail to unpickle.
+
+        This is the forensic complement of the per-``get`` counter: ``status``
+        calls it so ``store status`` reports rot even in a process that never
+        read the damaged rows (a monitoring terminal, say).
+        """
+        corrupt = 0
+        for (payload,) in self._conn.execute("SELECT payload FROM results"):
+            try:
+                pickle.loads(payload)
+            except Exception:
+                corrupt += 1
+        return corrupt
+
     def status(self) -> Dict[str, Any]:
         """A summary of the store: counts, kinds, size — `store status` data."""
         by_kind = dict(self._conn.execute(
@@ -255,6 +286,7 @@ class ResultStore:
             "path": self.path,
             "schema_version": self.schema_version,
             "results": len(self),
+            "corrupt_payloads": self.scan_corrupt(),
             "quarantined": self._conn.execute(
                 "SELECT COUNT(*) FROM quarantine").fetchone()[0],
             "by_kind": by_kind,

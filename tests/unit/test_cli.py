@@ -351,3 +351,136 @@ class TestTightnessSweep:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "lower_bound" in out and "gamma_over_lower" in out
+
+
+class TestNetParser:
+    def test_net_run_defaults(self):
+        args = build_parser().parse_args(["net", "run"])
+        assert args.command == "net" and args.action == "run"
+        assert args.n == 4 and args.f is None
+        assert args.duration == 5.0 and args.rounds is None
+        assert args.pings == 5 and args.samples == 200
+
+    def test_net_serve_requires_id_and_hosts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["net", "serve", "--id", "0"])
+        args = build_parser().parse_args(
+            ["net", "serve", "--id", "1",
+             "--hosts", "127.0.0.1:9001", "127.0.0.1:9002"])
+        assert args.id == 1
+        assert args.hosts == ["127.0.0.1:9001", "127.0.0.1:9002"]
+
+    def test_net_serve_rejects_malformed_host(self, capsys):
+        exit_code = main(["net", "serve", "--id", "0",
+                          "--hosts", "localhost", "127.0.0.1:9002"])
+        assert exit_code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestEngineKillSwitchScoping:
+    """--no-vectorize / --no-round-engine must not leak across main() calls.
+
+    Both levers are process-global (a module toggle plus an environment
+    flag), so one programmatic ``main([...])`` call disabling an engine
+    must not leave the next call in the same process running degraded.
+    """
+
+    @pytest.fixture
+    def spy(self, monkeypatch):
+        import os
+
+        import repro.cli as cli
+        from repro.sim import roundengine, vectorized
+
+        seen = {}
+
+        def fake_run(args):
+            seen["vectorize_disabled"] = vectorized._vectorize_disabled
+            seen["roundengine_disabled"] = roundengine._roundengine_disabled
+            seen["env_vectorize"] = os.environ.get("REPRO_NO_VECTORIZE")
+            seen["env_roundengine"] = os.environ.get("REPRO_NO_ROUNDENGINE")
+            return 0
+
+        monkeypatch.setitem(cli._COMMANDS, "run", fake_run)
+        return seen
+
+    @pytest.fixture
+    def baseline(self):
+        import os
+
+        from repro.sim import roundengine, vectorized
+
+        return {
+            "vectorize_disabled": vectorized._vectorize_disabled,
+            "roundengine_disabled": roundengine._roundengine_disabled,
+            "env_vectorize": os.environ.get("REPRO_NO_VECTORIZE"),
+            "env_roundengine": os.environ.get("REPRO_NO_ROUNDENGINE"),
+        }
+
+    def current(self):
+        import os
+
+        from repro.sim import roundengine, vectorized
+
+        return {
+            "vectorize_disabled": vectorized._vectorize_disabled,
+            "roundengine_disabled": roundengine._roundengine_disabled,
+            "env_vectorize": os.environ.get("REPRO_NO_VECTORIZE"),
+            "env_roundengine": os.environ.get("REPRO_NO_ROUNDENGINE"),
+        }
+
+    def test_no_vectorize_scoped_to_one_invocation(self, spy, baseline):
+        assert main(["run", "--no-vectorize"]) == 0
+        # during the command: both levers thrown for the vectorized engine
+        assert spy["vectorize_disabled"] is True
+        assert spy["env_vectorize"] == "1"
+        # the round engine was untouched
+        assert spy["roundengine_disabled"] == baseline["roundengine_disabled"]
+        # after the command: everything restored
+        assert self.current() == baseline
+
+    def test_no_round_engine_scoped_to_one_invocation(self, spy, baseline):
+        assert main(["run", "--no-round-engine"]) == 0
+        assert spy["roundengine_disabled"] is True
+        assert spy["env_roundengine"] == "1"
+        assert spy["vectorize_disabled"] == baseline["vectorize_disabled"]
+        assert self.current() == baseline
+
+    def test_second_main_call_runs_with_engines_reenabled(self, spy,
+                                                          baseline):
+        # The acceptance regression: back-to-back programmatic main() calls
+        # in one process; the second must see both engines enabled again.
+        assert main(["run", "--no-vectorize", "--no-round-engine"]) == 0
+        assert spy["vectorize_disabled"] is True
+        assert spy["roundengine_disabled"] is True
+        assert main(["run"]) == 0
+        assert spy["vectorize_disabled"] is False
+        assert spy["roundengine_disabled"] is False
+        assert spy["env_vectorize"] is None
+        assert spy["env_roundengine"] is None
+        assert self.current() == baseline
+
+    def test_preexisting_env_value_restored(self, spy, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_NO_VECTORIZE", "legacy")
+        from repro.sim import vectorized
+
+        saved_toggle = vectorized._vectorize_disabled
+        assert main(["run", "--no-vectorize"]) == 0
+        # inside: overwritten with "1"; after: the caller's value is back
+        assert spy["env_vectorize"] == "1"
+        assert os.environ["REPRO_NO_VECTORIZE"] == "legacy"
+        assert vectorized._vectorize_disabled == saved_toggle
+
+    def test_restored_even_when_the_command_raises(self, monkeypatch,
+                                                   baseline):
+        import repro.cli as cli
+
+        def exploding_run(args):
+            raise RuntimeError("mid-command failure")
+
+        monkeypatch.setitem(cli._COMMANDS, "run", exploding_run)
+        with pytest.raises(RuntimeError, match="mid-command failure"):
+            main(["run", "--no-vectorize", "--no-round-engine"])
+        assert self.current() == baseline

@@ -1,0 +1,99 @@
+"""Unit tests for measured delay envelopes (repro.net.measure)."""
+
+import pytest
+
+from repro.net.measure import DelayEnvelope, MeasuredEnvelope
+from repro.sim.recording import MessageRecord, envelope_violations
+
+
+def filled(delays, jitter_margin=0.025):
+    envelope = MeasuredEnvelope(jitter_margin=jitter_margin)
+    for index, delay in enumerate(delays):
+        envelope.add(0, 1, float(index), delay)
+    return envelope
+
+
+class TestRecording:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative delay"):
+            MeasuredEnvelope().add(0, 1, 0.0, -1e-4)
+
+    def test_dropped_record_rejected(self):
+        dropped = MessageRecord(sender=0, recipient=1, send_time=0.0,
+                                delay=None)
+        with pytest.raises(ValueError, match="dropped"):
+            MeasuredEnvelope().record(dropped)
+
+    def test_empty_envelope_cannot_derive(self):
+        with pytest.raises(ValueError, match="no delay observations"):
+            MeasuredEnvelope().derive()
+
+    def test_merge_folds_evidence(self):
+        left = filled([1e-4, 2e-4])
+        right = filled([5e-4])
+        left.merge(right)
+        assert len(left) == 3
+        assert left.observed_span() == (1e-4, 5e-4)
+
+
+class TestDerivation:
+    def test_envelope_covers_every_observation(self):
+        delays = [2e-4, 3e-4, 8e-4]
+        envelope = filled(delays).derive()
+        assert envelope.lower <= min(delays)
+        assert envelope.upper >= max(delays)
+        assert envelope.samples == 3
+        assert envelope.observed_min == 2e-4
+        assert envelope.observed_max == 8e-4
+
+    def test_a3_shape_holds(self):
+        # Assumption A3 needs 0 <= epsilon < delta, i.e. a strictly
+        # positive envelope lower edge — even from extreme observations.
+        for delays in ([1e-7], [0.0, 1e-3], [5e-4] * 10, [0.0]):
+            envelope = filled(delays).derive()
+            assert envelope.epsilon >= 0
+            assert envelope.epsilon < envelope.delta
+            assert envelope.lower > 0
+
+    def test_zero_jitter_margin_single_sample_still_feasible(self):
+        envelope = filled([3e-4], jitter_margin=0.0).derive()
+        assert envelope.epsilon < envelope.delta
+        assert envelope.lower <= 3e-4 <= envelope.upper
+
+    def test_negative_jitter_margin_rejected(self):
+        with pytest.raises(ValueError, match="jitter_margin"):
+            MeasuredEnvelope(jitter_margin=-0.1)
+
+    def test_records_feed_a3_audit_cleanly(self):
+        recorder = filled([2e-4, 4e-4, 6e-4])
+        envelope = recorder.derive()
+        violations = envelope_violations(recorder.records, envelope.delta,
+                                         envelope.epsilon)
+        assert violations == []
+
+    def test_as_dict_roundtrips_fields(self):
+        envelope = filled([2e-4]).derive()
+        data = envelope.as_dict()
+        assert data["delta"] == envelope.delta
+        assert data["epsilon"] == envelope.epsilon
+        assert data["samples"] == 1
+        assert data["jitter_margin"] == 0.025
+
+
+class TestDeriveParameters:
+    def test_derived_parameters_are_feasible(self):
+        params, envelope = filled([2e-4, 5e-4]).derive_parameters(
+            n=4, f=1, rho=1e-5)
+        assert params.n == 4 and params.f == 1
+        assert params.delta == envelope.delta
+        assert params.epsilon == envelope.epsilon
+        # require_feasible() already ran; re-run for the assertion message
+        params.require_feasible()
+
+    def test_round_length_factor_sets_cadence(self):
+        loose, _ = filled([2e-4]).derive_parameters(
+            n=4, f=1, rho=1e-5, round_length_factor=2.0)
+        tight, _ = filled([2e-4]).derive_parameters(
+            n=4, f=1, rho=1e-5, round_length_factor=1.25)
+        assert loose.round_length == pytest.approx(
+            tight.round_length * 2.0 / 1.25)

@@ -204,3 +204,93 @@ class TestChaosDiskFull:
             assert len(store) == 1
             store.put(spec.with_seed(2), result)  # write 2: fine again
             assert len(store) == 2
+
+
+class TestCorruptPayloadAccounting:
+    """Corrupt payloads are counted misses, never silent ones."""
+
+    def corrupt_all_rows(self, path):
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE results SET payload = ?",
+                         (sqlite3.Binary(b"torn bytes"),))
+        conn.close()
+
+    def test_corrupt_read_bumps_counter(self, tmp_path, spec, result):
+        path = str(tmp_path / "rot.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        self.corrupt_all_rows(path)
+        with ResultStore(path) as store:
+            assert store.corrupt_reads == 0
+            assert store.get(spec) is None
+            assert store.corrupt_reads == 1
+            # every read of the damaged row counts, not just the first
+            assert store.get(spec) is None
+            assert store.corrupt_reads == 2
+            # a plain cold miss is NOT counted as corruption
+            assert store.get(spec.with_seed(99)) is None
+            assert store.corrupt_reads == 2
+
+    def test_corrupt_read_increments_telemetry_counter(self, tmp_path, spec,
+                                                       result):
+        from repro.telemetry import Telemetry, activated
+
+        path = str(tmp_path / "rot.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        self.corrupt_all_rows(path)
+        telemetry = Telemetry()
+        with activated(telemetry), ResultStore(path) as store:
+            assert store.get(spec) is None
+        counter = telemetry.registry.counter("resilient.store.corrupt")
+        assert counter.value == 1
+
+    def test_no_telemetry_counter_without_active_telemetry(self, tmp_path,
+                                                           spec, result):
+        from repro.telemetry import Telemetry, activated
+
+        path = str(tmp_path / "rot.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        self.corrupt_all_rows(path)
+        with ResultStore(path) as store:  # no ambient telemetry: no crash
+            assert store.get(spec) is None
+            assert store.corrupt_reads == 1
+        telemetry = Telemetry()
+        with activated(telemetry):
+            pass
+        assert telemetry.registry.counter("resilient.store.corrupt").value == 0
+
+    def test_scan_corrupt_and_status_surface_rot(self, tmp_path, spec,
+                                                 result):
+        path = str(tmp_path / "rot.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+            store.put(spec.with_seed(1), result)
+        self.corrupt_all_rows(path)
+        with ResultStore(path) as store:
+            assert store.scan_corrupt() == 2
+            status = store.status()
+            assert status["corrupt_payloads"] == 2
+            assert status["results"] == 2  # rows still present, just rotten
+
+    def test_healthy_store_reports_zero_corruption(self, tmp_path, spec,
+                                                   result):
+        with make_store(tmp_path) as store:
+            store.put(spec, result)
+            assert store.scan_corrupt() == 0
+            assert store.status()["corrupt_payloads"] == 0
+            assert store.corrupt_reads == 0
+
+    def test_cli_store_status_renders_corruption(self, tmp_path, spec,
+                                                 result, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "rot.sqlite")
+        with ResultStore(path) as store:
+            store.put(spec, result)
+        self.corrupt_all_rows(path)
+        assert main(["store", "status", path]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt_payloads" in out
